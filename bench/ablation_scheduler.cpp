@@ -1,0 +1,104 @@
+// Ablation: service/task priority relations and scheduling policy.
+//
+// The paper "extended the existing Scheduler to enact priority
+// relations between services and tasks" — services must start before
+// the tasks that call them. This bench quantifies that design choice:
+// a mixed workload (16 llama services + 64 compute tasks) is submitted
+// at once on a pilot too small to hold everything, under
+//   (a) service priority on  (services 100, tasks 0)  [the paper]
+//   (b) service priority off (all priority 0)
+// and under FIFO vs backfill queue policies. Reported: time until all
+// services are RUNNING and total workload makespan.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ripple;
+
+struct AblationResult {
+  double services_ready = 0.0;
+  double makespan = 0.0;
+  bool ok = true;
+};
+
+AblationResult run_case(bool service_priority,
+                        core::SchedulerPolicy policy) {
+  core::Session session(
+      {.seed = 99, .scheduler_policy = policy});
+  ml::install(session);
+  // Small pilot: 2 nodes x 4 GPUs = 8 GPU slots shared by 4 resident
+  // services and 64 GPU compute tasks; contention forces ordering
+  // decisions.
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  AblationResult result;
+
+  // A backlog of compute tasks is already queued when the workflow
+  // reaches the stage that needs ML services — the situation the
+  // paper's priority relations exist for.
+  std::vector<std::string> task_uids;
+  for (int i = 0; i < 64; ++i) {
+    core::TaskDescription desc;
+    desc.name = "compute";
+    desc.cores = 1;
+    desc.gpus = 1;
+    desc.duration = common::Distribution::lognormal(120.0, 0.2, 30.0);
+    desc.priority = 0;
+    task_uids.push_back(session.tasks().submit(pilot, desc));
+  }
+  std::vector<std::string> service_uids;
+  for (int i = 0; i < 4; ++i) {
+    auto desc = bench::inference_service("llama-8b");
+    desc.priority = service_priority ? 100 : 0;
+    desc.ready_timeout = 36000.0;
+    service_uids.push_back(session.services().submit(pilot, desc));
+  }
+
+  session.services().when_ready(service_uids, [&](bool ok) {
+    result.ok = result.ok && ok;
+    result.services_ready = session.now();
+    // Services are only needed until tasks complete; free their slots
+    // as soon as the compute workload has drained.
+  });
+  session.tasks().when_done(task_uids, [&](bool ok) {
+    result.ok = result.ok && ok;
+    result.makespan = session.now();
+    session.services().stop_all();
+  });
+  session.run();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bench;
+  std::cout << "Ablation: scheduler priority relations and queue policy "
+               "(4 llama services + 64 GPU tasks on 8 GPU slots)\n";
+
+  metrics::Table table({"service_priority", "policy", "services_ready_s",
+                        "makespan_s", "ok"});
+  for (const bool priority : {true, false}) {
+    for (const auto policy :
+         {core::SchedulerPolicy::backfill, core::SchedulerPolicy::fifo}) {
+      const AblationResult r = run_case(priority, policy);
+      table.add_row(
+          {priority ? "on" : "off",
+           policy == core::SchedulerPolicy::backfill ? "backfill" : "fifo",
+           strutil::format_fixed(r.services_ready, 1),
+           strutil::format_fixed(r.makespan, 1), r.ok ? "yes" : "NO"});
+    }
+  }
+  std::cout << metrics::banner("Priority relations ablation");
+  std::cout << table.to_string();
+  table.write_csv(output_dir() + "/ablation_scheduler.csv");
+  std::cout << "\nExpected: with priority ON services are ready early "
+               "(they jump the 64-task queue); with priority OFF services "
+               "wait behind minutes of compute tasks, delaying every "
+               "client that needs them.\n";
+  return 0;
+}

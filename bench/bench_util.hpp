@@ -1,0 +1,184 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared harness pieces for the figure/table reproduction benches.
+///
+/// Each bench builds a fresh Session per configuration point (like the
+/// paper's per-run experiments), drives it to completion and extracts
+/// the metric series. Output is printed as aligned tables whose rows
+/// match the paper's plotted series, plus CSV files under ./bench_out.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ripple/common/strutil.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/metrics/report.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/profiles.hpp"
+
+namespace bench {
+
+using namespace ripple;
+
+/// Where CSV outputs land; created on demand.
+inline std::string output_dir() {
+  const std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline core::ServiceDescription inference_service(const std::string& model,
+                                                  bool preloaded = false) {
+  core::ServiceDescription desc;
+  desc.name = model + "-svc";
+  desc.program = "inference";
+  desc.config = json::Value::object({{"model", model}});
+  if (preloaded) desc.config.set("preloaded", true);
+  desc.cores = 1;
+  desc.gpus = 1;
+  return desc;
+}
+
+inline core::TaskDescription client_task(
+    const std::vector<std::string>& endpoints, std::size_t requests,
+    const std::string& series, std::size_t concurrency = 1,
+    const std::string& balancer = "round_robin") {
+  core::TaskDescription desc;
+  desc.name = "client";
+  desc.kind = "inference_client";
+  desc.cores = 1;
+  json::Value endpoint_array = json::Value::array();
+  for (const auto& e : endpoints) endpoint_array.push_back(e);
+  desc.payload = json::Value::object({{"endpoints", endpoint_array},
+                                      {"requests", requests},
+                                      {"concurrency", concurrency},
+                                      {"series", series},
+                                      {"balancer", balancer}});
+  return desc;
+}
+
+/// Result of one scaling point of an RT/IT experiment.
+struct ScalingPoint {
+  std::size_t clients = 0;
+  std::size_t services = 0;
+  double communication_mean = 0.0;
+  double service_mean = 0.0;
+  double inference_mean = 0.0;
+  double total_mean = 0.0;
+  double total_p95 = 0.0;
+  std::size_t requests = 0;
+  double makespan = 0.0;
+};
+
+struct RtExperimentConfig {
+  std::string model = "noop";
+  bool remote = false;          ///< services on R3 instead of the pilot
+  std::size_t requests_per_client = 1024;
+  std::size_t concurrency = 1;  ///< in-flight requests per client
+  std::uint64_t seed = 42;
+
+  /// Weak-scaling pairing: when clients == services, client i talks only
+  /// to service i (one dedicated model instance per task, the paper's
+  /// weak-scaling setup). Otherwise every client balances over all
+  /// services.
+  bool pair_clients = false;
+};
+
+/// Runs one (clients, services) point of Experiment 2/3 and returns the
+/// aggregated component means — one bar of Figs. 4-6.
+inline ScalingPoint run_rt_point(std::size_t n_clients,
+                                 std::size_t n_services,
+                                 const RtExperimentConfig& config) {
+  core::Session session({.seed = config.seed});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(4));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+
+  std::vector<std::string> service_uids;
+  if (config.remote) {
+    auto& r3 = session.add_platform(platform::r3_profile(2));
+    for (std::size_t i = 0; i < n_services; ++i) {
+      auto desc = inference_service(config.model, /*preloaded=*/true);
+      service_uids.push_back(session.services().register_remote(
+          r3, desc, i % r3.node_count()));
+    }
+  } else {
+    for (std::size_t i = 0; i < n_services; ++i) {
+      service_uids.push_back(
+          session.services().submit(pilot, inference_service(config.model)));
+    }
+  }
+
+  const std::string series = "rt";
+  double start_time = 0.0;
+  double end_time = 0.0;
+  session.services().when_ready(service_uids, [&](bool ok) {
+    if (!ok) {
+      std::cerr << "service bootstrap failed\n";
+      session.loop().stop();
+      return;
+    }
+    start_time = session.now();
+    std::vector<std::string> endpoints;
+    for (const auto& uid : service_uids) {
+      endpoints.push_back(session.services().get(uid).endpoint());
+    }
+    const bool paired = config.pair_clients && n_clients == n_services;
+    std::vector<std::string> task_uids;
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      const std::vector<std::string> targets =
+          paired ? std::vector<std::string>{endpoints[c]} : endpoints;
+      task_uids.push_back(session.tasks().submit(
+          pilot, client_task(targets, config.requests_per_client, series,
+                             config.concurrency)));
+    }
+    session.tasks().when_done(task_uids, [&](bool) {
+      end_time = session.now();
+      session.services().stop_all();
+    });
+  });
+  session.run();
+
+  ScalingPoint point;
+  point.clients = n_clients;
+  point.services = n_services;
+  point.makespan = end_time - start_time;
+  if (session.metrics().has_series(series)) {
+    const auto& s = session.metrics().series(series);
+    point.communication_mean = s.communication.mean();
+    point.service_mean = s.service.mean();
+    point.inference_mean = s.inference.mean();
+    point.total_mean = s.total.mean();
+    point.total_p95 = s.total.p95();
+    point.requests = s.count();
+  }
+  return point;
+}
+
+/// Prints a strong- or weak-scaling series as a component table.
+inline void print_scaling_table(const std::string& title,
+                                const std::vector<ScalingPoint>& points,
+                                const std::string& csv_name) {
+  std::cout << metrics::banner(title);
+  metrics::Table table({"clients", "services", "requests", "comm_ms",
+                        "service_ms", "inference_ms", "total_ms",
+                        "p95_ms", "makespan_s"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.clients), std::to_string(p.services),
+                   std::to_string(p.requests),
+                   strutil::format_fixed(p.communication_mean * 1e3, 4),
+                   strutil::format_fixed(p.service_mean * 1e3, 4),
+                   strutil::format_fixed(p.inference_mean * 1e3, 4),
+                   strutil::format_fixed(p.total_mean * 1e3, 4),
+                   strutil::format_fixed(p.total_p95 * 1e3, 4),
+                   strutil::format_fixed(p.makespan, 2)});
+  }
+  std::cout << table.to_string();
+  table.write_csv(output_dir() + "/" + csv_name);
+}
+
+}  // namespace bench

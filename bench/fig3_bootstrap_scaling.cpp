@@ -1,0 +1,120 @@
+// Reproduces Fig. 3: Service Bootstrap Times on Frontier.
+//
+// Experiment 1 of the paper: launch 1..640 llama-8b service instances
+// (one GPU each) inside a Frontier pilot and decompose the bootstrap
+// time into launch / init / publish per instance count. Expected shape:
+//   * launch roughly constant up to 160 instances, growing beyond
+//     (MPI/PRRTE startup contention);
+//   * init (model load) dominating everywhere;
+//   * publish always below launch.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ripple;
+
+struct BootstrapPoint {
+  std::size_t instances = 0;
+  common::Summary launch;
+  common::Summary init;
+  common::Summary publish;
+  common::Summary total;
+  double wall = 0.0;  ///< time until all instances were RUNNING
+};
+
+BootstrapPoint run_point(std::size_t n_instances, std::uint64_t seed) {
+  core::Session session({.seed = seed});
+  ml::install(session);
+  // 80 Frontier nodes x 8 GPUs = 640 one-GPU service slots.
+  session.add_platform(platform::frontier_profile(80));
+  auto& pilot = session.submit_pilot({.platform = "frontier", .nodes = 80});
+
+  std::vector<std::string> uids;
+  uids.reserve(n_instances);
+  for (std::size_t i = 0; i < n_instances; ++i) {
+    uids.push_back(
+        session.services().submit(pilot, bench::inference_service("llama-8b")));
+  }
+  double ready_at = 0.0;
+  session.services().when_ready(uids, [&](bool ok) {
+    if (!ok) std::cerr << "bootstrap failed at n=" << n_instances << "\n";
+    ready_at = session.now();
+    session.services().stop_all();
+  });
+  session.run();
+
+  BootstrapPoint point;
+  point.instances = n_instances;
+  point.wall = ready_at;
+  for (const auto& record : session.metrics().bootstraps()) {
+    point.launch.add(record.launch);
+    point.init.add(record.init);
+    point.publish.add(record.publish);
+    point.total.add(record.total());
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 3 reproduction: service bootstrap time decomposition "
+               "(Frontier, llama-8b via ollama-like hosting)\n";
+
+  const std::vector<std::size_t> counts = {1, 2, 4, 8, 20, 40, 80, 160, 320,
+                                           640};
+  metrics::Table table({"instances", "launch_s", "launch_std", "init_s",
+                        "init_std", "publish_s", "publish_std", "total_s",
+                        "all_ready_s"});
+  std::vector<BootstrapPoint> points;
+  for (const std::size_t n : counts) {
+    BootstrapPoint point = run_point(n, 42);
+    table.add_row({std::to_string(point.instances),
+                   strutil::format_fixed(point.launch.mean(), 3),
+                   strutil::format_fixed(point.launch.stddev(), 3),
+                   strutil::format_fixed(point.init.mean(), 3),
+                   strutil::format_fixed(point.init.stddev(), 3),
+                   strutil::format_fixed(point.publish.mean(), 3),
+                   strutil::format_fixed(point.publish.stddev(), 3),
+                   strutil::format_fixed(point.total.mean(), 3),
+                   strutil::format_fixed(point.wall, 3)});
+    points.push_back(std::move(point));
+  }
+  std::cout << metrics::banner("Bootstrap time components vs instance count");
+  std::cout << table.to_string();
+  table.write_csv(bench::output_dir() + "/fig3_bootstrap.csv");
+
+  // Shape checks mirroring the paper's observations.
+  const auto& first = points.front();
+  const auto& at160 = points[7];
+  const auto& at640 = points.back();
+  std::cout << "\nShape checks (paper section IV-B):\n";
+  std::cout << "  launch flat to 160 instances:   "
+            << strutil::format_fixed(at160.launch.mean() /
+                                         first.launch.mean(),
+                                     2)
+            << "x ratio (expect ~1)\n";
+  std::cout << "  launch grows by 640 instances:  "
+            << strutil::format_fixed(at640.launch.mean() /
+                                         first.launch.mean(),
+                                     2)
+            << "x ratio (expect > 2)\n";
+  std::cout << "  init dominates at 640:          "
+            << strutil::format_fixed(
+                   at640.init.mean() /
+                       (at640.launch.mean() + at640.publish.mean()),
+                   2)
+            << "x (expect > 1)\n";
+  std::cout << "  publish < launch everywhere:    "
+            << (([&] {
+                 for (const auto& p : points) {
+                   if (p.publish.mean() >= p.launch.mean()) return "NO";
+                 }
+                 return "yes";
+               })())
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig. 4: Service Response Times for local NOOP inference.
+//
+// Experiment 2 (local): NOOP services on the same Delta pilot as the
+// client tasks. Strong scaling fixes 16 clients and raises the service
+// count 1..16; weak scaling keeps clients == services. Each client
+// sends 1024 requests. Expected shape: communication (network latency)
+// dominates service and inference components; weak-scaling bars are
+// flat; strong-scaling queueing shrinks as services are added.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bench;
+  std::cout << "Fig. 4 reproduction: local NOOP service response time "
+               "(Delta, 0.063 ms inter-node latency)\n";
+
+  RtExperimentConfig config;
+  config.model = "noop";
+  config.remote = false;
+  config.requests_per_client = 1024;
+
+  const std::vector<std::size_t> service_counts = {1, 2, 4, 8, 16};
+
+  std::vector<ScalingPoint> strong;
+  for (const std::size_t services : service_counts) {
+    strong.push_back(run_rt_point(16, services, config));
+  }
+  print_scaling_table("Strong scaling (16 clients, 1..16 services)", strong,
+                      "fig4_rt_local_strong.csv");
+
+  RtExperimentConfig weak_config = config;
+  weak_config.pair_clients = true;
+  std::vector<ScalingPoint> weak;
+  for (const std::size_t n : service_counts) {
+    weak.push_back(run_rt_point(n, n, weak_config));
+  }
+  print_scaling_table("Weak scaling (N clients, N services)", weak,
+                      "fig4_rt_local_weak.csv");
+
+  std::cout << "\nShape checks (paper section IV-C):\n";
+  const auto& weak16 = weak.back();
+  std::cout << "  communication >> inference: "
+            << ripple::strutil::format_fixed(
+                   weak16.communication_mean /
+                       std::max(weak16.inference_mean, 1e-12),
+                   1)
+            << "x (expect >> 1)\n";
+  std::cout << "  weak scaling flat: total(16/16)/total(1/1) = "
+            << ripple::strutil::format_fixed(
+                   weak.back().total_mean / weak.front().total_mean, 2)
+            << " (expect ~1)\n";
+  std::cout << "  strong scaling relieves queueing: service(16/1)/"
+               "service(16/16) = "
+            << ripple::strutil::format_fixed(
+                   strong.front().service_mean / strong.back().service_mean,
+                   2)
+            << " (expect > 1: fewer services => more queue wait)\n";
+  return 0;
+}

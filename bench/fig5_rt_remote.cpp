@@ -1,0 +1,62 @@
+// Reproduces Fig. 5: Service Response Times for remote NOOP inference.
+//
+// Experiment 2 (remote): client tasks run in a Delta pilot; NOOP
+// services are persistent instances on the R3 cloud host reached over
+// 0.47 ms links. No bootstrap is measured (remote services are
+// persistent). Expected shape: same as Fig. 4 but with communication
+// roughly 7x larger, still dominating service and inference.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bench;
+  std::cout << "Fig. 5 reproduction: remote NOOP service response time "
+               "(Delta clients -> R3 services, 0.47 ms links)\n";
+
+  RtExperimentConfig config;
+  config.model = "noop";
+  config.remote = true;
+  config.requests_per_client = 1024;
+
+  const std::vector<std::size_t> service_counts = {1, 2, 4, 8, 16};
+
+  std::vector<ScalingPoint> strong;
+  for (const std::size_t services : service_counts) {
+    strong.push_back(run_rt_point(16, services, config));
+  }
+  print_scaling_table("Strong scaling (16 clients, 1..16 remote services)",
+                      strong, "fig5_rt_remote_strong.csv");
+
+  RtExperimentConfig weak_config = config;
+  weak_config.pair_clients = true;
+  std::vector<ScalingPoint> weak;
+  for (const std::size_t n : service_counts) {
+    weak.push_back(run_rt_point(n, n, weak_config));
+  }
+  print_scaling_table("Weak scaling (N clients, N remote services)", weak,
+                      "fig5_rt_remote_weak.csv");
+
+  // Local comparison point for the remote/local latency ratio.
+  RtExperimentConfig local = config;
+  local.remote = false;
+  const ScalingPoint local_point = run_rt_point(16, 16, local);
+
+  std::cout << "\nShape checks (paper section IV-C):\n";
+  std::cout << "  remote/local communication ratio: "
+            << ripple::strutil::format_fixed(
+                   strong.back().communication_mean /
+                       local_point.communication_mean,
+                   1)
+            << "x (paper: 0.47 ms vs 0.063 ms => ~7x)\n";
+  std::cout << "  communication dominates: "
+            << ripple::strutil::format_fixed(
+                   strong.back().communication_mean /
+                       std::max(strong.back().service_mean +
+                                    strong.back().inference_mean,
+                                1e-12),
+                   1)
+            << "x service+inference (expect >> 1)\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Fig. 6: Service Response Times for LLAMA inference calls.
+//
+// Experiment 3: the same sweep as Experiment 2 but with real model
+// costs (llama-8b, ~4 s per generation). Expected shape:
+//   * inference dominates every other component by orders of magnitude,
+//     so model locality (local vs remote) stops mattering;
+//   * strong scaling with few services shows deep request queues (the
+//     `service` component inflates with queue wait: "the backend is too
+//     slow");
+//   * weak scaling is flat at roughly the pure inference time.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bench;
+  std::cout << "Fig. 6 reproduction: LLAMA-8b inference response time "
+               "(local Delta and remote R3 services)\n";
+
+  const std::vector<std::size_t> service_counts = {1, 2, 4, 8, 16};
+
+  RtExperimentConfig remote;
+  remote.model = "llama-8b";
+  remote.remote = true;
+  remote.requests_per_client = 128;  // 4 s/inference: keep runs bounded
+
+  std::vector<ScalingPoint> strong;
+  for (const std::size_t services : service_counts) {
+    strong.push_back(run_rt_point(16, services, remote));
+  }
+  print_scaling_table(
+      "Remote, strong scaling (16 clients, 1..16 llama services)", strong,
+      "fig6_it_remote_strong.csv");
+
+  RtExperimentConfig weak_config = remote;
+  weak_config.pair_clients = true;
+  std::vector<ScalingPoint> weak;
+  for (const std::size_t n : service_counts) {
+    weak.push_back(run_rt_point(n, n, weak_config));
+  }
+  print_scaling_table("Remote, weak scaling (N clients, N llama services)",
+                      weak, "fig6_it_remote_weak.csv");
+
+  RtExperimentConfig local = weak_config;
+  local.remote = false;
+  const ScalingPoint local16 = run_rt_point(16, 16, local);
+  const ScalingPoint remote16 = weak.back();
+
+  std::cout << "\nShape checks (paper section IV-D):\n";
+  std::cout << "  inference dominates (weak 16/16): "
+            << ripple::strutil::format_fixed(
+                   remote16.inference_mean /
+                       std::max(remote16.communication_mean +
+                                    remote16.service_mean,
+                                1e-12),
+                   0)
+            << "x communication+service (expect >> 1)\n";
+  std::cout << "  model locality secondary: |local-remote| total = "
+            << ripple::strutil::format_fixed(
+                   std::abs(local16.total_mean - remote16.total_mean) /
+                       remote16.total_mean * 100.0,
+                   2)
+            << "% (expect small)\n";
+  std::cout << "  strong scaling queueing (16 clients / 1 service): "
+            << "service component "
+            << ripple::strutil::format_fixed(
+                   strong.front().service_mean / strong.back().service_mean,
+                   0)
+            << "x the 16-service case (expect >> 1: requests queue)\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks of the runtime substrate (google-benchmark).
+//
+// These quantify the infrastructure costs underneath the paper's
+// metrics: event-loop throughput, JSON round-trips (the RPC payload
+// format), router/RPC hops, scheduler grant/release cycles and slot
+// pool churn. They back the claim that architectural overheads are
+// "minimal" relative to the modeled network and model costs.
+
+#include <benchmark/benchmark.h>
+
+#include "ripple/common/json.hpp"
+#include "ripple/common/random.hpp"
+#include "ripple/common/statistics.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/msg/rpc.hpp"
+#include "ripple/platform/profiles.hpp"
+#include "ripple/sim/event_loop.hpp"
+#include "ripple/sim/resource.hpp"
+
+namespace {
+
+using namespace ripple;
+
+void BM_EventLoopPostRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    for (int i = 0; i < 1000; ++i) {
+      loop.call_after(static_cast<double>(i) * 1e-6, [] {});
+    }
+    benchmark::DoNotOptimize(loop.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopPostRun);
+
+void BM_JsonParseDump(benchmark::State& state) {
+  const std::string text = R"({"uid":"task.000001","cores":4,"gpus":1,
+    "payload":{"endpoints":["svc.0","svc.1"],"requests":1024,
+    "concurrency":4,"series":"rt"},"priority":10,"tags":[1,2,3,4,5]})";
+  for (auto _ : state) {
+    json::Value value = json::Value::parse(text);
+    benchmark::DoNotOptimize(value.dump());
+  }
+}
+BENCHMARK(BM_JsonParseDump);
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  sim::EventLoop loop;
+  common::Rng rng(1);
+  sim::Network network(loop, rng.fork("net"));
+  network.register_host("a", "z");
+  network.register_host("b", "z");
+  network.set_link("z", "z",
+                   sim::LinkModel{common::Distribution::constant(1e-6), 0});
+  msg::Router router(loop, network);
+  msg::RpcServer server(router, "server", "a");
+  server.bind_method("echo", [](std::shared_ptr<msg::Responder> responder) {
+    responder->reply(json::Value::object({{"ok", true}}));
+  });
+  msg::RpcClient client(router, "client", "b");
+  for (auto _ : state) {
+    bool completed = false;
+    client.call("server", "echo", json::Value::object(),
+                [&](msg::CallResult) { completed = true; });
+    loop.run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RpcRoundTrip);
+
+void BM_SlotPoolChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    sim::SlotPool pool(loop, "gpus", 8);
+    int granted = 0;
+    for (int i = 0; i < 256; ++i) {
+      pool.acquire(1, [&](sim::SlotPool::Grant grant) {
+        ++granted;
+        loop.call_after(1e-3, [&pool, grant] { pool.release(grant); });
+      });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(granted);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SlotPoolChurn);
+
+void BM_SchedulerCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Session session({.seed = 3});
+    session.add_platform(platform::delta_profile(4));
+    auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+    int done = 0;
+    for (int i = 0; i < 128; ++i) {
+      core::TaskDescription desc;
+      desc.cores = 8;
+      desc.duration = common::Distribution::constant(0.01);
+      const auto uid = session.tasks().submit(pilot, desc);
+      session.tasks().when_done({uid}, [&](bool) { ++done; });
+    }
+    session.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SchedulerCycle);
+
+void BM_SummaryQuantiles(benchmark::State& state) {
+  common::Rng rng(9);
+  common::Summary summary;
+  for (int i = 0; i < 10000; ++i) summary.add(rng.lognormal(1.0, 0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summary.quantile(0.95));
+  }
+}
+BENCHMARK(BM_SummaryQuantiles);
+
+void BM_NetworkDeliver(benchmark::State& state) {
+  sim::EventLoop loop;
+  common::Rng rng(5);
+  sim::Network network(loop, rng.fork("net"));
+  network.register_host("a", "x");
+  network.register_host("b", "y");
+  network.set_link("x", "y",
+                   sim::LinkModel{
+                       common::Distribution::normal(0.47e-3, 0.04e-3, 1e-6),
+                       1.25e9});
+  for (auto _ : state) {
+    int arrived = 0;
+    for (int i = 0; i < 100; ++i) {
+      network.deliver("a", "b", 512, [&] { ++arrived; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(arrived);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_NetworkDeliver);
+
+}  // namespace
+
+BENCHMARK_MAIN();

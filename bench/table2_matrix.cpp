@@ -1,0 +1,102 @@
+// Reproduces Table II: the experiment setup matrix, executed.
+//
+// Each row of the paper's Table II is run at a representative
+// configuration and reported with its headline metric:
+//   1  Frontier  n/a   llama-8b  local   1-640 models  weak    -> BT
+//   2  Delta     NOOP  noop      local   1-16 / 1-16   s/w     -> RT
+//      Delta+R3  NOOP  noop      remote  1-16 / 1-16   s/w     -> RT
+//   3  Delta     inf   llama-8b  local   1-16 / 1-16   s/w     -> IT
+//      Delta+R3  inf   llama-8b  remote  1-16 / 1-16   s/w     -> IT
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ripple;
+
+/// Runs a compact Experiment-1 point: n llama services on Frontier.
+double bootstrap_total_mean(std::size_t n_instances) {
+  core::Session session({.seed = 7});
+  ml::install(session);
+  session.add_platform(platform::frontier_profile(80));
+  auto& pilot = session.submit_pilot({.platform = "frontier", .nodes = 80});
+  std::vector<std::string> uids;
+  for (std::size_t i = 0; i < n_instances; ++i) {
+    uids.push_back(
+        session.services().submit(pilot, bench::inference_service("llama-8b")));
+  }
+  session.services().when_ready(
+      uids, [&](bool) { session.services().stop_all(); });
+  session.run();
+  return session.metrics().bootstrap_component("total").mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bench;
+  std::cout << "Table II reproduction: experiment setup matrix with "
+               "measured headline metrics\n";
+
+  metrics::Table table({"id", "platform", "task_type", "model",
+                        "deployment", "tasks", "models", "cores", "gpus",
+                        "scaling", "metric", "value"});
+
+  // Row 1: Experiment 1, weak scaling of bootstrap on Frontier.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{640}}) {
+    const double bt = bootstrap_total_mean(n);
+    table.add_row({"1", "frontier", "n/a", "llama-8b", "local", "n/a",
+                   std::to_string(n), "5120", "640", "weak", "BT_mean_s",
+                   strutil::format_fixed(bt, 2)});
+  }
+
+  // Rows 2-3: Experiments 2 and 3, strong (16/16) and weak (16/16
+  // paired) endpoints of each sweep.
+  struct Row {
+    const char* id;
+    const char* platform;
+    const char* task_type;
+    const char* model;
+    bool remote;
+    std::size_t requests;
+  };
+  const Row rows[] = {
+      {"2", "delta", "NOOP", "noop", false, 1024},
+      {"2", "delta+r3", "NOOP", "noop", true, 1024},
+      {"3", "delta", "inference", "llama-8b", false, 128},
+      {"3", "delta+r3", "inference", "llama-8b", true, 128},
+  };
+  for (const Row& row : rows) {
+    RtExperimentConfig config;
+    config.model = row.model;
+    config.remote = row.remote;
+    config.requests_per_client = row.requests;
+
+    const ScalingPoint strong = run_rt_point(16, 1, config);
+    RtExperimentConfig weak_config = config;
+    weak_config.pair_clients = true;
+    const ScalingPoint weak = run_rt_point(16, 16, weak_config);
+
+    const char* metric =
+        std::string(row.model) == "noop" ? "RT_mean_ms" : "IT_mean_ms";
+    const double strong_value = std::string(row.model) == "noop"
+                                    ? strong.total_mean * 1e3
+                                    : strong.inference_mean * 1e3;
+    const double weak_value = std::string(row.model) == "noop"
+                                  ? weak.total_mean * 1e3
+                                  : weak.inference_mean * 1e3;
+    table.add_row({row.id, row.platform, row.task_type, row.model,
+                   row.remote ? "remote" : "local", "16", "1", "256", "16",
+                   "strong", metric, strutil::format_fixed(strong_value, 3)});
+    table.add_row({row.id, row.platform, row.task_type, row.model,
+                   row.remote ? "remote" : "local", "16", "16", "256", "16",
+                   "weak", metric, strutil::format_fixed(weak_value, 3)});
+  }
+
+  std::cout << metrics::banner("Experiment matrix (measured)");
+  std::cout << table.to_string();
+  table.write_csv(output_dir() + "/table2_matrix.csv");
+  return 0;
+}

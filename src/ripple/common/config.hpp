@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file config.hpp
+/// Hierarchical configuration over JSON with dotted-path access.
+///
+/// Platform profiles, model specs and experiment parameters are all plain
+/// JSON documents; Config adds typed lookups with defaults and deep
+/// overlay merging (experiment overrides on top of platform defaults).
+
+#include <string>
+
+#include "ripple/common/json.hpp"
+
+namespace ripple::common {
+
+class Config {
+ public:
+  Config() : root_(json::Value::object()) {}
+  explicit Config(json::Value root);
+
+  /// Parses a JSON document into a Config.
+  [[nodiscard]] static Config from_string(const std::string& text);
+
+  /// Reads and parses a JSON file; throws io_error when unreadable.
+  [[nodiscard]] static Config from_file(const std::string& path);
+
+  /// Dotted-path lookup ("platform.network.latency_ms"); null when absent.
+  [[nodiscard]] const json::Value* find(const std::string& path) const;
+
+  [[nodiscard]] bool has(const std::string& path) const {
+    return find(path) != nullptr;
+  }
+
+  [[nodiscard]] double get_double(const std::string& path,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& path,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& path, bool fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& path,
+                                       const std::string& fallback) const;
+
+  /// Sets a value at a dotted path, creating intermediate objects.
+  void set(const std::string& path, json::Value value);
+
+  /// Deep-merges `overlay` on top of this config: objects merge
+  /// recursively, everything else is replaced.
+  void merge(const Config& overlay);
+
+  [[nodiscard]] const json::Value& root() const noexcept { return root_; }
+  [[nodiscard]] std::string dump(int indent = 2) const {
+    return root_.dump(indent);
+  }
+
+ private:
+  json::Value root_;
+};
+
+}  // namespace ripple::common

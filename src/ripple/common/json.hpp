@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file json.hpp
+/// A self-contained JSON value type, parser and writer.
+///
+/// Ripple uses JSON for RPC payloads, configuration and metric dumps, so
+/// the implementation favours deterministic output (ordered object keys)
+/// and precise error reporting over raw throughput. The parser accepts
+/// strict JSON; the writer emits either compact or pretty text.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ripple::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps keys sorted so serialized output is deterministic.
+using Object = std::map<std::string, Value>;
+
+enum class Type { null, boolean, integer, real, string, array, object };
+
+[[nodiscard]] const char* to_string(Type type) noexcept;
+
+/// A dynamically-typed JSON value.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(std::uint64_t i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  /// Builds an object from key/value pairs: Value::object({{"a", 1}}).
+  [[nodiscard]] static Value object(
+      std::initializer_list<std::pair<const std::string, Value>> items = {});
+
+  /// Builds an array from values: Value::array({1, 2, 3}).
+  [[nodiscard]] static Value array(std::initializer_list<Value> items = {});
+
+  [[nodiscard]] Type type() const noexcept;
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::boolean; }
+  [[nodiscard]] bool is_int() const noexcept { return type() == Type::integer; }
+  [[nodiscard]] bool is_real() const noexcept { return type() == Type::real; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return is_int() || is_real();
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == Type::string;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == Type::object;
+  }
+
+  /// Typed accessors. Throw ripple::Error(invalid_state) on type mismatch;
+  /// numeric accessors convert freely between integer and real.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member access; inserts a null member if absent (object only).
+  Value& operator[](const std::string& key);
+
+  /// Const object member lookup; throws not_found when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  /// Array element access; throws not_found when out of range.
+  [[nodiscard]] const Value& at(std::size_t index) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Member lookup with a fallback default (object only; null otherwise).
+  [[nodiscard]] Value get_or(const std::string& key, Value fallback) const;
+
+  /// Number of elements (array/object) or 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Appends to an array value (throws for non-arrays).
+  void push_back(Value element);
+
+  /// Inserts or replaces an object member (throws for non-objects).
+  void set(const std::string& key, Value element);
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Serializes compactly, or with `indent` spaces per level when > 0.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses strict JSON text; throws ripple::Error(parse_error) with
+  /// line/column context on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  /// Rough serialized size in bytes, used by the network model to derive
+  /// transfer times without serializing.
+  [[nodiscard]] std::size_t estimate_size() const noexcept;
+
+ private:
+  using Data = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                            std::string, Array, Object>;
+  Data data_;
+
+  void dump_impl(std::string& out, int indent, int depth) const;
+};
+
+/// Escapes a string for embedding in JSON output (without quotes).
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace ripple::json

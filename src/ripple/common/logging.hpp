@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file logging.hpp
+/// Lightweight, thread-safe, leveled logging.
+///
+/// Every Ripple component owns a named Logger. Records flow to a global
+/// sink which defaults to stderr; tests install a MemorySink to assert on
+/// log output. Loggers may carry a clock callback so that records are
+/// stamped with *simulation* time instead of wall time.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ripple::common {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// One emitted log record.
+struct LogRecord {
+  LogLevel level = LogLevel::info;
+  std::string logger;   ///< name of the emitting Logger
+  double time = -1.0;   ///< simulation (or wall) time, -1 when unknown
+  std::string message;
+};
+
+/// Receives formatted records; implementations must be thread-safe.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Formats records as text lines on stderr.
+class StderrSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Buffers records in memory for inspection by tests.
+class MemorySink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+
+  [[nodiscard]] std::vector<LogRecord> records() const;
+  [[nodiscard]] std::size_t count(LogLevel level) const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<LogRecord> records_;
+};
+
+/// Global logging configuration: threshold level and active sink.
+class LogConfig {
+ public:
+  static LogConfig& global();
+
+  void set_level(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+
+  /// Installs `sink`; passing nullptr restores the default stderr sink.
+  void set_sink(std::shared_ptr<LogSink> sink);
+  [[nodiscard]] std::shared_ptr<LogSink> sink() const;
+
+ private:
+  LogConfig();
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::warn;
+  std::shared_ptr<LogSink> sink_;
+};
+
+/// A named logging facade. Cheap to copy.
+class Logger {
+ public:
+  using ClockFn = std::function<double()>;
+
+  explicit Logger(std::string name, ClockFn clock = nullptr);
+
+  void log(LogLevel level, const std::string& message) const;
+
+  void trace(const std::string& message) const { log(LogLevel::trace, message); }
+  void debug(const std::string& message) const { log(LogLevel::debug, message); }
+  void info(const std::string& message) const { log(LogLevel::info, message); }
+  void warn(const std::string& message) const { log(LogLevel::warn, message); }
+  void error(const std::string& message) const { log(LogLevel::error, message); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  ClockFn clock_;
+};
+
+}  // namespace ripple::common

@@ -1,0 +1,143 @@
+#include "ripple/common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::common {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+  stats_.add(x);
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  for (const double x : xs) add(x);
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Summary::quantile(double q) const {
+  ensure(!samples_.empty(), Errc::invalid_state,
+         "quantile of an empty summary");
+  ensure(q >= 0.0 && q <= 1.0, Errc::invalid_argument,
+         "quantile q must be in [0, 1]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double position = q * static_cast<double>(sorted_.size() - 1);
+  const auto below = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(below);
+  if (below + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[below] * (1.0 - fraction) + sorted_[below + 1] * fraction;
+}
+
+json::Value Summary::to_json() const {
+  json::Value out = json::Value::object();
+  out.set("count", static_cast<std::int64_t>(count()));
+  if (!empty()) {
+    out.set("mean", mean());
+    out.set("std", stddev());
+    out.set("min", min());
+    out.set("p50", median());
+    out.set("p95", p95());
+    out.set("max", max());
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)) {
+  ensure(hi > lo, Errc::invalid_argument, "histogram range must be non-empty");
+  ensure(bins > 0, Errc::invalid_argument, "histogram needs at least one bin");
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  std::size_t bin = 0;
+  if (x <= lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  ensure(bin < counts_.size(), Errc::invalid_argument,
+         "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  ensure(bin < counts_.size(), Errc::invalid_argument,
+         "histogram bin out of range");
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar_length = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out += strutil::cat(
+        strutil::pad_left(strutil::format_fixed(bin_lo(i), 4), 12), " .. ",
+        strutil::pad_left(strutil::format_fixed(bin_hi(i), 4), 12), " | ",
+        std::string(std::max<std::size_t>(bar_length, 1), '#'), " ",
+        counts_[i], "\n");
+  }
+  return out;
+}
+
+}  // namespace ripple::common

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool with futures and a blocking parallel_for.
+///
+/// The Ripple control plane is single-threaded and deterministic; the
+/// thread pool exists for *payload* computation — example workloads that
+/// genuinely crunch data (image augmentation, enrichment statistics) use
+/// it, and it is exercised by real-thread tests.
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "ripple/common/concurrent_queue.hpp"
+
+namespace ripple::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers after draining queued work.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    const bool accepted = queue_.push([task] { (*task)(); });
+    ensure(accepted, Errc::invalid_state, "submit on a stopped thread pool");
+    return future;
+  }
+
+  /// Runs body(i) for i in [begin, end) across the pool; blocks until done.
+  /// Work is divided into contiguous chunks, one per worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  ConcurrentQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ripple::common

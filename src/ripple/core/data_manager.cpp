@@ -1,0 +1,121 @@
+#include "ripple/core/data_manager.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::core {
+
+DataManager::DataManager(Runtime& runtime)
+    : runtime_(runtime), rng_(runtime.rng().fork("data_manager")) {}
+
+void DataManager::register_dataset(const std::string& name, double bytes,
+                                   const std::string& zone) {
+  ensure(!name.empty(), Errc::invalid_argument, "dataset needs a name");
+  ensure(bytes >= 0.0, Errc::invalid_argument, "dataset bytes must be >= 0");
+  auto [it, inserted] = datasets_.try_emplace(name);
+  if (inserted) {
+    it->second.name = name;
+    it->second.bytes = bytes;
+  }
+  it->second.zones.insert(zone);
+}
+
+bool DataManager::has(const std::string& name) const {
+  return datasets_.count(name) != 0;
+}
+
+const Dataset& DataManager::dataset(const std::string& name) const {
+  const auto it = datasets_.find(name);
+  ensure(it != datasets_.end(), Errc::not_found,
+         strutil::cat("unknown dataset '", name, "'"));
+  return it->second;
+}
+
+bool DataManager::available_in(const std::string& name,
+                               const std::string& zone) const {
+  const auto it = datasets_.find(name);
+  return it != datasets_.end() && it->second.zones.count(zone) != 0;
+}
+
+void DataManager::set_bandwidth(const std::string& zone_a,
+                                const std::string& zone_b,
+                                double bytes_per_s) {
+  ensure(bytes_per_s > 0.0, Errc::invalid_argument,
+         "bandwidth must be positive");
+  const auto key = std::minmax(zone_a, zone_b);
+  bandwidth_[{key.first, key.second}] = bytes_per_s;
+}
+
+void DataManager::set_default_bandwidth(double bytes_per_s) {
+  ensure(bytes_per_s > 0.0, Errc::invalid_argument,
+         "bandwidth must be positive");
+  default_bandwidth_ = bytes_per_s;
+}
+
+double DataManager::bandwidth_between(const std::string& zone_a,
+                                      const std::string& zone_b) const {
+  const auto key = std::minmax(zone_a, zone_b);
+  const auto it = bandwidth_.find({key.first, key.second});
+  return it == bandwidth_.end() ? default_bandwidth_ : it->second;
+}
+
+void DataManager::stage(const std::string& name, const std::string& dst_zone,
+                        TransferCallback on_done) {
+  ensure(static_cast<bool>(on_done), Errc::invalid_argument,
+         "stage: empty callback");
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    runtime_.loop().post([on_done = std::move(on_done)] {
+      on_done(false, 0.0);
+    });
+    return;
+  }
+  Dataset& ds = it->second;
+  if (ds.zones.count(dst_zone) != 0) {
+    runtime_.loop().post([on_done = std::move(on_done)] {
+      on_done(true, 0.0);
+    });
+    return;
+  }
+
+  const auto flight_key = std::make_pair(name, dst_zone);
+  auto flight = in_flight_.find(flight_key);
+  if (flight != in_flight_.end()) {
+    flight->second.push_back(std::move(on_done));  // piggyback
+    return;
+  }
+  in_flight_[flight_key].push_back(std::move(on_done));
+
+  // Pick the nearest replica: same-zone is impossible here, so any
+  // replica works; use the first (zones is ordered, deterministic).
+  ensure(!ds.zones.empty(), Errc::internal,
+         strutil::cat("dataset '", name, "' has no replica"));
+  const std::string src_zone = *ds.zones.begin();
+  const double bandwidth = bandwidth_between(src_zone, dst_zone);
+  const sim::Duration duration =
+      setup_.sample(rng_) + ds.bytes / bandwidth;
+
+  ++transfers_;
+  bytes_moved_ += ds.bytes;
+
+  runtime_.loop().call_after(duration, [this, name, dst_zone, flight_key,
+                                        duration] {
+    transfer_times_.add(duration);
+    auto ds_it = datasets_.find(name);
+    if (ds_it != datasets_.end()) ds_it->second.zones.insert(dst_zone);
+    auto waiting = in_flight_.find(flight_key);
+    if (waiting == in_flight_.end()) return;
+    auto callbacks = std::move(waiting->second);
+    in_flight_.erase(waiting);
+    for (auto& callback : callbacks) callback(true, duration);
+  });
+}
+
+void DataManager::put(const std::string& name, double bytes,
+                      const std::string& zone) {
+  register_dataset(name, bytes, zone);
+}
+
+}  // namespace ripple::core

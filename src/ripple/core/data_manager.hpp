@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file data_manager.hpp
+/// Dataset registry and bulk-transfer model (Globus role).
+///
+/// The paper collects "existing data capabilities into a DataManager".
+/// Datasets are named byte blobs resident in one or more zones; staging
+/// a task means ensuring its input datasets are present in the pilot's
+/// zone. Transfers cost a setup latency (transfer-service handshake)
+/// plus bytes / bandwidth of the zone pair.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ripple/common/statistics.hpp"
+#include "ripple/core/runtime.hpp"
+
+namespace ripple::core {
+
+struct Dataset {
+  std::string name;
+  double bytes = 0.0;
+  std::set<std::string> zones;  ///< where replicas currently live
+};
+
+class DataManager {
+ public:
+  explicit DataManager(Runtime& runtime);
+
+  /// Registers a dataset resident in `zone`. Re-registering adds a
+  /// replica location.
+  void register_dataset(const std::string& name, double bytes,
+                        const std::string& zone);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const Dataset& dataset(const std::string& name) const;
+  [[nodiscard]] bool available_in(const std::string& name,
+                                  const std::string& zone) const;
+
+  /// Transfer-service handshake latency (default ~1.5 s, Globus-like).
+  void set_setup_latency(common::Distribution dist) { setup_ = dist; }
+
+  /// Bulk bandwidth between two zones (bytes/s, symmetric). Falls back
+  /// to `default_bandwidth` when a pair is not configured.
+  void set_bandwidth(const std::string& zone_a, const std::string& zone_b,
+                     double bytes_per_s);
+  void set_default_bandwidth(double bytes_per_s);
+
+  using TransferCallback = std::function<void(bool ok, sim::Duration)>;
+
+  /// Ensures `name` is replicated into `dst_zone`; instantaneous when a
+  /// replica already exists there. Concurrent transfers of the same
+  /// dataset to the same zone share one copy (callers all complete when
+  /// the first transfer lands).
+  void stage(const std::string& name, const std::string& dst_zone,
+             TransferCallback on_done);
+
+  /// Records a task-produced dataset (stage-out target).
+  void put(const std::string& name, double bytes, const std::string& zone);
+
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] double bytes_moved() const noexcept { return bytes_moved_; }
+  [[nodiscard]] const common::Summary& transfer_times() const noexcept {
+    return transfer_times_;
+  }
+
+ private:
+  [[nodiscard]] double bandwidth_between(const std::string& zone_a,
+                                         const std::string& zone_b) const;
+
+  Runtime& runtime_;
+  common::Rng rng_;
+  std::map<std::string, Dataset> datasets_;
+  std::map<std::pair<std::string, std::string>, double> bandwidth_;
+  double default_bandwidth_ = 1.25e9;  ///< 10 Gb/s
+  common::Distribution setup_ =
+      common::Distribution::lognormal(1.5, 0.3, 0.05);
+  std::uint64_t transfers_ = 0;
+  double bytes_moved_ = 0.0;
+  common::Summary transfer_times_;
+  // (dataset, zone) -> callbacks waiting on an in-flight transfer
+  std::map<std::pair<std::string, std::string>,
+           std::vector<TransferCallback>>
+      in_flight_;
+};
+
+}  // namespace ripple::core

@@ -1,0 +1,83 @@
+#include "ripple/core/entities.hpp"
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::core {
+
+namespace {
+
+template <typename State>
+void check_transition(const std::string& uid, State from, State to) {
+  ensure(transition_allowed(from, to), Errc::invalid_state,
+         strutil::cat(uid, ": illegal transition ", to_string(from), " -> ",
+                      to_string(to)));
+}
+
+}  // namespace
+
+Pilot::Pilot(std::string uid, PilotDescription desc,
+             platform::Cluster* cluster)
+    : uid_(std::move(uid)), desc_(std::move(desc)), cluster_(cluster) {
+  ensure(cluster_ != nullptr, Errc::invalid_argument,
+         "pilot needs a cluster");
+}
+
+void Pilot::set_state(PilotState next, double now) {
+  check_transition(uid_, state_, next);
+  state_ = next;
+  timestamps_.try_emplace(next, now);
+}
+
+double Pilot::state_time(PilotState state) const {
+  const auto it = timestamps_.find(state);
+  return it == timestamps_.end() ? -1.0 : it->second;
+}
+
+Task::Task(std::string uid, TaskDescription desc)
+    : uid_(std::move(uid)), desc_(std::move(desc)) {}
+
+void Task::set_state(TaskState next, double now) {
+  check_transition(uid_, state_, next);
+  state_ = next;
+  timestamps_.try_emplace(next, now);
+}
+
+double Task::state_time(TaskState state) const {
+  const auto it = timestamps_.find(state);
+  return it == timestamps_.end() ? -1.0 : it->second;
+}
+
+double Task::duration(TaskState from, TaskState to) const {
+  const double t_from = state_time(from);
+  const double t_to = state_time(to);
+  ensure(t_from >= 0 && t_to >= 0, Errc::invalid_state,
+         strutil::cat(uid_, ": duration over unvisited states ",
+                      to_string(from), " -> ", to_string(to)));
+  return t_to - t_from;
+}
+
+Service::Service(std::string uid, ServiceDescription desc)
+    : uid_(std::move(uid)), desc_(std::move(desc)) {}
+
+void Service::set_state(ServiceState next, double now) {
+  check_transition(uid_, state_, next);
+  state_ = next;
+  timestamps_.try_emplace(next, now);
+}
+
+double Service::state_time(ServiceState state) const {
+  const auto it = timestamps_.find(state);
+  return it == timestamps_.end() ? -1.0 : it->second;
+}
+
+double Service::duration(ServiceState from, ServiceState to) const {
+  const double t_from = state_time(from);
+  const double t_to = state_time(to);
+  ensure(t_from >= 0 && t_to >= 0, Errc::invalid_state,
+         strutil::cat(uid_, ": duration over unvisited states ",
+                      to_string(from), " -> ", to_string(to)));
+  return t_to - t_from;
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file entities.hpp
+/// Stateful runtime entities: Pilot, Task, Service.
+///
+/// Entities are owned by their managers; user code refers to them by uid
+/// and reads them through const accessors. State changes go through
+/// set_state(), which validates the transition and records a timestamp,
+/// feeding the metrics Timeline.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ripple/core/descriptions.hpp"
+#include "ripple/core/states.hpp"
+#include "ripple/platform/node.hpp"
+
+namespace ripple::platform {
+class Cluster;
+}
+
+namespace ripple::core {
+
+/// Bootstrap-time decomposition of one service instance (Fig. 3).
+struct BootstrapTiming {
+  double launch = -1.0;
+  double init = -1.0;
+  double publish = -1.0;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return launch >= 0 && init >= 0 && publish >= 0;
+  }
+  [[nodiscard]] double total() const noexcept {
+    return launch + init + publish;
+  }
+};
+
+class Pilot {
+ public:
+  Pilot(std::string uid, PilotDescription desc, platform::Cluster* cluster);
+
+  [[nodiscard]] const std::string& uid() const noexcept { return uid_; }
+  [[nodiscard]] const PilotDescription& description() const noexcept {
+    return desc_;
+  }
+  [[nodiscard]] PilotState state() const noexcept { return state_; }
+  [[nodiscard]] platform::Cluster& cluster() const noexcept {
+    return *cluster_;
+  }
+  [[nodiscard]] const std::vector<platform::Node*>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::vector<platform::Node*>& nodes() noexcept {
+    return nodes_;
+  }
+
+  /// Validates and applies a state transition; records `now`.
+  void set_state(PilotState next, double now);
+
+  [[nodiscard]] double state_time(PilotState state) const;
+
+ private:
+  std::string uid_;
+  PilotDescription desc_;
+  platform::Cluster* cluster_;
+  std::vector<platform::Node*> nodes_;
+  PilotState state_ = PilotState::created;
+  std::map<PilotState, double> timestamps_;
+};
+
+class Task {
+ public:
+  Task(std::string uid, TaskDescription desc);
+
+  [[nodiscard]] const std::string& uid() const noexcept { return uid_; }
+  [[nodiscard]] const TaskDescription& description() const noexcept {
+    return desc_;
+  }
+  [[nodiscard]] TaskState state() const noexcept { return state_; }
+
+  void set_state(TaskState next, double now);
+
+  /// First time this task entered `state`; -1 when never.
+  [[nodiscard]] double state_time(TaskState state) const;
+
+  /// Time between first entries of two visited states.
+  [[nodiscard]] double duration(TaskState from, TaskState to) const;
+
+  [[nodiscard]] const std::string& pilot_uid() const noexcept {
+    return pilot_uid_;
+  }
+  void set_pilot_uid(std::string uid) { pilot_uid_ = std::move(uid); }
+
+  [[nodiscard]] const platform::Slot& slot() const noexcept { return slot_; }
+  void set_slot(platform::Slot slot) { slot_ = std::move(slot); }
+
+  [[nodiscard]] const json::Value& result() const noexcept { return result_; }
+  void set_result(json::Value result) { result_ = std::move(result); }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  void set_error(std::string error) { error_ = std::move(error); }
+
+ private:
+  std::string uid_;
+  TaskDescription desc_;
+  TaskState state_ = TaskState::created;
+  std::map<TaskState, double> timestamps_;
+  std::string pilot_uid_;
+  platform::Slot slot_;
+  json::Value result_;
+  std::string error_;
+};
+
+class Service {
+ public:
+  Service(std::string uid, ServiceDescription desc);
+
+  [[nodiscard]] const std::string& uid() const noexcept { return uid_; }
+  [[nodiscard]] const ServiceDescription& description() const noexcept {
+    return desc_;
+  }
+  [[nodiscard]] ServiceState state() const noexcept { return state_; }
+
+  void set_state(ServiceState next, double now);
+
+  [[nodiscard]] double state_time(ServiceState state) const;
+  [[nodiscard]] double duration(ServiceState from, ServiceState to) const;
+
+  /// RPC address clients use once RUNNING ("svc.000002").
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+  void set_endpoint(std::string endpoint) { endpoint_ = std::move(endpoint); }
+
+  [[nodiscard]] const std::string& pilot_uid() const noexcept {
+    return pilot_uid_;
+  }
+  void set_pilot_uid(std::string uid) { pilot_uid_ = std::move(uid); }
+
+  [[nodiscard]] const platform::Slot& slot() const noexcept { return slot_; }
+  void set_slot(platform::Slot slot) { slot_ = std::move(slot); }
+
+  [[nodiscard]] bool remote() const noexcept { return remote_; }
+  void set_remote(bool remote) { remote_ = remote; }
+
+  [[nodiscard]] const BootstrapTiming& bootstrap() const noexcept {
+    return bootstrap_;
+  }
+  [[nodiscard]] BootstrapTiming& bootstrap() noexcept { return bootstrap_; }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  void set_error(std::string error) { error_ = std::move(error); }
+
+  [[nodiscard]] double last_heartbeat() const noexcept {
+    return last_heartbeat_;
+  }
+  void set_last_heartbeat(double t) noexcept { last_heartbeat_ = t; }
+
+  [[nodiscard]] int restarts() const noexcept { return restarts_; }
+  void count_restart() noexcept { ++restarts_; }
+
+ private:
+  std::string uid_;
+  ServiceDescription desc_;
+  ServiceState state_ = ServiceState::created;
+  std::map<ServiceState, double> timestamps_;
+  std::string endpoint_;
+  std::string pilot_uid_;
+  platform::Slot slot_;
+  bool remote_ = false;
+  BootstrapTiming bootstrap_;
+  std::string error_;
+  double last_heartbeat_ = -1.0;
+  int restarts_ = 0;
+};
+
+}  // namespace ripple::core

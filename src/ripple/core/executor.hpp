@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file executor.hpp
+/// Execution abstractions: task payloads, service programs, and the
+/// Executor that instantiates and launches them.
+///
+/// A TaskPayload is what a task *does* once RUNNING; a ServiceProgram is
+/// the long-lived body of a service task (the paper's Service Base
+/// Class), with an init phase (model loading), an RPC surface and an
+/// outstanding-request count used for draining. Both are produced by
+/// name-keyed registries so workloads plug in without the core knowing
+/// about ML specifics — the ml module registers its payloads/programs
+/// through ml::install().
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ripple/core/descriptions.hpp"
+#include "ripple/core/runtime.hpp"
+#include "ripple/msg/rpc.hpp"
+#include "ripple/platform/cluster.hpp"
+
+namespace ripple::core {
+
+class DataManager;
+
+/// Everything a payload or program may touch at run time.
+struct ExecutionContext {
+  Runtime* runtime = nullptr;
+  DataManager* data = nullptr;  ///< set for task payloads
+  sim::HostId host;          ///< host the unit was placed on
+  std::string uid;           ///< owning task/service uid
+  json::Value config;        ///< payload/program configuration
+  common::Rng rng;           ///< forked, unit-private stream
+  common::Logger log;
+
+  [[nodiscard]] sim::EventLoop& loop() const { return runtime->loop(); }
+  [[nodiscard]] msg::Router& router() const { return runtime->router(); }
+  [[nodiscard]] metrics::Registry& metrics() const {
+    return runtime->metrics();
+  }
+};
+
+/// The body of a task; run() must call exactly one of done/fail,
+/// possibly asynchronously.
+class TaskPayload {
+ public:
+  virtual ~TaskPayload() = default;
+
+  using DoneFn = std::function<void(json::Value result)>;
+  using FailFn = std::function<void(std::string error)>;
+
+  virtual void run(ExecutionContext& ctx, DoneFn done, FailFn fail) = 0;
+};
+
+/// The body of a service; lives from INITIALIZING to STOPPED.
+class ServiceProgram {
+ public:
+  virtual ~ServiceProgram() = default;
+
+  using DoneFn = std::function<void()>;
+  using FailFn = std::function<void(std::string error)>;
+
+  /// Model loading / warm-up. Must call done or fail exactly once.
+  /// Programs honour config {"preloaded": true} by completing
+  /// immediately (remote persistent deployments).
+  virtual void init(ExecutionContext& ctx, DoneFn done, FailFn fail) = 0;
+
+  /// Registers RPC methods; called after init, before publication.
+  virtual void bind(msg::RpcServer& server) = 0;
+
+  /// Requests in flight (queued + executing); used for draining.
+  [[nodiscard]] virtual std::size_t outstanding() const { return 0; }
+
+  /// Implementation-defined counters exposed via the "stats" method.
+  [[nodiscard]] virtual json::Value stats() const {
+    return json::Value::object();
+  }
+};
+
+/// Name -> factory registries. Factories receive the execution context
+/// (already carrying the unit's config) at creation time.
+class PayloadRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<TaskPayload>(
+      const TaskDescription& desc)>;
+
+  PayloadRegistry();
+
+  void register_factory(const std::string& kind, Factory factory);
+  [[nodiscard]] bool has(const std::string& kind) const;
+  [[nodiscard]] std::unique_ptr<TaskPayload> create(
+      const TaskDescription& desc) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+class ProgramRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ServiceProgram>(
+      const ServiceDescription& desc)>;
+
+  void register_factory(const std::string& name, Factory factory);
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::unique_ptr<ServiceProgram> create(
+      const ServiceDescription& desc) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Named real-compute functions runnable by the built-in "function"
+/// payload kind: payload = {"fn": "<name>", "args": {...}}. The function
+/// executes synchronously at RUNNING time (real C++ work); simulated
+/// execution time still comes from the task's duration model.
+class FunctionRegistry {
+ public:
+  using Fn = std::function<json::Value(ExecutionContext& ctx,
+                                       const json::Value& args)>;
+
+  void register_fn(const std::string& name, Fn fn);
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const Fn& get(const std::string& name) const;
+
+ private:
+  std::map<std::string, Fn> functions_;
+};
+
+/// Shared execution services used by both managers.
+class Executor {
+ public:
+  explicit Executor(Runtime& runtime);
+
+  [[nodiscard]] PayloadRegistry& payloads() noexcept { return payloads_; }
+  [[nodiscard]] ProgramRegistry& programs() noexcept { return programs_; }
+  [[nodiscard]] FunctionRegistry& functions() noexcept { return functions_; }
+
+  /// Builds the per-unit execution context.
+  [[nodiscard]] ExecutionContext make_context(const std::string& uid,
+                                              sim::HostId host,
+                                              json::Value config);
+
+  /// Launches a unit executable on `cluster`; done(actual_duration)
+  /// fires when the process is up. `concurrency_hint` feeds the launch
+  /// contention model (instances submitted in the same wave).
+  void launch(platform::Cluster& cluster, std::size_t concurrency_hint,
+              std::function<void(sim::Duration)> done);
+
+  [[nodiscard]] std::uint64_t launches() const noexcept { return launches_; }
+
+ private:
+  Runtime& runtime_;
+  PayloadRegistry payloads_;
+  ProgramRegistry programs_;
+  FunctionRegistry functions_;
+  std::uint64_t launches_ = 0;
+};
+
+/// Built-in payload: completes after a sampled duration (no real work).
+class ModeledPayload final : public TaskPayload {
+ public:
+  explicit ModeledPayload(common::Distribution duration)
+      : duration_(duration) {}
+
+  void run(ExecutionContext& ctx, DoneFn done, FailFn fail) override;
+
+ private:
+  common::Distribution duration_;
+};
+
+}  // namespace ripple::core

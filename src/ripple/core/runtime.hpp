@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The shared runtime context: event loop, network, router, pub/sub bus,
+/// metrics and the master RNG. One Runtime exists per Session; every
+/// component receives a reference.
+
+#include <cstdint>
+#include <string>
+
+#include "ripple/common/ids.hpp"
+#include "ripple/common/logging.hpp"
+#include "ripple/common/random.hpp"
+#include "ripple/metrics/registry.hpp"
+#include "ripple/metrics/timeline.hpp"
+#include "ripple/msg/pubsub.hpp"
+#include "ripple/msg/router.hpp"
+#include "ripple/sim/event_loop.hpp"
+#include "ripple/sim/network.hpp"
+
+namespace ripple::core {
+
+class Runtime {
+ public:
+  explicit Runtime(std::uint64_t seed);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] sim::Network& network() noexcept { return network_; }
+  [[nodiscard]] msg::Router& router() noexcept { return router_; }
+  [[nodiscard]] msg::PubSub& pubsub() noexcept { return pubsub_; }
+  [[nodiscard]] metrics::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] metrics::Timeline& timeline() noexcept { return timeline_; }
+  [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// A logger stamped with simulation time.
+  [[nodiscard]] common::Logger make_logger(const std::string& name);
+
+  /// Session-local uid generation. Entity uids seed per-entity RNG
+  /// streams, so uids must be session-scoped (not process-global) for
+  /// same-seed runs to be bit-identical.
+  [[nodiscard]] std::string make_uid(const std::string& prefix) {
+    return ids_.next(prefix);
+  }
+
+  /// Publishes an entity state transition on the "state" topic; the
+  /// Timeline (and any user subscriber) receives it asynchronously.
+  void publish_state(const std::string& kind, const std::string& uid,
+                     const std::string& state);
+
+ private:
+  std::uint64_t seed_;
+  common::IdGenerator ids_;
+  common::Rng rng_;
+  sim::EventLoop loop_;
+  sim::Network network_;
+  msg::Router router_;
+  msg::PubSub pubsub_;
+  metrics::Registry metrics_;
+  metrics::Timeline timeline_;
+};
+
+}  // namespace ripple::core

@@ -1,0 +1,121 @@
+#include "ripple/core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+#include "ripple/platform/cluster.hpp"
+
+namespace ripple::core {
+
+Scheduler::Scheduler(Runtime& runtime, SchedulerPolicy policy)
+    : runtime_(runtime),
+      policy_(policy),
+      log_(runtime.make_logger("scheduler")) {}
+
+void Scheduler::add_pilot(Pilot& pilot) {
+  ensure(pilots_.count(pilot.uid()) == 0, Errc::invalid_state,
+         strutil::cat("pilot ", pilot.uid(), " already registered"));
+  PilotEntry entry;
+  entry.pilot = &pilot;
+  pilots_.emplace(pilot.uid(), std::move(entry));
+}
+
+void Scheduler::remove_pilot(const std::string& pilot_uid) {
+  pilots_.erase(pilot_uid);
+}
+
+Scheduler::PilotEntry& Scheduler::entry_for(const std::string& pilot_uid) {
+  const auto it = pilots_.find(pilot_uid);
+  ensure(it != pilots_.end(), Errc::not_found,
+         strutil::cat("unknown pilot '", pilot_uid, "'"));
+  return it->second;
+}
+
+void Scheduler::submit(const std::string& pilot_uid,
+                       ScheduleRequest request) {
+  ensure(static_cast<bool>(request.granted), Errc::invalid_argument,
+         "schedule request needs a granted callback");
+  PilotEntry& entry = entry_for(pilot_uid);
+
+  // Reject requests that exceed the largest node outright.
+  const bool can_ever_fit = std::any_of(
+      entry.pilot->nodes().begin(), entry.pilot->nodes().end(),
+      [&](const platform::Node* node) {
+        return request.cores <= node->spec().cores &&
+               request.gpus <= node->spec().gpus &&
+               request.mem_gb <= node->spec().mem_gb;
+      });
+  ensure(can_ever_fit, Errc::capacity,
+         strutil::cat("request ", request.uid, " (", request.cores, "c/",
+                      request.gpus, "g) cannot fit any node of pilot ",
+                      pilot_uid));
+
+  Waiting waiting{std::move(request), next_sequence_++,
+                  runtime_.loop().now()};
+  // Insert keeping (priority desc, sequence asc) order.
+  auto position = std::find_if(
+      entry.waiting.begin(), entry.waiting.end(), [&](const Waiting& w) {
+        return w.request.priority < waiting.request.priority;
+      });
+  entry.waiting.insert(position, std::move(waiting));
+  try_schedule(entry);
+}
+
+bool Scheduler::cancel(const std::string& pilot_uid,
+                       const std::string& request_uid) {
+  PilotEntry& entry = entry_for(pilot_uid);
+  const auto it = std::find_if(
+      entry.waiting.begin(), entry.waiting.end(),
+      [&](const Waiting& w) { return w.request.uid == request_uid; });
+  if (it == entry.waiting.end()) return false;
+  entry.waiting.erase(it);
+  return true;
+}
+
+void Scheduler::release(const std::string& pilot_uid,
+                        const platform::Slot& slot) {
+  PilotEntry& entry = entry_for(pilot_uid);
+  platform::Node* node = entry.pilot->cluster().find_node(slot.node_id);
+  ensure(node != nullptr, Errc::not_found,
+         strutil::cat("release on unknown node '", slot.node_id, "'"));
+  node->release(slot);
+  try_schedule(entry);
+}
+
+void Scheduler::try_schedule(PilotEntry& entry) {
+  auto it = entry.waiting.begin();
+  while (it != entry.waiting.end()) {
+    platform::Node* placed = nullptr;
+    for (platform::Node* node : entry.pilot->nodes()) {
+      if (node->can_fit(it->request.cores, it->request.gpus,
+                        it->request.mem_gb)) {
+        placed = node;
+        break;
+      }
+    }
+    if (placed == nullptr) {
+      if (policy_ == SchedulerPolicy::fifo) return;  // head blocks queue
+      ++it;
+      continue;
+    }
+    platform::Slot slot =
+        placed->allocate(it->request.cores, it->request.gpus,
+                         it->request.mem_gb);
+    wait_times_.add(runtime_.loop().now() - it->enqueued_at);
+    ++granted_;
+    auto callback = std::move(it->request.granted);
+    it = entry.waiting.erase(it);
+    runtime_.loop().post(
+        [callback = std::move(callback), slot = std::move(slot), placed] {
+          callback(slot, placed);
+        });
+  }
+}
+
+std::size_t Scheduler::queue_length(const std::string& pilot_uid) const {
+  const auto it = pilots_.find(pilot_uid);
+  return it == pilots_.end() ? 0 : it->second.waiting.size();
+}
+
+}  // namespace ripple::core

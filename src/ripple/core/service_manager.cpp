@@ -1,0 +1,664 @@
+#include "ripple/core/service_manager.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/ids.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::core {
+
+namespace {
+constexpr sim::Duration kPublishRpcTimeout = 30.0;
+constexpr sim::Duration kDrainPollInterval = 0.05;
+}  // namespace
+
+ServiceManager::ServiceManager(Runtime& runtime, Scheduler& scheduler,
+                               Executor& executor)
+    : runtime_(runtime),
+      scheduler_(scheduler),
+      executor_(executor),
+      rng_(runtime.rng().fork("service_manager")),
+      log_(runtime.make_logger("service_manager")) {}
+
+// ---------------------------------------------------------------------------
+// Lookup helpers
+// ---------------------------------------------------------------------------
+
+ServiceManager::Active& ServiceManager::active_for(const std::string& uid) {
+  const auto it = services_.find(uid);
+  ensure(it != services_.end(), Errc::not_found,
+         strutil::cat("unknown service '", uid, "'"));
+  return it->second;
+}
+
+const ServiceManager::Active& ServiceManager::active_for(
+    const std::string& uid) const {
+  const auto it = services_.find(uid);
+  ensure(it != services_.end(), Errc::not_found,
+         strutil::cat("unknown service '", uid, "'"));
+  return it->second;
+}
+
+const Service& ServiceManager::get(const std::string& uid) const {
+  return *active_for(uid).service;
+}
+
+Service& ServiceManager::get_mutable(const std::string& uid) {
+  return *active_for(uid).service;
+}
+
+bool ServiceManager::exists(const std::string& uid) const {
+  return services_.count(uid) != 0;
+}
+
+std::vector<std::string> ServiceManager::uids() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [uid, active] : services_) out.push_back(uid);
+  return out;
+}
+
+std::vector<std::string> ServiceManager::endpoints(
+    const std::string& name_filter) const {
+  std::vector<std::string> out;
+  for (const auto& [uid, active] : services_) {
+    if (active.service->state() != ServiceState::running) continue;
+    if (!name_filter.empty() &&
+        active.service->description().name != name_filter) {
+      continue;
+    }
+    out.push_back(active.service->endpoint());
+  }
+  return out;
+}
+
+std::vector<std::string> ServiceManager::running(
+    const std::string& name_filter) const {
+  std::vector<std::string> out;
+  for (const auto& [uid, active] : services_) {
+    if (active.service->state() != ServiceState::running) continue;
+    if (!name_filter.empty() &&
+        active.service->description().name != name_filter) {
+      continue;
+    }
+    out.push_back(uid);
+  }
+  return out;
+}
+
+std::size_t ServiceManager::count_in_state(ServiceState state) const {
+  std::size_t n = 0;
+  for (const auto& [uid, active] : services_) {
+    if (active.service->state() == state) ++n;
+  }
+  return n;
+}
+
+std::size_t ServiceManager::count_bootstrapping(
+    const std::string& pilot_uid) const {
+  std::size_t n = 0;
+  for (const auto& [uid, active] : services_) {
+    if (active.service->pilot_uid() != pilot_uid) continue;
+    switch (active.service->state()) {
+      case ServiceState::scheduling:
+      case ServiceState::scheduled:
+      case ServiceState::launching:
+      case ServiceState::initializing:
+      case ServiceState::publishing: ++n; break;
+      default: break;
+    }
+  }
+  return n;
+}
+
+ServiceProgram* ServiceManager::program(const std::string& uid) {
+  return active_for(uid).program.get();
+}
+
+json::Value ServiceManager::stats(const std::string& uid) const {
+  const Active& active = active_for(uid);
+  json::Value out = json::Value::object();
+  out.set("uid", uid);
+  out.set("name", active.service->description().name);
+  out.set("state", to_string(active.service->state()));
+  out.set("endpoint", active.service->endpoint());
+  out.set("remote", active.service->remote());
+  out.set("restarts", active.service->restarts());
+  if (active.service->bootstrap().complete()) {
+    json::Value boot = json::Value::object();
+    boot.set("launch", active.service->bootstrap().launch);
+    boot.set("init", active.service->bootstrap().init);
+    boot.set("publish", active.service->bootstrap().publish);
+    boot.set("total", active.service->bootstrap().total());
+    out.set("bootstrap", std::move(boot));
+  }
+  if (active.program) out.set("program", active.program->stats());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// State bookkeeping
+// ---------------------------------------------------------------------------
+
+void ServiceManager::set_state(Active& active, ServiceState state) {
+  active.service->set_state(state, runtime_.loop().now());
+  runtime_.publish_state("service", active.service->uid(),
+                         to_string(state));
+  recheck_watchers();
+}
+
+void ServiceManager::recheck_watchers() {
+  for (std::size_t i = 0; i < watchers_.size();) {
+    ReadyWatcher& watcher = watchers_[i];
+    bool all_running = true;
+    bool any_terminal = false;
+    for (const auto& uid : watcher.uids) {
+      const ServiceState state = get(uid).state();
+      if (state != ServiceState::running) all_running = false;
+      if (is_terminal(state)) any_terminal = true;
+    }
+    if (all_running || any_terminal) {
+      auto callback = std::move(watcher.on_ready);
+      watchers_.erase(watchers_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      const bool ok = all_running;
+      runtime_.loop().post([callback = std::move(callback), ok] {
+        callback(ok);
+      });
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ServiceManager::when_ready(std::vector<std::string> uids,
+                                std::function<void(bool)> on_ready) {
+  ensure(static_cast<bool>(on_ready), Errc::invalid_argument,
+         "when_ready: empty callback");
+  for (const auto& uid : uids) {
+    ensure(exists(uid), Errc::not_found,
+           strutil::cat("when_ready: unknown service '", uid, "'"));
+  }
+  watchers_.push_back(ReadyWatcher{std::move(uids), std::move(on_ready)});
+  recheck_watchers();
+}
+
+// ---------------------------------------------------------------------------
+// Registry endpoint (per cluster)
+// ---------------------------------------------------------------------------
+
+const std::string& ServiceManager::ensure_registry(
+    platform::Cluster& cluster) {
+  auto it = registries_.find(cluster.name());
+  if (it == registries_.end()) {
+    const std::string address = "svcmgr." + cluster.name();
+    auto server = std::make_unique<msg::RpcServer>(
+        runtime_.router(), address, cluster.head_host());
+    server->bind_method(
+        "register_endpoint",
+        [](std::shared_ptr<msg::Responder> responder) {
+          // Registration is acknowledged; the manager's own bookkeeping
+          // happens when the publish RPC completes on the service side.
+          responder->reply(json::Value::object({{"ok", true}}));
+        });
+    server->bind_method(
+        "heartbeat", [this](std::shared_ptr<msg::Responder> responder) {
+          const std::string uid =
+              responder->request().payload.get_or("uid", json::Value(""))
+                  .as_string();
+          const auto found = services_.find(uid);
+          if (found != services_.end()) {
+            found->second.service->set_last_heartbeat(
+                runtime_.loop().now());
+            arm_liveness_deadline(uid);
+          }
+          responder->reply(json::Value::object({{"ok", true}}));
+        });
+    it = registries_.emplace(cluster.name(), std::move(server)).first;
+  }
+  static const std::string prefix = "svcmgr.";
+  (void)it;
+  return registries_.find(cluster.name())->first;
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+std::string ServiceManager::submit(Pilot& pilot, ServiceDescription desc) {
+  desc.validate();
+  ensure(executor_.programs().has(desc.program), Errc::not_found,
+         strutil::cat("service program '", desc.program,
+                      "' is not registered"));
+  const std::string uid = runtime_.make_uid("svc");
+  Active active;
+  active.service = std::make_unique<Service>(uid, std::move(desc));
+  active.service->set_pilot_uid(pilot.uid());
+  active.pilot = &pilot;
+  active.cluster = &pilot.cluster();
+  ensure_registry(pilot.cluster());
+  auto [it, inserted] = services_.emplace(uid, std::move(active));
+  ensure(inserted, Errc::internal, "duplicate service uid");
+  runtime_.publish_state("service", uid, to_string(ServiceState::created));
+
+  // Readiness timeout covers the whole bootstrap.
+  it->second.ready_timer = runtime_.loop().call_after(
+      it->second.service->description().ready_timeout, [this, uid] {
+        const auto found = services_.find(uid);
+        if (found == services_.end()) return;
+        if (found->second.service->state() == ServiceState::running) return;
+        if (is_terminal(found->second.service->state())) return;
+        fail_service(uid, "ready timeout exceeded");
+      });
+
+  // Enter the scheduler asynchronously (symmetric with TaskManager):
+  // submission order across managers is preserved by the event loop.
+  runtime_.loop().post([this, uid] {
+    const auto found = services_.find(uid);
+    if (found == services_.end()) return;
+    if (found->second.service->state() != ServiceState::created) return;
+    begin_scheduling(uid);
+  });
+  return uid;
+}
+
+void ServiceManager::begin_scheduling(const std::string& uid) {
+  Active& active = active_for(uid);
+  set_state(active, ServiceState::scheduling);
+  const ServiceDescription& desc = active.service->description();
+  ScheduleRequest request;
+  request.uid = uid;
+  request.cores = desc.cores;
+  request.gpus = desc.gpus;
+  request.mem_gb = desc.mem_gb;
+  request.priority = desc.priority;
+  request.granted = [this, uid](platform::Slot slot, platform::Node* node) {
+    on_granted(uid, std::move(slot), node);
+  };
+  scheduler_.submit(active.pilot->uid(), std::move(request));
+}
+
+void ServiceManager::on_granted(const std::string& uid, platform::Slot slot,
+                                platform::Node* node) {
+  const auto it = services_.find(uid);
+  if (it == services_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.service->state())) {
+    // Canceled while queued but after grant was posted: give it back.
+    scheduler_.release(active.pilot->uid(), slot);
+    return;
+  }
+  active.service->set_slot(std::move(slot));
+  active.slot_held = true;
+  active.host = node->host();
+  set_state(active, ServiceState::scheduled);
+
+  set_state(active, ServiceState::launching);
+  active.cohort_at_launch = count_bootstrapping(active.pilot->uid());
+  executor_.launch(*active.cluster, active.cohort_at_launch,
+                   [this, uid](sim::Duration) { on_launched(uid); });
+}
+
+json::Value ServiceManager::contention_config(const Active& active) const {
+  // Injected knobs that let programs model shared-filesystem contention
+  // during concurrent model loads (Fig. 3: init under 640 loaders).
+  json::Value config = active.service->description().config;
+  std::size_t initializing = 0;
+  for (const auto& [uid, other] : services_) {
+    if (other.service->pilot_uid() == active.service->pilot_uid() &&
+        other.service->state() == ServiceState::initializing) {
+      ++initializing;
+    }
+  }
+  const auto& profile = active.cluster->profile();
+  config.set("concurrent_inits", initializing + 1);
+  config.set("fs_contention_coeff", profile.fs_contention_coeff);
+  config.set("fs_contention_threshold", profile.fs_contention_threshold);
+  return config;
+}
+
+void ServiceManager::on_launched(const std::string& uid) {
+  const auto it = services_.find(uid);
+  if (it == services_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.service->state())) return;
+  set_state(active, ServiceState::initializing);
+
+  active.program =
+      executor_.programs().create(active.service->description());
+  active.ctx = std::make_unique<ExecutionContext>(executor_.make_context(
+      uid, active.host, contention_config(active)));
+  active.program->init(
+      *active.ctx, [this, uid] { on_initialized(uid); },
+      [this, uid](const std::string& error) {
+        fail_service(uid, strutil::cat("program init failed: ", error));
+      });
+}
+
+void ServiceManager::on_initialized(const std::string& uid) {
+  const auto it = services_.find(uid);
+  if (it == services_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.service->state())) return;
+  set_state(active, ServiceState::publishing);
+
+  active.server = std::make_unique<msg::RpcServer>(runtime_.router(), uid,
+                                                   active.host);
+  active.program->bind(*active.server);
+  active.server->bind_method(
+      "health", [this, uid](std::shared_ptr<msg::Responder> responder) {
+        json::Value body = json::Value::object();
+        const auto found = services_.find(uid);
+        body.set("ok", found != services_.end() &&
+                           !found->second.crashed);
+        responder->reply(std::move(body));
+      });
+
+  // Endpoint publication: local socket/registry setup overhead followed
+  // by the registration round-trip to the manager's registry endpoint.
+  const sim::Duration overhead =
+      active.cluster->profile().endpoint_publish.sample(rng_);
+  runtime_.loop().call_after(overhead,
+                             [this, uid] { do_publish(uid); });
+}
+
+void ServiceManager::do_publish(const std::string& uid) {
+  const auto it = services_.find(uid);
+  if (it == services_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.service->state())) return;
+
+  active.pub_client = std::make_unique<msg::RpcClient>(
+      runtime_.router(), uid + ".pub", active.host);
+  json::Value args = json::Value::object();
+  args.set("uid", uid);
+  args.set("endpoint", uid);
+  args.set("name", active.service->description().name);
+  active.pub_client->call(
+      "svcmgr." + active.cluster->name(), "register_endpoint",
+      std::move(args),
+      [this, uid](msg::CallResult result) {
+        const auto found = services_.find(uid);
+        if (found == services_.end()) return;
+        if (is_terminal(found->second.service->state())) return;
+        if (!result.ok) {
+          fail_service(uid, strutil::cat("endpoint publication failed: ",
+                                         result.error));
+          return;
+        }
+        on_published(uid);
+      },
+      kPublishRpcTimeout);
+}
+
+void ServiceManager::on_published(const std::string& uid) {
+  Active& active = active_for(uid);
+  active.pub_client.reset();
+  if (active.ready_timer.valid()) {
+    runtime_.loop().cancel(active.ready_timer);
+    active.ready_timer = {};
+  }
+  active.service->set_endpoint(uid);
+  set_state(active, ServiceState::running);
+
+  // Record the bootstrap decomposition (Fig. 3).
+  BootstrapTiming& boot = active.service->bootstrap();
+  boot.launch = active.service->duration(ServiceState::launching,
+                                         ServiceState::initializing);
+  boot.init = active.service->duration(ServiceState::initializing,
+                                       ServiceState::publishing);
+  boot.publish = active.service->duration(ServiceState::publishing,
+                                          ServiceState::running);
+  runtime_.metrics().add_bootstrap(metrics::BootstrapRecord{
+      uid, boot.launch, boot.init, boot.publish, active.cohort_at_launch});
+
+  if (active.service->description().monitor) start_monitoring(uid);
+}
+
+// ---------------------------------------------------------------------------
+// Remote services
+// ---------------------------------------------------------------------------
+
+std::string ServiceManager::register_remote(platform::Cluster& cluster,
+                                            ServiceDescription desc,
+                                            std::size_t node_index) {
+  desc.validate();
+  ensure(executor_.programs().has(desc.program), Errc::not_found,
+         strutil::cat("service program '", desc.program,
+                      "' is not registered"));
+  ensure(node_index < cluster.node_count(), Errc::invalid_argument,
+         strutil::cat("node index ", node_index, " out of range for ",
+                      cluster.name()));
+  const std::string uid = runtime_.make_uid("svc");
+  Active active;
+  active.service = std::make_unique<Service>(uid, std::move(desc));
+  active.service->set_remote(true);
+  active.cluster = &cluster;
+  active.host = cluster.node(node_index).host();
+  auto [it, inserted] = services_.emplace(uid, std::move(active));
+  ensure(inserted, Errc::internal, "duplicate service uid");
+  runtime_.publish_state("service", uid, to_string(ServiceState::created));
+
+  Active& stored = it->second;
+  stored.program =
+      executor_.programs().create(stored.service->description());
+  stored.ctx = std::make_unique<ExecutionContext>(executor_.make_context(
+      uid, stored.host, stored.service->description().config));
+  stored.program->init(
+      *stored.ctx,
+      [this, uid] {
+        Active& active = active_for(uid);
+        active.server = std::make_unique<msg::RpcServer>(
+            runtime_.router(), uid, active.host);
+        active.program->bind(*active.server);
+        active.service->set_endpoint(uid);
+        set_state(active, ServiceState::running);
+      },
+      [this, uid](const std::string& error) {
+        fail_service(uid, strutil::cat("remote init failed: ", error));
+      });
+  return uid;
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------------
+
+void ServiceManager::start_monitoring(const std::string& uid) {
+  Active& active = active_for(uid);
+  active.hb_client = std::make_unique<msg::RpcClient>(
+      runtime_.router(), uid + ".hb", active.host);
+  active.service->set_last_heartbeat(runtime_.loop().now());
+  schedule_heartbeat(uid);
+  arm_liveness_deadline(uid);
+}
+
+void ServiceManager::schedule_heartbeat(const std::string& uid) {
+  Active& active = active_for(uid);
+  const sim::Duration interval =
+      active.service->description().heartbeat_interval;
+  active.hb_send_timer = runtime_.loop().call_after(interval, [this, uid] {
+    const auto it = services_.find(uid);
+    if (it == services_.end()) return;
+    Active& active = it->second;
+    if (active.service->state() != ServiceState::running &&
+        active.service->state() != ServiceState::draining) {
+      return;
+    }
+    if (active.crashed || !active.hb_client) return;
+    json::Value args = json::Value::object();
+    args.set("uid", uid);
+    active.hb_client->call(
+        "svcmgr." + active.cluster->name(), "heartbeat", std::move(args),
+        [](msg::CallResult) { /* delivery is what matters */ },
+        active.service->description().heartbeat_interval);
+    schedule_heartbeat(uid);
+  });
+}
+
+void ServiceManager::arm_liveness_deadline(const std::string& uid) {
+  Active& active = active_for(uid);
+  if (active.hb_deadline_timer.valid()) {
+    runtime_.loop().cancel(active.hb_deadline_timer);
+  }
+  const ServiceDescription& desc = active.service->description();
+  const sim::Duration window =
+      desc.heartbeat_interval * static_cast<double>(desc.heartbeat_misses);
+  active.hb_deadline_timer = runtime_.loop().call_after(
+      window, [this, uid] { on_liveness_timeout(uid); });
+}
+
+void ServiceManager::on_liveness_timeout(const std::string& uid) {
+  const auto it = services_.find(uid);
+  if (it == services_.end()) return;
+  Active& active = it->second;
+  if (active.service->state() != ServiceState::running &&
+      active.service->state() != ServiceState::draining) {
+    return;
+  }
+  log_.warn(strutil::cat(uid, ": liveness timeout"));
+  fail_service(uid, "liveness timeout: heartbeats missed");
+}
+
+// ---------------------------------------------------------------------------
+// Failure, restart, stop, kill
+// ---------------------------------------------------------------------------
+
+void ServiceManager::release_resources(Active& active) {
+  if (active.ready_timer.valid()) {
+    runtime_.loop().cancel(active.ready_timer);
+    active.ready_timer = {};
+  }
+  if (active.hb_send_timer.valid()) {
+    runtime_.loop().cancel(active.hb_send_timer);
+    active.hb_send_timer = {};
+  }
+  if (active.hb_deadline_timer.valid()) {
+    runtime_.loop().cancel(active.hb_deadline_timer);
+    active.hb_deadline_timer = {};
+  }
+  active.server.reset();
+  active.pub_client.reset();
+  active.hb_client.reset();
+  if (active.slot_held && active.pilot != nullptr) {
+    scheduler_.release(active.pilot->uid(), active.service->slot());
+    active.slot_held = false;
+  }
+}
+
+void ServiceManager::fail_service(const std::string& uid,
+                                  const std::string& error) {
+  const auto it = services_.find(uid);
+  if (it == services_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.service->state())) return;
+  log_.error(strutil::cat(uid, ": ", error));
+  active.service->set_error(error);
+  release_resources(active);
+  active.program.reset();
+  active.ctx.reset();
+  set_state(active, ServiceState::failed);
+
+  const ServiceDescription& desc = active.service->description();
+  if (!active.service->remote() && desc.restart_on_failure &&
+      active.service->restarts() < desc.max_restarts) {
+    active.service->count_restart();
+    active.crashed = false;
+    log_.info(strutil::cat(uid, ": restarting (attempt ",
+                           active.service->restarts(), ")"));
+    active.ready_timer = runtime_.loop().call_after(
+        desc.ready_timeout, [this, uid] {
+          const auto found = services_.find(uid);
+          if (found == services_.end()) return;
+          if (found->second.service->state() == ServiceState::running) {
+            return;
+          }
+          if (is_terminal(found->second.service->state())) return;
+          fail_service(uid, "ready timeout exceeded (restart)");
+        });
+    begin_scheduling(uid);
+  }
+}
+
+void ServiceManager::kill(const std::string& uid) {
+  Active& active = active_for(uid);
+  ensure(active.service->state() == ServiceState::running,
+         Errc::invalid_state,
+         strutil::cat("kill: service ", uid, " is not running"));
+  active.crashed = true;
+  active.server.reset();  // endpoint disappears from the router
+  if (active.hb_send_timer.valid()) {
+    runtime_.loop().cancel(active.hb_send_timer);
+    active.hb_send_timer = {};
+  }
+  log_.warn(strutil::cat(uid, ": killed (fault injection)"));
+}
+
+void ServiceManager::stop(const std::string& uid,
+                          std::function<void()> on_stopped) {
+  Active& active = active_for(uid);
+  const ServiceState state = active.service->state();
+  if (is_terminal(state)) {
+    if (on_stopped) runtime_.loop().post(std::move(on_stopped));
+    return;
+  }
+  if (state != ServiceState::running && state != ServiceState::draining) {
+    // Still bootstrapping: cancel.
+    scheduler_.cancel(active.service->pilot_uid(), uid);
+    release_resources(active);
+    active.program.reset();
+    set_state(active, ServiceState::canceled);
+    if (on_stopped) runtime_.loop().post(std::move(on_stopped));
+    return;
+  }
+  if (state == ServiceState::running) {
+    set_state(active, ServiceState::draining);
+  }
+  finalize_stop(uid, std::move(on_stopped));
+}
+
+void ServiceManager::finalize_stop(const std::string& uid,
+                                   std::function<void()> on_stopped) {
+  const auto it = services_.find(uid);
+  if (it == services_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.service->state())) {
+    if (on_stopped) runtime_.loop().post(std::move(on_stopped));
+    return;
+  }
+  const std::size_t outstanding =
+      active.program ? active.program->outstanding() : 0;
+  if (outstanding > 0) {
+    runtime_.loop().call_after(
+        kDrainPollInterval,
+        [this, uid, on_stopped = std::move(on_stopped)]() mutable {
+          finalize_stop(uid, std::move(on_stopped));
+        });
+    return;
+  }
+  release_resources(active);
+  set_state(active, ServiceState::stopped);
+  if (on_stopped) runtime_.loop().post(std::move(on_stopped));
+}
+
+void ServiceManager::stop_all(std::function<void()> on_all_stopped) {
+  std::vector<std::string> to_stop;
+  for (const auto& [uid, active] : services_) {
+    if (!is_terminal(active.service->state())) to_stop.push_back(uid);
+  }
+  if (to_stop.empty()) {
+    if (on_all_stopped) runtime_.loop().post(std::move(on_all_stopped));
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(to_stop.size());
+  auto shared_callback = std::make_shared<std::function<void()>>(
+      std::move(on_all_stopped));
+  for (const auto& uid : to_stop) {
+    stop(uid, [remaining, shared_callback] {
+      if (--(*remaining) == 0 && *shared_callback) (*shared_callback)();
+    });
+  }
+}
+
+}  // namespace ripple::core

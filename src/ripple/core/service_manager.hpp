@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file service_manager.hpp
+/// The ServiceManager: the paper's central architectural addition.
+///
+/// Manages service tasks through their full lifecycle — scheduling,
+/// launch, program initialization (model load), endpoint publication,
+/// readiness, liveness (heartbeats), draining and termination — while
+/// services remain schedulable units next to regular tasks. Also hosts
+/// the per-cluster service registry endpoint the services publish to
+/// (the `publish` component of Fig. 3's bootstrap decomposition).
+///
+/// Deployment modes:
+///  * local    — bootstrapped inside a pilot (submit()), BT recorded;
+///  * remote   — persistent services on another platform
+///               (register_remote()), no bootstrap, RUNNING immediately
+///               after program init (paper: "remote models are usually
+///               persistent ... and do not need to be bootstrapped").
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ripple/core/descriptions.hpp"
+#include "ripple/core/entities.hpp"
+#include "ripple/core/executor.hpp"
+#include "ripple/core/runtime.hpp"
+#include "ripple/core/scheduler.hpp"
+
+namespace ripple::core {
+
+class ServiceManager {
+ public:
+  ServiceManager(Runtime& runtime, Scheduler& scheduler, Executor& executor);
+
+  /// Submits a local service into `pilot`; returns its uid.
+  std::string submit(Pilot& pilot, ServiceDescription desc);
+
+  /// Registers a persistent remote service on `cluster` (placed on node
+  /// `node_index`); returns its uid. The service enters RUNNING as soon
+  /// as its program initializes (set config {"preloaded": true} for
+  /// instant readiness).
+  std::string register_remote(platform::Cluster& cluster,
+                              ServiceDescription desc,
+                              std::size_t node_index = 0);
+
+  [[nodiscard]] const Service& get(const std::string& uid) const;
+  [[nodiscard]] Service& get_mutable(const std::string& uid);
+  [[nodiscard]] bool exists(const std::string& uid) const;
+  [[nodiscard]] std::vector<std::string> uids() const;
+
+  /// RPC endpoints of RUNNING services, optionally filtered by
+  /// description name.
+  [[nodiscard]] std::vector<std::string> endpoints(
+      const std::string& name_filter = "") const;
+
+  /// Uids of RUNNING services, optionally filtered by name.
+  [[nodiscard]] std::vector<std::string> running(
+      const std::string& name_filter = "") const;
+
+  [[nodiscard]] std::size_t count_in_state(ServiceState state) const;
+
+  /// Fires cb(true) once all `uids` are RUNNING, cb(false) as soon as
+  /// any of them reaches a terminal state first.
+  void when_ready(std::vector<std::string> uids,
+                  std::function<void(bool ok)> on_ready);
+
+  /// Graceful stop: drains outstanding requests, then unbinds and
+  /// releases resources. `on_stopped` may be null.
+  void stop(const std::string& uid, std::function<void()> on_stopped = {});
+
+  /// Stops every non-terminal service; `on_all_stopped` may be null.
+  void stop_all(std::function<void()> on_all_stopped = {});
+
+  /// Fault injection: hard-crash a running service (endpoint vanishes,
+  /// heartbeats cease). Liveness monitoring, if enabled, will detect it.
+  void kill(const std::string& uid);
+
+  /// The live program object of a service (nullptr once stopped/failed).
+  [[nodiscard]] ServiceProgram* program(const std::string& uid);
+
+  /// Per-service stats: state, endpoint, bootstrap timing, program stats.
+  [[nodiscard]] json::Value stats(const std::string& uid) const;
+
+ private:
+  struct Active {
+    std::unique_ptr<Service> service;
+    Pilot* pilot = nullptr;  ///< null for remote services
+    platform::Cluster* cluster = nullptr;
+    std::unique_ptr<ExecutionContext> ctx;
+    std::unique_ptr<ServiceProgram> program;
+    std::unique_ptr<msg::RpcServer> server;
+    std::unique_ptr<msg::RpcClient> pub_client;
+    std::unique_ptr<msg::RpcClient> hb_client;
+    sim::EventLoop::TimerHandle ready_timer;
+    sim::EventLoop::TimerHandle hb_send_timer;
+    sim::EventLoop::TimerHandle hb_deadline_timer;
+    sim::HostId host;
+    std::size_t cohort_at_launch = 0;
+    bool slot_held = false;
+    bool crashed = false;
+  };
+
+  struct ReadyWatcher {
+    std::vector<std::string> uids;
+    std::function<void(bool)> on_ready;
+  };
+
+  // Bootstrap pipeline.
+  void begin_scheduling(const std::string& uid);
+  void on_granted(const std::string& uid, platform::Slot slot,
+                  platform::Node* node);
+  void on_launched(const std::string& uid);
+  void on_initialized(const std::string& uid);
+  void do_publish(const std::string& uid);
+  void on_published(const std::string& uid);
+
+  void fail_service(const std::string& uid, const std::string& error);
+  void release_resources(Active& active);
+  void set_state(Active& active, ServiceState state);
+  void recheck_watchers();
+
+  // Liveness.
+  void start_monitoring(const std::string& uid);
+  void schedule_heartbeat(const std::string& uid);
+  void arm_liveness_deadline(const std::string& uid);
+  void on_liveness_timeout(const std::string& uid);
+
+  void finalize_stop(const std::string& uid,
+                     std::function<void()> on_stopped);
+
+  /// Creates (once per cluster) the registry RPC endpoint on the
+  /// cluster's head node.
+  const std::string& ensure_registry(platform::Cluster& cluster);
+
+  [[nodiscard]] Active& active_for(const std::string& uid);
+  [[nodiscard]] const Active& active_for(const std::string& uid) const;
+  [[nodiscard]] std::size_t count_bootstrapping(
+      const std::string& pilot_uid) const;
+  [[nodiscard]] json::Value contention_config(const Active& active) const;
+
+  Runtime& runtime_;
+  Scheduler& scheduler_;
+  Executor& executor_;
+  common::Rng rng_;
+  common::Logger log_;
+  std::map<std::string, Active> services_;
+  std::map<std::string, std::unique_ptr<msg::RpcServer>> registries_;
+  std::vector<ReadyWatcher> watchers_;
+};
+
+}  // namespace ripple::core

@@ -1,0 +1,140 @@
+#include "ripple/core/session.hpp"
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/ids.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::core {
+
+Session::Session(SessionConfig config)
+    : config_(config),
+      runtime_(config.seed),
+      scheduler_(std::make_unique<Scheduler>(runtime_,
+                                             config.scheduler_policy)),
+      executor_(std::make_unique<Executor>(runtime_)),
+      data_(std::make_unique<DataManager>(runtime_)),
+      services_(std::make_unique<ServiceManager>(runtime_, *scheduler_,
+                                                 *executor_)),
+      tasks_(std::make_unique<TaskManager>(runtime_, *scheduler_, *executor_,
+                                           *data_, *services_)),
+      log_(runtime_.make_logger("session")) {}
+
+Session::~Session() = default;
+
+platform::Cluster& Session::add_platform(
+    const platform::PlatformProfile& profile) {
+  ensure(clusters_.count(profile.name) == 0, Errc::invalid_state,
+         strutil::cat("platform '", profile.name, "' already added"));
+  auto cluster = std::make_unique<platform::Cluster>(
+      runtime_.loop(), runtime_.network(), profile,
+      runtime_.rng().fork("cluster." + profile.name));
+  auto& ref = *cluster;
+  clusters_.emplace(profile.name, std::move(cluster));
+
+  // Wire WAN links among all platforms added so far.
+  std::vector<platform::Cluster*> all;
+  all.reserve(clusters_.size());
+  for (auto& [name, c] : clusters_) all.push_back(c.get());
+  platform::connect_clusters(runtime_.network(), all);
+  return ref;
+}
+
+platform::Cluster& Session::cluster(const std::string& name) {
+  const auto it = clusters_.find(name);
+  ensure(it != clusters_.end(), Errc::not_found,
+         strutil::cat("unknown platform '", name, "'"));
+  return *it->second;
+}
+
+bool Session::has_cluster(const std::string& name) const {
+  return clusters_.count(name) != 0;
+}
+
+Pilot& Session::submit_pilot(const PilotDescription& desc) {
+  desc.validate();
+  platform::Cluster& target = cluster(desc.platform);
+  const std::string uid = runtime_.make_uid("pilot");
+  auto pilot = std::make_unique<Pilot>(uid, desc, &target);
+  pilot->nodes() = target.reserve_nodes(desc.nodes);
+  Pilot& ref = *pilot;
+  pilots_.emplace(uid, std::move(pilot));
+  runtime_.publish_state("pilot", uid, to_string(PilotState::created));
+
+  scheduler_->add_pilot(ref);
+  // The pilot agent becomes active asynchronously (queue wait and agent
+  // boot are not measured by the paper's experiments; submissions are
+  // accepted immediately and scheduled once slots exist).
+  runtime_.loop().post([this, uid] {
+    const auto it = pilots_.find(uid);
+    if (it == pilots_.end()) return;
+    it->second->set_state(PilotState::active, runtime_.loop().now());
+    runtime_.publish_state("pilot", uid, to_string(PilotState::active));
+  });
+  return ref;
+}
+
+Pilot& Session::pilot(const std::string& uid) {
+  const auto it = pilots_.find(uid);
+  ensure(it != pilots_.end(), Errc::not_found,
+         strutil::cat("unknown pilot '", uid, "'"));
+  return *it->second;
+}
+
+std::vector<std::string> Session::pilot_uids() const {
+  std::vector<std::string> out;
+  out.reserve(pilots_.size());
+  for (const auto& [uid, pilot] : pilots_) out.push_back(uid);
+  return out;
+}
+
+void Session::close_pilot(const std::string& uid) {
+  Pilot& p = pilot(uid);
+  ensure(!is_terminal(p.state()), Errc::invalid_state,
+         strutil::cat("pilot ", uid, " already terminal"));
+  scheduler_->remove_pilot(uid);
+  p.cluster().release_nodes(p.nodes());
+  p.set_state(PilotState::done, runtime_.loop().now());
+  runtime_.publish_state("pilot", uid, to_string(PilotState::done));
+}
+
+std::size_t Session::run() { return runtime_.loop().run(); }
+
+std::size_t Session::run_until(sim::SimTime deadline) {
+  return runtime_.loop().run_until(deadline);
+}
+
+sim::SimTime Session::now() const noexcept {
+  return const_cast<Runtime&>(runtime_).loop().now();
+}
+
+json::Value Session::summary() const {
+  auto& self = const_cast<Session&>(*this);
+  json::Value out = json::Value::object();
+  out.set("seed", config_.seed);
+  out.set("now", self.now());
+  out.set("events", self.loop().events_processed());
+  out.set("messages", self.runtime().network().messages_delivered());
+
+  json::Value task_states = json::Value::object();
+  for (const TaskState s :
+       {TaskState::created, TaskState::waiting, TaskState::scheduling,
+        TaskState::running, TaskState::done, TaskState::failed,
+        TaskState::canceled}) {
+    const std::size_t n = self.tasks().count_in_state(s);
+    if (n > 0) task_states.set(to_string(s), n);
+  }
+  out.set("tasks", std::move(task_states));
+
+  json::Value svc_states = json::Value::object();
+  for (const ServiceState s :
+       {ServiceState::created, ServiceState::scheduling,
+        ServiceState::running, ServiceState::draining, ServiceState::stopped,
+        ServiceState::failed, ServiceState::canceled}) {
+    const std::size_t n = self.services().count_in_state(s);
+    if (n > 0) svc_states.set(to_string(s), n);
+  }
+  out.set("services", std::move(svc_states));
+  return out;
+}
+
+}  // namespace ripple::core

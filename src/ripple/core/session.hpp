@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file session.hpp
+/// The Session: Ripple's top-level, unified public API.
+///
+/// Mirrors the paper's execution model (Fig. 2): users submit
+/// ServiceDescriptions and TaskDescriptions through one API (1); the
+/// Scheduler places them (2); the Executor runs them (3); services
+/// expose their APIs (4) over model capabilities (5); state information
+/// flows back over dedicated channels (6). A Session owns the Runtime,
+/// the platforms (clusters), the managers and all entities.
+///
+/// Typical use:
+///   core::Session session({.seed = 7});
+///   auto& delta = session.add_platform(platform::delta_profile());
+///   auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+///   ml::install(session);                       // ML payloads/programs
+///   auto svc = session.services().submit(pilot, svc_desc);
+///   session.services().when_ready({svc}, [&](bool) { ... submit tasks; });
+///   session.run();                              // drive to completion
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ripple/core/data_manager.hpp"
+#include "ripple/core/executor.hpp"
+#include "ripple/core/runtime.hpp"
+#include "ripple/core/scheduler.hpp"
+#include "ripple/core/service_manager.hpp"
+#include "ripple/core/task_manager.hpp"
+#include "ripple/platform/cluster.hpp"
+#include "ripple/platform/profiles.hpp"
+
+namespace ripple::core {
+
+struct SessionConfig {
+  std::uint64_t seed = 42;
+  SchedulerPolicy scheduler_policy = SchedulerPolicy::backfill;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- platforms and pilots ---
+
+  /// Instantiates a platform from a profile; wires network links to all
+  /// previously added platforms.
+  platform::Cluster& add_platform(const platform::PlatformProfile& profile);
+
+  [[nodiscard]] platform::Cluster& cluster(const std::string& name);
+  [[nodiscard]] bool has_cluster(const std::string& name) const;
+
+  /// Acquires `desc.nodes` nodes on the named platform; the pilot
+  /// becomes ACTIVE asynchronously. Returns the pilot.
+  Pilot& submit_pilot(const PilotDescription& desc);
+
+  [[nodiscard]] Pilot& pilot(const std::string& uid);
+  [[nodiscard]] std::vector<std::string> pilot_uids() const;
+
+  /// Ends a pilot: releases its nodes back to the cluster.
+  void close_pilot(const std::string& uid);
+
+  // --- components ---
+
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return runtime_.loop(); }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] Executor& executor() noexcept { return *executor_; }
+  [[nodiscard]] DataManager& data() noexcept { return *data_; }
+  [[nodiscard]] ServiceManager& services() noexcept { return *services_; }
+  [[nodiscard]] TaskManager& tasks() noexcept { return *tasks_; }
+  [[nodiscard]] metrics::Registry& metrics() noexcept {
+    return runtime_.metrics();
+  }
+  [[nodiscard]] metrics::Timeline& timeline() noexcept {
+    return runtime_.timeline();
+  }
+
+  // --- driving the run ---
+
+  /// Runs the event loop until no events remain. Returns events
+  /// processed. Services with monitoring enabled must be stopped for
+  /// the loop to drain (use services().stop_all()).
+  std::size_t run();
+
+  /// Runs until simulation time `deadline`.
+  std::size_t run_until(sim::SimTime deadline);
+
+  /// Current simulation time.
+  [[nodiscard]] sim::SimTime now() const noexcept;
+
+  /// Aggregate counters (entities by state, messages, events, ...).
+  [[nodiscard]] json::Value summary() const;
+
+ private:
+  SessionConfig config_;
+  Runtime runtime_;
+  std::map<std::string, std::unique_ptr<platform::Cluster>> clusters_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<DataManager> data_;
+  std::unique_ptr<ServiceManager> services_;
+  std::unique_ptr<TaskManager> tasks_;
+  std::map<std::string, std::unique_ptr<Pilot>> pilots_;
+  common::Logger log_;
+};
+
+}  // namespace ripple::core

@@ -1,0 +1,407 @@
+#include "ripple/core/task_manager.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/ids.hpp"
+#include "ripple/common/strutil.hpp"
+#include "ripple/platform/cluster.hpp"
+
+namespace ripple::core {
+
+TaskManager::TaskManager(Runtime& runtime, Scheduler& scheduler,
+                         Executor& executor, DataManager& data,
+                         ServiceManager& services)
+    : runtime_(runtime),
+      scheduler_(scheduler),
+      executor_(executor),
+      data_(data),
+      services_(services),
+      log_(runtime.make_logger("task_manager")) {
+  // Re-evaluate waiting tasks whenever any entity changes state: a
+  // dependency may have completed or a required service become RUNNING.
+  runtime_.pubsub().subscribe(
+      "state", [this](const std::string&, const json::Value& event) {
+        const std::string kind = event.at("kind").as_string();
+        if (kind == "task" || kind == "service") recheck_waiting();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+TaskManager::Active& TaskManager::active_for(const std::string& uid) {
+  const auto it = tasks_.find(uid);
+  ensure(it != tasks_.end(), Errc::not_found,
+         strutil::cat("unknown task '", uid, "'"));
+  return it->second;
+}
+
+const TaskManager::Active& TaskManager::active_for(
+    const std::string& uid) const {
+  const auto it = tasks_.find(uid);
+  ensure(it != tasks_.end(), Errc::not_found,
+         strutil::cat("unknown task '", uid, "'"));
+  return it->second;
+}
+
+const Task& TaskManager::get(const std::string& uid) const {
+  return *active_for(uid).task;
+}
+
+Task& TaskManager::get_mutable(const std::string& uid) {
+  return *active_for(uid).task;
+}
+
+bool TaskManager::exists(const std::string& uid) const {
+  return tasks_.count(uid) != 0;
+}
+
+std::vector<std::string> TaskManager::uids() const {
+  std::vector<std::string> out;
+  out.reserve(tasks_.size());
+  for (const auto& [uid, active] : tasks_) out.push_back(uid);
+  return out;
+}
+
+std::size_t TaskManager::count_in_state(TaskState state) const {
+  std::size_t n = 0;
+  for (const auto& [uid, active] : tasks_) {
+    if (active.task->state() == state) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// State bookkeeping
+// ---------------------------------------------------------------------------
+
+void TaskManager::set_state(Active& active, TaskState state) {
+  active.task->set_state(state, runtime_.loop().now());
+  runtime_.publish_state("task", active.task->uid(), to_string(state));
+  if (is_terminal(state)) recheck_watchers();
+}
+
+void TaskManager::recheck_watchers() {
+  for (std::size_t i = 0; i < watchers_.size();) {
+    DoneWatcher& watcher = watchers_[i];
+    bool all_terminal = true;
+    bool all_done = true;
+    for (const auto& uid : watcher.uids) {
+      const TaskState state = get(uid).state();
+      if (!is_terminal(state)) all_terminal = false;
+      if (state != TaskState::done) all_done = false;
+    }
+    if (all_terminal) {
+      auto callback = std::move(watcher.on_done);
+      watchers_.erase(watchers_.begin() + static_cast<std::ptrdiff_t>(i));
+      runtime_.loop().post(
+          [callback = std::move(callback), all_done] { callback(all_done); });
+    } else {
+      ++i;
+    }
+  }
+}
+
+void TaskManager::when_done(std::vector<std::string> uids,
+                            std::function<void(bool)> on_done) {
+  ensure(static_cast<bool>(on_done), Errc::invalid_argument,
+         "when_done: empty callback");
+  for (const auto& uid : uids) {
+    ensure(exists(uid), Errc::not_found,
+           strutil::cat("when_done: unknown task '", uid, "'"));
+  }
+  watchers_.push_back(DoneWatcher{std::move(uids), std::move(on_done)});
+  recheck_watchers();
+}
+
+// ---------------------------------------------------------------------------
+// Submission & readiness
+// ---------------------------------------------------------------------------
+
+std::string TaskManager::submit(Pilot& pilot, TaskDescription desc) {
+  desc.validate();
+  ensure(executor_.payloads().has(desc.kind), Errc::not_found,
+         strutil::cat("no payload factory for kind '", desc.kind, "'"));
+  for (const auto& dep : desc.depends_on) {
+    ensure(exists(dep), Errc::not_found,
+           strutil::cat("dependency '", dep, "' does not exist"));
+  }
+  for (const auto& svc : desc.requires_services) {
+    ensure(services_.exists(svc), Errc::not_found,
+           strutil::cat("required service '", svc, "' does not exist"));
+  }
+
+  const std::string uid = runtime_.make_uid("task");
+  Active active;
+  active.task = std::make_unique<Task>(uid, std::move(desc));
+  active.task->set_pilot_uid(pilot.uid());
+  active.pilot = &pilot;
+  tasks_.emplace(uid, std::move(active));
+  runtime_.publish_state("task", uid, to_string(TaskState::created));
+
+  runtime_.loop().post([this, uid] { evaluate(uid); });
+  return uid;
+}
+
+std::vector<std::string> TaskManager::submit_all(
+    Pilot& pilot, std::vector<TaskDescription> descs) {
+  std::vector<std::string> out;
+  out.reserve(descs.size());
+  for (auto& desc : descs) out.push_back(submit(pilot, std::move(desc)));
+  return out;
+}
+
+TaskManager::Readiness TaskManager::readiness(const Active& active,
+                                              std::string* blocker) const {
+  const TaskDescription& desc = active.task->description();
+  for (const auto& dep : desc.depends_on) {
+    const TaskState state = get(dep).state();
+    if (state == TaskState::failed || state == TaskState::canceled) {
+      if (blocker) *blocker = dep;
+      return Readiness::broken;
+    }
+    if (state != TaskState::done) return Readiness::pending;
+  }
+  for (const auto& svc : desc.requires_services) {
+    const ServiceState state = services_.get(svc).state();
+    if (is_terminal(state)) {
+      if (blocker) *blocker = svc;
+      return Readiness::broken;
+    }
+    if (state != ServiceState::running) return Readiness::pending;
+  }
+  return Readiness::ready;
+}
+
+void TaskManager::evaluate(const std::string& uid) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  const TaskState state = active.task->state();
+  if (state != TaskState::created && state != TaskState::waiting) return;
+
+  std::string blocker;
+  switch (readiness(active, &blocker)) {
+    case Readiness::broken:
+      waiting_.erase(uid);
+      fail_task(uid, strutil::cat("dependency ", blocker, " failed"));
+      return;
+    case Readiness::pending:
+      if (state == TaskState::created) {
+        set_state(active, TaskState::waiting);
+      }
+      waiting_.insert(uid);
+      return;
+    case Readiness::ready:
+      waiting_.erase(uid);
+      to_staging_in(uid);
+      return;
+  }
+}
+
+void TaskManager::recheck_waiting() {
+  // Copy: evaluate() mutates waiting_.
+  const std::vector<std::string> snapshot(waiting_.begin(), waiting_.end());
+  for (const auto& uid : snapshot) evaluate(uid);
+}
+
+// ---------------------------------------------------------------------------
+// Staging in
+// ---------------------------------------------------------------------------
+
+void TaskManager::to_staging_in(const std::string& uid) {
+  Active& active = active_for(uid);
+  std::vector<std::string> inputs;
+  for (const auto& directive : active.task->description().staging) {
+    if (directive.action == StagingDirective::Action::stage_in) {
+      inputs.push_back(directive.dataset);
+    }
+  }
+  if (inputs.empty()) {
+    to_scheduling(uid);
+    return;
+  }
+  set_state(active, TaskState::staging_input);
+  const std::string zone = active.pilot->cluster().name();
+  auto remaining = std::make_shared<std::size_t>(inputs.size());
+  auto failed = std::make_shared<bool>(false);
+  for (const auto& dataset : inputs) {
+    data_.stage(dataset, zone,
+                [this, uid, dataset, remaining, failed](bool ok,
+                                                        sim::Duration) {
+                  if (!ok && !*failed) {
+                    *failed = true;
+                    fail_task(uid, strutil::cat("stage-in of '", dataset,
+                                                "' failed"));
+                  }
+                  if (--(*remaining) == 0 && !*failed) to_scheduling(uid);
+                });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling & execution
+// ---------------------------------------------------------------------------
+
+void TaskManager::to_scheduling(const std::string& uid) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) return;
+  set_state(active, TaskState::scheduling);
+  const TaskDescription& desc = active.task->description();
+  ScheduleRequest request;
+  request.uid = uid;
+  request.cores = desc.cores;
+  request.gpus = desc.gpus;
+  request.mem_gb = desc.mem_gb;
+  request.priority = desc.priority;
+  request.granted = [this, uid](platform::Slot slot, platform::Node* node) {
+    on_granted(uid, std::move(slot), node);
+  };
+  scheduler_.submit(active.pilot->uid(), std::move(request));
+}
+
+void TaskManager::on_granted(const std::string& uid, platform::Slot slot,
+                             platform::Node* node) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) {
+    scheduler_.release(active.pilot->uid(), slot);
+    return;
+  }
+  active.task->set_slot(std::move(slot));
+  active.slot_held = true;
+  set_state(active, TaskState::scheduled);
+  set_state(active, TaskState::launching);
+
+  active.ctx = std::make_unique<ExecutionContext>(executor_.make_context(
+      uid, node->host(), active.task->description().payload));
+  active.ctx->data = &data_;
+  executor_.launch(active.pilot->cluster(), 0,
+                   [this, uid](sim::Duration) { on_launched(uid); });
+}
+
+void TaskManager::on_launched(const std::string& uid) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) return;
+  set_state(active, TaskState::running);
+
+  active.payload = executor_.payloads().create(active.task->description());
+  active.payload->run(
+      *active.ctx,
+      [this, uid](json::Value result) {
+        on_payload_done(uid, std::move(result));
+      },
+      [this, uid](const std::string& error) { fail_task(uid, error); });
+}
+
+void TaskManager::on_payload_done(const std::string& uid,
+                                  json::Value result) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) return;
+  active.task->set_result(std::move(result));
+  to_staging_out(uid);
+}
+
+// ---------------------------------------------------------------------------
+// Staging out & completion
+// ---------------------------------------------------------------------------
+
+void TaskManager::to_staging_out(const std::string& uid) {
+  Active& active = active_for(uid);
+  std::vector<StagingDirective> outputs;
+  for (const auto& directive : active.task->description().staging) {
+    if (directive.action == StagingDirective::Action::stage_out) {
+      outputs.push_back(directive);
+    }
+  }
+  if (outputs.empty()) {
+    finish(uid);
+    return;
+  }
+  set_state(active, TaskState::staging_output);
+  const std::string pilot_zone = active.pilot->cluster().name();
+  auto remaining = std::make_shared<std::size_t>(outputs.size());
+  auto failed = std::make_shared<bool>(false);
+  for (const auto& directive : outputs) {
+    // Auto-register outputs the payload did not register itself.
+    if (!data_.has(directive.dataset)) {
+      const double bytes = active.task->description()
+                               .payload.get_or("output_bytes", 1e6)
+                               .as_double();
+      data_.put(directive.dataset, bytes, pilot_zone);
+    }
+    const std::string dst =
+        directive.zone.empty() ? pilot_zone : directive.zone;
+    data_.stage(directive.dataset, dst,
+                [this, uid, dataset = directive.dataset, remaining, failed](
+                    bool ok, sim::Duration) {
+                  if (!ok && !*failed) {
+                    *failed = true;
+                    fail_task(uid, strutil::cat("stage-out of '", dataset,
+                                                "' failed"));
+                  }
+                  if (--(*remaining) == 0 && !*failed) finish(uid);
+                });
+  }
+}
+
+void TaskManager::finish(const std::string& uid) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) return;
+  release_slot(active);
+  active.payload.reset();
+  set_state(active, TaskState::done);
+}
+
+void TaskManager::release_slot(Active& active) {
+  if (active.slot_held) {
+    scheduler_.release(active.pilot->uid(), active.task->slot());
+    active.slot_held = false;
+  }
+}
+
+void TaskManager::fail_task(const std::string& uid,
+                            const std::string& error) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) return;
+  log_.error(strutil::cat(uid, ": ", error));
+  active.task->set_error(error);
+  waiting_.erase(uid);
+  release_slot(active);
+  active.payload.reset();
+  set_state(active, TaskState::failed);
+}
+
+bool TaskManager::cancel(const std::string& uid) {
+  Active& active = active_for(uid);
+  const TaskState state = active.task->state();
+  switch (state) {
+    case TaskState::created:
+    case TaskState::waiting:
+    case TaskState::staging_input:
+    case TaskState::scheduling: {
+      if (state == TaskState::scheduling) {
+        scheduler_.cancel(active.pilot->uid(), uid);
+      }
+      waiting_.erase(uid);
+      set_state(active, TaskState::canceled);
+      return true;
+    }
+    default: return false;
+  }
+}
+
+}  // namespace ripple::core

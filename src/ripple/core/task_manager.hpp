@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file task_manager.hpp
+/// The TaskManager: stateful task lifecycle management.
+///
+/// Drives each task through CREATED -> (WAITING) -> (STAGING_INPUT) ->
+/// SCHEDULING -> SCHEDULED -> LAUNCHING -> RUNNING -> (STAGING_OUTPUT)
+/// -> DONE, honouring task dependencies and service readiness relations
+/// ("services often have to be started before any computing task",
+/// paper section III). Data staging goes through the DataManager.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ripple/core/data_manager.hpp"
+#include "ripple/core/descriptions.hpp"
+#include "ripple/core/entities.hpp"
+#include "ripple/core/executor.hpp"
+#include "ripple/core/runtime.hpp"
+#include "ripple/core/scheduler.hpp"
+#include "ripple/core/service_manager.hpp"
+
+namespace ripple::core {
+
+class TaskManager {
+ public:
+  TaskManager(Runtime& runtime, Scheduler& scheduler, Executor& executor,
+              DataManager& data, ServiceManager& services);
+
+  /// Submits one task into `pilot`; returns its uid. Dependencies named
+  /// in the description must already exist.
+  std::string submit(Pilot& pilot, TaskDescription desc);
+
+  /// Submits a batch; returns uids in order.
+  std::vector<std::string> submit_all(Pilot& pilot,
+                                      std::vector<TaskDescription> descs);
+
+  [[nodiscard]] const Task& get(const std::string& uid) const;
+  [[nodiscard]] Task& get_mutable(const std::string& uid);
+  [[nodiscard]] bool exists(const std::string& uid) const;
+  [[nodiscard]] std::vector<std::string> uids() const;
+  [[nodiscard]] std::size_t count_in_state(TaskState state) const;
+
+  /// Cancels a task that has not yet been placed (waiting/staging/
+  /// queued). Returns false once the task holds resources.
+  bool cancel(const std::string& uid);
+
+  /// Fires cb(all_done) when every listed task is terminal; `all_done`
+  /// is true iff all of them finished in DONE.
+  void when_done(std::vector<std::string> uids,
+                 std::function<void(bool all_done)> on_done);
+
+ private:
+  struct Active {
+    std::unique_ptr<Task> task;
+    Pilot* pilot = nullptr;
+    std::unique_ptr<TaskPayload> payload;
+    std::unique_ptr<ExecutionContext> ctx;
+    bool slot_held = false;
+  };
+
+  struct DoneWatcher {
+    std::vector<std::string> uids;
+    std::function<void(bool)> on_done;
+  };
+
+  enum class Readiness { ready, pending, broken };
+
+  [[nodiscard]] Readiness readiness(const Active& active,
+                                    std::string* blocker) const;
+
+  void evaluate(const std::string& uid);
+  void to_staging_in(const std::string& uid);
+  void to_scheduling(const std::string& uid);
+  void on_granted(const std::string& uid, platform::Slot slot,
+                  platform::Node* node);
+  void on_launched(const std::string& uid);
+  void on_payload_done(const std::string& uid, json::Value result);
+  void to_staging_out(const std::string& uid);
+  void finish(const std::string& uid);
+  void fail_task(const std::string& uid, const std::string& error);
+  void release_slot(Active& active);
+  void set_state(Active& active, TaskState state);
+  void recheck_waiting();
+  void recheck_watchers();
+
+  [[nodiscard]] Active& active_for(const std::string& uid);
+  [[nodiscard]] const Active& active_for(const std::string& uid) const;
+
+  Runtime& runtime_;
+  Scheduler& scheduler_;
+  Executor& executor_;
+  DataManager& data_;
+  ServiceManager& services_;
+  common::Logger log_;
+  std::map<std::string, Active> tasks_;
+  std::set<std::string> waiting_;
+  std::vector<DoneWatcher> watchers_;
+};
+
+}  // namespace ripple::core

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file report.hpp
+/// Aligned-table and CSV rendering for benches and examples.
+///
+/// Every figure/table bench prints its series through Table so output
+/// stays consistent and directly comparable with the paper's plots.
+
+#include <string>
+#include <vector>
+
+#include "ripple/common/statistics.hpp"
+
+namespace ripple::metrics {
+
+/// A simple column-aligned text table with optional CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles at the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path` (overwrites).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats "mean +/- std" from a Summary with adaptive duration units.
+[[nodiscard]] std::string mean_pm_std(const common::Summary& summary);
+
+/// Renders a banner line ("== title ==") used by bench output.
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace ripple::metrics

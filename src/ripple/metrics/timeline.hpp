@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file timeline.hpp
+/// State-transition timeline, fed by the runtime's pub/sub bus.
+///
+/// Mirrors RADICAL-Analytics: every entity (pilot, task, service)
+/// publishes timestamped state transitions; the Timeline records the
+/// first time each entity entered each state and answers duration
+/// queries such as "time from LAUNCHING to RUNNING of service X".
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ripple/msg/pubsub.hpp"
+
+namespace ripple::metrics {
+
+struct TransitionRecord {
+  std::string entity;  ///< uid
+  std::string kind;    ///< "task" | "service" | "pilot"
+  std::string state;
+  double time = 0.0;
+};
+
+class Timeline {
+ public:
+  /// Subscribes to the "state" topic of `bus`.
+  explicit Timeline(msg::PubSub& bus);
+
+  /// Records a transition directly (bypassing the bus).
+  void record(TransitionRecord record);
+
+  [[nodiscard]] const std::vector<TransitionRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// First time `entity` entered `state`; -1 when never.
+  [[nodiscard]] double state_time(const std::string& entity,
+                                  const std::string& state) const;
+
+  /// state_time(to) - state_time(from); throws when either is missing.
+  [[nodiscard]] double duration(const std::string& entity,
+                                const std::string& from,
+                                const std::string& to) const;
+
+  /// Number of distinct entities of `kind` that ever entered `state`.
+  [[nodiscard]] std::size_t count(const std::string& kind,
+                                  const std::string& state) const;
+
+  /// All uids of `kind` that entered `state`, in first-entry order.
+  [[nodiscard]] std::vector<std::string> entities_in(
+      const std::string& kind, const std::string& state) const;
+
+  void clear();
+
+ private:
+  std::vector<TransitionRecord> records_;
+  // (entity, state) -> first entry time
+  std::map<std::pair<std::string, std::string>, double> first_entry_;
+};
+
+}  // namespace ripple::metrics

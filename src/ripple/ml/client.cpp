@@ -1,0 +1,174 @@
+#include "ripple/ml/client.hpp"
+
+#include <memory>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/statistics.hpp"
+#include "ripple/common/strutil.hpp"
+#include "ripple/ml/load_balancer.hpp"
+
+namespace ripple::ml {
+
+ClientConfig ClientConfig::from_json(const json::Value& config) {
+  ClientConfig out;
+  if (config.contains("endpoints")) {
+    for (const auto& endpoint : config.at("endpoints").as_array()) {
+      out.endpoints.push_back(endpoint.as_string());
+    }
+  }
+  out.requests = static_cast<std::size_t>(
+      config.get_or("requests", json::Value(16)).as_int());
+  out.concurrency = static_cast<std::size_t>(
+      config.get_or("concurrency", json::Value(1)).as_int());
+  out.series = config.get_or("series", json::Value("requests")).as_string();
+  out.balancer =
+      config.get_or("balancer", json::Value("round_robin")).as_string();
+  out.timeout = config.get_or("timeout", json::Value(0.0)).as_double();
+  out.think_time =
+      config.get_or("think_time", json::Value(0.0)).as_double();
+  out.prompt_tokens =
+      config.get_or("prompt_tokens", json::Value(64)).as_int();
+  return out;
+}
+
+json::Value ClientConfig::to_json() const {
+  json::Value out = json::Value::object();
+  json::Value eps = json::Value::array();
+  for (const auto& endpoint : endpoints) eps.push_back(endpoint);
+  out.set("endpoints", std::move(eps));
+  out.set("requests", requests);
+  out.set("concurrency", concurrency);
+  out.set("series", series);
+  out.set("balancer", balancer);
+  out.set("timeout", timeout);
+  out.set("think_time", think_time);
+  out.set("prompt_tokens", prompt_tokens);
+  return out;
+}
+
+InferenceClientPayload::InferenceClientPayload(
+    const core::TaskDescription& desc)
+    : desc_(desc) {}
+
+namespace {
+
+/// Book-keeps one client task's request stream; owns the RpcClient and
+/// load balancer and keeps itself alive until all requests complete.
+class ClientRun : public std::enable_shared_from_this<ClientRun> {
+ public:
+  ClientRun(core::ExecutionContext& ctx, ClientConfig config,
+            core::TaskPayload::DoneFn done, core::TaskPayload::FailFn fail)
+      : ctx_(ctx),
+        config_(std::move(config)),
+        done_(std::move(done)),
+        fail_(std::move(fail)),
+        rpc_(ctx.router(), ctx.uid + ".cli", ctx.host),
+        balancer_(make_balancer(config_.balancer, config_.endpoints,
+                                ctx.rng.fork("balancer"))) {}
+
+  void start() {
+    if (config_.requests == 0) {
+      finish();
+      return;
+    }
+    const std::size_t first_wave =
+        std::min(config_.concurrency, config_.requests);
+    for (std::size_t i = 0; i < first_wave; ++i) send_next();
+  }
+
+ private:
+  void send_next() {
+    if (sent_ >= config_.requests) return;
+    ++sent_;
+    ++in_flight_;
+    const std::string target = balancer_->pick();
+    json::Value args = json::Value::object();
+    args.set("prompt_tokens", config_.prompt_tokens);
+    args.set("client", ctx_.uid);
+    auto self = shared_from_this();
+    rpc_.call(
+        target, "infer", std::move(args),
+        [self, target](msg::CallResult result) {
+          self->on_result(target, std::move(result));
+        },
+        config_.timeout);
+  }
+
+  void on_result(const std::string& target, msg::CallResult result) {
+    --in_flight_;
+    balancer_->on_complete(target);
+    if (result.ok) {
+      ++ok_;
+      const msg::RequestTiming timing = result.timing();
+      ctx_.metrics().add_request(config_.series, timing);
+      totals_.add(timing.total);
+    } else {
+      ++failed_;
+      last_error_ = result.error;
+    }
+    if (sent_ < config_.requests) {
+      if (config_.think_time > 0.0) {
+        auto self = shared_from_this();
+        ctx_.loop().call_after(config_.think_time,
+                               [self] { self->send_next(); });
+      } else {
+        send_next();
+      }
+    } else if (in_flight_ == 0) {
+      finish();
+    }
+  }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (ok_ == 0 && failed_ > 0) {
+      fail_(strutil::cat("all ", failed_, " requests failed: ",
+                         last_error_));
+      return;
+    }
+    json::Value result = json::Value::object();
+    result.set("sent", sent_);
+    result.set("ok", ok_);
+    result.set("failed", failed_);
+    if (!totals_.empty()) {
+      result.set("response_time", totals_.to_json());
+    }
+    done_(std::move(result));
+  }
+
+  core::ExecutionContext& ctx_;
+  ClientConfig config_;
+  core::TaskPayload::DoneFn done_;
+  core::TaskPayload::FailFn fail_;
+  msg::RpcClient rpc_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  std::size_t sent_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t ok_ = 0;
+  std::size_t failed_ = 0;
+  std::string last_error_;
+  bool finished_ = false;
+  common::Summary totals_;
+};
+
+}  // namespace
+
+void InferenceClientPayload::run(core::ExecutionContext& ctx, DoneFn done,
+                                 FailFn fail) {
+  // The execution context carries the description's payload config; a
+  // wrapper payload may have rewritten the description (e.g. to inject
+  // resolved endpoints), in which case the description wins.
+  const json::Value& effective =
+      desc_.payload.contains("endpoints") ? desc_.payload : ctx.config;
+  ClientConfig config = ClientConfig::from_json(effective);
+  if (config.endpoints.empty()) {
+    fail("inference client has no endpoints configured");
+    return;
+  }
+  auto run_state = std::make_shared<ClientRun>(
+      ctx, std::move(config), std::move(done), std::move(fail));
+  run_state->start();
+}
+
+}  // namespace ripple::ml

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file client.hpp
+/// The "inference_client" task payload: a compute task that issues
+/// inference requests to service endpoints.
+///
+/// This is the client side of every experiment in the paper: a task that
+/// sends a fixed number of requests (1024 per client in Experiments 2-3)
+/// to one or more services, with a configurable number of requests in
+/// flight, a load-balancing policy and an optional timeout. Each
+/// completed request's timing decomposition is recorded into a named
+/// metrics series so benches aggregate the exact stacks of Figs. 4-6.
+///
+/// Configuration keys (TaskDescription.payload):
+///   endpoints     - array of service endpoint strings (required)
+///   requests      - total requests to send (default 16)
+///   concurrency   - max requests in flight (default 1)
+///   series        - metrics series name (default "requests")
+///   balancer      - round_robin | random | least_outstanding
+///   timeout       - per-request timeout seconds (0 = none)
+///   think_time    - pause between a completion and the next send
+///   prompt_tokens - nominal prompt size recorded in the request payload
+
+#include "ripple/core/executor.hpp"
+
+namespace ripple::ml {
+
+/// Parsed client configuration (exposed for direct use in tests).
+struct ClientConfig {
+  std::vector<std::string> endpoints;
+  std::size_t requests = 16;
+  std::size_t concurrency = 1;
+  std::string series = "requests";
+  std::string balancer = "round_robin";
+  sim::Duration timeout = 0.0;
+  sim::Duration think_time = 0.0;
+  std::int64_t prompt_tokens = 64;
+
+  [[nodiscard]] static ClientConfig from_json(const json::Value& config);
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class InferenceClientPayload final : public core::TaskPayload {
+ public:
+  explicit InferenceClientPayload(const core::TaskDescription& desc);
+
+  void run(core::ExecutionContext& ctx, DoneFn done, FailFn fail) override;
+
+ private:
+  core::TaskDescription desc_;
+};
+
+}  // namespace ripple::ml

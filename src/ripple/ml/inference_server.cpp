@@ -1,0 +1,76 @@
+#include "ripple/ml/inference_server.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+
+namespace ripple::ml {
+
+InferenceServer::InferenceServer(sim::EventLoop& loop, common::Rng rng,
+                                 ModelSpec model, ServerConfig config)
+    : loop_(loop), rng_(rng), model_(std::move(model)), config_(config) {
+  ensure(config_.max_concurrency > 0, Errc::invalid_argument,
+         "server needs max_concurrency >= 1");
+}
+
+void InferenceServer::handle(std::shared_ptr<msg::Responder> responder) {
+  ensure(responder != nullptr, Errc::invalid_argument,
+         "handle: null responder");
+  if (config_.max_queue != 0 && queue_.size() >= config_.max_queue) {
+    ++rejected_;
+    responder->fail("server queue full");
+    return;
+  }
+  queue_.push_back(std::move(responder));
+  peak_queue_ = std::max(peak_queue_, queue_.size());
+  pump();
+}
+
+void InferenceServer::pump() {
+  while (busy_ < config_.max_concurrency && !queue_.empty()) {
+    std::shared_ptr<msg::Responder> responder = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+
+    const sim::Duration parse_time = model_.parse.sample(rng_);
+    loop_.call_after(parse_time, [this, responder] {
+      responder->begin_compute();
+      const sim::Duration inference_time =
+          model_.sample_inference(rng_);
+      loop_.call_after(inference_time, [this, responder, inference_time] {
+        responder->end_compute();
+        inference_times_.add(inference_time);
+
+        const sim::Duration serialize_time = model_.serialize.sample(rng_);
+        loop_.call_after(serialize_time, [this, responder,
+                                          inference_time] {
+          json::Value body = json::Value::object();
+          body.set("model", model_.name);
+          body.set("inference_s", inference_time);
+          body.set("ok", true);
+          responder->reply(std::move(body));
+          ++served_;
+          --busy_;
+          pump();
+        });
+      });
+    });
+  }
+}
+
+json::Value InferenceServer::stats() const {
+  json::Value out = json::Value::object();
+  out.set("model", model_.name);
+  out.set("served", served_);
+  out.set("rejected", rejected_);
+  out.set("queued", queue_.size());
+  out.set("busy", busy_);
+  out.set("peak_queue", peak_queue_);
+  out.set("max_concurrency", config_.max_concurrency);
+  if (!inference_times_.empty()) {
+    out.set("inference", inference_times_.to_json());
+  }
+  return out;
+}
+
+}  // namespace ripple::ml

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file inference_server.hpp
+/// The single-threaded inference request pipeline (Ollama role).
+///
+/// The paper states: "Currently, services are single-threaded, and, as
+/// such, they only handle one request at a time, queuing further
+/// incoming requests." InferenceServer implements exactly that queue
+/// (with the worker count as a parameter so the ablation bench can
+/// explore the paper's planned multi-worker future work).
+///
+/// Request life: arrive -> FIFO queue -> parse -> inference -> serialize
+/// -> reply. The Responder's compute stamps bracket only the inference,
+/// so queue + parse + serialize land in the paper's `service` component.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "ripple/common/random.hpp"
+#include "ripple/common/statistics.hpp"
+#include "ripple/ml/model.hpp"
+#include "ripple/msg/rpc.hpp"
+#include "ripple/sim/event_loop.hpp"
+
+namespace ripple::ml {
+
+struct ServerConfig {
+  /// Concurrent requests processed (1 == the paper's current design).
+  std::size_t max_concurrency = 1;
+
+  /// Queue bound; requests beyond it are rejected with an error reply.
+  /// 0 means unbounded (the paper's services queue without bound).
+  std::size_t max_queue = 0;
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(sim::EventLoop& loop, common::Rng rng, ModelSpec model,
+                  ServerConfig config = {});
+
+  /// Accepts an RPC "infer" request (called from the bound method).
+  void handle(std::shared_ptr<msg::Responder> responder);
+
+  /// Requests queued or executing.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return queue_.size() + busy_;
+  }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t busy() const noexcept { return busy_; }
+  [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::size_t peak_queue() const noexcept {
+    return peak_queue_;
+  }
+  [[nodiscard]] const ModelSpec& model() const noexcept { return model_; }
+
+  /// Observed per-request inference durations.
+  [[nodiscard]] const common::Summary& inference_times() const noexcept {
+    return inference_times_;
+  }
+
+  [[nodiscard]] json::Value stats() const;
+
+ private:
+  void pump();
+
+  sim::EventLoop& loop_;
+  common::Rng rng_;
+  ModelSpec model_;
+  ServerConfig config_;
+  std::deque<std::shared_ptr<msg::Responder>> queue_;
+  std::size_t busy_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t peak_queue_ = 0;
+  common::Summary inference_times_;
+};
+
+}  // namespace ripple::ml

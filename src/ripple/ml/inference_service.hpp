@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file inference_service.hpp
+/// The "inference" ServiceProgram: a model behind the service API.
+///
+/// This is the concrete Service Base Class subclass the paper describes
+/// ("a new class, exposing methods for ML model handling via a
+/// general-purpose API"). Configuration keys (ServiceDescription.config):
+///   model            - ModelRegistry name (default "noop")
+///   preloaded        - bool: skip the load phase (remote persistent)
+///   max_concurrency  - int: server worker slots (default 1)
+///   max_queue        - int: queue bound, 0 = unbounded
+///
+/// RPC methods exposed: "infer", "stats" (plus the manager-bound
+/// "health").
+
+#include <memory>
+
+#include "ripple/core/executor.hpp"
+#include "ripple/ml/inference_server.hpp"
+
+namespace ripple::ml {
+
+class InferenceProgram final : public core::ServiceProgram {
+ public:
+  explicit InferenceProgram(const core::ServiceDescription& desc);
+
+  void init(core::ExecutionContext& ctx, DoneFn done, FailFn fail) override;
+  void bind(msg::RpcServer& server) override;
+  [[nodiscard]] std::size_t outstanding() const override;
+  [[nodiscard]] json::Value stats() const override;
+
+  /// The underlying server (valid after init).
+  [[nodiscard]] InferenceServer* server() noexcept { return server_.get(); }
+
+ private:
+  core::ServiceDescription desc_;
+  std::unique_ptr<InferenceServer> server_;
+};
+
+}  // namespace ripple::ml

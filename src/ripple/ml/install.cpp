@@ -1,0 +1,19 @@
+#include "ripple/ml/install.hpp"
+
+#include "ripple/ml/client.hpp"
+#include "ripple/ml/inference_service.hpp"
+
+namespace ripple::ml {
+
+void install(core::Session& session) {
+  session.executor().programs().register_factory(
+      "inference", [](const core::ServiceDescription& desc) {
+        return std::make_unique<InferenceProgram>(desc);
+      });
+  session.executor().payloads().register_factory(
+      "inference_client", [](const core::TaskDescription& desc) {
+        return std::make_unique<InferenceClientPayload>(desc);
+      });
+}
+
+}  // namespace ripple::ml

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file install.hpp
+/// Registers the ML capabilities with a core Session:
+///   * service program "inference"      (InferenceProgram)
+///   * task payload   "inference_client" (InferenceClientPayload)
+///
+/// Keeping registration explicit preserves the layering the paper's
+/// architecture prescribes: the runtime is agnostic to the capabilities
+/// a service exposes; ML is one plug-in family among potentially many.
+
+#include "ripple/core/session.hpp"
+
+namespace ripple::ml {
+
+void install(core::Session& session);
+
+}  // namespace ripple::ml

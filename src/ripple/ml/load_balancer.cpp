@@ -1,0 +1,88 @@
+#include "ripple/ml/load_balancer.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::ml {
+
+LoadBalancer::LoadBalancer(std::vector<std::string> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  ensure(!endpoints_.empty(), Errc::invalid_argument,
+         "load balancer needs at least one endpoint");
+}
+
+RoundRobinBalancer::RoundRobinBalancer(std::vector<std::string> endpoints)
+    : LoadBalancer(std::move(endpoints)) {}
+
+const std::string& RoundRobinBalancer::pick() {
+  const std::string& chosen = endpoints_[next_];
+  next_ = (next_ + 1) % endpoints_.size();
+  return chosen;
+}
+
+RandomBalancer::RandomBalancer(std::vector<std::string> endpoints,
+                               common::Rng rng)
+    : LoadBalancer(std::move(endpoints)), rng_(rng) {}
+
+const std::string& RandomBalancer::pick() {
+  const auto index = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(endpoints_.size()) - 1));
+  return endpoints_[index];
+}
+
+LeastOutstandingBalancer::LeastOutstandingBalancer(
+    std::vector<std::string> endpoints)
+    : LoadBalancer(std::move(endpoints)), in_flight_(endpoints_.size(), 0) {}
+
+const std::string& LeastOutstandingBalancer::pick() {
+  std::size_t best = 0;
+  std::size_t best_load = in_flight_[0];
+  // Rotate the starting index so equal-load endpoints share work.
+  for (std::size_t step = 0; step < endpoints_.size(); ++step) {
+    const std::size_t i = (tie_break_ + step) % endpoints_.size();
+    if (step == 0 || in_flight_[i] < best_load) {
+      best = i;
+      best_load = in_flight_[i];
+    }
+  }
+  tie_break_ = (tie_break_ + 1) % endpoints_.size();
+  ++in_flight_[best];
+  return endpoints_[best];
+}
+
+void LeastOutstandingBalancer::on_complete(const std::string& endpoint) {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i] == endpoint) {
+      if (in_flight_[i] > 0) --in_flight_[i];
+      return;
+    }
+  }
+}
+
+std::size_t LeastOutstandingBalancer::outstanding(
+    const std::string& endpoint) const {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i] == endpoint) return in_flight_[i];
+  }
+  return 0;
+}
+
+std::unique_ptr<LoadBalancer> make_balancer(const std::string& policy,
+                                            std::vector<std::string> endpoints,
+                                            common::Rng rng) {
+  if (policy == "round_robin") {
+    return std::make_unique<RoundRobinBalancer>(std::move(endpoints));
+  }
+  if (policy == "random") {
+    return std::make_unique<RandomBalancer>(std::move(endpoints), rng);
+  }
+  if (policy == "least_outstanding") {
+    return std::make_unique<LeastOutstandingBalancer>(std::move(endpoints));
+  }
+  raise(Errc::not_found,
+        strutil::cat("unknown load-balancing policy '", policy, "'"));
+}
+
+}  // namespace ripple::ml

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file load_balancer.hpp
+/// Client-side load balancing across service endpoints.
+///
+/// The paper uses "only a rudimentary load balancing" and lists dynamic
+/// rerouting to less-used instances as future work; this module provides
+/// both the rudimentary (round-robin, random) and the improved
+/// (least-outstanding) policies so the ablation bench can quantify the
+/// difference.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ripple/common/random.hpp"
+
+namespace ripple::ml {
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  /// Picks the endpoint for the next request.
+  [[nodiscard]] virtual const std::string& pick() = 0;
+
+  /// Signals that a request to `endpoint` completed (policies that track
+  /// in-flight counts use this; others ignore it).
+  virtual void on_complete(const std::string& endpoint) { (void)endpoint; }
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  [[nodiscard]] const std::vector<std::string>& endpoints() const noexcept {
+    return endpoints_;
+  }
+
+ protected:
+  explicit LoadBalancer(std::vector<std::string> endpoints);
+  std::vector<std::string> endpoints_;
+};
+
+/// Cycles through endpoints in order (the paper's rudimentary policy).
+class RoundRobinBalancer final : public LoadBalancer {
+ public:
+  explicit RoundRobinBalancer(std::vector<std::string> endpoints);
+  [[nodiscard]] const std::string& pick() override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "round_robin";
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Uniform random endpoint choice.
+class RandomBalancer final : public LoadBalancer {
+ public:
+  RandomBalancer(std::vector<std::string> endpoints, common::Rng rng);
+  [[nodiscard]] const std::string& pick() override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "random";
+  }
+
+ private:
+  common::Rng rng_;
+};
+
+/// Chooses the endpoint with the fewest requests in flight (ties break
+/// round-robin). The paper's planned "dynamically rerouting requests to
+/// less used service instances".
+class LeastOutstandingBalancer final : public LoadBalancer {
+ public:
+  explicit LeastOutstandingBalancer(std::vector<std::string> endpoints);
+  [[nodiscard]] const std::string& pick() override;
+  void on_complete(const std::string& endpoint) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "least_outstanding";
+  }
+  [[nodiscard]] std::size_t outstanding(const std::string& endpoint) const;
+
+ private:
+  std::vector<std::size_t> in_flight_;
+  std::size_t tie_break_ = 0;
+};
+
+/// Factory: "round_robin" | "random" | "least_outstanding".
+[[nodiscard]] std::unique_ptr<LoadBalancer> make_balancer(
+    const std::string& policy, std::vector<std::string> endpoints,
+    common::Rng rng);
+
+}  // namespace ripple::ml

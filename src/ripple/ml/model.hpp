@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file model.hpp
+/// ML model cost specifications (the Ollama/llama-8b substitution).
+///
+/// The paper deliberately treats models as opaque capabilities behind a
+/// service API; what the runtime observes is (a) how long a model takes
+/// to load (Fig. 3 `init`), (b) how long a request takes to parse
+/// (part of the `service` component) and (c) how long inference takes
+/// (Fig. 6 `inference`). ModelSpec captures those three cost models;
+/// the built-in registry provides `noop` (Experiment 2) and `llama-8b`
+/// (Experiments 1 and 3) plus a few plausible alternatives used by the
+/// use-case examples.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ripple/common/random.hpp"
+#include "ripple/sim/event_loop.hpp"
+
+namespace ripple::ml {
+
+struct ModelSpec {
+  std::string name = "noop";
+  double params_b = 0.0;   ///< parameter count, billions
+  double mem_gb = 0.0;     ///< GPU memory footprint
+
+  /// Load + initialization time (cold start).
+  common::Distribution init = common::Distribution::constant(0.0);
+
+  /// Request deserialization/parse cost (service-side).
+  common::Distribution parse = common::Distribution::constant(20e-6);
+
+  /// Reply serialization cost (service-side).
+  common::Distribution serialize = common::Distribution::constant(10e-6);
+
+  /// Generated tokens per request (LLM-style generation).
+  common::Distribution tokens_out = common::Distribution::constant(0.0);
+
+  /// Seconds per generated token.
+  double per_token_s = 0.0;
+
+  /// Fixed floor per inference (kernel launch, pre/post processing).
+  double inference_floor_s = 0.0;
+
+  /// Samples one inference duration.
+  [[nodiscard]] sim::Duration sample_inference(common::Rng& rng) const;
+
+  /// Samples a model load duration under `concurrent_loads` concurrent
+  /// loaders on a shared filesystem (coeff/threshold from the platform
+  /// profile; see ServiceManager::contention_config).
+  [[nodiscard]] sim::Duration sample_init(common::Rng& rng,
+                                          std::size_t concurrent_loads,
+                                          double fs_coeff,
+                                          std::size_t fs_threshold) const;
+
+  /// Mean inference duration (analytic).
+  [[nodiscard]] double mean_inference() const;
+};
+
+/// Name -> ModelSpec registry with the built-ins pre-registered:
+/// "noop", "llama-8b", "llama-70b", "mistral-7b", "vit-base".
+class ModelRegistry {
+ public:
+  ModelRegistry();
+
+  void add(ModelSpec spec);
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const ModelSpec& get(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Process-wide registry instance.
+  static ModelRegistry& global();
+
+ private:
+  std::vector<ModelSpec> specs_;
+};
+
+/// Built-in spec constructors (also reachable via the registry).
+[[nodiscard]] ModelSpec noop_model();
+[[nodiscard]] ModelSpec llama_8b_model();
+[[nodiscard]] ModelSpec llama_70b_model();
+[[nodiscard]] ModelSpec mistral_7b_model();
+[[nodiscard]] ModelSpec vit_base_model();
+
+}  // namespace ripple::ml

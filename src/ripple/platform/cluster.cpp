@@ -1,0 +1,100 @@
+#include "ripple/platform/cluster.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::platform {
+
+Cluster::Cluster(sim::EventLoop& loop, sim::Network& network,
+                 PlatformProfile profile, common::Rng rng)
+    : profile_(std::move(profile)),
+      launcher_(loop, rng.fork("launcher"), profile_.launch) {
+  ensure(profile_.max_nodes > 0, Errc::invalid_argument,
+         "cluster needs at least one node");
+  nodes_.reserve(profile_.max_nodes);
+  reserved_.resize(profile_.max_nodes, false);
+  for (std::size_t i = 0; i < profile_.max_nodes; ++i) {
+    const std::string node_id =
+        strutil::cat(profile_.name, ":node", strutil::zero_pad(i, 4));
+    network.register_host(node_id, profile_.name);
+    nodes_.push_back(std::make_unique<Node>(node_id, profile_.node, node_id));
+  }
+  head_host_ = strutil::cat(profile_.name, ":head");
+  network.register_host(head_host_, profile_.name);
+  // Intra-zone link (inter-node); also covers head <-> node traffic.
+  network.set_link(profile_.name, profile_.name,
+                   sim::LinkModel{profile_.internode_latency,
+                                  profile_.internode_bandwidth_bytes_per_s});
+  // Node-local messaging still crosses the TCP/ZeroMQ stack: charge a
+  // slightly discounted inter-node latency instead of a free loopback.
+  network.set_zone_loopback(
+      profile_.name,
+      sim::LinkModel{profile_.internode_latency.scaled(0.8),
+                     profile_.internode_bandwidth_bytes_per_s});
+}
+
+std::size_t Cluster::free_node_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(reserved_.begin(), reserved_.end(), false));
+}
+
+std::vector<Node*> Cluster::reserve_nodes(std::size_t count) {
+  ensure(count > 0, Errc::invalid_argument, "reserve_nodes: zero nodes");
+  ensure(count <= free_node_count(), Errc::capacity,
+         strutil::cat("cluster ", profile_.name, ": requested ", count,
+                      " nodes, only ", free_node_count(), " free"));
+  std::vector<Node*> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < nodes_.size() && out.size() < count; ++i) {
+    if (!reserved_[i]) {
+      reserved_[i] = true;
+      out.push_back(nodes_[i].get());
+    }
+  }
+  return out;
+}
+
+void Cluster::release_nodes(const std::vector<Node*>& nodes) {
+  for (const Node* node : nodes) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].get() == node) {
+        reserved_[i] = false;
+        break;
+      }
+    }
+  }
+}
+
+Node& Cluster::node(std::size_t index) {
+  ensure(index < nodes_.size(), Errc::invalid_argument,
+         strutil::cat("node index ", index, " out of range"));
+  return *nodes_[index];
+}
+
+Node* Cluster::find_node(const std::string& node_id) {
+  for (auto& node : nodes_) {
+    if (node->id() == node_id) return node.get();
+  }
+  return nullptr;
+}
+
+void connect_clusters(sim::Network& network,
+                      const std::vector<Cluster*>& clusters) {
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+      const auto& a = clusters[i]->profile();
+      const auto& b = clusters[j]->profile();
+      // Conservative WAN model: the slower of the two profiles governs.
+      const common::Distribution latency =
+          a.wan_latency.mean() >= b.wan_latency.mean() ? a.wan_latency
+                                                       : b.wan_latency;
+      const double bandwidth = std::min(a.wan_bandwidth_bytes_per_s,
+                                        b.wan_bandwidth_bytes_per_s);
+      network.set_link(a.name, b.name, sim::LinkModel{latency, bandwidth});
+    }
+  }
+}
+
+}  // namespace ripple::platform

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file cluster.hpp
+/// A platform instance: named nodes registered on the network, node
+/// reservation for pilots, and the platform's Launcher.
+///
+/// One Cluster is created per PlatformProfile added to a Session. Its
+/// zone name equals the profile name; links to other clusters use the
+/// profiles' WAN models unless explicitly overridden.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ripple/common/random.hpp"
+#include "ripple/platform/launcher.hpp"
+#include "ripple/platform/node.hpp"
+#include "ripple/platform/profiles.hpp"
+#include "ripple/sim/network.hpp"
+
+namespace ripple::platform {
+
+class Cluster {
+ public:
+  Cluster(sim::EventLoop& loop, sim::Network& network,
+          PlatformProfile profile, common::Rng rng);
+
+  [[nodiscard]] const std::string& name() const noexcept {
+    return profile_.name;
+  }
+  [[nodiscard]] const PlatformProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t free_node_count() const noexcept;
+
+  /// Reserves `count` whole nodes for a pilot; throws Errc::capacity when
+  /// not enough free nodes exist.
+  [[nodiscard]] std::vector<Node*> reserve_nodes(std::size_t count);
+
+  /// Returns nodes reserved by reserve_nodes.
+  void release_nodes(const std::vector<Node*>& nodes);
+
+  [[nodiscard]] Node& node(std::size_t index);
+  [[nodiscard]] Node* find_node(const std::string& node_id);
+
+  [[nodiscard]] Launcher& launcher() noexcept { return launcher_; }
+
+  /// The host id of this cluster's head/login node (used for manager
+  /// endpoints and remote service fronts).
+  [[nodiscard]] const sim::HostId& head_host() const noexcept {
+    return head_host_;
+  }
+
+ private:
+  PlatformProfile profile_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> reserved_;
+  Launcher launcher_;
+  sim::HostId head_host_;
+};
+
+/// Wires the network links for a set of clusters: intra-zone links from
+/// each profile's internode model, inter-zone links from the max of the
+/// two profiles' WAN latencies (conservative) and min bandwidth.
+void connect_clusters(sim::Network& network,
+                      const std::vector<Cluster*>& clusters);
+
+}  // namespace ripple::platform

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file launcher.hpp
+/// Process launch-time models (FORK / SSH / MPIEXEC / PRRTE).
+///
+/// Experiment 1 of the paper observes that service launch time is nearly
+/// constant up to ~160 concurrent instances and then grows, attributed
+/// to MPI startup. LaunchModel captures exactly that: a base duration
+/// distribution plus a contention term that activates above a
+/// concurrency threshold. Launcher tracks in-flight launches so the
+/// contention term sees the actual concurrency.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ripple/common/random.hpp"
+#include "ripple/sim/event_loop.hpp"
+
+namespace ripple::platform {
+
+enum class LaunchMethod { fork, ssh, mpiexec, prrte };
+
+[[nodiscard]] const char* to_string(LaunchMethod method) noexcept;
+[[nodiscard]] LaunchMethod launch_method_from_string(const std::string& name);
+
+/// Parameterized launch-duration model.
+struct LaunchModel {
+  LaunchMethod method = LaunchMethod::fork;
+  common::Distribution base = common::Distribution::constant(0.1);
+
+  /// Concurrency above which system-level startup overhead appears.
+  std::size_t contention_threshold = 160;
+
+  /// Seconds of extra launch time per concurrent launch beyond the
+  /// threshold, applied as coeff * (concurrency - threshold)^exponent.
+  double contention_coeff = 0.0;
+  double contention_exponent = 1.0;
+
+  /// Samples a launch duration at the given concurrency level.
+  [[nodiscard]] sim::Duration sample(common::Rng& rng,
+                                     std::size_t concurrency) const;
+
+  /// Mean duration at a concurrency level (for capacity planning).
+  [[nodiscard]] double mean(std::size_t concurrency) const;
+};
+
+/// Asynchronous launcher: counts in-flight launches and completes each
+/// one after a sampled duration.
+class Launcher {
+ public:
+  using Callback = std::function<void(sim::Duration actual)>;
+
+  Launcher(sim::EventLoop& loop, common::Rng rng, LaunchModel model);
+
+  /// Begins a launch; `done(duration)` fires when the process is up.
+  /// The effective concurrency is max(in-flight launches,
+  /// `concurrency_hint`); the hint lets a caller report the size of a
+  /// submission wave before all of its launches have started.
+  void launch(Callback done, std::size_t concurrency_hint = 0);
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] const LaunchModel& model() const noexcept { return model_; }
+
+ private:
+  sim::EventLoop& loop_;
+  common::Rng rng_;
+  LaunchModel model_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ripple::platform

@@ -1,0 +1,53 @@
+#include "ripple/platform/node.hpp"
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::platform {
+
+json::Value NodeSpec::to_json() const {
+  json::Value out = json::Value::object();
+  out.set("cores", cores);
+  out.set("gpus", gpus);
+  out.set("mem_gb", mem_gb);
+  return out;
+}
+
+Node::Node(std::string id, NodeSpec spec, sim::HostId host)
+    : id_(std::move(id)),
+      spec_(spec),
+      host_(std::move(host)),
+      free_cores_(spec.cores),
+      free_gpus_(spec.gpus),
+      free_mem_gb_(spec.mem_gb) {}
+
+bool Node::can_fit(std::size_t cores, std::size_t gpus,
+                   double mem_gb) const noexcept {
+  return cores <= free_cores_ && gpus <= free_gpus_ && mem_gb <= free_mem_gb_;
+}
+
+Slot Node::allocate(std::size_t cores, std::size_t gpus, double mem_gb) {
+  ensure(can_fit(cores, gpus, mem_gb), Errc::invalid_state,
+         strutil::cat("node ", id_, ": allocation (", cores, "c/", gpus,
+                      "g/", mem_gb, "GB) does not fit (free ", free_cores_,
+                      "c/", free_gpus_, "g/", free_mem_gb_, "GB)"));
+  free_cores_ -= cores;
+  free_gpus_ -= gpus;
+  free_mem_gb_ -= mem_gb;
+  return Slot{id_, cores, gpus, mem_gb};
+}
+
+void Node::release(const Slot& slot) {
+  ensure(slot.node_id == id_, Errc::invalid_argument,
+         strutil::cat("slot for node ", slot.node_id, " released on node ",
+                      id_));
+  ensure(free_cores_ + slot.cores <= spec_.cores &&
+             free_gpus_ + slot.gpus <= spec_.gpus,
+         Errc::invalid_state,
+         strutil::cat("double release on node ", id_));
+  free_cores_ += slot.cores;
+  free_gpus_ += slot.gpus;
+  free_mem_gb_ += slot.mem_gb;
+}
+
+}  // namespace ripple::platform

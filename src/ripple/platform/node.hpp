@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file node.hpp
+/// Compute node model: core/GPU/memory slot bookkeeping.
+///
+/// Tasks and services are placed onto single nodes (the RADICAL-Pilot
+/// agent-scheduler granularity this paper uses: "self-contained processes
+/// placed on specific HPC nodes"). A Node tracks free capacity; the
+/// scheduler does first-fit across a pilot's nodes.
+
+#include <cstddef>
+#include <string>
+
+#include "ripple/common/json.hpp"
+#include "ripple/sim/network.hpp"
+
+namespace ripple::platform {
+
+/// Static node shape.
+struct NodeSpec {
+  std::size_t cores = 64;
+  std::size_t gpus = 8;
+  double mem_gb = 512.0;
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// A placement on a node: the unit the scheduler grants and the executor
+/// releases.
+struct Slot {
+  std::string node_id;
+  std::size_t cores = 0;
+  std::size_t gpus = 0;
+  double mem_gb = 0.0;
+
+  [[nodiscard]] bool valid() const noexcept { return !node_id.empty(); }
+};
+
+class Node {
+ public:
+  Node(std::string id, NodeSpec spec, sim::HostId host);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const sim::HostId& host() const noexcept { return host_; }
+  [[nodiscard]] const NodeSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] std::size_t free_cores() const noexcept { return free_cores_; }
+  [[nodiscard]] std::size_t free_gpus() const noexcept { return free_gpus_; }
+  [[nodiscard]] double free_mem_gb() const noexcept { return free_mem_gb_; }
+
+  /// True when a request of this shape fits right now.
+  [[nodiscard]] bool can_fit(std::size_t cores, std::size_t gpus,
+                             double mem_gb) const noexcept;
+
+  /// Claims capacity; throws invalid_state if it does not fit.
+  [[nodiscard]] Slot allocate(std::size_t cores, std::size_t gpus,
+                              double mem_gb);
+
+  /// Returns a slot's capacity; throws invalid_state on double release.
+  void release(const Slot& slot);
+
+ private:
+  std::string id_;
+  NodeSpec spec_;
+  sim::HostId host_;
+  std::size_t free_cores_;
+  std::size_t free_gpus_;
+  double free_mem_gb_;
+};
+
+}  // namespace ripple::platform

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file profiles.hpp
+/// Calibrated platform profiles: OLCF Frontier, NCSA Delta, R3 cloud.
+///
+/// The calibration constants come from the paper's own measurements
+/// (section IV): Delta inter-node latency 0.063 +/- 0.014 ms, Delta<->R3
+/// 0.47 +/- 0.04 ms, launch overhead flat to 160 concurrent instances,
+/// llama-8b model init dominating bootstrap time. Absolute values are
+/// approximations; the benches validate *shape* (who dominates, where
+/// the elbow falls), not testbed-exact numbers.
+
+#include <cstddef>
+#include <string>
+
+#include "ripple/common/json.hpp"
+#include "ripple/common/random.hpp"
+#include "ripple/platform/launcher.hpp"
+#include "ripple/platform/node.hpp"
+
+namespace ripple::platform {
+
+struct PlatformProfile {
+  std::string name;          ///< also the network zone name
+  NodeSpec node;
+  std::size_t max_nodes = 1;
+
+  /// Intra-platform inter-node one-way latency.
+  common::Distribution internode_latency =
+      common::Distribution::constant(100e-6);
+  double internode_bandwidth_bytes_per_s = 12.5e9;  ///< 100 Gb/s default
+
+  LaunchModel launch;
+
+  /// Endpoint-publication overhead beyond the registry round-trip
+  /// (ZeroMQ socket setup, registry persistence, ...). Fig. 3 "publish".
+  common::Distribution endpoint_publish =
+      common::Distribution::lognormal(0.15, 0.25, 1e-3);
+
+  /// Shared-filesystem contention: model-load time is multiplied by
+  /// (1 + fs_contention_coeff * max(0, loaders - fs_contention_threshold)).
+  double fs_contention_coeff = 0.0;
+  std::size_t fs_contention_threshold = 64;
+
+  /// Wide-area latency used for links from this platform to others when
+  /// no explicit pair link is configured.
+  common::Distribution wan_latency =
+      common::Distribution::normal(0.47e-3, 0.04e-3, 1e-6);
+  double wan_bandwidth_bytes_per_s = 1.25e9;  ///< 10 Gb/s default
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// OLCF Frontier: 8 GPUs (MI250X GCDs) and 64 cores per node. Used by
+/// Experiment 1 at up to 640 one-GPU service instances (80 nodes).
+[[nodiscard]] PlatformProfile frontier_profile(std::size_t nodes = 80);
+
+/// NCSA Delta: 4-way A100 nodes, 64 cores. Experiments 2-3 use a
+/// 256-core / 16-GPU pilot (4 nodes).
+[[nodiscard]] PlatformProfile delta_profile(std::size_t nodes = 4);
+
+/// R3: a cloud host exposing persistent ML services over REST/ZeroMQ.
+[[nodiscard]] PlatformProfile r3_profile(std::size_t nodes = 2);
+
+/// Looks up a built-in profile by name ("frontier", "delta", "r3").
+[[nodiscard]] PlatformProfile profile_by_name(const std::string& name,
+                                              std::size_t nodes = 0);
+
+}  // namespace ripple::platform

@@ -1,0 +1,76 @@
+#include "ripple/sim/event_loop.hpp"
+
+#include <limits>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::sim {
+
+EventLoop::TimerHandle EventLoop::call_at(SimTime when, Callback callback) {
+  ensure(static_cast<bool>(callback), Errc::invalid_argument,
+         "call_at: empty callback");
+  ensure(when >= now_, Errc::invalid_argument,
+         strutil::cat("call_at: time ", when, " is in the past (now=", now_,
+                      ")"));
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{when, next_sequence_++, id, std::move(callback)});
+  return TimerHandle{id};
+}
+
+EventLoop::TimerHandle EventLoop::call_after(Duration delay,
+                                             Callback callback) {
+  ensure(delay >= 0.0, Errc::invalid_argument,
+         strutil::cat("call_after: negative delay ", delay));
+  return call_at(now_ + delay, std::move(callback));
+}
+
+bool EventLoop::cancel(TimerHandle handle) {
+  if (!handle.valid()) return false;
+  // Events stay in the heap; execution skips cancelled ids. The id is
+  // only valid once, so remembering it until pop is safe.
+  if (handle.id >= next_id_) return false;
+  return cancelled_.insert(handle.id).second;
+}
+
+bool EventLoop::step(SimTime deadline) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > deadline) return false;
+    // Move the callback out before popping so re-entrant scheduling from
+    // inside the callback sees a consistent heap.
+    Event event = std::move(const_cast<Event&>(top));
+    heap_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!stopped_ && step(deadline)) ++count;
+  if (deadline != std::numeric_limits<SimTime>::infinity() &&
+      deadline > now_ && !stopped_) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+std::size_t EventLoop::run_for(Duration duration) {
+  ensure(duration >= 0.0, Errc::invalid_argument,
+         "run_for: negative duration");
+  return run_until(now_ + duration);
+}
+
+}  // namespace ripple::sim

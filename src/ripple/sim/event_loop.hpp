@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file event_loop.hpp
+/// The deterministic discrete-event engine that drives every Ripple run.
+///
+/// All runtime components (scheduler, executor, managers, services,
+/// clients) are actors that post timestamped callbacks here. Events at
+/// equal times fire in posting order (a monotonically increasing sequence
+/// number breaks ties), which makes every simulation bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ripple::sim {
+
+/// Simulation time in seconds since the start of the run.
+using SimTime = double;
+
+/// A duration in seconds.
+using Duration = double;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Identifies a scheduled event so it can be cancelled.
+  struct TimerHandle {
+    std::uint64_t id = 0;
+    [[nodiscard]] bool valid() const noexcept { return id != 0; }
+  };
+
+  /// Current simulation time. Starts at 0.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `callback` at absolute time `when` (>= now).
+  TimerHandle call_at(SimTime when, Callback callback);
+
+  /// Schedules `callback` after `delay` seconds (>= 0).
+  TimerHandle call_after(Duration delay, Callback callback);
+
+  /// Schedules `callback` to run at the current time, after already
+  /// pending same-time events ("post to the back of the now-queue").
+  TimerHandle post(Callback callback) { return call_after(0.0, callback); }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// already cancelled.
+  bool cancel(TimerHandle handle);
+
+  /// Runs until the queue is empty. Returns events processed.
+  std::size_t run();
+
+  /// Runs while events exist with time <= `deadline`; afterwards, now()
+  /// is max(now, deadline). Returns events processed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + duration).
+  std::size_t run_for(Duration duration);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Clears the stop flag so the loop can be resumed.
+  void reset_stop() noexcept { stopped_ = false; }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;
+    std::uint64_t id;
+    Callback callback;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops and runs the next live event; returns false when exhausted or
+  /// when the next event lies beyond `deadline`.
+  bool step(SimTime deadline);
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ripple::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file resource.hpp
+/// A capacity-limited resource with a FIFO grant queue.
+///
+/// SlotPool models anything with finite concurrent capacity: GPU slots on
+/// a node, the single-threaded request slot of an Ollama-style service,
+/// or a bandwidth-limited staging channel. Waiters are granted strictly
+/// in FIFO order; the pool records wait times and a utilization integral
+/// so benches can report queueing behaviour (paper Fig. 6, strong
+/// scaling: "the service queues client requests").
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "ripple/common/statistics.hpp"
+#include "ripple/sim/event_loop.hpp"
+
+namespace ripple::sim {
+
+class SlotPool {
+ public:
+  /// A held grant; release through SlotPool::release.
+  struct Grant {
+    std::uint64_t id = 0;
+    std::size_t slots = 0;
+    [[nodiscard]] bool valid() const noexcept { return id != 0; }
+  };
+
+  using GrantCallback = std::function<void(Grant)>;
+
+  SlotPool(EventLoop& loop, std::string name, std::size_t capacity);
+
+  /// Requests `slots` units; `callback` fires (via the event loop) as
+  /// soon as they are available, preserving FIFO order among waiters.
+  /// Throws Errc::capacity when `slots` exceeds total capacity.
+  void acquire(std::size_t slots, GrantCallback callback);
+
+  /// Returns a grant's slots to the pool and wakes eligible waiters.
+  void release(Grant grant);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t available() const noexcept {
+    return capacity_ - in_use_;
+  }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return waiters_.size();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Wait-time distribution of all grants made so far (seconds).
+  [[nodiscard]] const common::Summary& wait_times() const noexcept {
+    return wait_times_;
+  }
+
+  /// Time-weighted mean utilization in [0, 1] since construction.
+  [[nodiscard]] double mean_utilization() const;
+
+ private:
+  struct Waiter {
+    std::size_t slots;
+    SimTime enqueued_at;
+    GrantCallback callback;
+  };
+
+  void grant_waiters();
+  void account_utilization();
+
+  EventLoop& loop_;
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<Waiter> waiters_;
+  std::uint64_t next_grant_id_ = 1;
+  common::Summary wait_times_;
+
+  // Utilization integral: sum of (busy slots x elapsed time).
+  double busy_integral_ = 0.0;
+  SimTime last_change_ = 0.0;
+};
+
+}  // namespace ripple::sim

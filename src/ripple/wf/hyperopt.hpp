@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file hyperopt.hpp
+/// Hyperparameter optimization (Optuna stand-in, use case II-A).
+///
+/// The Cell Painting pipeline drives training through "multiple training
+/// iterations, exploring various hyperparameter configurations". This
+/// module provides the two strategies the example and benches use:
+/// random search and successive halving (ASHA-style rungs without the
+/// asynchrony). Objectives are minimized.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ripple/common/json.hpp"
+#include "ripple/common/random.hpp"
+
+namespace ripple::wf {
+
+/// One tunable parameter.
+struct ParamSpec {
+  enum class Kind { real, log_real, integer, categorical };
+
+  std::string name;
+  Kind kind = Kind::real;
+  double lo = 0.0;  ///< real/log_real/integer lower bound
+  double hi = 1.0;  ///< upper bound (inclusive for integer)
+  std::vector<std::string> choices;  ///< categorical values
+
+  [[nodiscard]] static ParamSpec real(std::string name, double lo, double hi);
+  [[nodiscard]] static ParamSpec log_real(std::string name, double lo,
+                                          double hi);
+  [[nodiscard]] static ParamSpec integer(std::string name, std::int64_t lo,
+                                         std::int64_t hi);
+  [[nodiscard]] static ParamSpec categorical(std::string name,
+                                             std::vector<std::string> choices);
+
+  /// Samples a value as a JSON scalar.
+  [[nodiscard]] json::Value sample(common::Rng& rng) const;
+};
+
+struct Trial {
+  std::size_t id = 0;
+  json::Value params;  ///< object: name -> value
+  double value = std::numeric_limits<double>::quiet_NaN();
+  bool completed = false;
+  bool pruned = false;
+  std::size_t rung = 0;  ///< successive-halving rung that produced it
+};
+
+/// Uniform random search over the space.
+class RandomSearch {
+ public:
+  RandomSearch(std::vector<ParamSpec> space, common::Rng rng);
+
+  /// Draws the next trial (unlimited supply).
+  [[nodiscard]] Trial suggest();
+
+  /// Records a finished trial's objective value.
+  void report(std::size_t trial_id, double value);
+
+  [[nodiscard]] const std::vector<Trial>& trials() const noexcept {
+    return trials_;
+  }
+
+  /// Best completed trial; throws when none completed.
+  [[nodiscard]] const Trial& best() const;
+
+  [[nodiscard]] std::size_t completed() const noexcept;
+
+ private:
+  std::vector<ParamSpec> space_;
+  common::Rng rng_;
+  std::vector<Trial> trials_;
+};
+
+/// Successive halving: `initial` configs at rung 0; after each rung the
+/// best 1/eta fraction is promoted until one (or few) survive. Promoted
+/// trials keep their params but receive new trial ids and higher rungs
+/// (callers typically scale training budget with the rung).
+class SuccessiveHalving {
+ public:
+  SuccessiveHalving(std::vector<ParamSpec> space, common::Rng rng,
+                    std::size_t initial, std::size_t eta = 2);
+
+  /// The trials of the current rung that still need results.
+  [[nodiscard]] std::vector<Trial> pending() const;
+
+  void report(std::size_t trial_id, double value);
+
+  /// True when the current rung is fully reported.
+  [[nodiscard]] bool rung_complete() const;
+
+  /// Promotes the best 1/eta to the next rung. Returns the number of
+  /// promoted trials; 0 means the search is finished.
+  std::size_t advance_rung();
+
+  [[nodiscard]] std::size_t current_rung() const noexcept { return rung_; }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] const Trial& best() const;
+  [[nodiscard]] const std::vector<Trial>& all_trials() const noexcept {
+    return history_;
+  }
+
+ private:
+  std::vector<ParamSpec> space_;
+  common::Rng rng_;
+  std::size_t eta_;
+  std::size_t rung_ = 0;
+  std::size_t next_id_ = 0;
+  bool finished_ = false;
+  std::vector<Trial> current_;
+  std::vector<Trial> history_;
+};
+
+}  // namespace ripple::wf

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// Pipeline/Stage workflow structures (EnTK role).
+///
+/// A Pipeline is an ordered list of Stages; each Stage bundles the
+/// services it needs (started first, per the paper's readiness
+/// relations) and the tasks that do the work. Asynchronous stage
+/// coupling — "data preparation and model training operate
+/// asynchronously" (use case II-A) — is expressed with
+/// `unblock_next_after`: the next stage may start once that many of
+/// this stage's tasks are DONE, instead of waiting for all of them.
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ripple/core/descriptions.hpp"
+
+namespace ripple::wf {
+
+struct Stage {
+  std::string name = "stage";
+
+  /// Services started (and readiness-awaited) before this stage's tasks.
+  std::vector<core::ServiceDescription> services;
+
+  /// The stage's compute tasks.
+  std::vector<core::TaskDescription> tasks;
+
+  /// Number of DONE tasks after which the *next* stage may begin.
+  /// Default: all tasks (strictly sequential stages).
+  std::size_t unblock_next_after = std::numeric_limits<std::size_t>::max();
+
+  /// Stop this stage's services once the stage completes (dynamic
+  /// resource release, paper section II-A).
+  bool stop_services_after = false;
+
+  [[nodiscard]] std::size_t unblock_threshold() const noexcept {
+    return std::min(unblock_next_after, tasks.size());
+  }
+};
+
+struct Pipeline {
+  std::string name = "pipeline";
+  std::vector<Stage> stages;
+};
+
+/// Outcome of a pipeline run, reported to the completion callback and
+/// queryable from the WorkflowManager afterwards.
+struct PipelineResult {
+  std::string pipeline;
+  bool ok = false;
+  double makespan = 0.0;  ///< first submission to last completion
+  std::vector<double> stage_durations;
+  std::vector<std::string> stage_names;
+  std::size_t tasks_done = 0;
+  std::size_t tasks_failed = 0;
+};
+
+}  // namespace ripple::wf

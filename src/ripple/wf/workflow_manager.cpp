@@ -1,0 +1,180 @@
+#include "ripple/wf/workflow_manager.hpp"
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::wf {
+
+WorkflowManager::WorkflowManager(core::Session& session)
+    : session_(session),
+      log_(session.runtime().make_logger("workflow_manager")) {}
+
+void WorkflowManager::run_pipeline(
+    Pipeline pipeline, core::Pilot& pilot,
+    std::function<void(const PipelineResult&)> on_done) {
+  ensure(!pipeline.stages.empty(), Errc::invalid_argument,
+         strutil::cat("pipeline '", pipeline.name, "' has no stages"));
+  ensure(static_cast<bool>(on_done), Errc::invalid_argument,
+         "run_pipeline: empty callback");
+
+  auto run = std::make_shared<PipelineRun>();
+  run->name = pipeline.name;
+  run->pilot = &pilot;
+  run->on_done = std::move(on_done);
+  run->started_at = session_.now();
+  run->stages.reserve(pipeline.stages.size());
+  for (auto& stage : pipeline.stages) {
+    StageRun stage_run;
+    stage_run.stage = std::move(stage);
+    run->stages.push_back(std::move(stage_run));
+  }
+  log_.info(strutil::cat("pipeline '", run->name, "' started (",
+                         run->stages.size(), " stages)"));
+  start_stage(run, 0);
+}
+
+void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
+                                  std::size_t index) {
+  if (index >= run->stages.size()) return;
+  StageRun& stage_run = run->stages[index];
+  stage_run.started_at = session_.now();
+  log_.info(strutil::cat("pipeline '", run->name, "': stage '",
+                         stage_run.stage.name, "' starting"));
+
+  if (stage_run.stage.services.empty()) {
+    launch_stage_tasks(run, index);
+    return;
+  }
+  for (const auto& desc : stage_run.stage.services) {
+    stage_run.service_uids.push_back(
+        session_.services().submit(*run->pilot, desc));
+  }
+  session_.services().when_ready(
+      stage_run.service_uids, [this, run, index](bool ok) {
+        if (!ok) {
+          run->failed = true;
+          log_.error(strutil::cat("pipeline '", run->name,
+                                  "': stage services failed"));
+          complete_stage(run, index);
+          return;
+        }
+        launch_stage_tasks(run, index);
+      });
+}
+
+void WorkflowManager::launch_stage_tasks(
+    const std::shared_ptr<PipelineRun>& run, std::size_t index) {
+  StageRun& stage_run = run->stages[index];
+  if (stage_run.stage.tasks.empty()) {
+    complete_stage(run, index);
+    return;
+  }
+  for (auto desc : stage_run.stage.tasks) {
+    // Stage tasks implicitly require the stage's services.
+    for (const auto& svc : stage_run.service_uids) {
+      desc.requires_services.push_back(svc);
+    }
+    const std::string uid = session_.tasks().submit(*run->pilot, desc);
+    stage_run.task_uids.push_back(uid);
+    session_.tasks().when_done({uid}, [this, run, index](bool ok) {
+      on_task_terminal(run, index, ok);
+    });
+  }
+}
+
+void WorkflowManager::on_task_terminal(
+    const std::shared_ptr<PipelineRun>& run, std::size_t index, bool ok) {
+  StageRun& stage_run = run->stages[index];
+  if (ok) {
+    ++stage_run.tasks_done;
+  } else {
+    ++stage_run.tasks_failed;
+    run->failed = true;
+  }
+  maybe_release_next(run, index);
+  const std::size_t terminal = stage_run.tasks_done + stage_run.tasks_failed;
+  if (terminal == stage_run.task_uids.size()) complete_stage(run, index);
+}
+
+void WorkflowManager::maybe_release_next(
+    const std::shared_ptr<PipelineRun>& run, std::size_t index) {
+  StageRun& stage_run = run->stages[index];
+  if (stage_run.next_released || run->failed) return;
+  if (stage_run.tasks_done < stage_run.stage.unblock_threshold()) return;
+  stage_run.next_released = true;
+  if (index + 1 < run->stages.size()) {
+    log_.info(strutil::cat("pipeline '", run->name, "': stage '",
+                           stage_run.stage.name, "' reached threshold, ",
+                           "releasing next stage asynchronously"));
+    start_stage(run, index + 1);
+  }
+}
+
+void WorkflowManager::complete_stage(const std::shared_ptr<PipelineRun>& run,
+                                     std::size_t index) {
+  StageRun& stage_run = run->stages[index];
+  if (stage_run.completed) return;
+  stage_run.completed = true;
+  stage_run.finished_at = session_.now();
+  ++run->finished_stages;
+  session_.metrics().add_duration(
+      strutil::cat("pipeline.", run->name, ".stage.", stage_run.stage.name),
+      stage_run.finished_at - stage_run.started_at);
+  log_.info(strutil::cat("pipeline '", run->name, "': stage '",
+                         stage_run.stage.name, "' complete (",
+                         stage_run.tasks_done, " done, ",
+                         stage_run.tasks_failed, " failed)"));
+
+  if (stage_run.stage.stop_services_after) {
+    for (const auto& uid : stage_run.service_uids) {
+      session_.services().stop(uid);
+    }
+  }
+
+  if (run->failed) {
+    finish_pipeline(run);
+    return;
+  }
+  if (!stage_run.next_released) {
+    stage_run.next_released = true;
+    if (index + 1 < run->stages.size()) {
+      start_stage(run, index + 1);
+      return;
+    }
+  }
+  if (run->finished_stages == run->stages.size()) finish_pipeline(run);
+}
+
+void WorkflowManager::finish_pipeline(
+    const std::shared_ptr<PipelineRun>& run) {
+  if (run->reported) return;
+  // With async coupling a failure may surface while later stages are
+  // still running; report once, when every started stage completed.
+  for (const auto& stage_run : run->stages) {
+    if (stage_run.started_at >= 0 && !stage_run.completed) return;
+  }
+  run->reported = true;
+
+  PipelineResult result;
+  result.pipeline = run->name;
+  result.ok = !run->failed;
+  result.makespan = session_.now() - run->started_at;
+  for (const auto& stage_run : run->stages) {
+    if (stage_run.started_at < 0) continue;
+    result.stage_names.push_back(stage_run.stage.name);
+    result.stage_durations.push_back(stage_run.finished_at -
+                                     stage_run.started_at);
+    result.tasks_done += stage_run.tasks_done;
+    result.tasks_failed += stage_run.tasks_failed;
+  }
+  results_[run->name] = result;
+  session_.metrics().add_duration(
+      strutil::cat("pipeline.", run->name, ".makespan"), result.makespan);
+  log_.info(strutil::cat("pipeline '", run->name, "' ",
+                         result.ok ? "completed" : "FAILED", " in ",
+                         strutil::format_duration(result.makespan)));
+  session_.loop().post(
+      [on_done = run->on_done, result] { on_done(result); });
+}
+
+}  // namespace ripple::wf

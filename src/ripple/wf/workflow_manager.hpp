@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file workflow_manager.hpp
+/// Executes Pipelines over a Session (the workflow-orchestration layer
+/// of the paper's Fig. 1 stack).
+///
+/// Stages run in order with optional asynchronous overlap: stage s+1 is
+/// released when stage s reaches its `unblock_next_after` threshold.
+/// Stage services are submitted before stage tasks and awaited via the
+/// ServiceManager's readiness barrier; tasks automatically receive
+/// `requires_services` on the stage's services.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ripple/core/session.hpp"
+#include "ripple/wf/pipeline.hpp"
+
+namespace ripple::wf {
+
+class WorkflowManager {
+ public:
+  explicit WorkflowManager(core::Session& session);
+
+  /// Starts `pipeline` on `pilot`. Several pipelines may run
+  /// concurrently. `on_done` fires once with the result.
+  void run_pipeline(Pipeline pipeline, core::Pilot& pilot,
+                    std::function<void(const PipelineResult&)> on_done);
+
+  /// Results of completed pipelines, keyed by pipeline name.
+  [[nodiscard]] const std::map<std::string, PipelineResult>& results()
+      const noexcept {
+    return results_;
+  }
+
+ private:
+  struct StageRun {
+    Stage stage;
+    std::vector<std::string> service_uids;
+    std::vector<std::string> task_uids;
+    double started_at = -1.0;
+    double finished_at = -1.0;
+    std::size_t tasks_done = 0;
+    std::size_t tasks_failed = 0;
+    bool next_released = false;
+    bool completed = false;
+  };
+
+  struct PipelineRun {
+    std::string name;
+    core::Pilot* pilot = nullptr;
+    std::vector<StageRun> stages;
+    std::function<void(const PipelineResult&)> on_done;
+    double started_at = 0.0;
+    std::size_t finished_stages = 0;
+    bool failed = false;
+    bool reported = false;
+  };
+
+  void start_stage(const std::shared_ptr<PipelineRun>& run,
+                   std::size_t index);
+  void launch_stage_tasks(const std::shared_ptr<PipelineRun>& run,
+                          std::size_t index);
+  void on_task_terminal(const std::shared_ptr<PipelineRun>& run,
+                        std::size_t index, bool ok);
+  void maybe_release_next(const std::shared_ptr<PipelineRun>& run,
+                          std::size_t index);
+  void complete_stage(const std::shared_ptr<PipelineRun>& run,
+                      std::size_t index);
+  void finish_pipeline(const std::shared_ptr<PipelineRun>& run);
+
+  core::Session& session_;
+  common::Logger log_;
+  std::map<std::string, PipelineResult> results_;
+};
+
+}  // namespace ripple::wf

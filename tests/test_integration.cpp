@@ -1,0 +1,155 @@
+// End-to-end integration tests: session + platforms + pilot + services +
+// client tasks, local and remote, exercising the public API exactly the
+// way the paper's experiments do.
+
+#include <gtest/gtest.h>
+
+#include "ripple/core/session.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/profiles.hpp"
+
+namespace {
+
+using namespace ripple;
+
+core::ServiceDescription noop_service() {
+  core::ServiceDescription desc;
+  desc.name = "noop-svc";
+  desc.program = "inference";
+  desc.config = json::Value::object({{"model", "noop"}});
+  desc.cores = 1;
+  desc.gpus = 1;
+  return desc;
+}
+
+core::TaskDescription client_task(const std::vector<std::string>& endpoints,
+                                  std::size_t requests,
+                                  const std::string& series) {
+  core::TaskDescription desc;
+  desc.name = "client";
+  desc.kind = "inference_client";
+  desc.cores = 1;
+  json::Value endpoint_array = json::Value::array();
+  for (const auto& e : endpoints) endpoint_array.push_back(e);
+  desc.payload = json::Value::object({{"endpoints", endpoint_array},
+                                      {"requests", requests},
+                                      {"concurrency", 1},
+                                      {"series", series}});
+  return desc;
+}
+
+TEST(Integration, LocalNoopServicesServeClients) {
+  core::Session session({.seed = 11});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(4));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+
+  const std::string svc_a = session.services().submit(pilot, noop_service());
+  const std::string svc_b = session.services().submit(pilot, noop_service());
+
+  bool services_ready = false;
+  std::vector<std::string> task_uids;
+  session.services().when_ready({svc_a, svc_b}, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    services_ready = true;
+    const auto endpoints = session.services().endpoints();
+    ASSERT_EQ(endpoints.size(), 2u);
+    for (int i = 0; i < 4; ++i) {
+      task_uids.push_back(session.tasks().submit(
+          pilot, client_task(endpoints, 32, "smoke")));
+    }
+    session.tasks().when_done(task_uids, [&](bool all_ok) {
+      EXPECT_TRUE(all_ok);
+      session.services().stop_all();
+    });
+  });
+
+  session.run();
+
+  EXPECT_TRUE(services_ready);
+  EXPECT_EQ(session.tasks().count_in_state(core::TaskState::done), 4u);
+  EXPECT_EQ(session.services().count_in_state(core::ServiceState::stopped),
+            2u);
+
+  // All 4 x 32 requests recorded with a full component decomposition.
+  const auto& series = session.metrics().series("smoke");
+  EXPECT_EQ(series.count(), 128u);
+  // Components must sum to the total for every request (paper Fig. 4).
+  for (std::size_t i = 0; i < series.total.samples().size(); ++i) {
+    const double total = series.total.samples()[i];
+    const double sum = series.communication.samples()[i] +
+                       series.service.samples()[i] +
+                       series.inference.samples()[i];
+    EXPECT_NEAR(total, sum, 1e-12);
+  }
+  // NOOP: communication dominates inference (section IV-C).
+  EXPECT_GT(series.communication.mean(), series.inference.mean());
+}
+
+TEST(Integration, RemoteServicesAcrossPlatforms) {
+  core::Session session({.seed = 12});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(4));
+  auto& r3 = session.add_platform(platform::r3_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription remote_desc = noop_service();
+  remote_desc.config.set("preloaded", true);
+  const std::string svc =
+      session.services().register_remote(r3, remote_desc, 0);
+
+  bool done = false;
+  session.services().when_ready({svc}, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    const auto uid = session.tasks().submit(
+        pilot, client_task({session.services().get(svc).endpoint()}, 64,
+                           "remote"));
+    session.tasks().when_done({uid}, [&](bool all_ok) {
+      EXPECT_TRUE(all_ok);
+      done = true;
+      session.services().stop_all();
+    });
+  });
+
+  session.run();
+  ASSERT_TRUE(done);
+
+  const auto& series = session.metrics().series("remote");
+  EXPECT_EQ(series.count(), 64u);
+  // Remote (0.47 ms links): round-trip communication near ~1 ms, far
+  // above what local inter-node latency would produce.
+  EXPECT_GT(series.communication.mean(), 0.8e-3);
+  EXPECT_LT(series.communication.mean(), 2.0e-3);
+}
+
+TEST(Integration, BootstrapTimingRecorded) {
+  core::Session session({.seed = 13});
+  ml::install(session);
+  session.add_platform(platform::frontier_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "frontier", .nodes = 2});
+
+  core::ServiceDescription desc = noop_service();
+  desc.config.set("model", "llama-8b");
+  const std::string svc = session.services().submit(pilot, desc);
+  session.services().when_ready(
+      {svc}, [&](bool ok) {
+        ASSERT_TRUE(ok);
+        session.services().stop_all();
+      });
+  session.run();
+
+  const auto& boots = session.metrics().bootstraps();
+  ASSERT_EQ(boots.size(), 1u);
+  const auto& b = boots.front();
+  EXPECT_GT(b.launch, 0.0);
+  EXPECT_GT(b.init, 0.0);
+  EXPECT_GT(b.publish, 0.0);
+  // Fig. 3 shape: init >> launch > publish.
+  EXPECT_GT(b.init, b.launch);
+  EXPECT_GT(b.launch, b.publish);
+
+  const auto& svc_entity = session.services().get(svc);
+  EXPECT_NEAR(svc_entity.bootstrap().total(), b.total(), 1e-12);
+}
+
+}  // namespace

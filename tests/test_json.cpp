@@ -1,0 +1,231 @@
+// Unit tests for the JSON value type, parser and writer.
+
+#include <gtest/gtest.h>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/json.hpp"
+
+namespace {
+
+using ripple::Errc;
+using ripple::Error;
+namespace json = ripple::json;
+
+TEST(JsonValue, DefaultIsNull) {
+  json::Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), json::Type::null);
+}
+
+TEST(JsonValue, ScalarConstruction) {
+  EXPECT_TRUE(json::Value(true).is_bool());
+  EXPECT_TRUE(json::Value(42).is_int());
+  EXPECT_TRUE(json::Value(3.5).is_real());
+  EXPECT_TRUE(json::Value("text").is_string());
+  EXPECT_TRUE(json::Value(std::string("s")).is_string());
+}
+
+TEST(JsonValue, NumericConversions) {
+  EXPECT_EQ(json::Value(42).as_double(), 42.0);
+  EXPECT_EQ(json::Value(2.9).as_int(), 2);
+  EXPECT_TRUE(json::Value(42).is_number());
+  EXPECT_TRUE(json::Value(4.2).is_number());
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const json::Value v("text");
+  EXPECT_THROW((void)v.as_int(), Error);
+  EXPECT_THROW((void)v.as_bool(), Error);
+  EXPECT_THROW((void)v.as_array(), Error);
+  EXPECT_THROW((void)json::Value(1).as_string(), Error);
+}
+
+TEST(JsonValue, ObjectBuilderAndAccess) {
+  json::Value v = json::Value::object({{"a", 1}, {"b", "two"}});
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").as_string(), "two");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("c"));
+  EXPECT_THROW((void)v.at("c"), Error);
+}
+
+TEST(JsonValue, GetOrFallback) {
+  json::Value v = json::Value::object({{"a", 1}});
+  EXPECT_EQ(v.get_or("a", json::Value(9)).as_int(), 1);
+  EXPECT_EQ(v.get_or("z", json::Value(9)).as_int(), 9);
+  EXPECT_EQ(json::Value(3).get_or("k", json::Value(7)).as_int(), 7);
+}
+
+TEST(JsonValue, IndexOperatorAutoVivifiesObjects) {
+  json::Value v;
+  v["key"] = 5;
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("key").as_int(), 5);
+}
+
+TEST(JsonValue, PushBackAutoVivifiesArrays) {
+  json::Value v;
+  v.push_back(1);
+  v.push_back("x");
+  EXPECT_TRUE(v.is_array());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at(std::size_t{0}).as_int(), 1);
+  EXPECT_THROW((void)v.at(std::size_t{5}), Error);
+}
+
+TEST(JsonValue, EqualityAcrossNumericTypes) {
+  EXPECT_EQ(json::Value(2), json::Value(2.0));
+  EXPECT_NE(json::Value(2), json::Value(2.5));
+  EXPECT_EQ(json::Value("a"), json::Value("a"));
+  EXPECT_NE(json::Value("a"), json::Value(1));
+}
+
+TEST(JsonDump, CompactScalars) {
+  EXPECT_EQ(json::Value().dump(), "null");
+  EXPECT_EQ(json::Value(true).dump(), "true");
+  EXPECT_EQ(json::Value(false).dump(), "false");
+  EXPECT_EQ(json::Value(42).dump(), "42");
+  EXPECT_EQ(json::Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonDump, RealsKeepDecimalMarker) {
+  EXPECT_EQ(json::Value(2.0).dump(), "2.0");
+  const json::Value round_trip = json::Value::parse(json::Value(2.0).dump());
+  EXPECT_TRUE(round_trip.is_real());
+}
+
+TEST(JsonDump, DeterministicKeyOrder) {
+  json::Value v = json::Value::object({{"z", 1}, {"a", 2}, {"m", 3}});
+  EXPECT_EQ(v.dump(), "{\"a\":2,\"m\":3,\"z\":1}");
+}
+
+TEST(JsonDump, PrettyIndentation) {
+  json::Value v = json::Value::object({{"a", json::Value::array({1, 2})}});
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonDump, EscapesControlAndQuotes) {
+  EXPECT_EQ(json::Value("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(json::Value(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::Value::parse("null").is_null());
+  EXPECT_EQ(json::Value::parse("true").as_bool(), true);
+  EXPECT_EQ(json::Value::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(json::Value::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(json::Value::parse("\"abc\"").as_string(), "abc");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto v = json::Value::parse(
+      R"({"tasks": [{"uid": "t.0", "cores": 4}, {"uid": "t.1"}],
+          "meta": {"count": 2}})");
+  EXPECT_EQ(v.at("tasks").size(), 2u);
+  EXPECT_EQ(v.at("tasks").at(std::size_t{0}).at("uid").as_string(), "t.0");
+  EXPECT_EQ(v.at("meta").at("count").as_int(), 2);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const auto v = json::Value::parse("  {\n\t\"a\" :\r [ 1 , 2 ]  }  ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json::Value::parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(json::Value::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(json::Value::parse(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(json::Value::parse(R"("\t\r\b\f\/\\")").as_string(),
+            "\t\r\b\f/\\");
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)json::Value::parse("{\n  \"a\": ]\n}");
+    FAIL() << "expected parse_error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::parse_error);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+struct BadJsonCase {
+  const char* name;
+  const char* text;
+};
+
+class JsonParseRejects : public ::testing::TestWithParam<BadJsonCase> {};
+
+TEST_P(JsonParseRejects, MalformedInput) {
+  EXPECT_THROW((void)json::Value::parse(GetParam().text), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonParseRejects,
+    ::testing::Values(
+        BadJsonCase{"empty", ""}, BadJsonCase{"bare_brace", "{"},
+        BadJsonCase{"trailing_comma_array", "[1,2,]"},
+        BadJsonCase{"trailing_comma_object", R"({"a":1,})"},
+        BadJsonCase{"unquoted_key", "{a:1}"},
+        BadJsonCase{"single_quotes", "{'a':1}"},
+        BadJsonCase{"unterminated_string", "\"abc"},
+        BadJsonCase{"bad_literal", "tru"},
+        BadJsonCase{"bad_number", "1."},
+        BadJsonCase{"bad_exponent", "1e"},
+        BadJsonCase{"control_char", "\"a\x01b\""},
+        BadJsonCase{"trailing_garbage", "1 2"},
+        BadJsonCase{"lone_minus", "-"},
+        BadJsonCase{"bad_escape", R"("\q")"},
+        BadJsonCase{"bad_unicode", R"("\u00zz")"}),
+    [](const ::testing::TestParamInfo<BadJsonCase>& info) {
+      return info.param.name;
+    });
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, DumpParseIdentity) {
+  const json::Value original = json::Value::parse(GetParam());
+  const json::Value reparsed = json::Value::parse(original.dump());
+  EXPECT_EQ(original, reparsed);
+  // Pretty form round-trips too.
+  EXPECT_EQ(json::Value::parse(original.dump(4)), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "-123", "12.75", "\"string with \\\"quotes\\\"\"",
+        "[]", "{}", "[1,[2,[3,[4]]]]",
+        R"({"a":{"b":{"c":[true,false,null]}}})",
+        R"({"mixed":[1,2.5,"three",{"four":4},[5]],"empty_obj":{},
+            "empty_arr":[]})",
+        R"({"unicode":"café","escape":"line\nbreak"})"));
+
+TEST(JsonEstimateSize, GrowsWithContent) {
+  const auto small = json::Value::object({{"a", 1}});
+  auto large = json::Value::object();
+  for (int i = 0; i < 50; ++i) {
+    large.set("key_" + std::to_string(i), std::string(100, 'x'));
+  }
+  EXPECT_LT(small.estimate_size(), large.estimate_size());
+  EXPECT_GT(large.estimate_size(), 5000u);
+}
+
+TEST(JsonParse, DeepNestingRoundTrip) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < 100; ++i) text += "]";
+  const auto v = json::Value::parse(text);
+  EXPECT_EQ(json::Value::parse(v.dump()), v);
+}
+
+TEST(JsonParse, HugeIntegerFallsBackToReal) {
+  const auto v = json::Value::parse("99999999999999999999999999");
+  EXPECT_TRUE(v.is_real());
+  EXPECT_GT(v.as_double(), 1e25);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the metrics layer: registry (BT/RT/IT series), timeline and
+// table/CSV reporting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ripple/common/error.hpp"
+#include "ripple/metrics/registry.hpp"
+#include "ripple/metrics/report.hpp"
+#include "ripple/metrics/timeline.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::metrics;
+
+msg::RequestTiming timing(double comm, double service, double inference) {
+  msg::RequestTiming t;
+  t.communication = comm;
+  t.service = service;
+  t.inference = inference;
+  t.total = comm + service + inference;
+  return t;
+}
+
+TEST(Registry, BootstrapComponents) {
+  Registry registry;
+  registry.add_bootstrap({"svc.0", 2.0, 30.0, 0.2, 4});
+  registry.add_bootstrap({"svc.1", 2.4, 34.0, 0.3, 4});
+  EXPECT_EQ(registry.bootstraps().size(), 2u);
+  EXPECT_NEAR(registry.bootstrap_component("launch").mean(), 2.2, 1e-12);
+  EXPECT_NEAR(registry.bootstrap_component("init").mean(), 32.0, 1e-12);
+  EXPECT_NEAR(registry.bootstrap_component("publish").mean(), 0.25, 1e-12);
+  EXPECT_NEAR(registry.bootstrap_component("total").mean(), 34.45, 1e-12);
+  EXPECT_THROW((void)registry.bootstrap_component("warp"), Error);
+}
+
+TEST(Registry, RequestSeriesAggregation) {
+  Registry registry;
+  registry.add_request("exp2", timing(1e-4, 2e-5, 1e-6));
+  registry.add_request("exp2", timing(1.2e-4, 2.2e-5, 1e-6));
+  registry.add_request("exp3", timing(1e-3, 1e-2, 4.5));
+  EXPECT_TRUE(registry.has_series("exp2"));
+  EXPECT_FALSE(registry.has_series("exp9"));
+  EXPECT_EQ(registry.series("exp2").count(), 2u);
+  EXPECT_EQ(registry.series("exp3").count(), 1u);
+  EXPECT_NEAR(registry.series("exp2").communication.mean(), 1.1e-4, 1e-12);
+  EXPECT_EQ(registry.series_names(),
+            (std::vector<std::string>{"exp2", "exp3"}));
+  EXPECT_THROW((void)registry.series("exp9"), Error);
+}
+
+TEST(Registry, DurationSeriesAndClear) {
+  Registry registry;
+  registry.add_duration("stage.one", 10.0);
+  registry.add_duration("stage.one", 20.0);
+  EXPECT_TRUE(registry.has_durations("stage.one"));
+  EXPECT_DOUBLE_EQ(registry.durations("stage.one").mean(), 15.0);
+  EXPECT_THROW((void)registry.durations("stage.two"), Error);
+  registry.clear();
+  EXPECT_FALSE(registry.has_durations("stage.one"));
+  EXPECT_TRUE(registry.bootstraps().empty());
+}
+
+TEST(Registry, JsonExportShape) {
+  Registry registry;
+  registry.add_bootstrap({"svc.0", 2.0, 30.0, 0.2, 1});
+  registry.add_request("rt", timing(1, 2, 3));
+  registry.add_duration("d", 5.0);
+  const auto j = registry.to_json();
+  EXPECT_EQ(j.at("bootstrap").at("count").as_int(), 1);
+  EXPECT_TRUE(j.at("requests").contains("rt"));
+  EXPECT_DOUBLE_EQ(
+      j.at("requests").at("rt").at("total").at("mean").as_double(), 6.0);
+  EXPECT_TRUE(j.at("durations").contains("d"));
+}
+
+TEST(Timeline, RecordsAndQueries) {
+  sim::EventLoop loop;
+  msg::PubSub bus(loop);
+  Timeline timeline(bus);
+  timeline.record({"task.0", "task", "RUNNING", 5.0});
+  timeline.record({"task.0", "task", "DONE", 8.0});
+  timeline.record({"task.1", "task", "RUNNING", 6.0});
+  EXPECT_DOUBLE_EQ(timeline.state_time("task.0", "RUNNING"), 5.0);
+  EXPECT_DOUBLE_EQ(timeline.duration("task.0", "RUNNING", "DONE"), 3.0);
+  EXPECT_DOUBLE_EQ(timeline.state_time("task.9", "RUNNING"), -1.0);
+  EXPECT_THROW((void)timeline.duration("task.1", "RUNNING", "DONE"), Error);
+  EXPECT_EQ(timeline.count("task", "RUNNING"), 2u);
+  EXPECT_EQ(timeline.entities_in("task", "RUNNING"),
+            (std::vector<std::string>{"task.0", "task.1"}));
+  timeline.clear();
+  EXPECT_TRUE(timeline.records().empty());
+}
+
+TEST(Timeline, FirstEntryWins) {
+  sim::EventLoop loop;
+  msg::PubSub bus(loop);
+  Timeline timeline(bus);
+  timeline.record({"svc.0", "service", "SCHEDULING", 1.0});
+  timeline.record({"svc.0", "service", "SCHEDULING", 9.0});  // restart
+  EXPECT_DOUBLE_EQ(timeline.state_time("svc.0", "SCHEDULING"), 1.0);
+  EXPECT_EQ(timeline.records().size(), 2u);  // both kept in the log
+}
+
+TEST(Timeline, SubscribesToStateTopic) {
+  sim::EventLoop loop;
+  msg::PubSub bus(loop);
+  Timeline timeline(bus);
+  json::Value event = json::Value::object();
+  event.set("kind", "task");
+  event.set("uid", "task.7");
+  event.set("state", "DONE");
+  event.set("time", 3.25);
+  bus.publish("state", event);
+  loop.run();
+  EXPECT_DOUBLE_EQ(timeline.state_time("task.7", "DONE"), 3.25);
+}
+
+TEST(Table, AlignmentAndCsv) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(csv, "name,value\nalpha,1\nb,22222\n");
+  EXPECT_THROW(table.add_row({"only-one-cell"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"a"});
+  table.add_row({"with,comma"});
+  table.add_row({"with\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvToDisk) {
+  Table table({"x", "y"});
+  table.add_row_values({1.5, 2.5}, 1);
+  const std::string path = "/tmp/ripple_test_table.csv";
+  table.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::remove(path.c_str());
+  EXPECT_THROW(table.write_csv("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(Report, MeanPmStdAndBanner) {
+  common::Summary summary;
+  EXPECT_EQ(mean_pm_std(summary), "n/a");
+  summary.add(1.0);
+  summary.add(3.0);
+  const std::string text = mean_pm_std(summary);
+  EXPECT_NE(text.find("2.00 s"), std::string::npos);
+  EXPECT_NE(text.find("+/-"), std::string::npos);
+  EXPECT_EQ(banner("T"), "\n== T ==\n");
+}
+
+}  // namespace

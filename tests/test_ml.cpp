@@ -1,0 +1,265 @@
+// Tests for the ML substrate: model specs, the single-threaded
+// inference server, load balancers and the client payload config.
+
+#include <gtest/gtest.h>
+
+#include "ripple/common/error.hpp"
+#include "ripple/ml/client.hpp"
+#include "ripple/ml/inference_server.hpp"
+#include "ripple/ml/load_balancer.hpp"
+#include "ripple/ml/model.hpp"
+#include "ripple/msg/rpc.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::ml;
+
+TEST(ModelRegistry, BuiltinsPresent) {
+  auto& registry = ModelRegistry::global();
+  for (const char* name :
+       {"noop", "llama-8b", "llama-70b", "mistral-7b", "vit-base"}) {
+    EXPECT_TRUE(registry.has(name)) << name;
+  }
+  EXPECT_FALSE(registry.has("gpt-12"));
+  EXPECT_THROW((void)registry.get("gpt-12"), Error);
+  EXPECT_GE(registry.names().size(), 5u);
+}
+
+TEST(ModelRegistry, AddReplacesByName) {
+  ModelRegistry registry;
+  ModelSpec custom = noop_model();
+  custom.name = "custom";
+  custom.per_token_s = 1.0;
+  registry.add(custom);
+  custom.per_token_s = 2.0;
+  registry.add(custom);
+  EXPECT_DOUBLE_EQ(registry.get("custom").per_token_s, 2.0);
+}
+
+TEST(ModelSpec, NoopRepliesNearInstantly) {
+  common::Rng rng(1);
+  const auto noop = noop_model();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(noop.sample_inference(rng), 1e-4);
+  }
+}
+
+TEST(ModelSpec, LlamaInferenceIsSeconds) {
+  common::Rng rng(2);
+  const auto llama = llama_8b_model();
+  common::OnlineStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    stats.add(llama.sample_inference(rng));
+  }
+  // ~120 tokens x 35 ms: seconds-scale, dominating everything else.
+  EXPECT_GT(stats.mean(), 2.0);
+  EXPECT_LT(stats.mean(), 8.0);
+  EXPECT_NEAR(stats.mean(), llama.mean_inference(), 0.5);
+}
+
+TEST(ModelSpec, InitContentionMultiplier) {
+  common::Rng rng(3);
+  const auto llama = llama_8b_model();
+  common::OnlineStats base;
+  common::OnlineStats contended;
+  for (int i = 0; i < 500; ++i) {
+    base.add(llama.sample_init(rng, 1, 0.0006, 64));
+    contended.add(llama.sample_init(rng, 640, 0.0006, 64));
+  }
+  EXPECT_GT(contended.mean(), base.mean() * 1.2);
+}
+
+// ---------------------------------------------------------------------------
+// InferenceServer: queueing semantics
+// ---------------------------------------------------------------------------
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  common::Rng rng{5};
+  sim::Network net{loop, rng};
+  msg::Router router{loop, net};
+  std::unique_ptr<msg::RpcServer> rpc_server;
+  std::unique_ptr<msg::RpcClient> rpc_client;
+  std::unique_ptr<InferenceServer> server;
+
+  void SetUp() override {
+    net.register_host("s", "z");
+    net.register_host("c", "z");
+    net.set_link("z", "z",
+                 sim::LinkModel{common::Distribution::constant(1e-4), 0});
+    rpc_server = std::make_unique<msg::RpcServer>(router, "svc", "s");
+    rpc_client = std::make_unique<msg::RpcClient>(router, "cli", "c");
+  }
+
+  void make_server(ModelSpec model, ServerConfig config = {}) {
+    server = std::make_unique<InferenceServer>(loop, common::Rng(6),
+                                               std::move(model), config);
+    rpc_server->bind_method("infer",
+                            [this](std::shared_ptr<msg::Responder> r) {
+                              server->handle(std::move(r));
+                            });
+  }
+};
+
+TEST_F(ServerFixture, SingleThreadedQueuesRequests) {
+  // Deterministic 1 s inferences.
+  ModelSpec model = noop_model();
+  model.inference_floor_s = 1.0;
+  model.parse = common::Distribution::constant(0.0);
+  model.serialize = common::Distribution::constant(0.0);
+  make_server(model);
+
+  std::vector<double> completion_times;
+  for (int i = 0; i < 4; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       completion_times.push_back(loop.now());
+                     });
+  }
+  loop.run();
+  ASSERT_EQ(completion_times.size(), 4u);
+  // Strictly serialized: completions ~1 s apart.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(completion_times[i] - completion_times[i - 1], 1.0, 1e-3);
+  }
+  EXPECT_EQ(server->served(), 4u);
+  EXPECT_EQ(server->peak_queue(), 3u);
+}
+
+TEST_F(ServerFixture, ConcurrencyTwoHalvesMakespan) {
+  ModelSpec model = noop_model();
+  model.inference_floor_s = 1.0;
+  model.parse = common::Distribution::constant(0.0);
+  model.serialize = common::Distribution::constant(0.0);
+  make_server(model, ServerConfig{.max_concurrency = 2, .max_queue = 0});
+
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult) { ++completed; });
+  }
+  loop.run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_NEAR(loop.now(), 2.0, 0.01);  // 4 x 1 s on 2 workers
+}
+
+TEST_F(ServerFixture, BoundedQueueRejectsOverflow) {
+  ModelSpec model = noop_model();
+  model.inference_floor_s = 10.0;
+  make_server(model, ServerConfig{.max_concurrency = 1, .max_queue = 2});
+
+  int ok_count = 0;
+  int rejected = 0;
+  for (int i = 0; i < 5; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       if (r.ok) {
+                         ++ok_count;
+                       } else {
+                         EXPECT_NE(r.error.find("queue full"),
+                                   std::string::npos);
+                         ++rejected;
+                       }
+                     });
+  }
+  loop.run();
+  EXPECT_EQ(ok_count, 3);  // 1 executing + 2 queued
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(server->rejected(), 2u);
+}
+
+TEST_F(ServerFixture, StatsReportServedAndQueue) {
+  make_server(noop_model());
+  rpc_client->call("svc", "infer", json::Value::object(),
+                   [](msg::CallResult) {});
+  loop.run();
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.at("served").as_int(), 1);
+  EXPECT_EQ(stats.at("model").as_string(), "noop");
+  EXPECT_EQ(stats.at("busy").as_int(), 0);
+}
+
+TEST_F(ServerFixture, InvalidConfigRejected) {
+  EXPECT_THROW(InferenceServer(loop, common::Rng(1), noop_model(),
+                               ServerConfig{.max_concurrency = 0,
+                                            .max_queue = 0}),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Load balancers
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancer, RoundRobinCycles) {
+  RoundRobinBalancer balancer({"a", "b", "c"});
+  EXPECT_EQ(balancer.pick(), "a");
+  EXPECT_EQ(balancer.pick(), "b");
+  EXPECT_EQ(balancer.pick(), "c");
+  EXPECT_EQ(balancer.pick(), "a");
+}
+
+TEST(LoadBalancer, RandomCoversAllEndpoints) {
+  RandomBalancer balancer({"a", "b", "c"}, common::Rng(4));
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 300; ++i) ++counts[balancer.pick()];
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [endpoint, count] : counts) EXPECT_GT(count, 50);
+}
+
+TEST(LoadBalancer, LeastOutstandingAvoidsBusyEndpoint) {
+  LeastOutstandingBalancer balancer({"a", "b"});
+  const std::string first = balancer.pick();   // a: 1 in flight
+  const std::string second = balancer.pick();  // b: 1 in flight
+  EXPECT_NE(first, second);
+  // Complete b's request: next pick must be b (a still busy).
+  balancer.on_complete("b");
+  EXPECT_EQ(balancer.pick(), "b");
+  EXPECT_EQ(balancer.outstanding("a"), 1u);
+  EXPECT_EQ(balancer.outstanding("b"), 1u);
+}
+
+TEST(LoadBalancer, FactoryAndValidation) {
+  auto rr = make_balancer("round_robin", {"x"}, common::Rng(1));
+  EXPECT_STREQ(rr->name(), "round_robin");
+  auto rnd = make_balancer("random", {"x"}, common::Rng(1));
+  EXPECT_STREQ(rnd->name(), "random");
+  auto lo = make_balancer("least_outstanding", {"x"}, common::Rng(1));
+  EXPECT_STREQ(lo->name(), "least_outstanding");
+  EXPECT_THROW((void)make_balancer("psychic", {"x"}, common::Rng(1)),
+               Error);
+  EXPECT_THROW((void)make_balancer("random", {}, common::Rng(1)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Client config
+// ---------------------------------------------------------------------------
+
+TEST(ClientConfig, JsonRoundTrip) {
+  ClientConfig config;
+  config.endpoints = {"svc.0", "svc.1"};
+  config.requests = 1024;
+  config.concurrency = 4;
+  config.series = "exp2";
+  config.balancer = "least_outstanding";
+  config.timeout = 30.0;
+  const auto restored = ClientConfig::from_json(config.to_json());
+  EXPECT_EQ(restored.endpoints, config.endpoints);
+  EXPECT_EQ(restored.requests, 1024u);
+  EXPECT_EQ(restored.concurrency, 4u);
+  EXPECT_EQ(restored.series, "exp2");
+  EXPECT_EQ(restored.balancer, "least_outstanding");
+  EXPECT_DOUBLE_EQ(restored.timeout, 30.0);
+}
+
+TEST(ClientConfig, DefaultsApplied) {
+  const auto config = ClientConfig::from_json(json::Value::object());
+  EXPECT_TRUE(config.endpoints.empty());
+  EXPECT_EQ(config.requests, 16u);
+  EXPECT_EQ(config.concurrency, 1u);
+  EXPECT_EQ(config.balancer, "round_robin");
+}
+
+}  // namespace

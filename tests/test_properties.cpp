@@ -1,0 +1,242 @@
+// Property-based suites: invariants that must hold across parameter
+// sweeps of the whole runtime (the paper's experiment grid, shrunk).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ripple/core/session.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/profiles.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::core;
+
+struct GridPoint {
+  std::size_t clients;
+  std::size_t services;
+  std::size_t requests;
+  std::size_t concurrency;
+  bool remote;
+  const char* model;
+};
+
+std::string grid_name(const ::testing::TestParamInfo<GridPoint>& info) {
+  const auto& p = info.param;
+  std::string model = p.model;
+  model.erase(std::remove(model.begin(), model.end(), '-'), model.end());
+  return std::string(p.remote ? "remote" : "local") + "_" + model + "_c" +
+         std::to_string(p.clients) + "_s" + std::to_string(p.services) +
+         "_r" + std::to_string(p.requests) + "_f" +
+         std::to_string(p.concurrency);
+}
+
+/// Runs one configuration and returns the session for inspection.
+struct RunOutcome {
+  std::size_t requests_recorded = 0;
+  double comm_mean = 0;
+  double service_mean = 0;
+  double inference_mean = 0;
+  double total_mean = 0;
+  bool component_sum_holds = true;
+  std::size_t tasks_done = 0;
+  std::size_t services_stopped = 0;
+  std::uint64_t events = 0;
+};
+
+RunOutcome run_grid_point(const GridPoint& p, std::uint64_t seed) {
+  Session session({.seed = seed});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(4));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+
+  std::vector<std::string> svc_uids;
+  if (p.remote) {
+    auto& r3 = session.add_platform(platform::r3_profile(2));
+    for (std::size_t i = 0; i < p.services; ++i) {
+      ServiceDescription desc;
+      desc.program = "inference";
+      desc.config = json::Value::object(
+          {{"model", p.model}, {"preloaded", true}});
+      svc_uids.push_back(
+          session.services().register_remote(r3, desc, i % 2));
+    }
+  } else {
+    for (std::size_t i = 0; i < p.services; ++i) {
+      ServiceDescription desc;
+      desc.program = "inference";
+      desc.config = json::Value::object({{"model", p.model}});
+      desc.gpus = 1;
+      svc_uids.push_back(session.services().submit(pilot, desc));
+    }
+  }
+
+  session.services().when_ready(svc_uids, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    json::Value endpoints = json::Value::array();
+    for (const auto& uid : svc_uids) {
+      endpoints.push_back(session.services().get(uid).endpoint());
+    }
+    std::vector<std::string> task_uids;
+    for (std::size_t c = 0; c < p.clients; ++c) {
+      TaskDescription task;
+      task.kind = "inference_client";
+      task.payload = json::Value::object({{"endpoints", endpoints},
+                                          {"requests", p.requests},
+                                          {"concurrency", p.concurrency},
+                                          {"series", "grid"}});
+      task_uids.push_back(session.tasks().submit(pilot, task));
+    }
+    session.tasks().when_done(
+        task_uids, [&](bool) { session.services().stop_all(); });
+  });
+  session.run();
+
+  RunOutcome out;
+  out.tasks_done = session.tasks().count_in_state(TaskState::done);
+  out.services_stopped =
+      session.services().count_in_state(ServiceState::stopped);
+  out.events = session.loop().events_processed();
+  if (session.metrics().has_series("grid")) {
+    const auto& series = session.metrics().series("grid");
+    out.requests_recorded = series.count();
+    out.comm_mean = series.communication.mean();
+    out.service_mean = series.service.mean();
+    out.inference_mean = series.inference.mean();
+    out.total_mean = series.total.mean();
+    for (std::size_t i = 0; i < series.total.samples().size(); ++i) {
+      const double sum = series.communication.samples()[i] +
+                         series.service.samples()[i] +
+                         series.inference.samples()[i];
+      if (std::abs(series.total.samples()[i] - sum) > 1e-9) {
+        out.component_sum_holds = false;
+      }
+    }
+  }
+  return out;
+}
+
+class RequestGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(RequestGrid, InvariantsHold) {
+  const GridPoint& p = GetParam();
+  const RunOutcome out = run_grid_point(p, 1234);
+
+  // Every request is recorded, none lost or duplicated.
+  EXPECT_EQ(out.requests_recorded, p.clients * p.requests);
+  // All clients completed; all services were cleanly stopped.
+  EXPECT_EQ(out.tasks_done, p.clients);
+  EXPECT_EQ(out.services_stopped, p.services);
+  // RT decomposition is exact: total == comm + service + inference.
+  EXPECT_TRUE(out.component_sum_holds);
+  // Components are non-negative and total positive.
+  EXPECT_GT(out.total_mean, 0.0);
+  EXPECT_GE(out.comm_mean, 0.0);
+  EXPECT_GE(out.service_mean, 0.0);
+  EXPECT_GE(out.inference_mean, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RequestGrid,
+    ::testing::Values(
+        GridPoint{1, 1, 32, 1, false, "noop"},
+        GridPoint{4, 2, 16, 1, false, "noop"},
+        GridPoint{8, 4, 16, 2, false, "noop"},
+        GridPoint{16, 16, 8, 1, false, "noop"},
+        GridPoint{16, 1, 8, 4, false, "noop"},
+        GridPoint{2, 2, 16, 1, true, "noop"},
+        GridPoint{8, 4, 8, 2, true, "noop"},
+        GridPoint{4, 4, 4, 1, false, "llama-8b"},
+        GridPoint{4, 2, 4, 2, true, "llama-8b"}),
+    grid_name);
+
+TEST(Determinism, SameSeedSameTrace) {
+  const GridPoint p{8, 4, 16, 2, false, "noop"};
+  const RunOutcome a = run_grid_point(p, 99);
+  const RunOutcome b = run_grid_point(p, 99);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.total_mean, b.total_mean);
+  EXPECT_DOUBLE_EQ(a.comm_mean, b.comm_mean);
+  EXPECT_DOUBLE_EQ(a.inference_mean, b.inference_mean);
+}
+
+TEST(Determinism, DifferentSeedDifferentSamples) {
+  const GridPoint p{4, 2, 16, 1, false, "noop"};
+  const RunOutcome a = run_grid_point(p, 1);
+  const RunOutcome b = run_grid_point(p, 2);
+  EXPECT_EQ(a.requests_recorded, b.requests_recorded);  // same structure
+  EXPECT_NE(a.total_mean, b.total_mean);  // different stochastic draws
+}
+
+TEST(ScalingShape, WeakScalingIsFlatForNoop) {
+  // Weak scaling (paired clients/services, noop): mean RT must not grow
+  // meaningfully with scale — the paper's Fig. 4 bottom.
+  std::vector<double> totals;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4},
+                              std::size_t{16}}) {
+    const RunOutcome out = run_grid_point(
+        GridPoint{n, n, 64, 1, false, "noop"}, 7);
+    totals.push_back(out.total_mean);
+  }
+  EXPECT_LT(totals[2] / totals[0], 1.6);
+}
+
+TEST(ScalingShape, QueueingGrowsWhenServicesScarce) {
+  // Strong scaling with a slow model: the service component shrinks as
+  // services are added (Fig. 6 top).
+  const RunOutcome scarce = run_grid_point(
+      GridPoint{8, 1, 4, 2, false, "llama-8b"}, 7);
+  const RunOutcome plentiful = run_grid_point(
+      GridPoint{8, 8, 4, 2, false, "llama-8b"}, 7);
+  EXPECT_GT(scarce.service_mean, plentiful.service_mean * 3.0);
+}
+
+TEST(ScalingShape, InferenceDominatesForLlama) {
+  const RunOutcome out = run_grid_point(
+      GridPoint{4, 4, 8, 1, false, "llama-8b"}, 7);
+  // Round-robin convoys inflate queueing, so compare against pure
+  // communication (1000x) and against everything combined (1.5x).
+  EXPECT_GT(out.inference_mean, out.comm_mean * 1000.0);
+  EXPECT_GT(out.inference_mean,
+            (out.comm_mean + out.service_mean) * 1.5);
+}
+
+TEST(ScalingShape, RemoteCommunicationExceedsLocal) {
+  const RunOutcome local = run_grid_point(
+      GridPoint{4, 4, 64, 1, false, "noop"}, 7);
+  const RunOutcome remote = run_grid_point(
+      GridPoint{4, 4, 64, 1, true, "noop"}, 7);
+  // Paper: 0.47 ms vs 0.063 ms links -> substantially larger comm.
+  EXPECT_GT(remote.comm_mean, local.comm_mean * 4.0);
+}
+
+TEST(BootstrapShape, LaunchContentionAppearsAtScale) {
+  // Mini version of Fig. 3's elbow: mean launch at 320 instances
+  // exceeds mean launch at 8 instances on Frontier.
+  auto run_wave = [](std::size_t n) {
+    Session session({.seed = 5});
+    ml::install(session);
+    session.add_platform(platform::frontier_profile(40));
+    auto& pilot =
+        session.submit_pilot({.platform = "frontier", .nodes = 40});
+    std::vector<std::string> uids;
+    for (std::size_t i = 0; i < n; ++i) {
+      ServiceDescription desc;
+      desc.program = "inference";
+      desc.config = json::Value::object({{"model", "noop"}});
+      desc.gpus = 1;
+      uids.push_back(session.services().submit(pilot, desc));
+    }
+    session.services().when_ready(
+        uids, [&](bool) { session.services().stop_all(); });
+    session.run();
+    return session.metrics().bootstrap_component("launch").mean();
+  };
+  const double launch_small = run_wave(8);
+  const double launch_large = run_wave(320);
+  EXPECT_GT(launch_large, launch_small * 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+// Unit tests for the simulation substrate: event loop, slot pool,
+// network model.
+
+#include <gtest/gtest.h>
+
+#include "ripple/common/error.hpp"
+#include "ripple/sim/event_loop.hpp"
+#include "ripple/sim/network.hpp"
+#include "ripple/sim/resource.hpp"
+
+namespace {
+
+using namespace ripple;
+using sim::EventLoop;
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.call_at(3.0, [&] { order.push_back(3); });
+  loop.call_at(1.0, [&] { order.push_back(1); });
+  loop.call_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoop, EqualTimesFireInPostingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.call_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, CallAfterAndPost) {
+  EventLoop loop;
+  double fired_at = -1;
+  loop.call_after(2.5, [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+
+  int post_order = 0;
+  loop.post([&] { EXPECT_EQ(post_order++, 0); });
+  loop.post([&] { EXPECT_EQ(post_order++, 1); });
+  loop.run();
+  EXPECT_EQ(post_order, 2);
+}
+
+TEST(EventLoop, ReentrantSchedulingFromCallback) {
+  EventLoop loop;
+  std::vector<double> times;
+  loop.call_after(1.0, [&] {
+    times.push_back(loop.now());
+    loop.call_after(1.0, [&] { times.push_back(loop.now()); });
+  });
+  loop.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto handle = loop.call_after(1.0, [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(handle));
+  EXPECT_FALSE(loop.cancel(handle));  // already cancelled
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.events_processed(), 0u);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.call_at(1.0, [&] { ++fired; });
+  loop.call_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(3.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);  // clock advances to the deadline
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, StopHaltsMidRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.call_at(1.0, [&] {
+    ++fired;
+    loop.stop();
+  });
+  loop.call_at(2.0, [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  loop.reset_stop();
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RejectsPastAndInvalid) {
+  EventLoop loop;
+  loop.call_at(2.0, [] {});
+  loop.run();
+  EXPECT_THROW(loop.call_at(1.0, [] {}), Error);
+  EXPECT_THROW(loop.call_after(-0.5, [] {}), Error);
+  EXPECT_THROW(loop.call_after(1.0, nullptr), Error);
+}
+
+TEST(EventLoop, PendingExcludesCancelled) {
+  EventLoop loop;
+  const auto h1 = loop.call_after(1.0, [] {});
+  loop.call_after(2.0, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(h1);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SlotPool
+// ---------------------------------------------------------------------------
+
+TEST(SlotPool, GrantsImmediatelyWhenFree) {
+  EventLoop loop;
+  sim::SlotPool pool(loop, "gpus", 4);
+  int granted = 0;
+  pool.acquire(2, [&](sim::SlotPool::Grant) { ++granted; });
+  pool.acquire(2, [&](sim::SlotPool::Grant) { ++granted; });
+  loop.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.in_use(), 4u);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(SlotPool, FifoNoOvertaking) {
+  EventLoop loop;
+  sim::SlotPool pool(loop, "slots", 4);
+  std::vector<int> order;
+  sim::SlotPool::Grant first_grant;
+  pool.acquire(4, [&](sim::SlotPool::Grant g) {
+    order.push_back(0);
+    first_grant = g;
+  });
+  pool.acquire(3, [&](sim::SlotPool::Grant) { order.push_back(1); });
+  pool.acquire(1, [&](sim::SlotPool::Grant) { order.push_back(2); });
+  loop.run();
+  // Only the head got slots; the 1-slot request must NOT overtake.
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(pool.queue_length(), 2u);
+
+  pool.release(first_grant);
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SlotPool, WaitTimesRecorded) {
+  EventLoop loop;
+  sim::SlotPool pool(loop, "slots", 1);
+  sim::SlotPool::Grant held;
+  pool.acquire(1, [&](sim::SlotPool::Grant g) { held = g; });
+  pool.acquire(1, [&](sim::SlotPool::Grant) {});
+  loop.run();
+  loop.call_after(5.0, [&] { pool.release(held); });
+  loop.run();
+  ASSERT_EQ(pool.wait_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(pool.wait_times().max(), 5.0);
+  EXPECT_DOUBLE_EQ(pool.wait_times().min(), 0.0);
+}
+
+TEST(SlotPool, UtilizationIntegral) {
+  EventLoop loop;
+  sim::SlotPool pool(loop, "slots", 2);
+  pool.acquire(2, [&](sim::SlotPool::Grant g) {
+    loop.call_after(10.0, [&pool, g] { pool.release(g); });
+  });
+  loop.run();
+  loop.call_after(10.0, [] {});  // idle tail: 10 busy, 10 idle
+  loop.run();
+  EXPECT_NEAR(pool.mean_utilization(), 0.5, 1e-9);
+}
+
+TEST(SlotPool, RejectsImpossibleAndInvalid) {
+  EventLoop loop;
+  sim::SlotPool pool(loop, "slots", 2);
+  EXPECT_THROW(pool.acquire(3, [](sim::SlotPool::Grant) {}), Error);
+  EXPECT_THROW(pool.acquire(0, [](sim::SlotPool::Grant) {}), Error);
+  EXPECT_THROW(pool.release(sim::SlotPool::Grant{}), Error);
+  EXPECT_THROW(sim::SlotPool(loop, "zero", 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  EventLoop loop;
+  common::Rng rng{17};
+  sim::Network net{loop, rng};
+
+  void SetUp() override {
+    net.register_host("d0", "delta");
+    net.register_host("d1", "delta");
+    net.register_host("r0", "r3");
+    net.set_link("delta", "delta",
+                 sim::LinkModel{
+                     common::Distribution::normal(63e-6, 14e-6, 5e-6), 0});
+    net.set_link("delta", "r3",
+                 sim::LinkModel{
+                     common::Distribution::normal(0.47e-3, 0.04e-3, 1e-5),
+                     1.25e9});
+  }
+};
+
+TEST_F(NetworkTest, ZoneRegistration) {
+  EXPECT_TRUE(net.has_host("d0"));
+  EXPECT_FALSE(net.has_host("x9"));
+  EXPECT_EQ(net.zone_of("r0"), "r3");
+  EXPECT_THROW((void)net.zone_of("x9"), Error);
+}
+
+TEST_F(NetworkTest, IntraZoneDelayMatchesCalibration) {
+  common::OnlineStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(net.sample_delay("d0", "d1", 64));
+  }
+  EXPECT_NEAR(stats.mean(), 63e-6, 2e-6);     // 0.063 ms (paper IV-C)
+  EXPECT_NEAR(stats.stddev(), 14e-6, 2e-6);   // +/- 0.014 ms
+}
+
+TEST_F(NetworkTest, WanDelayMatchesCalibration) {
+  common::OnlineStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(net.sample_delay("d0", "r0", 0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.47e-3, 1e-5);   // 0.47 ms (paper IV-C)
+}
+
+TEST_F(NetworkTest, BandwidthTermAddsTransferTime) {
+  // 1.25 GB at 1.25 GB/s across the WAN link: ~1 s on top of latency.
+  const double delay = net.sample_delay("d0", "r0", 1'250'000'000);
+  EXPECT_GT(delay, 0.9);
+  EXPECT_LT(delay, 1.2);
+}
+
+TEST_F(NetworkTest, LoopbackDefaultAndZoneOverride) {
+  const double default_loopback = net.sample_delay("d0", "d0", 0);
+  EXPECT_DOUBLE_EQ(default_loopback, 1e-6);
+  net.set_zone_loopback("delta",
+                        sim::LinkModel{
+                            common::Distribution::constant(50e-6), 0});
+  EXPECT_DOUBLE_EQ(net.sample_delay("d0", "d0", 0), 50e-6);
+  // Other zones keep the global default.
+  EXPECT_DOUBLE_EQ(net.sample_delay("r0", "r0", 0), 1e-6);
+}
+
+TEST_F(NetworkTest, DeliverSchedulesArrival) {
+  double arrived_at = -1;
+  net.deliver("d0", "r0", 128, [&] { arrived_at = loop.now(); });
+  loop.run();
+  EXPECT_GT(arrived_at, 0.3e-3);
+  EXPECT_LT(arrived_at, 0.7e-3);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_EQ(net.bytes_delivered(), 128u);
+}
+
+TEST_F(NetworkTest, MissingLinkThrows) {
+  net.register_host("f0", "frontier");
+  EXPECT_THROW((void)net.sample_delay("d0", "f0", 0), Error);
+}
+
+TEST_F(NetworkTest, DelayStatsPerZonePair) {
+  (void)net.sample_delay("d0", "d1", 0);
+  (void)net.sample_delay("d0", "r0", 0);
+  (void)net.sample_delay("d0", "r0", 0);
+  const auto& stats = net.delay_stats();
+  EXPECT_EQ(stats.at("delta->delta").count(), 1u);
+  EXPECT_EQ(stats.at("delta->r3").count(), 2u);
+}
+
+}  // namespace

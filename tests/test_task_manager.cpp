@@ -1,0 +1,297 @@
+// Tests for the TaskManager: lifecycle, dependencies, service readiness
+// relations, staging, cancellation and failure propagation.
+
+#include <gtest/gtest.h>
+
+#include "ripple/common/error.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/profiles.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::core;
+
+TaskDescription quick_task(double seconds = 1.0) {
+  TaskDescription desc;
+  desc.name = "t";
+  desc.kind = "modeled";
+  desc.cores = 1;
+  desc.duration = common::Distribution::constant(seconds);
+  return desc;
+}
+
+class TaskManagerTest : public ::testing::Test {
+ protected:
+  Session session{SessionConfig{.seed = 9}};
+  Pilot* pilot = nullptr;
+
+  void SetUp() override {
+    ml::install(session);
+    session.add_platform(platform::delta_profile(2));
+    pilot = &session.submit_pilot({.platform = "delta", .nodes = 2});
+  }
+};
+
+TEST_F(TaskManagerTest, HappyPathStatesAndResult) {
+  const auto uid = session.tasks().submit(*pilot, quick_task(2.5));
+  bool done = false;
+  session.tasks().when_done({uid}, [&](bool ok) { done = ok; });
+  session.run();
+  EXPECT_TRUE(done);
+  const auto& task = session.tasks().get(uid);
+  EXPECT_EQ(task.state(), TaskState::done);
+  EXPECT_DOUBLE_EQ(task.result().at("runtime").as_double(), 2.5);
+  // RUNNING lasted exactly the modeled duration.
+  EXPECT_NEAR(task.duration(TaskState::running, TaskState::done), 2.5,
+              1e-9);
+  // Launch came before running, scheduling before launching.
+  EXPECT_LE(task.state_time(TaskState::scheduling),
+            task.state_time(TaskState::launching));
+}
+
+TEST_F(TaskManagerTest, BatchSubmissionAllComplete) {
+  std::vector<TaskDescription> batch(10, quick_task(1.0));
+  const auto uids = session.tasks().submit_all(*pilot, batch);
+  EXPECT_EQ(uids.size(), 10u);
+  bool all_done = false;
+  session.tasks().when_done(uids, [&](bool ok) { all_done = ok; });
+  session.run();
+  EXPECT_TRUE(all_done);
+  EXPECT_EQ(session.tasks().count_in_state(TaskState::done), 10u);
+}
+
+TEST_F(TaskManagerTest, DependencyOrdering) {
+  const auto first = session.tasks().submit(*pilot, quick_task(5.0));
+  auto second_desc = quick_task(1.0);
+  second_desc.depends_on = {first};
+  const auto second = session.tasks().submit(*pilot, second_desc);
+  session.run();
+  const auto& a = session.tasks().get(first);
+  const auto& b = session.tasks().get(second);
+  EXPECT_EQ(b.state(), TaskState::done);
+  // The dependent could not start scheduling before the dep was DONE.
+  EXPECT_GE(b.state_time(TaskState::scheduling),
+            a.state_time(TaskState::done));
+  // And it visibly WAITED.
+  EXPECT_GE(b.state_time(TaskState::waiting), 0.0);
+}
+
+TEST_F(TaskManagerTest, DiamondDependencyGraph) {
+  const auto root = session.tasks().submit(*pilot, quick_task(2.0));
+  auto left_desc = quick_task(3.0);
+  left_desc.depends_on = {root};
+  auto right_desc = quick_task(1.0);
+  right_desc.depends_on = {root};
+  const auto left = session.tasks().submit(*pilot, left_desc);
+  const auto right = session.tasks().submit(*pilot, right_desc);
+  auto join_desc = quick_task(1.0);
+  join_desc.depends_on = {left, right};
+  const auto join = session.tasks().submit(*pilot, join_desc);
+  session.run();
+  const auto& j = session.tasks().get(join);
+  EXPECT_EQ(j.state(), TaskState::done);
+  EXPECT_GE(j.state_time(TaskState::scheduling),
+            std::max(session.tasks().get(left).state_time(TaskState::done),
+                     session.tasks().get(right).state_time(TaskState::done)));
+}
+
+TEST_F(TaskManagerTest, UnknownDependencyRejected) {
+  auto desc = quick_task();
+  desc.depends_on = {"task.999999"};
+  EXPECT_THROW((void)session.tasks().submit(*pilot, desc), Error);
+  desc.depends_on.clear();
+  desc.requires_services = {"svc.999999"};
+  EXPECT_THROW((void)session.tasks().submit(*pilot, desc), Error);
+  desc.requires_services.clear();
+  desc.kind = "no-such-payload";
+  EXPECT_THROW((void)session.tasks().submit(*pilot, desc), Error);
+}
+
+TEST_F(TaskManagerTest, DependencyFailurePropagates) {
+  auto failing = quick_task();
+  failing.kind = "function";
+  failing.payload = json::Value::object({{"fn", "does-not-exist"}});
+  const auto bad = session.tasks().submit(*pilot, failing);
+  auto dependent_desc = quick_task();
+  dependent_desc.depends_on = {bad};
+  const auto dependent = session.tasks().submit(*pilot, dependent_desc);
+  bool all_ok = true;
+  session.tasks().when_done({bad, dependent},
+                            [&](bool ok) { all_ok = ok; });
+  session.run();
+  EXPECT_FALSE(all_ok);
+  EXPECT_EQ(session.tasks().get(bad).state(), TaskState::failed);
+  EXPECT_EQ(session.tasks().get(dependent).state(), TaskState::failed);
+  EXPECT_NE(session.tasks().get(dependent).error().find(bad),
+            std::string::npos);
+}
+
+TEST_F(TaskManagerTest, RequiresServicesGateExecution) {
+  auto svc_desc = ServiceDescription{};
+  svc_desc.program = "inference";
+  svc_desc.config = json::Value::object({{"model", "llama-8b"}});
+  svc_desc.gpus = 1;
+  const auto svc = session.services().submit(*pilot, svc_desc);
+
+  auto task_desc = quick_task(1.0);
+  task_desc.requires_services = {svc};
+  const auto task = session.tasks().submit(*pilot, task_desc);
+  session.tasks().when_done(
+      {task}, [&](bool) { session.services().stop_all(); });
+  session.run();
+
+  const auto& t = session.tasks().get(task);
+  EXPECT_EQ(t.state(), TaskState::done);
+  // The task waited for the full model bootstrap (~35 s).
+  EXPECT_GE(t.state_time(TaskState::scheduling),
+            session.services().get(svc).state_time(ServiceState::running));
+}
+
+TEST_F(TaskManagerTest, ServiceFailureBreaksDependentTask) {
+  auto svc_desc = ServiceDescription{};
+  svc_desc.program = "inference";
+  svc_desc.config = json::Value::object({{"model", "llama-8b"}});
+  svc_desc.gpus = 1;
+  svc_desc.ready_timeout = 2.0;  // guaranteed bootstrap failure
+  const auto svc = session.services().submit(*pilot, svc_desc);
+
+  auto task_desc = quick_task();
+  task_desc.requires_services = {svc};
+  const auto task = session.tasks().submit(*pilot, task_desc);
+  session.run();
+  EXPECT_EQ(session.tasks().get(task).state(), TaskState::failed);
+}
+
+TEST_F(TaskManagerTest, StagingInBeforeSchedulingAndOutAfterRunning) {
+  session.runtime().network().register_host("lab:x", "lab");
+  session.data().register_dataset("input-data", 5e9, "lab");
+  session.data().set_bandwidth("lab", "delta", 1e9);  // ~5 s transfer
+
+  auto desc = quick_task(1.0);
+  desc.staging.push_back(StagingDirective::in("input-data"));
+  desc.staging.push_back(StagingDirective::out("result-data"));
+  desc.payload.set("output_bytes", 2e6);
+  const auto uid = session.tasks().submit(*pilot, desc);
+  session.run();
+
+  const auto& task = session.tasks().get(uid);
+  EXPECT_EQ(task.state(), TaskState::done);
+  EXPECT_GE(task.state_time(TaskState::staging_input), 0.0);
+  EXPECT_GE(task.state_time(TaskState::staging_output), 0.0);
+  EXPECT_GT(task.duration(TaskState::staging_input, TaskState::scheduling),
+            4.0);  // the 5 GB transfer happened before scheduling
+  EXPECT_TRUE(session.data().available_in("input-data", "delta"));
+  EXPECT_TRUE(session.data().available_in("result-data", "delta"));
+}
+
+TEST_F(TaskManagerTest, StageInFailureFailsTask) {
+  auto desc = quick_task();
+  desc.staging.push_back(StagingDirective::in("missing-data"));
+  const auto uid = session.tasks().submit(*pilot, desc);
+  session.run();
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::failed);
+  EXPECT_NE(session.tasks().get(uid).error().find("stage-in"),
+            std::string::npos);
+}
+
+TEST_F(TaskManagerTest, CancelBeforePlacementSucceeds) {
+  // Fill the pilot so the victim queues.
+  std::vector<TaskDescription> hogs(16, quick_task(50.0));
+  for (auto& hog : hogs) hog.cores = 16;
+  session.tasks().submit_all(*pilot, hogs);
+  const auto victim = session.tasks().submit(*pilot, quick_task());
+  session.run_until(5.0);
+  EXPECT_EQ(session.tasks().get(victim).state(), TaskState::scheduling);
+  EXPECT_TRUE(session.tasks().cancel(victim));
+  session.run();
+  EXPECT_EQ(session.tasks().get(victim).state(), TaskState::canceled);
+}
+
+TEST_F(TaskManagerTest, CancelAfterRunningRefused) {
+  const auto uid = session.tasks().submit(*pilot, quick_task(30.0));
+  session.run_until(10.0);
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::running);
+  EXPECT_FALSE(session.tasks().cancel(uid));
+  session.run();
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::done);
+}
+
+TEST_F(TaskManagerTest, FunctionPayloadRunsRealCode) {
+  session.executor().functions().register_fn(
+      "square_sum", [](ExecutionContext&, const json::Value& args) {
+        double sum = 0;
+        for (const auto& v : args.at("values").as_array()) {
+          sum += v.as_double() * v.as_double();
+        }
+        return json::Value::object({{"sum", sum}});
+      });
+  auto desc = quick_task(0.5);
+  desc.kind = "function";
+  desc.payload = json::Value::object(
+      {{"fn", "square_sum"},
+       {"args", json::Value::object(
+                    {{"values", json::Value::array({1, 2, 3})}})}});
+  const auto uid = session.tasks().submit(*pilot, desc);
+  session.run();
+  const auto& task = session.tasks().get(uid);
+  EXPECT_EQ(task.state(), TaskState::done);
+  EXPECT_DOUBLE_EQ(task.result().at("output").at("sum").as_double(), 14.0);
+}
+
+TEST_F(TaskManagerTest, FunctionExceptionBecomesTaskFailure) {
+  session.executor().functions().register_fn(
+      "bomb", [](ExecutionContext&, const json::Value&) -> json::Value {
+        throw std::runtime_error("kaboom");
+      });
+  auto desc = quick_task();
+  desc.kind = "function";
+  desc.payload = json::Value::object({{"fn", "bomb"}});
+  const auto uid = session.tasks().submit(*pilot, desc);
+  session.run();
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::failed);
+  EXPECT_NE(session.tasks().get(uid).error().find("kaboom"),
+            std::string::npos);
+}
+
+TEST_F(TaskManagerTest, SlotsReleasedAfterCompletion) {
+  std::vector<TaskDescription> tasks(32, quick_task(1.0));
+  for (auto& t : tasks) {
+    t.cores = 8;
+    t.gpus = 1;
+  }
+  session.tasks().submit_all(*pilot, tasks);
+  session.run();
+  EXPECT_EQ(session.tasks().count_in_state(TaskState::done), 32u);
+  for (std::size_t n = 0; n < 2; ++n) {
+    EXPECT_EQ(pilot->cluster().node(n).free_cores(), 64u);
+    EXPECT_EQ(pilot->cluster().node(n).free_gpus(), 4u);
+  }
+}
+
+TEST_F(TaskManagerTest, ConcurrencyBoundedByResources) {
+  // 2 nodes x 4 GPUs: at most 8 single-GPU tasks run concurrently.
+  std::vector<TaskDescription> tasks(24, quick_task(10.0));
+  for (auto& t : tasks) t.gpus = 1;
+  const auto uids = session.tasks().submit_all(*pilot, tasks);
+  session.run();
+  // Reconstruct maximum concurrency from the timeline.
+  std::vector<std::pair<double, int>> events;
+  for (const auto& uid : uids) {
+    const auto& task = session.tasks().get(uid);
+    events.emplace_back(task.state_time(TaskState::running), +1);
+    events.emplace_back(task.state_time(TaskState::done), -1);
+  }
+  std::sort(events.begin(), events.end());
+  int concurrent = 0;
+  int peak = 0;
+  for (const auto& [time, delta] : events) {
+    concurrent += delta;
+    peak = std::max(peak, concurrent);
+  }
+  EXPECT_LE(peak, 8);
+  EXPECT_GE(peak, 7);  // and the scheduler actually packs the machine
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Tests for the workflow layer: pipelines with sequential and
+// asynchronous stage coupling, service stages, and the hyperparameter
+// optimizer.
+
+#include <gtest/gtest.h>
+
+#include "ripple/common/error.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/profiles.hpp"
+#include "ripple/wf/hyperopt.hpp"
+#include "ripple/wf/workflow_manager.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::core;
+using namespace ripple::wf;
+
+TaskDescription modeled(double seconds) {
+  TaskDescription desc;
+  desc.kind = "modeled";
+  desc.cores = 1;
+  desc.duration = common::Distribution::constant(seconds);
+  return desc;
+}
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  Session session{SessionConfig{.seed = 77}};
+  Pilot* pilot = nullptr;
+  std::unique_ptr<WorkflowManager> workflows;
+
+  void SetUp() override {
+    ml::install(session);
+    session.add_platform(platform::delta_profile(4));
+    pilot = &session.submit_pilot({.platform = "delta", .nodes = 4});
+    workflows = std::make_unique<WorkflowManager>(session);
+  }
+};
+
+TEST_F(WorkflowTest, SequentialStagesRunInOrder) {
+  Pipeline pipeline;
+  pipeline.name = "seq";
+  Stage s1;
+  s1.name = "one";
+  s1.tasks = {modeled(10.0), modeled(10.0)};
+  Stage s2;
+  s2.name = "two";
+  s2.tasks = {modeled(5.0)};
+  pipeline.stages = {s1, s2};
+
+  PipelineResult result;
+  workflows->run_pipeline(pipeline, *pilot,
+                          [&](const PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.tasks_done, 3u);
+  EXPECT_EQ(result.stage_names,
+            (std::vector<std::string>{"one", "two"}));
+  // Stage two's single task started only after stage one finished:
+  // makespan >= 10 + 5 (+ launches).
+  EXPECT_GT(result.makespan, 15.0);
+  EXPECT_EQ(workflows->results().at("seq").tasks_failed, 0u);
+}
+
+TEST_F(WorkflowTest, AsyncCouplingOverlapsStages) {
+  // Stage one: 4 long tasks; next stage releases after ONE is done.
+  Pipeline pipeline;
+  pipeline.name = "async";
+  Stage s1;
+  s1.name = "producer";
+  s1.tasks = {modeled(10.0), modeled(30.0), modeled(30.0), modeled(30.0)};
+  s1.unblock_next_after = 1;
+  Stage s2;
+  s2.name = "consumer";
+  s2.tasks = {modeled(5.0)};
+  pipeline.stages = {s1, s2};
+
+  PipelineResult result;
+  workflows->run_pipeline(pipeline, *pilot,
+                          [&](const PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_TRUE(result.ok);
+  // Consumer overlapped the long producers: total well below 30+5.
+  EXPECT_LT(result.makespan, 36.0);
+  // But it did wait for the first producer (10 s) and ran 5 s itself.
+  EXPECT_GT(result.makespan, 30.0);  // bounded by slowest producer
+}
+
+TEST_F(WorkflowTest, ServiceStageStartsServicesFirst) {
+  Pipeline pipeline;
+  pipeline.name = "svc-stage";
+  Stage stage;
+  stage.name = "inference";
+  ServiceDescription svc;
+  svc.program = "inference";
+  svc.config = json::Value::object({{"model", "noop"}});
+  svc.gpus = 1;
+  stage.services = {svc};
+  stage.tasks = {modeled(1.0)};
+  stage.stop_services_after = true;
+  pipeline.stages = {stage};
+
+  PipelineResult result;
+  workflows->run_pipeline(pipeline, *pilot,
+                          [&](const PipelineResult& r) { result = r; });
+  session.run();
+  EXPECT_TRUE(result.ok);
+  // The one service was created, used and stopped afterwards.
+  EXPECT_EQ(session.services().count_in_state(ServiceState::stopped), 1u);
+}
+
+TEST_F(WorkflowTest, TaskFailureMarksPipelineFailed) {
+  Pipeline pipeline;
+  pipeline.name = "failing";
+  Stage stage;
+  stage.name = "bad";
+  TaskDescription bad;
+  bad.kind = "function";
+  bad.payload = json::Value::object({{"fn", "ghost-fn"}});
+  stage.tasks = {bad, modeled(1.0)};
+  Stage never;
+  never.name = "never";
+  never.tasks = {modeled(1.0)};
+  pipeline.stages = {stage, never};
+
+  PipelineResult result;
+  result.ok = true;
+  workflows->run_pipeline(pipeline, *pilot,
+                          [&](const PipelineResult& r) { result = r; });
+  session.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.tasks_failed, 1u);
+  // The second stage never started.
+  EXPECT_EQ(result.stage_names, (std::vector<std::string>{"bad"}));
+}
+
+TEST_F(WorkflowTest, ConcurrentPipelinesShareThePilot) {
+  int completed = 0;
+  for (int p = 0; p < 3; ++p) {
+    Pipeline pipeline;
+    pipeline.name = "p" + std::to_string(p);
+    Stage stage;
+    stage.name = "work";
+    stage.tasks = {modeled(5.0), modeled(5.0)};
+    pipeline.stages = {stage};
+    workflows->run_pipeline(pipeline, *pilot,
+                            [&](const PipelineResult& r) {
+                              EXPECT_TRUE(r.ok);
+                              ++completed;
+                            });
+  }
+  session.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(workflows->results().size(), 3u);
+}
+
+TEST_F(WorkflowTest, EmptyPipelineRejected) {
+  Pipeline empty;
+  EXPECT_THROW(
+      workflows->run_pipeline(empty, *pilot, [](const PipelineResult&) {}),
+      Error);
+}
+
+// ---------------------------------------------------------------------------
+// Hyperparameter optimization
+// ---------------------------------------------------------------------------
+
+TEST(ParamSpecs, SamplingRespectsBounds) {
+  common::Rng rng(13);
+  const auto lr = ParamSpec::log_real("lr", 1e-5, 1e-1);
+  const auto batch = ParamSpec::integer("batch", 16, 256);
+  const auto drop = ParamSpec::real("dropout", 0.0, 0.5);
+  const auto opt = ParamSpec::categorical("optimizer", {"adam", "sgd"});
+  for (int i = 0; i < 500; ++i) {
+    const double lr_v = lr.sample(rng).as_double();
+    EXPECT_GE(lr_v, 1e-5);
+    EXPECT_LE(lr_v, 1e-1);
+    const auto batch_v = batch.sample(rng).as_int();
+    EXPECT_GE(batch_v, 16);
+    EXPECT_LE(batch_v, 256);
+    const double drop_v = drop.sample(rng).as_double();
+    EXPECT_GE(drop_v, 0.0);
+    EXPECT_LE(drop_v, 0.5);
+    const auto opt_v = opt.sample(rng).as_string();
+    EXPECT_TRUE(opt_v == "adam" || opt_v == "sgd");
+  }
+}
+
+TEST(ParamSpecs, LogRealSamplesLowDecades) {
+  common::Rng rng(14);
+  const auto lr = ParamSpec::log_real("lr", 1e-6, 1.0);
+  int below_1e3 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (lr.sample(rng).as_double() < 1e-3) ++below_1e3;
+  }
+  // Log-uniform: half the samples lie below the geometric midpoint.
+  EXPECT_GT(below_1e3, 350);
+  EXPECT_LT(below_1e3, 650);
+}
+
+TEST(ParamSpecs, Validation) {
+  EXPECT_THROW((void)ParamSpec::real("x", 2.0, 1.0), Error);
+  EXPECT_THROW((void)ParamSpec::log_real("x", 0.0, 1.0), Error);
+  EXPECT_THROW((void)ParamSpec::integer("x", 5, 4), Error);
+  EXPECT_THROW((void)ParamSpec::categorical("x", {}), Error);
+}
+
+double quadratic_objective(const json::Value& params) {
+  const double x = params.at("x").as_double();
+  return (x - 0.3) * (x - 0.3);
+}
+
+TEST(RandomSearch, FindsGoodRegion) {
+  RandomSearch search({ParamSpec::real("x", 0.0, 1.0)}, common::Rng(15));
+  for (int i = 0; i < 64; ++i) {
+    const Trial trial = search.suggest();
+    search.report(trial.id, quadratic_objective(trial.params));
+  }
+  EXPECT_EQ(search.completed(), 64u);
+  EXPECT_LT(search.best().value, 0.01);
+  EXPECT_NEAR(search.best().params.at("x").as_double(), 0.3, 0.12);
+}
+
+TEST(RandomSearch, ReportValidation) {
+  RandomSearch search({ParamSpec::real("x", 0.0, 1.0)}, common::Rng(16));
+  const Trial trial = search.suggest();
+  search.report(trial.id, 1.0);
+  EXPECT_THROW(search.report(trial.id, 2.0), Error);   // double report
+  EXPECT_THROW(search.report(999, 1.0), Error);        // unknown id
+  EXPECT_THROW((void)RandomSearch({}, common::Rng(1)), Error);
+}
+
+TEST(SuccessiveHalving, PromotesBestAndConverges) {
+  SuccessiveHalving search({ParamSpec::real("x", 0.0, 1.0)},
+                           common::Rng(17), /*initial=*/8, /*eta=*/2);
+  std::size_t rungs = 0;
+  while (!search.finished()) {
+    for (const Trial& trial : search.pending()) {
+      search.report(trial.id, quadratic_objective(trial.params));
+    }
+    ASSERT_TRUE(search.rung_complete());
+    search.advance_rung();
+    ++rungs;
+    ASSERT_LT(rungs, 10u);
+  }
+  EXPECT_EQ(rungs, 4u);  // 8 -> 4 -> 2 -> 1 -> finished
+  EXPECT_LT(search.best().value, 0.05);
+  // Total trials: 8 + 4 + 2 + 1 = 15.
+  EXPECT_EQ(search.all_trials().size(), 15u);
+  std::size_t pruned = 0;
+  for (const auto& trial : search.all_trials()) {
+    if (trial.pruned) ++pruned;
+  }
+  EXPECT_EQ(pruned, 7u);  // 4 + 2 + 1 losers across the rungs
+}
+
+TEST(SuccessiveHalving, AdvanceBeforeCompleteThrows) {
+  SuccessiveHalving search({ParamSpec::real("x", 0.0, 1.0)},
+                           common::Rng(18), 4);
+  EXPECT_FALSE(search.rung_complete());
+  EXPECT_THROW((void)search.advance_rung(), Error);
+}
+
+}  // namespace
