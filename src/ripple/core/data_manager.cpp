@@ -113,6 +113,31 @@ void DataManager::stage(const std::string& name, const std::string& dst_zone,
   });
 }
 
+void DataManager::stage_all(const std::vector<std::string>& names,
+                            const std::string& dst_zone,
+                            BatchCallback on_done) {
+  ensure(static_cast<bool>(on_done), Errc::invalid_argument,
+         "stage_all: empty callback");
+  if (names.empty()) {
+    runtime_.loop().post(
+        [on_done = std::move(on_done)] { on_done(true, ""); });
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(names.size());
+  auto failed = std::make_shared<bool>(false);
+  auto shared = std::make_shared<BatchCallback>(std::move(on_done));
+  for (const auto& name : names) {
+    stage(name, dst_zone,
+          [name, remaining, failed, shared](bool ok, sim::Duration) {
+            if (!ok && !*failed) {
+              *failed = true;
+              (*shared)(false, name);
+            }
+            if (--(*remaining) == 0 && !*failed) (*shared)(true, "");
+          });
+  }
+}
+
 void DataManager::put(const std::string& name, double bytes,
                       const std::string& zone) {
   register_dataset(name, bytes, zone);

@@ -14,6 +14,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "ripple/common/statistics.hpp"
 #include "ripple/core/runtime.hpp"
@@ -57,6 +58,16 @@ class DataManager {
   /// the first transfer lands).
   void stage(const std::string& name, const std::string& dst_zone,
              TransferCallback on_done);
+
+  using BatchCallback =
+      std::function<void(bool ok, const std::string& failed_dataset)>;
+
+  /// Stages every dataset in `names` into `dst_zone` and fires `on_done`
+  /// exactly once: (false, name) as soon as any transfer fails, or
+  /// (true, "") when all have landed. An empty batch completes
+  /// asynchronously on the next event-loop turn.
+  void stage_all(const std::vector<std::string>& names,
+                 const std::string& dst_zone, BatchCallback on_done);
 
   /// Records a task-produced dataset (stage-out target).
   void put(const std::string& name, double bytes, const std::string& zone);

@@ -13,12 +13,37 @@ Scheduler::Scheduler(Runtime& runtime, SchedulerPolicy policy)
       policy_(policy),
       log_(runtime.make_logger("scheduler")) {}
 
+void Scheduler::set_policy(SchedulerPolicy policy) noexcept {
+  if (policy == policy_) return;
+  policy_ = policy;
+  // Queued entries were filtered under the old policy's invariants; the
+  // next submit must rescan the whole queue, not just the new entry.
+  for (auto& [uid, entry] : pilots_) entry.needs_full_scan = true;
+}
+
 void Scheduler::add_pilot(Pilot& pilot) {
   ensure(pilots_.count(pilot.uid()) == 0, Errc::invalid_state,
          strutil::cat("pilot ", pilot.uid(), " already registered"));
-  PilotEntry entry;
-  entry.pilot = &pilot;
-  pilots_.emplace(pilot.uid(), std::move(entry));
+  PilotEntry& entry = pilots_[pilot.uid()];
+  try {
+    entry.pilot = &pilot;
+    entry.index.attach(pilot.nodes());
+    for (const platform::Node* node : pilot.nodes()) {
+      const platform::NodeSpec& spec = node->spec();
+      const bool seen = std::any_of(
+          entry.distinct_specs.begin(), entry.distinct_specs.end(),
+          [&](const platform::NodeSpec& s) {
+            return s.cores == spec.cores && s.gpus == spec.gpus &&
+                   s.mem_gb == spec.mem_gb;
+          });
+      if (!seen) entry.distinct_specs.push_back(spec);
+    }
+  } catch (...) {
+    // Don't leave a half-registered pilot behind (e.g. a node already
+    // indexed by another pilot).
+    pilots_.erase(pilot.uid());
+    throw;
+  }
 }
 
 void Scheduler::remove_pilot(const std::string& pilot_uid) {
@@ -32,44 +57,96 @@ Scheduler::PilotEntry& Scheduler::entry_for(const std::string& pilot_uid) {
   return it->second;
 }
 
-void Scheduler::submit(const std::string& pilot_uid,
-                       ScheduleRequest request) {
+namespace {
+
+/// True when some node shape covers the request in every dimension.
+bool specs_cover(const std::vector<platform::NodeSpec>& specs,
+                 std::size_t cores, std::size_t gpus, double mem_gb) {
+  return std::any_of(specs.begin(), specs.end(),
+                     [&](const platform::NodeSpec& spec) {
+                       return cores <= spec.cores && gpus <= spec.gpus &&
+                              mem_gb <= spec.mem_gb;
+                     });
+}
+
+}  // namespace
+
+bool Scheduler::fits_pilot(const std::string& pilot_uid, std::size_t cores,
+                           std::size_t gpus, double mem_gb) const {
+  const auto it = pilots_.find(pilot_uid);
+  ensure(it != pilots_.end(), Errc::not_found,
+         strutil::cat("unknown pilot '", pilot_uid, "'"));
+  return specs_cover(it->second.distinct_specs, cores, gpus, mem_gb);
+}
+
+void Scheduler::validate_fits_pilot(const PilotEntry& entry,
+                                    const ScheduleRequest& request) const {
   ensure(static_cast<bool>(request.granted), Errc::invalid_argument,
          "schedule request needs a granted callback");
-  PilotEntry& entry = entry_for(pilot_uid);
-
-  // Reject requests that exceed the largest node outright.
-  const bool can_ever_fit = std::any_of(
-      entry.pilot->nodes().begin(), entry.pilot->nodes().end(),
-      [&](const platform::Node* node) {
-        return request.cores <= node->spec().cores &&
-               request.gpus <= node->spec().gpus &&
-               request.mem_gb <= node->spec().mem_gb;
-      });
-  ensure(can_ever_fit, Errc::capacity,
+  // Reject requests that exceed every node shape outright. Pilots are
+  // typically homogeneous, so this is one comparison.
+  ensure(specs_cover(entry.distinct_specs, request.cores, request.gpus,
+                     request.mem_gb),
+         Errc::capacity,
          strutil::cat("request ", request.uid, " (", request.cores, "c/",
                       request.gpus, "g) cannot fit any node of pilot ",
-                      pilot_uid));
+                      entry.pilot->uid()));
+}
 
-  Waiting waiting{std::move(request), next_sequence_++,
-                  runtime_.loop().now()};
-  // Insert keeping (priority desc, sequence asc) order.
-  auto position = std::find_if(
-      entry.waiting.begin(), entry.waiting.end(), [&](const Waiting& w) {
-        return w.request.priority < waiting.request.priority;
-      });
-  entry.waiting.insert(position, std::move(waiting));
-  try_schedule(entry);
+WaitQueue::Key Scheduler::enqueue(PilotEntry& entry,
+                                  ScheduleRequest request) {
+  const WaitQueue::Key key{request.priority, next_sequence_++};
+  entry.waiting.push(
+      key, WaitQueue::Entry{std::move(request), runtime_.loop().now()});
+  return key;
+}
+
+void Scheduler::submit(const std::string& pilot_uid,
+                       ScheduleRequest request) {
+  PilotEntry& entry = entry_for(pilot_uid);
+  validate_fits_pilot(entry, request);
+  const WaitQueue::Key key = enqueue(entry, std::move(request));
+  if (entry.needs_full_scan) {
+    try_schedule(entry);
+  } else {
+    try_place_new(entry, key);
+  }
+}
+
+std::size_t Scheduler::submit_all(const std::string& pilot_uid,
+                                  std::vector<ScheduleRequest> requests) {
+  PilotEntry& entry = entry_for(pilot_uid);
+  for (const ScheduleRequest& request : requests) {
+    validate_fits_pilot(entry, request);
+  }
+  try {
+    for (ScheduleRequest& request : requests) {
+      enqueue(entry, std::move(request));
+    }
+  } catch (...) {
+    // A duplicate uid mid-batch must not strand the already-enqueued
+    // requests without a placement pass (the submit fast path would
+    // never look at them again).
+    try_schedule(entry);
+    throw;
+  }
+  return try_schedule(entry);
 }
 
 bool Scheduler::cancel(const std::string& pilot_uid,
                        const std::string& request_uid) {
   PilotEntry& entry = entry_for(pilot_uid);
-  const auto it = std::find_if(
-      entry.waiting.begin(), entry.waiting.end(),
-      [&](const Waiting& w) { return w.request.uid == request_uid; });
-  if (it == entry.waiting.end()) return false;
-  entry.waiting.erase(it);
+  const bool was_head = !entry.waiting.empty() &&
+                        entry.waiting.begin()->second.request.uid ==
+                            request_uid;
+  if (!entry.waiting.erase_uid(request_uid)) return false;
+  // A fifo queue head may have been the only thing blocking placeable
+  // successors. Matching the legacy scheduler, cancel itself does not
+  // re-run placement (grant order stays bit-identical); the flag makes
+  // the next submit rescan the whole queue instead of fast-pathing.
+  if (was_head && policy_ == SchedulerPolicy::fifo) {
+    entry.needs_full_scan = true;
+  }
   return true;
 }
 
@@ -79,38 +156,64 @@ void Scheduler::release(const std::string& pilot_uid,
   platform::Node* node = entry.pilot->cluster().find_node(slot.node_id);
   ensure(node != nullptr, Errc::not_found,
          strutil::cat("release on unknown node '", slot.node_id, "'"));
-  node->release(slot);
+  node->release(slot);  // capacity index updates via the listener
   try_schedule(entry);
 }
 
-void Scheduler::try_schedule(PilotEntry& entry) {
+WaitQueue::iterator Scheduler::grant(PilotEntry& entry,
+                                     WaitQueue::iterator position,
+                                     platform::Node& node) {
+  ScheduleRequest& request = position->second.request;
+  platform::Slot slot =
+      node.allocate(request.cores, request.gpus, request.mem_gb);
+  wait_times_.add(runtime_.loop().now() - position->second.enqueued_at);
+  ++granted_;
+  auto callback = std::move(request.granted);
+  const auto next = entry.waiting.erase(position);
+  runtime_.loop().post([callback = std::move(callback),
+                        slot = std::move(slot),
+                        placed = &node] { callback(slot, placed); });
+  return next;
+}
+
+std::size_t Scheduler::try_schedule(PilotEntry& entry) {
+  std::size_t grants = 0;
   auto it = entry.waiting.begin();
   while (it != entry.waiting.end()) {
-    platform::Node* placed = nullptr;
-    for (platform::Node* node : entry.pilot->nodes()) {
-      if (node->can_fit(it->request.cores, it->request.gpus,
-                        it->request.mem_gb)) {
-        placed = node;
-        break;
-      }
-    }
-    if (placed == nullptr) {
-      if (policy_ == SchedulerPolicy::fifo) return;  // head blocks queue
+    const ScheduleRequest& request = it->second.request;
+    platform::Node* node =
+        entry.index.first_fit(request.cores, request.gpus, request.mem_gb);
+    if (node == nullptr) {
+      if (policy_ == SchedulerPolicy::fifo) break;  // head blocks queue
       ++it;
       continue;
     }
-    platform::Slot slot =
-        placed->allocate(it->request.cores, it->request.gpus,
-                         it->request.mem_gb);
-    wait_times_.add(runtime_.loop().now() - it->enqueued_at);
-    ++granted_;
-    auto callback = std::move(it->request.granted);
-    it = entry.waiting.erase(it);
-    runtime_.loop().post(
-        [callback = std::move(callback), slot = std::move(slot), placed] {
-          callback(slot, placed);
-        });
+    it = grant(entry, it, *node);
+    ++grants;
   }
+  entry.needs_full_scan = false;
+  return grants;
+}
+
+void Scheduler::try_place_new(PilotEntry& entry, WaitQueue::Key key) {
+  // Everything already queued was unplaceable at unchanged capacity
+  // (try_schedule invariant), so only the new entry can be granted —
+  // and under fifo only when it is the queue head.
+  auto position = entry.waiting.begin();
+  if (policy_ == SchedulerPolicy::fifo) {
+    if (position->first.priority != key.priority ||
+        position->first.sequence != key.sequence) {
+      return;
+    }
+  } else {
+    position = entry.waiting.find(key);
+    ensure(position != entry.waiting.end(), Errc::internal,
+           "submitted request vanished from wait queue");
+  }
+  const ScheduleRequest& request = position->second.request;
+  platform::Node* node =
+      entry.index.first_fit(request.cores, request.gpus, request.mem_gb);
+  if (node != nullptr) grant(entry, position, *node);
 }
 
 std::size_t Scheduler::queue_length(const std::string& pilot_uid) const {

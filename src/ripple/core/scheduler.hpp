@@ -10,10 +10,16 @@
 /// Policy `backfill` (default, matching RADICAL-Pilot) lets smaller
 /// requests overtake a blocked head-of-queue; `fifo` enforces strict
 /// order — the ablation bench compares the two.
+///
+/// Placement is indexed, not scanned: each pilot keeps a
+/// platform::CapacityIndex (segment tree over its nodes' free capacity,
+/// updated incrementally on allocate/release) answering first-fit
+/// queries in O(log nodes), and a WaitQueue (balanced-tree priority
+/// queue with a uid index) making submit/cancel O(log waiting). Grant
+/// order is identical to a linear first-fit rescan of the old
+/// deque-based scheduler; only the cost changes.
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,30 +27,21 @@
 #include "ripple/common/statistics.hpp"
 #include "ripple/core/entities.hpp"
 #include "ripple/core/runtime.hpp"
+#include "ripple/core/scheduler_request.hpp"
+#include "ripple/core/wait_queue.hpp"
+#include "ripple/platform/capacity_index.hpp"
 #include "ripple/platform/node.hpp"
 
 namespace ripple::core {
-
-enum class SchedulerPolicy { fifo, backfill };
-
-/// A slot request from either manager.
-struct ScheduleRequest {
-  std::string uid;  ///< task/service uid (used for cancel)
-  std::size_t cores = 1;
-  std::size_t gpus = 0;
-  double mem_gb = 0.0;
-  int priority = 0;
-
-  /// Fired (asynchronously) with the placement when granted.
-  std::function<void(platform::Slot, platform::Node*)> granted;
-};
 
 class Scheduler {
  public:
   explicit Scheduler(Runtime& runtime,
                      SchedulerPolicy policy = SchedulerPolicy::backfill);
 
-  void set_policy(SchedulerPolicy policy) noexcept { policy_ = policy; }
+  /// Switching policy mid-run forces a full queue rescan on the next
+  /// submit (the fast path's invariants are policy-specific).
+  void set_policy(SchedulerPolicy policy) noexcept;
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
 
   /// Registers a pilot's nodes with the scheduler.
@@ -56,6 +53,21 @@ class Scheduler {
   /// Enqueues a request against a pilot's resources. Throws capacity
   /// when the request can never fit on any node of the pilot.
   void submit(const std::string& pilot_uid, ScheduleRequest request);
+
+  /// Enqueues a batch, then runs one placement pass over the whole
+  /// queue. Unlike N submit() calls, priorities are enacted across the
+  /// entire batch before any placement, and the pilot's queue is
+  /// re-scanned once instead of N times. Returns the number granted
+  /// during the pass.
+  std::size_t submit_all(const std::string& pilot_uid,
+                         std::vector<ScheduleRequest> requests);
+
+  /// True when a request of this shape could ever fit some node of the
+  /// pilot (the submit-time capacity precondition). O(distinct node
+  /// shapes), i.e. O(1) for homogeneous pilots.
+  [[nodiscard]] bool fits_pilot(const std::string& pilot_uid,
+                                std::size_t cores, std::size_t gpus,
+                                double mem_gb) const;
 
   /// Removes a queued (not yet granted) request. Returns false if the
   /// request was already granted or is unknown.
@@ -75,18 +87,37 @@ class Scheduler {
   }
 
  private:
-  struct Waiting {
-    ScheduleRequest request;
-    std::uint64_t sequence;
-    double enqueued_at;
-  };
-
   struct PilotEntry {
     Pilot* pilot = nullptr;
-    std::deque<Waiting> waiting;
+    WaitQueue waiting;
+    platform::CapacityIndex index;
+    /// Distinct node shapes of the pilot, for O(1) can-ever-fit checks.
+    std::vector<platform::NodeSpec> distinct_specs;
+    /// Set when the fast-path invariant broke (fifo head cancelled,
+    /// policy switched); the next submit rescans the whole queue.
+    bool needs_full_scan = false;
   };
 
-  void try_schedule(PilotEntry& entry);
+  void validate_fits_pilot(const PilotEntry& entry,
+                           const ScheduleRequest& request) const;
+  WaitQueue::Key enqueue(PilotEntry& entry, ScheduleRequest request);
+
+  /// Allocates on `node`, records stats, posts the callback and removes
+  /// the entry; returns the successor iterator.
+  WaitQueue::iterator grant(PilotEntry& entry,
+                            WaitQueue::iterator position,
+                            platform::Node& node);
+
+  /// Full placement pass in grant order; returns grants made. Every
+  /// entry still queued afterwards does not fit the current capacity
+  /// (backfill) or sits behind a blocked head (fifo) — the invariant
+  /// the submit fast path relies on.
+  std::size_t try_schedule(PilotEntry& entry);
+
+  /// Post-submit fast path: only the entry at `key` can possibly be
+  /// granted (all others were unplaceable at unchanged capacity).
+  void try_place_new(PilotEntry& entry, WaitQueue::Key key);
+
   [[nodiscard]] PilotEntry& entry_for(const std::string& pilot_uid);
 
   Runtime& runtime_;

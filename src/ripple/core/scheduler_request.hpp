@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file scheduler_request.hpp
+/// The slot-request type shared by the scheduler and its wait queue.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "ripple/platform/node.hpp"
+
+namespace ripple::core {
+
+enum class SchedulerPolicy { fifo, backfill };
+
+/// A slot request from either manager.
+struct ScheduleRequest {
+  std::string uid;  ///< task/service uid (used for cancel)
+  std::size_t cores = 1;
+  std::size_t gpus = 0;
+  double mem_gb = 0.0;
+  int priority = 0;
+
+  /// Fired (asynchronously) with the placement when granted.
+  std::function<void(platform::Slot, platform::Node*)> granted;
+};
+
+}  // namespace ripple::core

@@ -226,7 +226,8 @@ const std::string& ServiceManager::ensure_registry(
 // Submission
 // ---------------------------------------------------------------------------
 
-std::string ServiceManager::submit(Pilot& pilot, ServiceDescription desc) {
+std::string ServiceManager::create_service(Pilot& pilot,
+                                           ServiceDescription desc) {
   desc.validate();
   ensure(executor_.programs().has(desc.program), Errc::not_found,
          strutil::cat("service program '", desc.program,
@@ -251,7 +252,11 @@ std::string ServiceManager::submit(Pilot& pilot, ServiceDescription desc) {
         if (is_terminal(found->second.service->state())) return;
         fail_service(uid, "ready timeout exceeded");
       });
+  return uid;
+}
 
+std::string ServiceManager::submit(Pilot& pilot, ServiceDescription desc) {
+  const std::string uid = create_service(pilot, std::move(desc));
   // Enter the scheduler asynchronously (symmetric with TaskManager):
   // submission order across managers is preserved by the event loop.
   runtime_.loop().post([this, uid] {
@@ -263,9 +268,33 @@ std::string ServiceManager::submit(Pilot& pilot, ServiceDescription desc) {
   return uid;
 }
 
-void ServiceManager::begin_scheduling(const std::string& uid) {
-  Active& active = active_for(uid);
-  set_state(active, ServiceState::scheduling);
+std::vector<std::string> ServiceManager::submit_all(
+    Pilot& pilot, std::vector<ServiceDescription> descs) {
+  std::vector<std::string> out;
+  out.reserve(descs.size());
+  // Posted even when a later description throws — already-created
+  // services have ready timers armed and must still enter the
+  // scheduler, as they would under per-service submission.
+  const auto post_batch = [this, &pilot](std::vector<std::string> uids) {
+    if (uids.empty()) return;
+    runtime_.loop().post([this, &pilot, uids = std::move(uids)] {
+      begin_scheduling_batch(pilot, uids);
+    });
+  };
+  try {
+    for (auto& desc : descs) {
+      out.push_back(create_service(pilot, std::move(desc)));
+    }
+  } catch (...) {
+    post_batch(out);
+    throw;
+  }
+  post_batch(out);
+  return out;
+}
+
+ScheduleRequest ServiceManager::make_request(const std::string& uid,
+                                             Active& active) {
   const ServiceDescription& desc = active.service->description();
   ScheduleRequest request;
   request.uid = uid;
@@ -276,7 +305,53 @@ void ServiceManager::begin_scheduling(const std::string& uid) {
   request.granted = [this, uid](platform::Slot slot, platform::Node* node) {
     on_granted(uid, std::move(slot), node);
   };
-  scheduler_.submit(active.pilot->uid(), std::move(request));
+  return request;
+}
+
+void ServiceManager::begin_scheduling(const std::string& uid) {
+  Active& active = active_for(uid);
+  // Oversized services fail individually; this runs inside an
+  // event-loop callback, where a Scheduler::submit throw would abort
+  // the run.
+  const ServiceDescription& desc = active.service->description();
+  if (!scheduler_.fits_pilot(active.pilot->uid(), desc.cores, desc.gpus,
+                             desc.mem_gb)) {
+    fail_service(uid, strutil::cat("request (", desc.cores, "c/",
+                                   desc.gpus,
+                                   "g) cannot fit any node of pilot ",
+                                   active.pilot->uid()));
+    return;
+  }
+  set_state(active, ServiceState::scheduling);
+  scheduler_.submit(active.pilot->uid(), make_request(uid, active));
+}
+
+void ServiceManager::begin_scheduling_batch(
+    Pilot& pilot, const std::vector<std::string>& uids) {
+  std::vector<ScheduleRequest> requests;
+  requests.reserve(uids.size());
+  for (const auto& uid : uids) {
+    const auto it = services_.find(uid);
+    if (it == services_.end()) continue;
+    if (it->second.service->state() != ServiceState::created) continue;
+    // Fail oversized services individually; Scheduler::submit_all
+    // validates the whole batch up front, and one impossible request
+    // must not strand its siblings.
+    const ServiceDescription& desc = it->second.service->description();
+    if (!scheduler_.fits_pilot(pilot.uid(), desc.cores, desc.gpus,
+                               desc.mem_gb)) {
+      fail_service(uid, strutil::cat("request (", desc.cores, "c/",
+                                     desc.gpus,
+                                     "g) cannot fit any node of pilot ",
+                                     pilot.uid()));
+      continue;
+    }
+    set_state(it->second, ServiceState::scheduling);
+    requests.push_back(make_request(uid, it->second));
+  }
+  if (!requests.empty()) {
+    scheduler_.submit_all(pilot.uid(), std::move(requests));
+  }
 }
 
 void ServiceManager::on_granted(const std::string& uid, platform::Slot slot,

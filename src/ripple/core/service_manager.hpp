@@ -38,6 +38,13 @@ class ServiceManager {
   /// Submits a local service into `pilot`; returns its uid.
   std::string submit(Pilot& pilot, ServiceDescription desc);
 
+  /// Submits a batch of local services; returns uids in order. The
+  /// whole batch enters the scheduler through one submit_all pass:
+  /// priorities are enacted across the batch and the pilot's queue is
+  /// scanned once instead of N times.
+  std::vector<std::string> submit_all(Pilot& pilot,
+                                      std::vector<ServiceDescription> descs);
+
   /// Registers a persistent remote service on `cluster` (placed on node
   /// `node_index`); returns its uid. The service enters RUNNING as soon
   /// as its program initializes (set config {"preloaded": true} for
@@ -108,8 +115,16 @@ class ServiceManager {
     std::function<void(bool)> on_ready;
   };
 
+  /// Validates a description and registers the service (ready timer
+  /// armed); the caller decides when scheduling starts.
+  std::string create_service(Pilot& pilot, ServiceDescription desc);
+  [[nodiscard]] ScheduleRequest make_request(const std::string& uid,
+                                             Active& active);
+
   // Bootstrap pipeline.
   void begin_scheduling(const std::string& uid);
+  void begin_scheduling_batch(Pilot& pilot,
+                              const std::vector<std::string>& uids);
   void on_granted(const std::string& uid, platform::Slot slot,
                   platform::Node* node);
   void on_launched(const std::string& uid);

@@ -120,7 +120,7 @@ void TaskManager::when_done(std::vector<std::string> uids,
 // Submission & readiness
 // ---------------------------------------------------------------------------
 
-std::string TaskManager::submit(Pilot& pilot, TaskDescription desc) {
+std::string TaskManager::create_task(Pilot& pilot, TaskDescription desc) {
   desc.validate();
   ensure(executor_.payloads().has(desc.kind), Errc::not_found,
          strutil::cat("no payload factory for kind '", desc.kind, "'"));
@@ -140,7 +140,11 @@ std::string TaskManager::submit(Pilot& pilot, TaskDescription desc) {
   active.pilot = &pilot;
   tasks_.emplace(uid, std::move(active));
   runtime_.publish_state("task", uid, to_string(TaskState::created));
+  return uid;
+}
 
+std::string TaskManager::submit(Pilot& pilot, TaskDescription desc) {
+  const std::string uid = create_task(pilot, std::move(desc));
   runtime_.loop().post([this, uid] { evaluate(uid); });
   return uid;
 }
@@ -149,7 +153,27 @@ std::vector<std::string> TaskManager::submit_all(
     Pilot& pilot, std::vector<TaskDescription> descs) {
   std::vector<std::string> out;
   out.reserve(descs.size());
-  for (auto& desc : descs) out.push_back(submit(pilot, std::move(desc)));
+  // One deferred pass: evaluate everything, then enter the scheduler as
+  // a single batch so the waiting queue is scanned once, not N times.
+  // Posted even when a later description throws — already-created tasks
+  // must still be evaluated, as they were under per-task submission.
+  const auto post_batch = [this, &pilot](std::vector<std::string> uids) {
+    if (uids.empty()) return;
+    runtime_.loop().post([this, &pilot, uids = std::move(uids)] {
+      std::vector<std::string> ready;
+      for (const auto& uid : uids) evaluate(uid, &ready);
+      schedule_batch(pilot, ready);
+    });
+  };
+  try {
+    for (auto& desc : descs) {
+      out.push_back(create_task(pilot, std::move(desc)));
+    }
+  } catch (...) {
+    post_batch(out);
+    throw;
+  }
+  post_batch(out);
   return out;
 }
 
@@ -175,7 +199,8 @@ TaskManager::Readiness TaskManager::readiness(const Active& active,
   return Readiness::ready;
 }
 
-void TaskManager::evaluate(const std::string& uid) {
+void TaskManager::evaluate(const std::string& uid,
+                           std::vector<std::string>* batch) {
   const auto it = tasks_.find(uid);
   if (it == tasks_.end()) return;
   Active& active = it->second;
@@ -194,10 +219,20 @@ void TaskManager::evaluate(const std::string& uid) {
       }
       waiting_.insert(uid);
       return;
-    case Readiness::ready:
+    case Readiness::ready: {
       waiting_.erase(uid);
-      to_staging_in(uid);
+      const auto& staging = active.task->description().staging;
+      const bool stages_in = std::any_of(
+          staging.begin(), staging.end(), [](const StagingDirective& d) {
+            return d.action == StagingDirective::Action::stage_in;
+          });
+      if (batch != nullptr && !stages_in) {
+        batch->push_back(uid);  // scheduled by schedule_batch
+      } else {
+        to_staging_in(uid);
+      }
       return;
+    }
   }
 }
 
@@ -225,32 +260,24 @@ void TaskManager::to_staging_in(const std::string& uid) {
   }
   set_state(active, TaskState::staging_input);
   const std::string zone = active.pilot->cluster().name();
-  auto remaining = std::make_shared<std::size_t>(inputs.size());
-  auto failed = std::make_shared<bool>(false);
-  for (const auto& dataset : inputs) {
-    data_.stage(dataset, zone,
-                [this, uid, dataset, remaining, failed](bool ok,
-                                                        sim::Duration) {
-                  if (!ok && !*failed) {
-                    *failed = true;
-                    fail_task(uid, strutil::cat("stage-in of '", dataset,
-                                                "' failed"));
-                  }
-                  if (--(*remaining) == 0 && !*failed) to_scheduling(uid);
-                });
-  }
+  data_.stage_all(inputs, zone,
+                  [this, uid](bool ok, const std::string& failed_dataset) {
+                    if (!ok) {
+                      fail_task(uid, strutil::cat("stage-in of '",
+                                                  failed_dataset,
+                                                  "' failed"));
+                      return;
+                    }
+                    to_scheduling(uid);
+                  });
 }
 
 // ---------------------------------------------------------------------------
 // Scheduling & execution
 // ---------------------------------------------------------------------------
 
-void TaskManager::to_scheduling(const std::string& uid) {
-  const auto it = tasks_.find(uid);
-  if (it == tasks_.end()) return;
-  Active& active = it->second;
-  if (is_terminal(active.task->state())) return;
-  set_state(active, TaskState::scheduling);
+ScheduleRequest TaskManager::make_request(const std::string& uid,
+                                          Active& active) {
   const TaskDescription& desc = active.task->description();
   ScheduleRequest request;
   request.uid = uid;
@@ -261,7 +288,54 @@ void TaskManager::to_scheduling(const std::string& uid) {
   request.granted = [this, uid](platform::Slot slot, platform::Node* node) {
     on_granted(uid, std::move(slot), node);
   };
-  scheduler_.submit(active.pilot->uid(), std::move(request));
+  return request;
+}
+
+void TaskManager::to_scheduling(const std::string& uid) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) return;
+  // Oversized tasks fail individually; this runs inside an event-loop
+  // callback, where a Scheduler::submit throw would abort the run.
+  const TaskDescription& desc = active.task->description();
+  if (!scheduler_.fits_pilot(active.pilot->uid(), desc.cores, desc.gpus,
+                             desc.mem_gb)) {
+    fail_task(uid, strutil::cat("request (", desc.cores, "c/", desc.gpus,
+                                "g) cannot fit any node of pilot ",
+                                active.pilot->uid()));
+    return;
+  }
+  set_state(active, TaskState::scheduling);
+  scheduler_.submit(active.pilot->uid(), make_request(uid, active));
+}
+
+void TaskManager::schedule_batch(Pilot& pilot,
+                                 const std::vector<std::string>& uids) {
+  std::vector<ScheduleRequest> requests;
+  requests.reserve(uids.size());
+  for (const auto& uid : uids) {
+    const auto it = tasks_.find(uid);
+    if (it == tasks_.end() || is_terminal(it->second.task->state())) {
+      continue;
+    }
+    // Fail oversized tasks individually; Scheduler::submit_all
+    // validates the whole batch up front, and one impossible request
+    // must not strand its siblings in SCHEDULING.
+    const TaskDescription& desc = it->second.task->description();
+    if (!scheduler_.fits_pilot(pilot.uid(), desc.cores, desc.gpus,
+                               desc.mem_gb)) {
+      fail_task(uid, strutil::cat("request (", desc.cores, "c/", desc.gpus,
+                                  "g) cannot fit any node of pilot ",
+                                  pilot.uid()));
+      continue;
+    }
+    set_state(it->second, TaskState::scheduling);
+    requests.push_back(make_request(uid, it->second));
+  }
+  if (!requests.empty()) {
+    scheduler_.submit_all(pilot.uid(), std::move(requests));
+  }
 }
 
 void TaskManager::on_granted(const std::string& uid, platform::Slot slot,

@@ -35,7 +35,11 @@ class TaskManager {
   /// in the description must already exist.
   std::string submit(Pilot& pilot, TaskDescription desc);
 
-  /// Submits a batch; returns uids in order.
+  /// Submits a batch; returns uids in order. Tasks that are immediately
+  /// runnable (no pending dependency, no stage-in) enter the scheduler
+  /// through one batch submit_all pass — priorities are enacted across
+  /// the whole batch and the pilot's queue is scanned once, not N
+  /// times. Tasks within a batch may depend on each other.
   std::vector<std::string> submit_all(Pilot& pilot,
                                       std::vector<TaskDescription> descs);
 
@@ -73,7 +77,17 @@ class TaskManager {
   [[nodiscard]] Readiness readiness(const Active& active,
                                     std::string* blocker) const;
 
-  void evaluate(const std::string& uid);
+  /// Validates a description and registers the task; the caller decides
+  /// when (and how) evaluation happens.
+  std::string create_task(Pilot& pilot, TaskDescription desc);
+
+  /// When `batch` is non-null, tasks that are ready to schedule with no
+  /// stage-in are collected there instead of being submitted one by one.
+  void evaluate(const std::string& uid,
+                std::vector<std::string>* batch = nullptr);
+  void schedule_batch(Pilot& pilot, const std::vector<std::string>& uids);
+  [[nodiscard]] ScheduleRequest make_request(const std::string& uid,
+                                             Active& active);
   void to_staging_in(const std::string& uid);
   void to_scheduling(const std::string& uid);
   void on_granted(const std::string& uid, platform::Slot slot,

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file wait_queue.hpp
+/// Priority-ordered waiting queue for the scheduler.
+///
+/// A balanced-tree indexed priority queue keyed by (priority desc,
+/// sequence asc) — the scheduler's grant order — with a uid side index
+/// so cancel() finds its entry without scanning. push, erase and
+/// pop-best are all O(log N); backfill scans iterate entries in grant
+/// order without mutating the queue.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "ripple/core/scheduler_request.hpp"
+
+namespace ripple::core {
+
+class WaitQueue {
+ public:
+  /// Grant-order key: higher priority first, then submission order.
+  struct Key {
+    int priority = 0;
+    std::uint64_t sequence = 0;
+
+    bool operator<(const Key& other) const noexcept {
+      if (priority != other.priority) return priority > other.priority;
+      return sequence < other.sequence;
+    }
+  };
+
+  struct Entry {
+    ScheduleRequest request;
+    double enqueued_at = 0.0;
+  };
+
+  using Map = std::map<Key, Entry>;
+  using iterator = Map::iterator;
+  using const_iterator = Map::const_iterator;
+
+  /// Inserts in grant order. Throws invalid_state when the uid is
+  /// already queued (sequences are unique by construction).
+  void push(Key key, Entry entry);
+
+  /// Removes the entry for `uid`; false when not queued.
+  bool erase_uid(const std::string& uid);
+
+  /// Removes the entry an iterator points at; returns the successor.
+  iterator erase(iterator position);
+
+  [[nodiscard]] iterator find(Key key) { return queue_.find(key); }
+
+  [[nodiscard]] bool contains_uid(const std::string& uid) const {
+    return by_uid_.count(uid) != 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+
+  [[nodiscard]] iterator begin() noexcept { return queue_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return queue_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return queue_.begin();
+  }
+  [[nodiscard]] const_iterator end() const noexcept { return queue_.end(); }
+
+ private:
+  Map queue_;
+  std::unordered_map<std::string, Key> by_uid_;
+};
+
+}  // namespace ripple::core

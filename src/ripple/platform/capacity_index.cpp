@@ -1,0 +1,112 @@
+#include "ripple/platform/capacity_index.hpp"
+
+#include "ripple/common/error.hpp"
+
+namespace ripple::platform {
+
+CapacityIndex::~CapacityIndex() { detach(); }
+
+void CapacityIndex::attach(const std::vector<Node*>& nodes) {
+  detach();
+  nodes_ = nodes;
+  leaf_of_.reserve(nodes_.size());
+  cap_ = 1;
+  while (cap_ < nodes_.size()) cap_ <<= 1;
+  if (nodes_.empty()) cap_ = 0;
+  tree_.assign(cap_ * 2, Maxima{});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node* node = nodes_[i];
+    ensure(node != nullptr, Errc::invalid_argument,
+           "capacity index: null node");
+    ensure(leaf_of_.emplace(node, i).second, Errc::invalid_argument,
+           "capacity index: duplicate node");
+    ensure(node->capacity_listener() == nullptr, Errc::invalid_state,
+           "capacity index: node already has a listener");
+    node->set_capacity_listener(this);
+    tree_[cap_ + i] =
+        Maxima{node->free_cores(), node->free_gpus(), node->free_mem_gb()};
+  }
+  for (std::size_t i = cap_; i-- > 1;) {
+    const Maxima& left = tree_[i * 2];
+    const Maxima& right = tree_[i * 2 + 1];
+    tree_[i] = Maxima{std::max(left.cores, right.cores),
+                      std::max(left.gpus, right.gpus),
+                      std::max(left.mem_gb, right.mem_gb)};
+  }
+}
+
+void CapacityIndex::detach() {
+  for (Node* node : nodes_) {
+    if (node->capacity_listener() == this) {
+      node->set_capacity_listener(nullptr);
+    }
+  }
+  nodes_.clear();
+  leaf_of_.clear();
+  tree_.clear();
+  cap_ = 0;
+}
+
+bool CapacityIndex::may_fit(std::size_t cores, std::size_t gpus,
+                            double mem_gb) const noexcept {
+  return cap_ != 0 && covers(tree_[1], cores, gpus, mem_gb);
+}
+
+std::size_t CapacityIndex::max_free_cores() const noexcept {
+  return cap_ == 0 ? 0 : tree_[1].cores;
+}
+
+Node* CapacityIndex::first_fit(std::size_t cores, std::size_t gpus,
+                               double mem_gb) const {
+  if (!may_fit(cores, gpus, mem_gb)) return nullptr;
+  // Left-first descent. Per-dimension maxima give exact pruning per
+  // dimension (max < request means no leaf below suffices), but a
+  // subtree passing all three may still hold no single fitting node, so
+  // the descent backtracks; leaves are exact.
+  std::size_t index = 1;
+  while (index < cap_) {
+    const std::size_t left = index * 2;
+    if (covers(tree_[left], cores, gpus, mem_gb)) {
+      index = left;
+      continue;
+    }
+    const std::size_t right = left + 1;
+    if (covers(tree_[right], cores, gpus, mem_gb)) {
+      index = right;
+      continue;
+    }
+    // Both children fail although the parent passed: the parent's maxima
+    // mix dimensions from different subtrees. Backtrack to the nearest
+    // ancestor we entered as a left child and take its right sibling.
+    while (index != 1 && ((index & 1u) == 1u ||
+                          !covers(tree_[index + 1], cores, gpus, mem_gb))) {
+      index /= 2;
+    }
+    if (index == 1) return nullptr;
+    index += 1;
+  }
+  const std::size_t leaf = index - cap_;
+  return leaf < nodes_.size() ? nodes_[leaf] : nullptr;
+}
+
+void CapacityIndex::on_capacity_changed(const Node& node) {
+  const auto it = leaf_of_.find(&node);
+  if (it == leaf_of_.end()) return;
+  const std::size_t leaf = cap_ + it->second;
+  tree_[leaf] =
+      Maxima{node.free_cores(), node.free_gpus(), node.free_mem_gb()};
+  pull_up(leaf / 2);
+}
+
+void CapacityIndex::pull_up(std::size_t tree_index) {
+  while (tree_index >= 1) {
+    const Maxima& left = tree_[tree_index * 2];
+    const Maxima& right = tree_[tree_index * 2 + 1];
+    tree_[tree_index] = Maxima{std::max(left.cores, right.cores),
+                               std::max(left.gpus, right.gpus),
+                               std::max(left.mem_gb, right.mem_gb)};
+    tree_index /= 2;
+  }
+}
+
+}  // namespace ripple::platform

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file capacity_index.hpp
+/// Incrementally maintained free-capacity index over a fixed node set.
+///
+/// The scheduler's placement hot path needs "the lowest-indexed node
+/// whose free cores, GPUs and memory all cover a request" — the same
+/// node a linear first-fit scan would pick, but in O(log N). The index
+/// is a segment tree over the nodes (leaf order = registration order)
+/// whose inner nodes store per-dimension maxima of free capacity.
+/// first_fit() descends left-first, pruning any subtree whose maximum
+/// in some dimension is below the request: such a subtree cannot
+/// contain a fitting node. Leaves hold exact free values, so the first
+/// leaf reached is exactly the linear scan's answer.
+///
+/// Updates arrive through the CapacityListener hook on Node: every
+/// allocate/release refreshes one leaf and its O(log N) ancestors —
+/// no rescan, ever.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "ripple/platform/node.hpp"
+
+namespace ripple::platform {
+
+class CapacityIndex final : public CapacityListener {
+ public:
+  CapacityIndex() = default;
+  ~CapacityIndex() override;
+
+  CapacityIndex(const CapacityIndex&) = delete;
+  CapacityIndex& operator=(const CapacityIndex&) = delete;
+
+  /// Builds the tree over `nodes` (their order defines first-fit order)
+  /// and registers as their capacity listener. Replaces any previous
+  /// attachment.
+  void attach(const std::vector<Node*>& nodes);
+
+  /// Unregisters from all nodes and clears the tree.
+  void detach();
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// The node a first-fit linear scan would pick, or nullptr when no
+  /// node currently fits. O(log N) on typical shapes.
+  [[nodiscard]] Node* first_fit(std::size_t cores, std::size_t gpus,
+                                double mem_gb) const;
+
+  /// O(1) necessary condition: false guarantees first_fit() == nullptr.
+  [[nodiscard]] bool may_fit(std::size_t cores, std::size_t gpus,
+                             double mem_gb) const noexcept;
+
+  /// Largest free-core count over all attached nodes (0 when empty).
+  [[nodiscard]] std::size_t max_free_cores() const noexcept;
+
+  // CapacityListener
+  void on_capacity_changed(const Node& node) override;
+
+ private:
+  /// Per-subtree maxima of free capacity, one dimension each.
+  struct Maxima {
+    std::size_t cores = 0;
+    std::size_t gpus = 0;
+    double mem_gb = 0.0;
+  };
+
+  [[nodiscard]] static bool covers(const Maxima& m, std::size_t cores,
+                                   std::size_t gpus,
+                                   double mem_gb) noexcept {
+    return cores <= m.cores && gpus <= m.gpus && mem_gb <= m.mem_gb;
+  }
+
+  void pull_up(std::size_t tree_index);
+
+  std::vector<Node*> nodes_;
+  std::unordered_map<const Node*, std::size_t> leaf_of_;
+  std::vector<Maxima> tree_;  ///< 1-based; leaves at [cap_, 2*cap_)
+  std::size_t cap_ = 0;       ///< power-of-two leaf capacity
+};
+
+}  // namespace ripple::platform

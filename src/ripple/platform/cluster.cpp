@@ -14,12 +14,13 @@ Cluster::Cluster(sim::EventLoop& loop, sim::Network& network,
   ensure(profile_.max_nodes > 0, Errc::invalid_argument,
          "cluster needs at least one node");
   nodes_.reserve(profile_.max_nodes);
-  reserved_.resize(profile_.max_nodes, false);
+  by_id_.reserve(profile_.max_nodes);
   for (std::size_t i = 0; i < profile_.max_nodes; ++i) {
     const std::string node_id =
         strutil::cat(profile_.name, ":node", strutil::zero_pad(i, 4));
     network.register_host(node_id, profile_.name);
     nodes_.push_back(std::make_unique<Node>(node_id, profile_.node, node_id));
+    by_id_.emplace(node_id, nodes_.back().get());
   }
   head_host_ = strutil::cat(profile_.name, ":head");
   network.register_host(head_host_, profile_.name);
@@ -36,8 +37,7 @@ Cluster::Cluster(sim::EventLoop& loop, sim::Network& network,
 }
 
 std::size_t Cluster::free_node_count() const noexcept {
-  return static_cast<std::size_t>(
-      std::count(reserved_.begin(), reserved_.end(), false));
+  return nodes_.size() - reserved_.size();
 }
 
 std::vector<Node*> Cluster::reserve_nodes(std::size_t count) {
@@ -48,8 +48,7 @@ std::vector<Node*> Cluster::reserve_nodes(std::size_t count) {
   std::vector<Node*> out;
   out.reserve(count);
   for (std::size_t i = 0; i < nodes_.size() && out.size() < count; ++i) {
-    if (!reserved_[i]) {
-      reserved_[i] = true;
+    if (reserved_.insert(nodes_[i].get()).second) {
       out.push_back(nodes_[i].get());
     }
   }
@@ -57,14 +56,7 @@ std::vector<Node*> Cluster::reserve_nodes(std::size_t count) {
 }
 
 void Cluster::release_nodes(const std::vector<Node*>& nodes) {
-  for (const Node* node : nodes) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (nodes_[i].get() == node) {
-        reserved_[i] = false;
-        break;
-      }
-    }
-  }
+  for (const Node* node : nodes) reserved_.erase(node);
 }
 
 Node& Cluster::node(std::size_t index) {
@@ -74,10 +66,8 @@ Node& Cluster::node(std::size_t index) {
 }
 
 Node* Cluster::find_node(const std::string& node_id) {
-  for (auto& node : nodes_) {
-    if (node->id() == node_id) return node.get();
-  }
-  return nullptr;
+  const auto it = by_id_.find(node_id);
+  return it == by_id_.end() ? nullptr : it->second;
 }
 
 void connect_clusters(sim::Network& network,

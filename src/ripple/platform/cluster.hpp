@@ -10,6 +10,8 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ripple/common/random.hpp"
@@ -45,6 +47,8 @@ class Cluster {
   void release_nodes(const std::vector<Node*>& nodes);
 
   [[nodiscard]] Node& node(std::size_t index);
+
+  /// O(1) lookup by node id; nullptr when unknown.
   [[nodiscard]] Node* find_node(const std::string& node_id);
 
   [[nodiscard]] Launcher& launcher() noexcept { return launcher_; }
@@ -58,7 +62,8 @@ class Cluster {
  private:
   PlatformProfile profile_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<bool> reserved_;
+  std::unordered_set<const Node*> reserved_;
+  std::unordered_map<std::string, Node*> by_id_;
   Launcher launcher_;
   sim::HostId head_host_;
 };

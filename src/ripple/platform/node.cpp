@@ -34,6 +34,7 @@ Slot Node::allocate(std::size_t cores, std::size_t gpus, double mem_gb) {
   free_cores_ -= cores;
   free_gpus_ -= gpus;
   free_mem_gb_ -= mem_gb;
+  notify();
   return Slot{id_, cores, gpus, mem_gb};
 }
 
@@ -48,6 +49,7 @@ void Node::release(const Slot& slot) {
   free_cores_ += slot.cores;
   free_gpus_ += slot.gpus;
   free_mem_gb_ += slot.mem_gb;
+  notify();
 }
 
 }  // namespace ripple::platform

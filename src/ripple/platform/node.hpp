@@ -36,6 +36,17 @@ struct Slot {
   [[nodiscard]] bool valid() const noexcept { return !node_id.empty(); }
 };
 
+class Node;
+
+/// Observes free-capacity changes on a Node. The scheduler's
+/// CapacityIndex registers itself so allocate/release keep the index
+/// current without rescans.
+class CapacityListener {
+ public:
+  virtual ~CapacityListener() = default;
+  virtual void on_capacity_changed(const Node& node) = 0;
+};
+
 class Node {
  public:
   Node(std::string id, NodeSpec spec, sim::HostId host);
@@ -59,13 +70,26 @@ class Node {
   /// Returns a slot's capacity; throws invalid_state on double release.
   void release(const Slot& slot);
 
+  /// At most one listener at a time; pass nullptr to clear.
+  void set_capacity_listener(CapacityListener* listener) noexcept {
+    listener_ = listener;
+  }
+  [[nodiscard]] CapacityListener* capacity_listener() const noexcept {
+    return listener_;
+  }
+
  private:
+  void notify() {
+    if (listener_ != nullptr) listener_->on_capacity_changed(*this);
+  }
+
   std::string id_;
   NodeSpec spec_;
   sim::HostId host_;
   std::size_t free_cores_;
   std::size_t free_gpus_;
   double free_mem_gb_;
+  CapacityListener* listener_ = nullptr;
 };
 
 }  // namespace ripple::platform

@@ -15,6 +15,7 @@ EventLoop::TimerHandle EventLoop::call_at(SimTime when, Callback callback) {
                       ")"));
   const std::uint64_t id = next_id_++;
   heap_.push(Event{when, next_sequence_++, id, std::move(callback)});
+  live_.insert(id);
   return TimerHandle{id};
 }
 
@@ -27,9 +28,10 @@ EventLoop::TimerHandle EventLoop::call_after(Duration delay,
 
 bool EventLoop::cancel(TimerHandle handle) {
   if (!handle.valid()) return false;
-  // Events stay in the heap; execution skips cancelled ids. The id is
-  // only valid once, so remembering it until pop is safe.
-  if (handle.id >= next_id_) return false;
+  // Events stay in the heap; execution skips cancelled ids. Only ids
+  // still in the heap may enter `cancelled_` — an id of an event that
+  // already ran would never be popped and would leak.
+  if (live_.count(handle.id) == 0) return false;
   return cancelled_.insert(handle.id).second;
 }
 
@@ -37,6 +39,7 @@ bool EventLoop::step(SimTime deadline) {
   while (!heap_.empty()) {
     const Event& top = heap_.top();
     if (cancelled_.erase(top.id) > 0) {
+      live_.erase(top.id);
       heap_.pop();
       continue;
     }
@@ -45,6 +48,7 @@ bool EventLoop::step(SimTime deadline) {
     // inside the callback sees a consistent heap.
     Event event = std::move(const_cast<Event&>(top));
     heap_.pop();
+    live_.erase(event.id);
     now_ = event.time;
     ++processed_;
     event.callback();

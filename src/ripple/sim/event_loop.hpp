@@ -75,6 +75,12 @@ class EventLoop {
     return heap_.size() - cancelled_.size();
   }
 
+  /// Cancelled events still occupying the heap (they drop out when
+  /// popped). Bounded by pending cancellations; exposed for tests.
+  [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
+    return cancelled_.size();
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -95,6 +101,10 @@ class EventLoop {
   bool step(SimTime deadline);
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Ids of events still in the heap. Keeps cancel() from recording ids
+  /// of already-fired events in `cancelled_`, which would otherwise
+  /// accumulate forever in long-running simulations.
+  std::unordered_set<std::uint64_t> live_;
   std::unordered_set<std::uint64_t> cancelled_;
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;

@@ -1,0 +1,482 @@
+// Tests for the indexed scheduler core: capacity-index first-fit
+// equivalence, wait-queue ordering, backfill/fifo semantics on the
+// indexed path, cancellation of queued vs granted requests, priority
+// relations between services and tasks, batch submission, and
+// same-seed determinism of grant order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/random.hpp"
+#include "ripple/core/scheduler.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/core/wait_queue.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/capacity_index.hpp"
+#include "ripple/platform/profiles.hpp"
+#include "ripple/sim/event_loop.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::core;
+
+// ---------------------------------------------------------------------------
+// CapacityIndex: first_fit must equal a linear first-fit scan, always.
+// ---------------------------------------------------------------------------
+
+class CapacityIndexTest : public ::testing::Test {
+ protected:
+  std::vector<std::unique_ptr<platform::Node>> owned_;
+  std::vector<platform::Node*> nodes_;
+  platform::CapacityIndex index_;
+
+  void build(const std::vector<platform::NodeSpec>& specs) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      owned_.push_back(std::make_unique<platform::Node>(
+          "n" + std::to_string(i), specs[i], "n" + std::to_string(i)));
+      nodes_.push_back(owned_.back().get());
+    }
+    index_.attach(nodes_);
+  }
+
+  platform::Node* linear_first_fit(std::size_t cores, std::size_t gpus,
+                                   double mem) {
+    for (platform::Node* node : nodes_) {
+      if (node->can_fit(cores, gpus, mem)) return node;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(CapacityIndexTest, PicksLowestIndexedFit) {
+  build(std::vector<platform::NodeSpec>(5, {8, 2, 64.0}));
+  EXPECT_EQ(index_.first_fit(4, 0, 0.0), nodes_[0]);
+  (void)nodes_[0]->allocate(8, 0, 0.0);
+  EXPECT_EQ(index_.first_fit(4, 0, 0.0), nodes_[1]);
+  // GPU-aware secondary filter: node0 still has GPUs but no cores.
+  EXPECT_EQ(index_.first_fit(1, 1, 0.0), nodes_[1]);
+  (void)nodes_[1]->allocate(0, 2, 0.0);
+  EXPECT_EQ(index_.first_fit(1, 1, 0.0), nodes_[2]);
+  EXPECT_EQ(index_.first_fit(9, 0, 0.0), nullptr);
+}
+
+TEST_F(CapacityIndexTest, MixedDimensionMaximaDoNotFoolTheDescent) {
+  // node0 has cores but no GPUs, node1 GPUs but no cores: the subtree
+  // maxima (8 cores, 2 gpus) pass a (8c, 2g) probe although neither
+  // node fits — the descent must backtrack to node2.
+  build({{8, 2, 64.0}, {8, 2, 64.0}, {8, 2, 64.0}});
+  (void)nodes_[0]->allocate(0, 2, 0.0);
+  (void)nodes_[1]->allocate(8, 0, 0.0);
+  EXPECT_EQ(index_.first_fit(8, 2, 0.0), nodes_[2]);
+  (void)nodes_[2]->allocate(1, 0, 0.0);
+  EXPECT_EQ(index_.first_fit(8, 2, 0.0), nullptr);
+}
+
+TEST_F(CapacityIndexTest, ReleaseRestoresFitIncrementally) {
+  build(std::vector<platform::NodeSpec>(4, {4, 1, 16.0}));
+  std::vector<platform::Slot> slots;
+  for (auto* node : nodes_) slots.push_back(node->allocate(4, 1, 16.0));
+  EXPECT_EQ(index_.first_fit(1, 0, 0.0), nullptr);
+  nodes_[2]->release(slots[2]);
+  EXPECT_EQ(index_.first_fit(1, 0, 0.0), nodes_[2]);
+  EXPECT_EQ(index_.max_free_cores(), 4u);
+}
+
+TEST_F(CapacityIndexTest, FuzzMatchesLinearScan) {
+  common::Rng rng(77);
+  std::vector<platform::NodeSpec> specs;
+  for (int i = 0; i < 37; ++i) {  // non-power-of-two on purpose
+    specs.push_back({static_cast<std::size_t>(rng.uniform_int(4, 64)),
+                     static_cast<std::size_t>(rng.uniform_int(0, 8)),
+                     rng.uniform(16.0, 512.0)});
+  }
+  build(specs);
+  std::vector<platform::Slot> held;
+  for (int step = 0; step < 3000; ++step) {
+    const std::size_t cores =
+        static_cast<std::size_t>(rng.uniform_int(1, 48));
+    const std::size_t gpus = static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const double mem = rng.uniform(0.0, 256.0);
+    platform::Node* expected = linear_first_fit(cores, gpus, mem);
+    platform::Node* actual = index_.first_fit(cores, gpus, mem);
+    ASSERT_EQ(actual, expected) << "step " << step;
+    if (expected != nullptr) {
+      held.push_back(expected->allocate(cores, gpus, mem));
+    }
+    // Random releases keep the load fluctuating.
+    while (!held.empty() && rng.uniform(0.0, 1.0) < 0.45) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      platform::Slot slot = held[pick];
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+      for (auto* node : nodes_) {
+        if (node->id() == slot.node_id) {
+          node->release(slot);
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CapacityIndexTest, DetachClearsListeners) {
+  build(std::vector<platform::NodeSpec>(3, {8, 2, 64.0}));
+  EXPECT_EQ(nodes_[0]->capacity_listener(), &index_);
+  index_.detach();
+  EXPECT_EQ(nodes_[0]->capacity_listener(), nullptr);
+  EXPECT_EQ(index_.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WaitQueue
+// ---------------------------------------------------------------------------
+
+ScheduleRequest dummy_request(const std::string& uid, int priority = 0) {
+  ScheduleRequest request;
+  request.uid = uid;
+  request.priority = priority;
+  request.granted = [](platform::Slot, platform::Node*) {};
+  return request;
+}
+
+TEST(WaitQueue, OrdersByPriorityThenSequence) {
+  WaitQueue queue;
+  queue.push({0, 0}, {dummy_request("a", 0), 0.0});
+  queue.push({5, 1}, {dummy_request("b", 5), 0.0});
+  queue.push({5, 2}, {dummy_request("c", 5), 0.0});
+  queue.push({-1, 3}, {dummy_request("d", -1), 0.0});
+  std::vector<std::string> order;
+  for (const auto& [key, entry] : queue) order.push_back(entry.request.uid);
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "c", "a", "d"}));
+}
+
+TEST(WaitQueue, EraseByUidAndDuplicateRejected) {
+  WaitQueue queue;
+  queue.push({0, 0}, {dummy_request("x"), 0.0});
+  EXPECT_THROW(queue.push({1, 1}, {dummy_request("x"), 0.0}), Error);
+  EXPECT_TRUE(queue.contains_uid("x"));
+  EXPECT_TRUE(queue.erase_uid("x"));
+  EXPECT_FALSE(queue.erase_uid("x"));
+  EXPECT_TRUE(queue.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler semantics on the indexed path
+// ---------------------------------------------------------------------------
+
+class IndexedSchedulerTest : public ::testing::Test {
+ protected:
+  Session session{SessionConfig{.seed = 31}};
+  Pilot* pilot = nullptr;
+
+  void SetUp() override {
+    session.add_platform(platform::delta_profile(2));  // 64c/4g per node
+    pilot = &session.submit_pilot({.platform = "delta", .nodes = 2});
+  }
+
+  ScheduleRequest request(const std::string& uid, std::size_t cores,
+                          std::size_t gpus, int priority,
+                          std::vector<std::string>& order) {
+    ScheduleRequest r;
+    r.uid = uid;
+    r.cores = cores;
+    r.gpus = gpus;
+    r.priority = priority;
+    r.granted = [&order, uid](platform::Slot, platform::Node*) {
+      order.push_back(uid);
+    };
+    return r;
+  }
+};
+
+TEST_F(IndexedSchedulerTest, BackfillOvertakesBlockedHeadOnRelease) {
+  std::vector<std::string> order;
+  auto& sched = session.scheduler();
+  sched.submit(pilot->uid(), request("big1", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("big2", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("blocked", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("small", 8, 0, 0, order));
+  session.run();
+  ASSERT_EQ(order.size(), 2u);
+  // Free 8 cores: the blocked full-node head cannot take them, the
+  // small request overtakes it.
+  sched.release(pilot->uid(), platform::Slot{"delta:node0000", 8, 0, 0.0});
+  session.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], "small");
+  EXPECT_EQ(sched.queue_length(pilot->uid()), 1u);
+}
+
+TEST_F(IndexedSchedulerTest, CancelQueuedVersusGranted) {
+  std::vector<std::string> order;
+  auto& sched = session.scheduler();
+  sched.submit(pilot->uid(), request("granted", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("hog", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("queued", 64, 0, 0, order));
+  session.run();
+  EXPECT_TRUE(sched.cancel(pilot->uid(), "queued"));
+  EXPECT_FALSE(sched.cancel(pilot->uid(), "queued"));   // gone
+  EXPECT_FALSE(sched.cancel(pilot->uid(), "granted"));  // holds a slot
+  EXPECT_FALSE(sched.cancel(pilot->uid(), "ghost"));    // never existed
+  EXPECT_EQ(sched.queue_length(pilot->uid()), 0u);
+}
+
+TEST_F(IndexedSchedulerTest, FifoHeadCancelUnblocksQueueOnNextSubmit) {
+  session.scheduler().set_policy(SchedulerPolicy::fifo);
+  std::vector<std::string> order;
+  auto& sched = session.scheduler();
+  sched.submit(pilot->uid(), request("hog1", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("hog2", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("blocker", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("small", 1, 0, 0, order));
+  session.run();
+  EXPECT_EQ(order.size(), 2u);
+  // Partial release: under fifo nothing may pass the blocked head.
+  sched.release(pilot->uid(), platform::Slot{"delta:node0000", 8, 0, 0.0});
+  session.run();
+  EXPECT_EQ(order.size(), 2u);
+  // Cancelling the head invalidates the fast-path invariant; the next
+  // submit must rescan and grant `small` the freed cores.
+  EXPECT_TRUE(sched.cancel(pilot->uid(), "blocker"));
+  sched.submit(pilot->uid(), request("late", 64, 0, 0, order));
+  session.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], "small");
+}
+
+TEST_F(IndexedSchedulerTest, ServiceRequestsOutrankTaskRequests) {
+  // Default priorities: services 100, tasks 0. Saturate the pilot, then
+  // queue a task before a service: the service must be granted first
+  // once capacity frees up.
+  std::vector<std::string> order;
+  auto& sched = session.scheduler();
+  sched.submit(pilot->uid(), request("hog1", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("hog2", 64, 0, 0, order));
+  TaskDescription task;
+  ServiceDescription service;
+  sched.submit(pilot->uid(),
+               request("task", 8, 0, task.priority, order));
+  sched.submit(pilot->uid(),
+               request("service", 8, 0, service.priority, order));
+  session.run();
+  ASSERT_EQ(order.size(), 2u);
+  sched.release(pilot->uid(), platform::Slot{"delta:node0001", 64, 0, 0.0});
+  session.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[2], "service");
+  EXPECT_EQ(order[3], "task");
+}
+
+TEST_F(IndexedSchedulerTest, SubmitAllEnactsPrioritiesAcrossBatch) {
+  std::vector<std::string> order;
+  auto& sched = session.scheduler();
+  std::vector<ScheduleRequest> batch;
+  batch.push_back(request("low", 64, 0, 0, order));
+  batch.push_back(request("mid", 64, 0, 1, order));
+  batch.push_back(request("high", 64, 0, 2, order));
+  // Two nodes: only two grants possible. Unlike sequential submits
+  // (where `low` would grab a node first), the batch is placed in
+  // priority order.
+  const std::size_t granted = sched.submit_all(pilot->uid(),
+                                               std::move(batch));
+  session.run();
+  EXPECT_EQ(granted, 2u);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "mid");
+  EXPECT_EQ(sched.queue_length(pilot->uid()), 1u);
+}
+
+TEST_F(IndexedSchedulerTest, PolicySwitchForcesRescan) {
+  session.scheduler().set_policy(SchedulerPolicy::fifo);
+  std::vector<std::string> order;
+  auto& sched = session.scheduler();
+  sched.submit(pilot->uid(), request("hog1", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("hog2", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("blocker", 64, 0, 0, order));
+  sched.submit(pilot->uid(), request("small", 1, 0, 0, order));
+  sched.release(pilot->uid(), platform::Slot{"delta:node0000", 8, 0, 0.0});
+  session.run();
+  EXPECT_EQ(order.size(), 2u);  // fifo: head blocks
+  // Under backfill those 8 free cores are usable — the switch must not
+  // leave `small` stranded behind the stale fifo invariant.
+  sched.set_policy(SchedulerPolicy::backfill);
+  sched.submit(pilot->uid(), request("late", 64, 0, 0, order));
+  session.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], "small");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical grant order across two same-seed runs.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> grant_trace(SchedulerPolicy policy,
+                                     std::uint64_t seed) {
+  Session session{SessionConfig{.seed = seed, .scheduler_policy = policy}};
+  session.add_platform(platform::delta_profile(4));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+  auto& sched = session.scheduler();
+  common::Rng rng(seed);
+
+  std::vector<std::string> order;
+  std::vector<platform::Slot> held;
+  for (int i = 0; i < 400; ++i) {
+    ScheduleRequest request;
+    request.uid = "t" + std::to_string(i);
+    request.cores = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    request.gpus = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    request.priority = static_cast<int>(rng.uniform_int(0, 2));
+    request.granted = [&order, &held, uid = request.uid](
+                          platform::Slot slot, platform::Node*) {
+      order.push_back(uid);
+      held.push_back(std::move(slot));
+    };
+    sched.submit(pilot.uid(), std::move(request));
+    session.run();
+    // Deterministically churn capacity so later grants depend on the
+    // exact placement of earlier ones.
+    if (i % 2 == 0 && !held.empty()) {
+      sched.release(pilot.uid(), held.front());
+      held.erase(held.begin());
+      session.run();
+    }
+  }
+  while (!held.empty()) {
+    sched.release(pilot.uid(), held.front());
+    held.erase(held.begin());
+    session.run();
+  }
+  return order;
+}
+
+TEST(SchedulerDeterminism, SameSeedSameGrantOrder) {
+  for (const SchedulerPolicy policy :
+       {SchedulerPolicy::fifo, SchedulerPolicy::backfill}) {
+    const auto first = grant_trace(policy, 1234);
+    const auto second = grant_trace(policy, 1234);
+    EXPECT_EQ(first, second);
+    EXPECT_GT(first.size(), 100u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manager batch paths end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(ManagerBatch, TasksAndServicesCompleteThroughBatchSubmission) {
+  Session session{SessionConfig{.seed = 7}};
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  std::vector<ServiceDescription> services;
+  for (int i = 0; i < 3; ++i) {
+    ServiceDescription desc;
+    desc.name = "svc";
+    desc.program = "inference";
+    desc.config = json::Value::object({{"model", "noop"}});
+    desc.cores = 1;
+    desc.gpus = 1;
+    services.push_back(desc);
+  }
+  const auto svc_uids = session.services().submit_all(pilot, services);
+  EXPECT_EQ(svc_uids.size(), 3u);
+
+  TaskDescription task;
+  task.name = "t";
+  task.kind = "modeled";
+  task.cores = 1;
+  task.duration = common::Distribution::constant(1.0);
+  const auto task_uids =
+      session.tasks().submit_all(pilot, {task, task, task, task});
+
+  bool tasks_done = false;
+  session.tasks().when_done(task_uids, [&](bool ok) { tasks_done = ok; });
+  bool services_up = false;
+  session.services().when_ready(svc_uids, [&](bool ok) {
+    services_up = ok;
+    session.services().stop_all();
+  });
+  session.run();
+  EXPECT_TRUE(services_up);
+  EXPECT_TRUE(tasks_done);
+  EXPECT_EQ(session.tasks().count_in_state(TaskState::done), 4u);
+}
+
+TEST(ManagerBatch, OversizedTaskFailsWithoutStrandingSiblings) {
+  Session session{SessionConfig{.seed = 8}};
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  TaskDescription good;
+  good.name = "t";
+  good.kind = "modeled";
+  good.cores = 1;
+  good.duration = common::Distribution::constant(1.0);
+  TaskDescription impossible = good;
+  impossible.cores = 1000;  // exceeds every node
+
+  const auto uids =
+      session.tasks().submit_all(pilot, {good, impossible, good});
+  session.run();
+  EXPECT_EQ(session.tasks().get(uids[0]).state(), TaskState::done);
+  EXPECT_EQ(session.tasks().get(uids[1]).state(), TaskState::failed);
+  EXPECT_EQ(session.tasks().get(uids[2]).state(), TaskState::done);
+}
+
+TEST(ManagerBatch, MidBatchThrowDoesNotStrandEarlierTasks) {
+  Session session{SessionConfig{.seed = 12}};
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  TaskDescription good;
+  good.name = "t";
+  good.kind = "modeled";
+  good.cores = 1;
+  good.duration = common::Distribution::constant(1.0);
+  TaskDescription bad = good;
+  bad.kind = "no-such-payload";
+
+  EXPECT_THROW(session.tasks().submit_all(pilot, {good, bad}), Error);
+  const auto uids = session.tasks().uids();
+  ASSERT_EQ(uids.size(), 1u);  // the good task was created before the throw
+  session.run();
+  EXPECT_EQ(session.tasks().get(uids[0]).state(), TaskState::done);
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop cancellation bookkeeping regression
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopCancel, CancelAfterFireNeitherSucceedsNorLeaks) {
+  sim::EventLoop loop;
+  std::vector<sim::EventLoop::TimerHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(loop.call_after(0.1 * i, [] {}));
+  }
+  loop.run();
+  // All events fired: cancelling them now must fail and must not park
+  // their ids in the cancelled set forever.
+  for (const auto& handle : handles) EXPECT_FALSE(loop.cancel(handle));
+  EXPECT_EQ(loop.cancelled_backlog(), 0u);
+  EXPECT_EQ(loop.pending(), 0u);
+
+  // Live cancellations still work and drain once popped.
+  auto keep = loop.call_after(1.0, [] {});
+  auto drop = loop.call_after(2.0, [] {});
+  EXPECT_TRUE(loop.cancel(drop));
+  EXPECT_FALSE(loop.cancel(drop));
+  EXPECT_EQ(loop.cancelled_backlog(), 1u);
+  loop.run();
+  EXPECT_EQ(loop.cancelled_backlog(), 0u);
+  (void)keep;
+}
+
+}  // namespace
