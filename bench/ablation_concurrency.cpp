@@ -71,8 +71,9 @@ ConcurrencyResult run_case(std::size_t max_concurrency) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const bool smoke = smoke_mode(argc, argv);
   std::cout << "Ablation: service-side request concurrency "
                "(4 llama services, 16 clients x 32 reqs, 4 in flight)\n";
   std::cout << "Note: GPU token generation is serialized per request in "
@@ -81,7 +82,10 @@ int main() {
 
   metrics::Table table({"max_concurrency", "throughput_req_s",
                         "service_mean_s", "total_mean_s", "makespan_s"});
-  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  for (const std::size_t workers : worker_counts) {
     const ConcurrencyResult r = run_case(workers);
     table.add_row({std::to_string(workers),
                    strutil::format_fixed(r.throughput, 3),

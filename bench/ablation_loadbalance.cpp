@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "ripple/ml/autoscaler.hpp"
 #include "ripple/ml/model.hpp"
 
 namespace {
@@ -21,7 +22,7 @@ struct LbResult {
   double makespan = 0.0;
 };
 
-LbResult run_case(const std::string& balancer) {
+LbResult run_case(const std::string& balancer, std::size_t requests) {
   // A degraded llama variant: 4x slower token generation.
   ml::ModelSpec slow = ml::llama_8b_model();
   slow.name = "llama-8b-slow";
@@ -53,7 +54,7 @@ LbResult run_case(const std::string& balancer) {
     for (int c = 0; c < 16; ++c) {
       task_uids.push_back(session.tasks().submit(
           pilot,
-          bench::client_task(endpoints, 64, "lb", 2, balancer)));
+          bench::client_task(endpoints, requests, "lb", 2, balancer)));
     }
     session.tasks().when_done(task_uids, [&](bool) {
       result.makespan = session.now() - start;
@@ -68,18 +69,75 @@ LbResult run_case(const std::string& balancer) {
   return result;
 }
 
+/// Elastic pool: a llama pool that autoscales 2..4 replicas under 16
+/// eager clients. With `follow_endpoints` the clients watch the
+/// ServiceManager's endpoint events and reroute onto scaled-up
+/// replicas; without it they keep hammering the initial two — the
+/// quantified value of dynamic rerouting.
+LbResult run_elastic(bool follow_endpoints, std::size_t requests) {
+  core::Session session({.seed = 47});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(4));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+
+  core::ServiceDescription replica = bench::inference_service("llama-8b");
+  replica.name = "llm-pool";
+  replica.config.set("max_batch", 4);
+  replica.config.set("batch_window", 0.05);
+
+  ml::AutoscalerConfig scaling;
+  scaling.min_replicas = 2;
+  scaling.max_replicas = 4;
+  scaling.scale_up_outstanding = 6.0;
+  scaling.cooldown = 2.0;
+  ml::Autoscaler scaler(session, pilot, replica, scaling);
+
+  LbResult result;
+  double start = 0.0;
+  scaler.start([&](bool ok) {
+    if (!ok) {
+      std::cerr << "elastic pool bootstrap failed\n";
+      session.loop().stop();  // the poll timer would keep run() alive
+      return;
+    }
+    start = session.now();
+    std::vector<std::string> task_uids;
+    for (int c = 0; c < 16; ++c) {
+      core::TaskDescription task = bench::client_task(
+          scaler.endpoints(), requests, "lb-elastic", 2,
+          "least_outstanding");
+      if (follow_endpoints) task.payload.set("watch", "llm-pool");
+      task.payload.set("max_retries", 6);
+      task_uids.push_back(session.tasks().submit(pilot, task));
+    }
+    session.tasks().when_done(task_uids, [&](bool) {
+      result.makespan = session.now() - start;
+      scaler.stop();
+    });
+  });
+  session.run();
+
+  const auto& series = session.metrics().series("lb-elastic");
+  result.total_mean = series.total.mean();
+  result.total_p95 = series.total.p95();
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const bool smoke = smoke_mode(argc, argv);
+  const std::size_t requests = smoke ? 16 : 64;
   std::cout << "Ablation: load balancing across heterogeneous services "
-               "(3 fast + 1 4x-slow llama-8b, 16 clients x 64 reqs)\n";
+               "(3 fast + 1 4x-slow llama-8b, 16 clients x " << requests
+            << " reqs)\n";
 
   metrics::Table table(
       {"balancer", "total_mean_s", "total_p95_s", "makespan_s"});
   for (const std::string balancer :
        {"round_robin", "random", "least_outstanding"}) {
-    const LbResult r = run_case(balancer);
+    const LbResult r = run_case(balancer, requests);
     table.add_row({balancer, strutil::format_fixed(r.total_mean, 2),
                    strutil::format_fixed(r.total_p95, 2),
                    strutil::format_fixed(r.makespan, 1)});
@@ -90,5 +148,26 @@ int main() {
   std::cout << "\nExpected: least_outstanding routes around the slow "
                "instance, cutting p95 response time and makespan versus "
                "the paper's rudimentary round-robin.\n";
+
+  // --- Elastic pool: does following endpoint events pay? ------------------
+  metrics::Table elastic({"clients_follow_endpoints", "total_mean_s",
+                          "total_p95_s", "makespan_s"});
+  const LbResult frozen = run_elastic(false, requests);
+  const LbResult following = run_elastic(true, requests);
+  elastic.add_row({"no (static endpoint set)",
+                   strutil::format_fixed(frozen.total_mean, 2),
+                   strutil::format_fixed(frozen.total_p95, 2),
+                   strutil::format_fixed(frozen.makespan, 1)});
+  elastic.add_row({"yes (watch endpoint events)",
+                   strutil::format_fixed(following.total_mean, 2),
+                   strutil::format_fixed(following.total_p95, 2),
+                   strutil::format_fixed(following.makespan, 1)});
+  std::cout << metrics::banner(
+      "Elastic llama pool (autoscaled 2..4 replicas, 16 eager clients)");
+  std::cout << elastic.to_string();
+  elastic.write_csv(output_dir() + "/ablation_loadbalance_elastic.csv");
+  std::cout << "\nExpected: clients that follow endpoint events spread "
+               "onto scaled-up replicas and finish sooner; frozen clients "
+               "leave the new replicas idle.\n";
   return 0;
 }

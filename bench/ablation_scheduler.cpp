@@ -75,14 +75,16 @@ AblationResult run_case(bool service_priority,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const bool smoke = smoke_mode(argc, argv);
   std::cout << "Ablation: scheduler priority relations and queue policy "
                "(4 llama services + 64 GPU tasks on 8 GPU slots)\n";
 
   metrics::Table table({"service_priority", "policy", "services_ready_s",
                         "makespan_s", "ok"});
-  for (const bool priority : {true, false}) {
+  for (const bool priority : smoke ? std::vector<bool>{true}
+                                   : std::vector<bool>{true, false}) {
     for (const auto policy :
          {core::SchedulerPolicy::backfill, core::SchedulerPolicy::fifo}) {
       const AblationResult r = run_case(priority, policy);

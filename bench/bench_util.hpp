@@ -23,6 +23,17 @@ namespace bench {
 
 using namespace ripple;
 
+/// True when the bench was invoked with --smoke: run a shrunk sweep
+/// that exercises every code path in seconds. CTest registers each
+/// bench with this flag under the "smoke" label so bench code is built
+/// and run on every CI pass instead of bit-rotting.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
 /// Where CSV outputs land; created on demand.
 inline std::string output_dir() {
   const std::string dir = "bench_out";

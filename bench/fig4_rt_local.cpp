@@ -11,17 +11,20 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const bool smoke = smoke_mode(argc, argv);
   std::cout << "Fig. 4 reproduction: local NOOP service response time "
                "(Delta, 0.063 ms inter-node latency)\n";
 
   RtExperimentConfig config;
   config.model = "noop";
   config.remote = false;
-  config.requests_per_client = 1024;
+  config.requests_per_client = smoke ? 64 : 1024;
 
-  const std::vector<std::size_t> service_counts = {1, 2, 4, 8, 16};
+  const std::vector<std::size_t> service_counts =
+      smoke ? std::vector<std::size_t>{1, 4, 16}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16};
 
   std::vector<ScalingPoint> strong;
   for (const std::size_t services : service_counts) {

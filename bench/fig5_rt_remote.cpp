@@ -10,17 +10,20 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const bool smoke = smoke_mode(argc, argv);
   std::cout << "Fig. 5 reproduction: remote NOOP service response time "
                "(Delta clients -> R3 services, 0.47 ms links)\n";
 
   RtExperimentConfig config;
   config.model = "noop";
   config.remote = true;
-  config.requests_per_client = 1024;
+  config.requests_per_client = smoke ? 64 : 1024;
 
-  const std::vector<std::size_t> service_counts = {1, 2, 4, 8, 16};
+  const std::vector<std::size_t> service_counts =
+      smoke ? std::vector<std::size_t>{1, 4, 16}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16};
 
   std::vector<ScalingPoint> strong;
   for (const std::size_t services : service_counts) {

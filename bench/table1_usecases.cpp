@@ -168,8 +168,9 @@ wf::Pipeline uncertainty_quantification() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  (void)bench::smoke_mode(argc, argv);  // Table I is already seconds-fast.
   std::cout << "Table I reproduction: LUCID use-case pipelines executed on "
                "the service-extended runtime\n";
 

@@ -35,8 +35,9 @@ double bootstrap_total_mean(std::size_t n_instances) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const bool smoke = smoke_mode(argc, argv);
   std::cout << "Table II reproduction: experiment setup matrix with "
                "measured headline metrics\n";
 
@@ -45,7 +46,9 @@ int main() {
                         "scaling", "metric", "value"});
 
   // Row 1: Experiment 1, weak scaling of bootstrap on Frontier.
-  for (const std::size_t n : {std::size_t{1}, std::size_t{640}}) {
+  for (const std::size_t n :
+       smoke ? std::vector<std::size_t>{1, 64}
+             : std::vector<std::size_t>{1, 640}) {
     const double bt = bootstrap_total_mean(n);
     table.add_row({"1", "frontier", "n/a", "llama-8b", "local", "n/a",
                    std::to_string(n), "5120", "640", "weak", "BT_mean_s",
@@ -62,11 +65,13 @@ int main() {
     bool remote;
     std::size_t requests;
   };
+  const std::size_t noop_requests = smoke ? 64 : 1024;
+  const std::size_t llama_requests = smoke ? 16 : 128;
   const Row rows[] = {
-      {"2", "delta", "NOOP", "noop", false, 1024},
-      {"2", "delta+r3", "NOOP", "noop", true, 1024},
-      {"3", "delta", "inference", "llama-8b", false, 128},
-      {"3", "delta+r3", "inference", "llama-8b", true, 128},
+      {"2", "delta", "NOOP", "noop", false, noop_requests},
+      {"2", "delta+r3", "NOOP", "noop", true, noop_requests},
+      {"3", "delta", "inference", "llama-8b", false, llama_requests},
+      {"3", "delta+r3", "inference", "llama-8b", true, llama_requests},
   };
   for (const Row& row : rows) {
     RtExperimentConfig config;

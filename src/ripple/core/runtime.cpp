@@ -24,4 +24,24 @@ void Runtime::publish_state(const std::string& kind, const std::string& uid,
   pubsub_.publish("state", std::move(event));
 }
 
+void Runtime::register_endpoint(const std::string& name,
+                                const std::string& endpoint) {
+  endpoint_directory_[name].insert(endpoint);
+}
+
+void Runtime::deregister_endpoint(const std::string& name,
+                                  const std::string& endpoint) {
+  const auto it = endpoint_directory_.find(name);
+  if (it == endpoint_directory_.end()) return;
+  it->second.erase(endpoint);
+  if (it->second.empty()) endpoint_directory_.erase(it);
+}
+
+std::vector<std::string> Runtime::endpoints_of(
+    const std::string& name) const {
+  const auto it = endpoint_directory_.find(name);
+  if (it == endpoint_directory_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
 }  // namespace ripple::core

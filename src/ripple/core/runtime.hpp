@@ -6,7 +6,10 @@
 /// component receives a reference.
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "ripple/common/ids.hpp"
 #include "ripple/common/logging.hpp"
@@ -51,6 +54,20 @@ class Runtime {
   void publish_state(const std::string& kind, const std::string& uid,
                      const std::string& state);
 
+  /// Live endpoint directory, updated *synchronously* by the
+  /// ServiceManager as services enter/leave RUNNING (the matching
+  /// "endpoints" pub/sub event is delivered asynchronously). Late
+  /// subscribers — e.g. watch-mode inference clients that start after
+  /// a replica came up — reconcile against this snapshot first, then
+  /// follow the events; without it, an up/down transition between
+  /// snapshot and subscription would be lost forever.
+  void register_endpoint(const std::string& name,
+                         const std::string& endpoint);
+  void deregister_endpoint(const std::string& name,
+                           const std::string& endpoint);
+  [[nodiscard]] std::vector<std::string> endpoints_of(
+      const std::string& name) const;
+
  private:
   std::uint64_t seed_;
   common::IdGenerator ids_;
@@ -61,6 +78,7 @@ class Runtime {
   msg::PubSub pubsub_;
   metrics::Registry metrics_;
   metrics::Timeline timeline_;
+  std::map<std::string, std::set<std::string>> endpoint_directory_;
 };
 
 }  // namespace ripple::core

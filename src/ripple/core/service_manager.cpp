@@ -95,6 +95,34 @@ std::size_t ServiceManager::count_in_state(ServiceState state) const {
   return n;
 }
 
+std::size_t ServiceManager::count_active(
+    const std::string& name_filter) const {
+  std::size_t n = 0;
+  for (const auto& [uid, active] : services_) {
+    if (is_terminal(active.service->state())) continue;
+    if (!name_filter.empty() &&
+        active.service->description().name != name_filter) {
+      continue;
+    }
+    ++n;
+  }
+  return n;
+}
+
+std::size_t ServiceManager::total_outstanding(
+    const std::string& name_filter) const {
+  std::size_t n = 0;
+  for (const auto& [uid, active] : services_) {
+    if (active.service->state() != ServiceState::running) continue;
+    if (!name_filter.empty() &&
+        active.service->description().name != name_filter) {
+      continue;
+    }
+    if (active.program) n += active.program->outstanding();
+  }
+  return n;
+}
+
 std::size_t ServiceManager::count_bootstrapping(
     const std::string& pilot_uid) const {
   std::size_t n = 0;
@@ -142,10 +170,39 @@ json::Value ServiceManager::stats(const std::string& uid) const {
 // ---------------------------------------------------------------------------
 
 void ServiceManager::set_state(Active& active, ServiceState state) {
+  const ServiceState previous = active.service->state();
   active.service->set_state(state, runtime_.loop().now());
   runtime_.publish_state("service", active.service->uid(),
                          to_string(state));
+  // Endpoint registry events: entering RUNNING registers the endpoint,
+  // leaving it (drain, stop, failure) deregisters it. Subscribers
+  // (balancing clients, the autoscaler) reroute traffic accordingly.
+  if (previous != ServiceState::running &&
+      state == ServiceState::running) {
+    publish_endpoint_event(active, /*up=*/true);
+  } else if (previous == ServiceState::running &&
+             state != ServiceState::running) {
+    publish_endpoint_event(active, /*up=*/false);
+  }
   recheck_watchers();
+}
+
+void ServiceManager::publish_endpoint_event(const Active& active, bool up) {
+  // Directory first (synchronous), event second (asynchronous): late
+  // subscribers snapshot the directory and cannot miss this change.
+  if (up) {
+    runtime_.register_endpoint(active.service->description().name,
+                               active.service->endpoint());
+  } else {
+    runtime_.deregister_endpoint(active.service->description().name,
+                                 active.service->endpoint());
+  }
+  json::Value event = json::Value::object();
+  event.set("name", active.service->description().name);
+  event.set("uid", active.service->uid());
+  event.set("endpoint", active.service->endpoint());
+  event.set("up", up);
+  runtime_.pubsub().publish("endpoints", std::move(event));
 }
 
 void ServiceManager::recheck_watchers() {

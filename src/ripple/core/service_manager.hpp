@@ -16,6 +16,12 @@
 ///               (register_remote()), no bootstrap, RUNNING immediately
 ///               after program init (paper: "remote models are usually
 ///               persistent ... and do not need to be bootstrapped").
+///
+/// Endpoint registry events: every transition into and out of RUNNING is
+/// published on the pub/sub topic "endpoints" as {name, uid, endpoint,
+/// up}. Load-balancing clients and the ml::Autoscaler subscribe to it to
+/// reroute traffic as replicas come and go — the paper's planned
+/// "dynamically rerouting requests to less used service instances".
 
 #include <functional>
 #include <map>
@@ -68,6 +74,18 @@ class ServiceManager {
       const std::string& name_filter = "") const;
 
   [[nodiscard]] std::size_t count_in_state(ServiceState state) const;
+
+  /// Services (optionally name-filtered) that are not yet terminal —
+  /// the replica count an autoscaler must reason about, since
+  /// bootstrapping replicas are capacity already committed.
+  [[nodiscard]] std::size_t count_active(
+      const std::string& name_filter = "") const;
+
+  /// Sum of outstanding (queued + executing) requests across RUNNING
+  /// services, optionally name-filtered. The autoscaler's queue-depth
+  /// signal.
+  [[nodiscard]] std::size_t total_outstanding(
+      const std::string& name_filter = "") const;
 
   /// Fires cb(true) once all `uids` are RUNNING, cb(false) as soon as
   /// any of them reaches a terminal state first.
@@ -136,6 +154,9 @@ class ServiceManager {
   void release_resources(Active& active);
   void set_state(Active& active, ServiceState state);
   void recheck_watchers();
+
+  /// Publishes an endpoint up/down event on the "endpoints" topic.
+  void publish_endpoint_event(const Active& active, bool up);
 
   // Liveness.
   void start_monitoring(const std::string& uid);

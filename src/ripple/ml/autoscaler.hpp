@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file autoscaler.hpp
+/// Queue-depth-driven replica autoscaling for inference services.
+///
+/// The paper's services are fixed at submission time; its future-work
+/// list ("dynamically rerouting requests to less used service
+/// instances") implies an elastic pool. The Autoscaler manages one
+/// replica group — N copies of a ServiceDescription on one pilot —
+/// through the ServiceManager: it polls the group's total outstanding
+/// request count (queued + executing, the queue-depth/latency proxy)
+/// and grows the pool when the per-replica backlog exceeds
+/// `scale_up_outstanding`, shrinks it when the backlog falls below
+/// `scale_down_outstanding`. Endpoint registration/deregistration rides
+/// the ServiceManager's "endpoints" pub/sub events, so balancing
+/// clients reroute without any coupling to this class.
+///
+/// Everything runs on the event loop: same-seed runs make bit-identical
+/// scaling decisions (the decision trace is exposed for tests to diff).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ripple/core/session.hpp"
+
+namespace ripple::ml {
+
+struct AutoscalerConfig {
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 4;
+
+  /// Scale up when outstanding requests per RUNNING replica reach this.
+  double scale_up_outstanding = 8.0;
+
+  /// Scale down when outstanding per RUNNING replica fall to this.
+  double scale_down_outstanding = 1.0;
+
+  sim::Duration poll_interval = 0.25;
+
+  /// Minimum time between two scaling actions (lets a fresh replica
+  /// absorb load before the backlog is re-judged).
+  sim::Duration cooldown = 1.0;
+};
+
+class Autoscaler {
+ public:
+  /// One recorded scaling decision (for determinism tests and benches).
+  struct Decision {
+    sim::SimTime time = 0.0;
+    bool up = false;             ///< true: replica added, false: removed
+    std::size_t outstanding = 0; ///< group backlog at decision time
+    std::size_t replicas = 0;    ///< active replicas after the decision
+  };
+
+  /// `replica` is the template description; its `name` is the group
+  /// name used for endpoint events and the ServiceManager's
+  /// name-filtered aggregates (total_outstanding drives scaling), so
+  /// it must be unique to this autoscaler's group.
+  Autoscaler(core::Session& session, core::Pilot& pilot,
+             core::ServiceDescription replica, AutoscalerConfig config = {});
+  ~Autoscaler();
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  /// Submits min_replicas and begins polling. `on_ready` (optional)
+  /// fires once the initial replicas are RUNNING (false on bootstrap
+  /// failure).
+  void start(std::function<void(bool ok)> on_ready = {});
+
+  /// Stops polling and drains every non-terminal replica.
+  void stop(std::function<void()> on_stopped = {});
+
+  [[nodiscard]] const std::string& group() const noexcept {
+    return replica_.name;
+  }
+
+  /// Uids of every replica ever submitted, in submission order.
+  [[nodiscard]] const std::vector<std::string>& replicas() const noexcept {
+    return replicas_;
+  }
+
+  /// Endpoints of currently RUNNING replicas.
+  [[nodiscard]] std::vector<std::string> endpoints() const;
+
+  [[nodiscard]] std::size_t active_replicas() const;
+  [[nodiscard]] std::size_t running_replicas() const;
+  [[nodiscard]] std::uint64_t scale_ups() const noexcept {
+    return scale_ups_;
+  }
+  [[nodiscard]] std::uint64_t scale_downs() const noexcept {
+    return scale_downs_;
+  }
+
+  /// Times the pool was rebuilt after every replica reached a terminal
+  /// state (crashes/liveness failures).
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+  [[nodiscard]] const std::vector<Decision>& decisions() const noexcept {
+    return decisions_;
+  }
+
+  [[nodiscard]] json::Value stats() const;
+
+ private:
+  void poll();
+  void schedule_poll();
+  void scale_up(std::size_t outstanding);
+  void scale_down(std::size_t outstanding);
+  void repair_pool();
+
+  core::Session& session_;
+  core::Pilot& pilot_;
+  core::ServiceDescription replica_;
+  AutoscalerConfig config_;
+  common::Logger log_;
+  std::vector<std::string> replicas_;
+  std::vector<Decision> decisions_;
+  sim::EventLoop::TimerHandle poll_timer_;
+  /// Liveness token: callbacks registered with the ServiceManager
+  /// capture it weakly and no-op once the autoscaler is destroyed.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  sim::SimTime last_action_ = -1e300;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+  std::uint64_t repairs_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace ripple::ml

@@ -1,6 +1,9 @@
 #include "ripple/ml/client.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
+#include <set>
 
 #include "ripple/common/error.hpp"
 #include "ripple/common/statistics.hpp"
@@ -28,6 +31,13 @@ ClientConfig ClientConfig::from_json(const json::Value& config) {
       config.get_or("think_time", json::Value(0.0)).as_double();
   out.prompt_tokens =
       config.get_or("prompt_tokens", json::Value(64)).as_int();
+  out.max_retries = static_cast<std::size_t>(
+      config.get_or("max_retries", json::Value(0)).as_int());
+  out.retry_backoff =
+      config.get_or("retry_backoff", json::Value(0.05)).as_double();
+  out.retry_multiplier =
+      config.get_or("retry_multiplier", json::Value(2.0)).as_double();
+  out.watch = config.get_or("watch", json::Value("")).as_string();
   return out;
 }
 
@@ -43,6 +53,10 @@ json::Value ClientConfig::to_json() const {
   out.set("timeout", timeout);
   out.set("think_time", think_time);
   out.set("prompt_tokens", prompt_tokens);
+  out.set("max_retries", max_retries);
+  out.set("retry_backoff", retry_backoff);
+  out.set("retry_multiplier", retry_multiplier);
+  out.set("watch", watch);
   return out;
 }
 
@@ -54,6 +68,10 @@ namespace {
 
 /// Book-keeps one client task's request stream; owns the RpcClient and
 /// load balancer and keeps itself alive until all requests complete.
+/// Failures (server rejects, vanished endpoints, timeouts) are retried
+/// with bounded exponential backoff; each retry re-picks an endpoint,
+/// so backpressure doubles as rerouting. With `watch` set, the balancer
+/// endpoint set follows the ServiceManager's "endpoints" events.
 class ClientRun : public std::enable_shared_from_this<ClientRun> {
  public:
   ClientRun(core::ExecutionContext& ctx, ClientConfig config,
@@ -63,6 +81,7 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
         done_(std::move(done)),
         fail_(std::move(fail)),
         rpc_(ctx.router(), ctx.uid + ".cli", ctx.host),
+        retry_rng_(ctx.rng.fork("retry")),
         balancer_(make_balancer(config_.balancer, config_.endpoints,
                                 ctx.rng.fork("balancer"))) {}
 
@@ -71,16 +90,84 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
       finish();
       return;
     }
+    if (!config_.watch.empty()) {
+      auto self = shared_from_this();
+      subscription_ = ctx_.runtime->pubsub().subscribe(
+          "endpoints",
+          [self](const std::string&, const json::Value& event) {
+            self->on_endpoint_event(event);
+          });
+      // Reconcile with the synchronous directory: endpoint transitions
+      // between the configured snapshot and this subscription (task
+      // launch takes real simulated time) would otherwise be invisible
+      // for the task's whole lifetime — in both directions.
+      const std::vector<std::string> current =
+          ctx_.runtime->endpoints_of(config_.watch);
+      for (const std::string& endpoint : current) {
+        balancer_->add_endpoint(endpoint);
+      }
+      const std::vector<std::string> known = balancer_->endpoints();
+      for (const std::string& endpoint : known) {
+        if (std::find(current.begin(), current.end(), endpoint) ==
+            current.end()) {
+          mark_endpoint_down(endpoint);
+        }
+      }
+    }
     const std::size_t first_wave =
         std::min(config_.concurrency, config_.requests);
     for (std::size_t i = 0; i < first_wave; ++i) send_next();
   }
 
  private:
+  void on_endpoint_event(const json::Value& event) {
+    if (finished_) return;
+    if (event.get_or("name", json::Value("")).as_string() != config_.watch) {
+      return;
+    }
+    const std::string endpoint =
+        event.get_or("endpoint", json::Value("")).as_string();
+    if (endpoint.empty()) return;
+    if (event.get_or("up", json::Value(false)).as_bool()) {
+      deferred_down_.erase(endpoint);  // the endpoint came back
+      if (balancer_->add_endpoint(endpoint)) ++endpoints_added_;
+      flush_deferred_down();
+    } else {
+      mark_endpoint_down(endpoint);
+    }
+  }
+
+  /// Evicts a dead endpoint — but never the last one: a drained pool
+  /// keeps routing to the survivor (requests fail fast and the retry
+  /// path backs off). A skipped removal is remembered and applied the
+  /// moment a replacement comes up; leaving the dead endpoint in a
+  /// least-outstanding rotation would be pathological, since its
+  /// fast-failing requests keep its in-flight count at zero and make
+  /// it the preferred pick.
+  void mark_endpoint_down(const std::string& endpoint) {
+    if (balancer_->endpoints().size() > 1) {
+      if (balancer_->remove_endpoint(endpoint)) ++endpoints_removed_;
+    } else if (balancer_->has_endpoint(endpoint)) {
+      deferred_down_.insert(endpoint);
+    }
+  }
+
+  void flush_deferred_down() {
+    for (auto it = deferred_down_.begin();
+         it != deferred_down_.end() && balancer_->endpoints().size() > 1;) {
+      if (balancer_->remove_endpoint(*it)) ++endpoints_removed_;
+      it = deferred_down_.erase(it);
+    }
+  }
+
   void send_next() {
     if (sent_ >= config_.requests) return;
     ++sent_;
     ++in_flight_;
+    attempt(0);
+  }
+
+  void attempt(std::size_t tries) {
     const std::string target = balancer_->pick();
     json::Value args = json::Value::object();
     args.set("prompt_tokens", config_.prompt_tokens);
@@ -88,15 +175,34 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
     auto self = shared_from_this();
     rpc_.call(
         target, "infer", std::move(args),
-        [self, target](msg::CallResult result) {
-          self->on_result(target, std::move(result));
+        [self, target, tries](msg::CallResult result) {
+          self->on_result(target, tries, std::move(result));
         },
         config_.timeout);
   }
 
-  void on_result(const std::string& target, msg::CallResult result) {
-    --in_flight_;
+  void on_result(const std::string& target, std::size_t tries,
+                 msg::CallResult result) {
     balancer_->on_complete(target);
+    if (!result.ok && tries < config_.max_retries) {
+      // Bounded exponential backoff before the next attempt; the
+      // request slot stays occupied, which is what makes the client
+      // stop hammering a saturated pool. Jitter (0.5x..1.5x, from the
+      // task's seeded stream) decorrelates the retry storm — without
+      // it, rejected cohorts re-arrive in lockstep and can starve each
+      // other through every retry round.
+      ++retried_;
+      last_error_ = result.error;
+      const sim::Duration delay =
+          config_.retry_backoff *
+          std::pow(config_.retry_multiplier, static_cast<double>(tries)) *
+          retry_rng_.uniform(0.5, 1.5);
+      auto self = shared_from_this();
+      ctx_.loop().call_after(delay,
+                             [self, tries] { self->attempt(tries + 1); });
+      return;
+    }
+    --in_flight_;
     if (result.ok) {
       ++ok_;
       const msg::RequestTiming timing = result.timing();
@@ -122,6 +228,10 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
   void finish() {
     if (finished_) return;
     finished_ = true;
+    if (subscription_ != 0) {
+      ctx_.runtime->pubsub().unsubscribe(subscription_);
+      subscription_ = 0;
+    }
     if (ok_ == 0 && failed_ > 0) {
       fail_(strutil::cat("all ", failed_, " requests failed: ",
                          last_error_));
@@ -131,6 +241,11 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
     result.set("sent", sent_);
     result.set("ok", ok_);
     result.set("failed", failed_);
+    result.set("retried", retried_);
+    if (endpoints_added_ + endpoints_removed_ > 0) {
+      result.set("endpoints_added", endpoints_added_);
+      result.set("endpoints_removed", endpoints_removed_);
+    }
     if (!totals_.empty()) {
       result.set("response_time", totals_.to_json());
     }
@@ -142,11 +257,19 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
   core::TaskPayload::DoneFn done_;
   core::TaskPayload::FailFn fail_;
   msg::RpcClient rpc_;
+  common::Rng retry_rng_;
   std::unique_ptr<LoadBalancer> balancer_;
+  msg::PubSub::SubscriptionId subscription_ = 0;
+  /// Down events skipped by the last-endpoint guard, applied once a
+  /// replacement endpoint arrives.
+  std::set<std::string> deferred_down_;
   std::size_t sent_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t ok_ = 0;
   std::size_t failed_ = 0;
+  std::size_t retried_ = 0;
+  std::size_t endpoints_added_ = 0;
+  std::size_t endpoints_removed_ = 0;
   std::string last_error_;
   bool finished_ = false;
   common::Summary totals_;

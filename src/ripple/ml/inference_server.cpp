@@ -11,6 +11,20 @@ InferenceServer::InferenceServer(sim::EventLoop& loop, common::Rng rng,
     : loop_(loop), rng_(rng), model_(std::move(model)), config_(config) {
   ensure(config_.max_concurrency > 0, Errc::invalid_argument,
          "server needs max_concurrency >= 1");
+  ensure(config_.max_batch > 0, Errc::invalid_argument,
+         "server needs max_batch >= 1");
+  ensure(config_.batch_window >= 0.0, Errc::invalid_argument,
+         "server needs batch_window >= 0");
+}
+
+InferenceServer::~InferenceServer() {
+  if (window_timer_.valid()) {
+    loop_.cancel(window_timer_);
+    window_timer_ = {};
+  }
+  // alive_ expires here; in-flight batch callbacks see it and bail.
+  // Their responders are dropped unreplied, which is exactly what a
+  // crashed server looks like to clients (timeout / unreachable).
 }
 
 void InferenceServer::handle(std::shared_ptr<msg::Responder> responder) {
@@ -27,35 +41,97 @@ void InferenceServer::handle(std::shared_ptr<msg::Responder> responder) {
 }
 
 void InferenceServer::pump() {
-  while (busy_ < config_.max_concurrency && !queue_.empty()) {
-    std::shared_ptr<msg::Responder> responder = std::move(queue_.front());
+  while (busy_workers_ < config_.max_concurrency && !queue_.empty()) {
+    if (queue_.size() < config_.max_batch && config_.batch_window > 0.0) {
+      // Partial batch: hold a window open so near-simultaneous arrivals
+      // coalesce; dispatch whatever accumulated when it closes. A full
+      // batch (or a later idle worker finding one) dispatches without
+      // waiting — handle() pumps on every arrival.
+      if (!window_timer_.valid()) {
+        window_timer_ = loop_.call_after(
+            config_.batch_window,
+            [this, alive = std::weak_ptr<char>(alive_)] {
+              if (alive.expired()) return;
+              window_timer_ = {};
+              if (busy_workers_ < config_.max_concurrency &&
+                  !queue_.empty()) {
+                dispatch(std::min(queue_.size(), config_.max_batch));
+              }
+              pump();
+            });
+      }
+      return;
+    }
+    dispatch(std::min(queue_.size(), config_.max_batch));
+  }
+}
+
+void InferenceServer::dispatch(std::size_t batch_size) {
+  // The window belongs to the requests being taken now; the next
+  // accumulation opens a fresh one.
+  if (window_timer_.valid()) {
+    loop_.cancel(window_timer_);
+    window_timer_ = {};
+  }
+  auto batch = std::make_shared<
+      std::vector<std::shared_ptr<msg::Responder>>>();
+  batch->reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    batch->push_back(std::move(queue_.front()));
     queue_.pop_front();
-    ++busy_;
+  }
+  ++busy_workers_;
+  busy_requests_ += batch_size;
+  ++batches_;
+  batch_sizes_.add(static_cast<double>(batch_size));
+  if (batch_trace_.size() < kBatchTraceCap) {
+    batch_trace_.push_back(static_cast<std::uint32_t>(batch_size));
+  }
+  batch_trace_hash_ ^= static_cast<std::uint64_t>(batch_size);
+  batch_trace_hash_ *= 1099511628211ULL;
 
-    const sim::Duration parse_time = model_.parse.sample(rng_);
-    loop_.call_after(parse_time, [this, responder] {
+  // Requests are parsed one after another before the batch launches.
+  sim::Duration parse_time = 0.0;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    parse_time += model_.parse.sample(rng_);
+  }
+  const std::weak_ptr<char> alive = alive_;
+  loop_.call_after(parse_time, [this, batch, alive] {
+    if (alive.expired()) return;
+    std::vector<double> tokens;
+    tokens.reserve(batch->size());
+    for (const auto& responder : *batch) {
       responder->begin_compute();
-      const sim::Duration inference_time =
-          model_.sample_inference(rng_);
-      loop_.call_after(inference_time, [this, responder, inference_time] {
+      tokens.push_back(std::max(0.0, model_.tokens_out.sample(rng_)));
+    }
+    const sim::Duration inference_time = model_.batch_duration(tokens);
+    loop_.call_after(inference_time, [this, batch, alive,
+                                      inference_time] {
+      if (alive.expired()) return;
+      inference_times_.add(inference_time);
+      sim::Duration serialize_time = 0.0;
+      for (const auto& responder : *batch) {
         responder->end_compute();
-        inference_times_.add(inference_time);
-
-        const sim::Duration serialize_time = model_.serialize.sample(rng_);
-        loop_.call_after(serialize_time, [this, responder,
-                                          inference_time] {
+        serialize_time += model_.serialize.sample(rng_);
+      }
+      loop_.call_after(serialize_time, [this, batch, alive,
+                                        inference_time] {
+        if (alive.expired()) return;
+        for (auto& responder : *batch) {
           json::Value body = json::Value::object();
           body.set("model", model_.name);
           body.set("inference_s", inference_time);
+          body.set("batch", batch->size());
           body.set("ok", true);
           responder->reply(std::move(body));
           ++served_;
-          --busy_;
-          pump();
-        });
+        }
+        busy_requests_ -= batch->size();
+        --busy_workers_;
+        pump();
       });
     });
-  }
+  });
 }
 
 json::Value InferenceServer::stats() const {
@@ -64,9 +140,16 @@ json::Value InferenceServer::stats() const {
   out.set("served", served_);
   out.set("rejected", rejected_);
   out.set("queued", queue_.size());
-  out.set("busy", busy_);
+  out.set("busy", busy_requests_);
   out.set("peak_queue", peak_queue_);
   out.set("max_concurrency", config_.max_concurrency);
+  out.set("max_batch", config_.max_batch);
+  out.set("batch_window", config_.batch_window);
+  out.set("batches", batches_);
+  if (!batch_sizes_.empty()) {
+    out.set("batch_size_mean", batch_sizes_.mean());
+    out.set("batch_size_max", batch_sizes_.max());
+  }
   if (!inference_times_.empty()) {
     out.set("inference", inference_times_.to_json());
   }

@@ -1,21 +1,29 @@
 #pragma once
 
 /// \file inference_server.hpp
-/// The single-threaded inference request pipeline (Ollama role).
+/// The inference request pipeline (Ollama role), now with adaptive
+/// micro-batching.
 ///
 /// The paper states: "Currently, services are single-threaded, and, as
 /// such, they only handle one request at a time, queuing further
-/// incoming requests." InferenceServer implements exactly that queue
-/// (with the worker count as a parameter so the ablation bench can
-/// explore the paper's planned multi-worker future work).
+/// incoming requests." The default configuration (one worker, batch of
+/// one) implements exactly that queue; `max_batch`/`batch_window` turn
+/// on the batched serving mode the paper names as future work: an idle
+/// worker takes up to `max_batch` queued requests at once, and when
+/// fewer are queued it holds a `batch_window`-long window open so
+/// near-simultaneous requests coalesce. A full batch always dispatches
+/// immediately (the "adaptive" part: no window penalty at saturation).
 ///
-/// Request life: arrive -> FIFO queue -> parse -> inference -> serialize
-/// -> reply. The Responder's compute stamps bracket only the inference,
-/// so queue + parse + serialize land in the paper's `service` component.
+/// Request life: arrive -> FIFO queue -> [batch] parse -> one batched
+/// inference (ModelSpec::batch_duration) -> serialize -> reply. The
+/// Responder's compute stamps bracket only the inference, so queue +
+/// batch-window wait + parse + serialize land in the paper's `service`
+/// component.
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "ripple/common/random.hpp"
 #include "ripple/common/statistics.hpp"
@@ -26,12 +34,20 @@
 namespace ripple::ml {
 
 struct ServerConfig {
-  /// Concurrent requests processed (1 == the paper's current design).
+  /// Concurrent batches processed (1 == the paper's current design).
   std::size_t max_concurrency = 1;
 
   /// Queue bound; requests beyond it are rejected with an error reply.
   /// 0 means unbounded (the paper's services queue without bound).
   std::size_t max_queue = 0;
+
+  /// Requests coalesced into one inference (1 == unbatched baseline).
+  std::size_t max_batch = 1;
+
+  /// How long an idle worker waits for a partial batch to fill before
+  /// dispatching what is queued. 0 dispatches partial batches
+  /// immediately. Ignored when max_batch == 1.
+  sim::Duration batch_window = 0.0;
 };
 
 class InferenceServer {
@@ -39,44 +55,85 @@ class InferenceServer {
   InferenceServer(sim::EventLoop& loop, common::Rng rng, ModelSpec model,
                   ServerConfig config = {});
 
+  /// Cancels the batch window and expires the liveness token: pending
+  /// pipeline callbacks (parse/inference/serialize of in-flight
+  /// batches) become no-ops instead of touching a dead server — a
+  /// failed/killed service can be torn down with work still queued.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
   /// Accepts an RPC "infer" request (called from the bound method).
   void handle(std::shared_ptr<msg::Responder> responder);
 
   /// Requests queued or executing.
   [[nodiscard]] std::size_t outstanding() const noexcept {
-    return queue_.size() + busy_;
+    return queue_.size() + busy_requests_;
   }
   [[nodiscard]] std::size_t queue_depth() const noexcept {
     return queue_.size();
   }
-  [[nodiscard]] std::size_t busy() const noexcept { return busy_; }
+  /// Requests currently inside dispatched batches.
+  [[nodiscard]] std::size_t busy() const noexcept { return busy_requests_; }
+  /// Worker slots currently processing a batch.
+  [[nodiscard]] std::size_t busy_workers() const noexcept {
+    return busy_workers_;
+  }
   [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
   [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t batches() const noexcept { return batches_; }
   [[nodiscard]] std::size_t peak_queue() const noexcept {
     return peak_queue_;
   }
   [[nodiscard]] const ModelSpec& model() const noexcept { return model_; }
 
-  /// Observed per-request inference durations.
+  /// Observed per-batch inference durations.
   [[nodiscard]] const common::Summary& inference_times() const noexcept {
     return inference_times_;
   }
+
+  /// Dispatched batch sizes, in dispatch order, capped at
+  /// kBatchTraceCap entries so long-running servers don't grow without
+  /// bound. Same-seed runs must produce bit-identical traces (the
+  /// serving determinism tests diff this directly).
+  [[nodiscard]] const std::vector<std::uint32_t>& batch_trace()
+      const noexcept {
+    return batch_trace_;
+  }
+
+  /// FNV-1a over *every* dispatched batch size (not capped): the cheap
+  /// full-lifetime determinism fingerprint.
+  [[nodiscard]] std::uint64_t batch_trace_hash() const noexcept {
+    return batch_trace_hash_;
+  }
+
+  static constexpr std::size_t kBatchTraceCap = 1 << 16;
 
   [[nodiscard]] json::Value stats() const;
 
  private:
   void pump();
+  void dispatch(std::size_t batch_size);
 
   sim::EventLoop& loop_;
   common::Rng rng_;
   ModelSpec model_;
   ServerConfig config_;
   std::deque<std::shared_ptr<msg::Responder>> queue_;
-  std::size_t busy_ = 0;
+  sim::EventLoop::TimerHandle window_timer_;
+  /// Liveness token captured (weakly) by every scheduled callback.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  std::size_t busy_workers_ = 0;
+  std::size_t busy_requests_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t batches_ = 0;
   std::size_t peak_queue_ = 0;
   common::Summary inference_times_;
+  common::Summary batch_sizes_;
+  std::vector<std::uint32_t> batch_trace_;
+  std::uint64_t batch_trace_hash_ = 14695981039346656037ULL;
 };
 
 }  // namespace ripple::ml

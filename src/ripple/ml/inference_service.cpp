@@ -23,6 +23,10 @@ void InferenceProgram::init(core::ExecutionContext& ctx, DoneFn done,
       ctx.config.get_or("max_concurrency", json::Value(1)).as_int());
   server_config.max_queue = static_cast<std::size_t>(
       ctx.config.get_or("max_queue", json::Value(0)).as_int());
+  server_config.max_batch = static_cast<std::size_t>(
+      ctx.config.get_or("max_batch", json::Value(1)).as_int());
+  server_config.batch_window =
+      ctx.config.get_or("batch_window", json::Value(0.0)).as_double();
   server_ = std::make_unique<InferenceServer>(
       ctx.loop(), ctx.rng.fork("server"), model, server_config);
 

@@ -10,6 +10,8 @@
 ///   preloaded        - bool: skip the load phase (remote persistent)
 ///   max_concurrency  - int: server worker slots (default 1)
 ///   max_queue        - int: queue bound, 0 = unbounded
+///   max_batch        - int: requests per batched inference (default 1)
+///   batch_window     - double: seconds a partial batch waits to fill
 ///
 /// RPC methods exposed: "infer", "stats" (plus the manager-bound
 /// "health").

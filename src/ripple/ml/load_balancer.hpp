@@ -1,14 +1,21 @@
 #pragma once
 
 /// \file load_balancer.hpp
-/// Client-side load balancing across service endpoints.
+/// Client-side load balancing across a *dynamic* set of service
+/// endpoints.
 ///
 /// The paper uses "only a rudimentary load balancing" and lists dynamic
 /// rerouting to less-used instances as future work; this module provides
 /// both the rudimentary (round-robin, random) and the improved
 /// (least-outstanding) policies so the ablation bench can quantify the
-/// difference.
+/// difference. Endpoints may be added and removed while requests are in
+/// flight — the autoscaler registers replicas as they come up and
+/// deregisters them when they drain — so every policy supports
+/// add_endpoint/remove_endpoint, and LeastOutstandingBalancer migrates
+/// the in-flight counts of removed endpoints to a draining ledger (and
+/// back, when an endpoint returns) instead of losing them.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,12 +28,24 @@ class LoadBalancer {
  public:
   virtual ~LoadBalancer() = default;
 
-  /// Picks the endpoint for the next request.
+  /// Picks the endpoint for the next request. Throws Errc::invalid_state
+  /// when every endpoint has been removed.
   [[nodiscard]] virtual const std::string& pick() = 0;
 
   /// Signals that a request to `endpoint` completed (policies that track
-  /// in-flight counts use this; others ignore it).
+  /// in-flight counts use this; others ignore it). Safe to call for an
+  /// endpoint that has since been removed.
   virtual void on_complete(const std::string& endpoint) { (void)endpoint; }
+
+  /// Registers a new endpoint; returns false (no-op) if already
+  /// present.
+  bool add_endpoint(const std::string& endpoint);
+
+  /// Deregisters an endpoint; returns false when unknown. In-flight
+  /// requests to it may still complete (see on_complete).
+  bool remove_endpoint(const std::string& endpoint);
+
+  [[nodiscard]] bool has_endpoint(const std::string& endpoint) const;
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 
@@ -36,6 +55,18 @@ class LoadBalancer {
 
  protected:
   explicit LoadBalancer(std::vector<std::string> endpoints);
+
+  [[nodiscard]] std::size_t index_of(const std::string& endpoint) const;
+
+  /// Subclass bookkeeping hooks, called after the endpoint list changed.
+  /// `index` is the appended slot (added) or the erased slot (removed).
+  virtual void endpoint_added(std::size_t index) { (void)index; }
+  virtual void endpoint_removed(std::size_t index,
+                                const std::string& endpoint) {
+    (void)index;
+    (void)endpoint;
+  }
+
   std::vector<std::string> endpoints_;
 };
 
@@ -49,6 +80,9 @@ class RoundRobinBalancer final : public LoadBalancer {
   }
 
  private:
+  void endpoint_removed(std::size_t index,
+                        const std::string& endpoint) override;
+
   std::size_t next_ = 0;
 };
 
@@ -76,10 +110,22 @@ class LeastOutstandingBalancer final : public LoadBalancer {
   [[nodiscard]] const char* name() const noexcept override {
     return "least_outstanding";
   }
+
+  /// In-flight count; also answers for removed-but-draining endpoints.
   [[nodiscard]] std::size_t outstanding(const std::string& endpoint) const;
 
+  /// Requests still in flight to endpoints that have been removed.
+  [[nodiscard]] std::size_t draining_total() const noexcept;
+
  private:
+  void endpoint_added(std::size_t index) override;
+  void endpoint_removed(std::size_t index,
+                        const std::string& endpoint) override;
+
   std::vector<std::size_t> in_flight_;
+  /// Removed endpoints with in-flight counts > 0: the migration ledger.
+  /// Counts move back into in_flight_ if the endpoint is re-added.
+  std::map<std::string, std::size_t> draining_;
   std::size_t tie_break_ = 0;
 };
 

@@ -30,6 +30,23 @@ double ModelSpec::mean_inference() const {
   return inference_floor_s + tokens_out.mean() * per_token_s;
 }
 
+sim::Duration ModelSpec::batch_duration(
+    const std::vector<double>& tokens) const {
+  if (tokens.empty()) return 0.0;
+  double max_tokens = 0.0;
+  for (const double t : tokens) max_tokens = std::max(max_tokens, t);
+  const double step_factor =
+      1.0 + batch_cost_slope * static_cast<double>(tokens.size() - 1);
+  return inference_floor_s + max_tokens * per_token_s * step_factor;
+}
+
+double ModelSpec::mean_batch_duration(std::size_t batch_size) const {
+  if (batch_size == 0) return 0.0;
+  const double step_factor =
+      1.0 + batch_cost_slope * static_cast<double>(batch_size - 1);
+  return inference_floor_s + tokens_out.mean() * per_token_s * step_factor;
+}
+
 ModelSpec noop_model() {
   ModelSpec m;
   m.name = "noop";
@@ -42,6 +59,7 @@ ModelSpec noop_model() {
   m.tokens_out = common::Distribution::constant(0.0);
   m.per_token_s = 0.0;
   m.inference_floor_s = 1e-6;  // executing `noop` and forming the reply
+  m.batch_cost_slope = 0.0;    // nothing to batch
   return m;
 }
 
@@ -60,6 +78,7 @@ ModelSpec llama_8b_model() {
   m.tokens_out = common::Distribution::lognormal(120.0, 0.35, 8.0);
   m.per_token_s = 0.035;
   m.inference_floor_s = 0.12;
+  m.batch_cost_slope = 0.10;  // A100-class GPUs batch decode well
   return m;
 }
 
@@ -74,6 +93,7 @@ ModelSpec llama_70b_model() {
   m.tokens_out = common::Distribution::lognormal(140.0, 0.35, 8.0);
   m.per_token_s = 0.22;
   m.inference_floor_s = 0.5;
+  m.batch_cost_slope = 0.18;  // memory-bound: batching pays less
   return m;
 }
 
@@ -88,6 +108,7 @@ ModelSpec mistral_7b_model() {
   m.tokens_out = common::Distribution::lognormal(110.0, 0.35, 8.0);
   m.per_token_s = 0.031;
   m.inference_floor_s = 0.11;
+  m.batch_cost_slope = 0.10;
   return m;
 }
 
@@ -103,6 +124,7 @@ ModelSpec vit_base_model() {
   m.tokens_out = common::Distribution::constant(1.0);
   m.per_token_s = 0.0;
   m.inference_floor_s = 0.018;
+  m.batch_cost_slope = 0.05;  // fixed-cost forward passes batch near-perfectly
   return m;
 }
 

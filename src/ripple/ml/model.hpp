@@ -44,8 +44,25 @@ struct ModelSpec {
   /// Fixed floor per inference (kernel launch, pre/post processing).
   double inference_floor_s = 0.0;
 
+  /// Marginal slowdown of a decode step per extra sequence in a batch:
+  /// a batch of N runs its steps at (1 + batch_cost_slope * (N - 1))
+  /// times the single-sequence step cost. 0 models perfect batching;
+  /// large values model memory-bound models that barely batch. The
+  /// fixed floor and the shared decode loop are amortized across the
+  /// whole batch either way, which is where batched serving wins.
+  double batch_cost_slope = 0.15;
+
   /// Samples one inference duration.
   [[nodiscard]] sim::Duration sample_inference(common::Rng& rng) const;
+
+  /// Cost of one batched inference over requests with the given sampled
+  /// token counts: the batch runs until its longest sequence finishes,
+  /// every step slowed by batch_cost_slope per extra sequence.
+  [[nodiscard]] sim::Duration batch_duration(
+      const std::vector<double>& tokens) const;
+
+  /// Analytic batch duration at mean token count (autoscaler/doc aid).
+  [[nodiscard]] double mean_batch_duration(std::size_t batch_size) const;
 
   /// Samples a model load duration under `concurrent_loads` concurrent
   /// loaders on a shared filesystem (coeff/threshold from the platform

@@ -15,12 +15,15 @@ Cluster::Cluster(sim::EventLoop& loop, sim::Network& network,
          "cluster needs at least one node");
   nodes_.reserve(profile_.max_nodes);
   by_id_.reserve(profile_.max_nodes);
+  index_of_.reserve(profile_.max_nodes);
   for (std::size_t i = 0; i < profile_.max_nodes; ++i) {
     const std::string node_id =
         strutil::cat(profile_.name, ":node", strutil::zero_pad(i, 4));
     network.register_host(node_id, profile_.name);
     nodes_.push_back(std::make_unique<Node>(node_id, profile_.node, node_id));
     by_id_.emplace(node_id, nodes_.back().get());
+    index_of_.emplace(nodes_.back().get(), i);
+    free_indices_.insert(free_indices_.end(), i);
   }
   head_host_ = strutil::cat(profile_.name, ":head");
   network.register_host(head_host_, profile_.name);
@@ -37,7 +40,7 @@ Cluster::Cluster(sim::EventLoop& loop, sim::Network& network,
 }
 
 std::size_t Cluster::free_node_count() const noexcept {
-  return nodes_.size() - reserved_.size();
+  return free_indices_.size();
 }
 
 std::vector<Node*> Cluster::reserve_nodes(std::size_t count) {
@@ -47,16 +50,22 @@ std::vector<Node*> Cluster::reserve_nodes(std::size_t count) {
                       " nodes, only ", free_node_count(), " free"));
   std::vector<Node*> out;
   out.reserve(count);
-  for (std::size_t i = 0; i < nodes_.size() && out.size() < count; ++i) {
-    if (reserved_.insert(nodes_[i].get()).second) {
-      out.push_back(nodes_[i].get());
-    }
+  while (out.size() < count) {
+    const auto first = free_indices_.begin();
+    Node* node = nodes_[*first].get();
+    free_indices_.erase(first);
+    reserved_.insert(node);
+    out.push_back(node);
   }
   return out;
 }
 
 void Cluster::release_nodes(const std::vector<Node*>& nodes) {
-  for (const Node* node : nodes) reserved_.erase(node);
+  for (const Node* node : nodes) {
+    if (reserved_.erase(node) > 0) {
+      free_indices_.insert(index_of_.find(node)->second);
+    }
+  }
 }
 
 Node& Cluster::node(std::size_t index) {

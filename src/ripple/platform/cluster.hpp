@@ -9,6 +9,7 @@
 /// profiles' WAN models unless explicitly overridden.
 
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,7 +41,9 @@ class Cluster {
   [[nodiscard]] std::size_t free_node_count() const noexcept;
 
   /// Reserves `count` whole nodes for a pilot; throws Errc::capacity when
-  /// not enough free nodes exist.
+  /// not enough free nodes exist. Grants the lowest-indexed free nodes
+  /// via an ordered free-index set — O(count log nodes), not a scan of
+  /// the whole node table.
   [[nodiscard]] std::vector<Node*> reserve_nodes(std::size_t count);
 
   /// Returns nodes reserved by reserve_nodes.
@@ -64,6 +67,11 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_set<const Node*> reserved_;
   std::unordered_map<std::string, Node*> by_id_;
+  /// Free node indices, ordered — reservation pops from the front,
+  /// preserving the legacy linear scan's lowest-index-first grants.
+  std::set<std::size_t> free_indices_;
+  /// Node -> index, so release_nodes restores free_indices_ in O(log N).
+  std::unordered_map<const Node*, std::size_t> index_of_;
   Launcher launcher_;
   sim::HostId head_host_;
 };

@@ -26,35 +26,75 @@ EventLoop::TimerHandle EventLoop::call_after(Duration delay,
   return call_at(now_ + delay, std::move(callback));
 }
 
+EventLoop::TimerHandle EventLoop::post(Callback callback) {
+  ensure(static_cast<bool>(callback), Errc::invalid_argument,
+         "post: empty callback");
+  // Same-time events always run before any strictly later event, and the
+  // now-queue is FIFO by construction, so an O(1) deque push preserves
+  // the exact (time, sequence) order the heap would have produced.
+  const std::uint64_t id = next_id_++;
+  now_queue_.push_back(Event{now_, next_sequence_++, id, std::move(callback)});
+  live_.insert(id);
+  return TimerHandle{id};
+}
+
 bool EventLoop::cancel(TimerHandle handle) {
   if (!handle.valid()) return false;
-  // Events stay in the heap; execution skips cancelled ids. Only ids
-  // still in the heap may enter `cancelled_` — an id of an event that
-  // already ran would never be popped and would leak.
+  // Events stay queued; execution skips cancelled ids. Only ids still
+  // queued may enter `cancelled_` — an id of an event that already ran
+  // would never be popped and would leak.
   if (live_.count(handle.id) == 0) return false;
   return cancelled_.insert(handle.id).second;
 }
 
-bool EventLoop::step(SimTime deadline) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (cancelled_.erase(top.id) > 0) {
-      live_.erase(top.id);
-      heap_.pop();
-      continue;
-    }
-    if (top.time > deadline) return false;
-    // Move the callback out before popping so re-entrant scheduling from
-    // inside the callback sees a consistent heap.
-    Event event = std::move(const_cast<Event&>(top));
+void EventLoop::skim_cancelled() {
+  while (!now_queue_.empty() &&
+         cancelled_.erase(now_queue_.front().id) > 0) {
+    live_.erase(now_queue_.front().id);
+    now_queue_.pop_front();
+  }
+  while (!heap_.empty() && cancelled_.erase(heap_.top().id) > 0) {
+    live_.erase(heap_.top().id);
     heap_.pop();
+  }
+}
+
+bool EventLoop::step(SimTime deadline) {
+  skim_cancelled();
+  // The next live event is whichever of the now-queue front and the heap
+  // top comes first in the global (time, sequence) order.
+  const bool have_now = !now_queue_.empty();
+  const bool have_heap = !heap_.empty();
+  if (!have_now && !have_heap) return false;
+  bool from_now = have_now;
+  if (have_now && have_heap) {
+    const Event& n = now_queue_.front();
+    const Event& h = heap_.top();
+    from_now =
+        n.time < h.time || (n.time == h.time && n.sequence < h.sequence);
+  }
+
+  if (from_now) {
+    if (now_queue_.front().time > deadline) return false;
+    // Move the event out before popping so re-entrant posting from
+    // inside the callback sees a consistent queue.
+    Event event = std::move(now_queue_.front());
+    now_queue_.pop_front();
     live_.erase(event.id);
     now_ = event.time;
     ++processed_;
     event.callback();
     return true;
   }
-  return false;
+
+  if (heap_.top().time > deadline) return false;
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  live_.erase(event.id);
+  now_ = event.time;
+  ++processed_;
+  event.callback();
+  return true;
 }
 
 std::size_t EventLoop::run() {

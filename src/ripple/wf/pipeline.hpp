@@ -21,11 +21,29 @@
 
 namespace ripple::wf {
 
+/// Optional elastic serving for a stage: when enabled, each of the
+/// stage's service descriptions becomes the replica template of an
+/// ml::Autoscaler-managed group instead of a fixed instance. Stage
+/// tasks that watch the group name (client config `watch`) then follow
+/// replicas as the pool breathes with the stage's request backlog.
+struct StageAutoscale {
+  bool enabled = false;
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 4;
+  double scale_up_outstanding = 8.0;
+  double scale_down_outstanding = 1.0;
+  sim::Duration poll_interval = 0.25;
+  sim::Duration cooldown = 1.0;
+};
+
 struct Stage {
   std::string name = "stage";
 
   /// Services started (and readiness-awaited) before this stage's tasks.
   std::vector<core::ServiceDescription> services;
+
+  /// Elastic replica management for this stage's services.
+  StageAutoscale autoscale;
 
   /// The stage's compute tasks.
   std::vector<core::TaskDescription> tasks;

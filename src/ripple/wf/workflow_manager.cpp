@@ -45,21 +45,52 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
     launch_stage_tasks(run, index);
     return;
   }
-  for (const auto& desc : stage_run.stage.services) {
-    stage_run.service_uids.push_back(
-        session_.services().submit(*run->pilot, desc));
+  const auto on_services_ready = [this, run, index](bool ok) {
+    if (!ok) {
+      run->failed = true;
+      log_.error(strutil::cat("pipeline '", run->name,
+                              "': stage services failed"));
+      complete_stage(run, index);
+      return;
+    }
+    launch_stage_tasks(run, index);
+  };
+  if (stage_run.stage.autoscale.enabled) {
+    // Elastic stage: every service description seeds a replica group.
+    const StageAutoscale& as = stage_run.stage.autoscale;
+    ml::AutoscalerConfig config;
+    config.min_replicas = as.min_replicas;
+    config.max_replicas = as.max_replicas;
+    config.scale_up_outstanding = as.scale_up_outstanding;
+    config.scale_down_outstanding = as.scale_down_outstanding;
+    config.poll_interval = as.poll_interval;
+    config.cooldown = as.cooldown;
+    auto ready = std::make_shared<std::size_t>(
+        stage_run.stage.services.size());
+    auto all_ok = std::make_shared<bool>(true);
+    for (const auto& desc : stage_run.stage.services) {
+      stage_run.autoscalers.push_back(std::make_unique<ml::Autoscaler>(
+          session_, *run->pilot, desc, config));
+      stage_run.autoscalers.back()->start(
+          [this, run, index, ready, all_ok, on_services_ready](bool ok) {
+            *all_ok = *all_ok && ok;
+            if (--(*ready) == 0) on_services_ready(*all_ok);
+          });
+    }
+    // The initial replicas double as the tasks' readiness barrier.
+    for (const auto& scaler : stage_run.autoscalers) {
+      const auto& uids = scaler->replicas();
+      stage_run.service_uids.insert(stage_run.service_uids.end(),
+                                    uids.begin(), uids.end());
+    }
+    return;
   }
-  session_.services().when_ready(
-      stage_run.service_uids, [this, run, index](bool ok) {
-        if (!ok) {
-          run->failed = true;
-          log_.error(strutil::cat("pipeline '", run->name,
-                                  "': stage services failed"));
-          complete_stage(run, index);
-          return;
-        }
-        launch_stage_tasks(run, index);
-      });
+  // One submit_all batch: priorities are enacted across the whole
+  // stage and the pilot's wait queue is scanned once, not N times.
+  stage_run.service_uids = session_.services().submit_all(
+      *run->pilot, stage_run.stage.services);
+  session_.services().when_ready(stage_run.service_uids,
+                                 on_services_ready);
 }
 
 void WorkflowManager::launch_stage_tasks(
@@ -126,8 +157,13 @@ void WorkflowManager::complete_stage(const std::shared_ptr<PipelineRun>& run,
                          stage_run.tasks_failed, " failed)"));
 
   if (stage_run.stage.stop_services_after) {
-    for (const auto& uid : stage_run.service_uids) {
-      session_.services().stop(uid);
+    // Elastic stages drain through their autoscalers (which also stop
+    // any scaled-up replicas the stage's uid list never saw).
+    for (auto& scaler : stage_run.autoscalers) scaler->stop();
+    if (stage_run.autoscalers.empty()) {
+      for (const auto& uid : stage_run.service_uids) {
+        session_.services().stop(uid);
+      }
     }
   }
 

@@ -6,9 +6,13 @@
 ///
 /// Stages run in order with optional asynchronous overlap: stage s+1 is
 /// released when stage s reaches its `unblock_next_after` threshold.
-/// Stage services are submitted before stage tasks and awaited via the
-/// ServiceManager's readiness barrier; tasks automatically receive
-/// `requires_services` on the stage's services.
+/// Stage services are submitted before stage tasks — as one batch, so
+/// the scheduler enacts priorities across the whole stage — and awaited
+/// via the ServiceManager's readiness barrier; tasks automatically
+/// receive `requires_services` on the stage's services. Stages with
+/// `autoscale.enabled` run their services as elastic replica groups
+/// (one ml::Autoscaler per description), started/stopped with the
+/// stage.
 
 #include <functional>
 #include <map>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "ripple/core/session.hpp"
+#include "ripple/ml/autoscaler.hpp"
 #include "ripple/wf/pipeline.hpp"
 
 namespace ripple::wf {
@@ -40,6 +45,7 @@ class WorkflowManager {
   struct StageRun {
     Stage stage;
     std::vector<std::string> service_uids;
+    std::vector<std::unique_ptr<ml::Autoscaler>> autoscalers;
     std::vector<std::string> task_uids;
     double started_at = -1.0;
     double finished_at = -1.0;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ripple/common/error.hpp"
 #include "ripple/platform/cluster.hpp"
 #include "ripple/platform/launcher.hpp"
@@ -154,6 +156,69 @@ TEST_F(ClusterTest, ReserveAndReleaseNodes) {
   cluster.release_nodes(nodes);
   EXPECT_EQ(cluster.free_node_count(), 4u);
   EXPECT_THROW((void)cluster.reserve_nodes(0), Error);
+}
+
+TEST(ClusterReserve, IndexedReservationMatchesLinearScanReference) {
+  // Regression for the indexed free-set: a random reserve/release
+  // sequence must grant exactly the nodes the legacy linear scan
+  // (lowest free index first) granted, and agree on free counts and
+  // capacity errors throughout.
+  sim::EventLoop loop;
+  common::Rng net_rng{3};
+  sim::Network net{loop, net_rng};
+  auto profile = platform::delta_profile(32);
+  platform::Cluster cluster{loop, net, profile, common::Rng(4)};
+
+  std::vector<bool> reference_reserved(cluster.node_count(), false);
+  const auto reference_reserve =
+      [&](std::size_t count) -> std::vector<std::string> {
+    std::vector<std::string> out;
+    for (std::size_t i = 0;
+         i < reference_reserved.size() && out.size() < count; ++i) {
+      if (!reference_reserved[i]) {
+        reference_reserved[i] = true;
+        out.push_back(cluster.node(i).id());
+      }
+    }
+    return out;
+  };
+
+  common::Rng rng(99);
+  std::vector<std::vector<platform::Node*>> held;
+  for (int op = 0; op < 500; ++op) {
+    const std::size_t free_reference = static_cast<std::size_t>(
+        std::count(reference_reserved.begin(), reference_reserved.end(),
+                   false));
+    ASSERT_EQ(cluster.free_node_count(), free_reference);
+    if (rng.chance(0.6)) {
+      const auto count =
+          static_cast<std::size_t>(rng.uniform_int(1, 8));
+      if (count > free_reference) {
+        EXPECT_THROW((void)cluster.reserve_nodes(count), Error);
+        continue;
+      }
+      const std::vector<platform::Node*> got =
+          cluster.reserve_nodes(count);
+      const std::vector<std::string> expected = reference_reserve(count);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i]->id(), expected[i]) << "op " << op;
+      }
+      held.push_back(got);
+    } else if (!held.empty()) {
+      const std::size_t index = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(held.size()) - 1));
+      for (const platform::Node* node : held[index]) {
+        for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+          if (cluster.node(i).id() == node->id()) {
+            reference_reserved[i] = false;
+          }
+        }
+      }
+      cluster.release_nodes(held[index]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+  }
 }
 
 TEST_F(ClusterTest, FindNode) {

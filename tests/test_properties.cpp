@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <map>
 
 #include "ripple/core/session.hpp"
 #include "ripple/ml/install.hpp"
+#include "ripple/ml/load_balancer.hpp"
 #include "ripple/platform/profiles.hpp"
 
 namespace {
@@ -210,6 +213,165 @@ TEST(ScalingShape, RemoteCommunicationExceedsLocal) {
       GridPoint{4, 4, 64, 1, true, "noop"}, 7);
   // Paper: 0.47 ms vs 0.063 ms links -> substantially larger comm.
   EXPECT_GT(remote.comm_mean, local.comm_mean * 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-endpoint load balancer vs a brute-force reference
+// ---------------------------------------------------------------------------
+
+/// Brute-force reference model of a dynamic endpoint pool: a map of
+/// endpoint -> in-flight count for active endpoints plus a ledger for
+/// removed endpoints that still have requests in flight. The fuzz
+/// drives LeastOutstandingBalancer and this model through the same
+/// random add/remove/pick/on_complete sequence and checks, at every
+/// step, that (a) the pick is least-outstanding per the reference
+/// counts, (b) per-endpoint counts agree and (c) no in-flight request
+/// is ever lost across removals and re-adds.
+struct ReferencePool {
+  std::map<std::string, std::size_t> active;
+  std::map<std::string, std::size_t> draining;  // removed, still in flight
+
+  void add(const std::string& endpoint) {
+    if (active.count(endpoint)) return;
+    std::size_t carried = 0;
+    const auto it = draining.find(endpoint);
+    if (it != draining.end()) {
+      carried = it->second;
+      draining.erase(it);
+    }
+    active[endpoint] = carried;
+  }
+
+  void remove(const std::string& endpoint) {
+    const auto it = active.find(endpoint);
+    if (it == active.end()) return;
+    if (it->second > 0) draining[endpoint] += it->second;
+    active.erase(it);
+  }
+
+  void complete(const std::string& endpoint) {
+    if (const auto it = active.find(endpoint); it != active.end()) {
+      if (it->second > 0) --it->second;
+      return;
+    }
+    if (const auto it = draining.find(endpoint); it != draining.end()) {
+      if (--it->second == 0) draining.erase(it);
+    }
+  }
+
+  [[nodiscard]] std::size_t min_load() const {
+    std::size_t lowest = std::numeric_limits<std::size_t>::max();
+    for (const auto& [endpoint, load] : active) {
+      lowest = std::min(lowest, load);
+    }
+    return lowest;
+  }
+
+  [[nodiscard]] std::size_t total_in_flight() const {
+    std::size_t total = 0;
+    for (const auto& [endpoint, load] : active) total += load;
+    for (const auto& [endpoint, load] : draining) total += load;
+    return total;
+  }
+};
+
+TEST(BalancerProperty, LeastOutstandingInvariantHoldsUnderChurn) {
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    common::Rng rng(seed);
+    ml::LeastOutstandingBalancer balancer({"ep0"});
+    ReferencePool reference;
+    reference.add("ep0");
+    std::size_t next_endpoint = 1;
+    std::vector<std::string> in_flight;  // one entry per open request
+
+    for (int op = 0; op < 4000; ++op) {
+      const std::size_t action =
+          static_cast<std::size_t>(rng.uniform_int(0, 9));
+      if (action == 0) {
+        // Add: a fresh endpoint, or (1 in 4) re-add a draining one.
+        std::string endpoint;
+        if (!reference.draining.empty() && rng.chance(0.25)) {
+          endpoint = reference.draining.begin()->first;
+        } else {
+          endpoint = "ep" + std::to_string(next_endpoint++);
+        }
+        balancer.add_endpoint(endpoint);
+        reference.add(endpoint);
+      } else if (action == 1 && reference.active.size() > 1) {
+        // Remove a uniformly random active endpoint (never the last).
+        const std::size_t index = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(reference.active.size()) - 1));
+        auto it = reference.active.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(index));
+        const std::string endpoint = it->first;
+        EXPECT_TRUE(balancer.remove_endpoint(endpoint));
+        reference.remove(endpoint);
+      } else if (action <= 6) {
+        // Pick: must hit a least-loaded active endpoint.
+        const std::string& chosen = balancer.pick();
+        ASSERT_TRUE(reference.active.count(chosen))
+            << "picked removed endpoint " << chosen;
+        EXPECT_EQ(reference.active[chosen], reference.min_load())
+            << "seed " << seed << " op " << op;
+        ++reference.active[chosen];
+        in_flight.push_back(chosen);
+      } else if (!in_flight.empty()) {
+        // Complete a uniformly random open request.
+        const std::size_t index = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(in_flight.size()) - 1));
+        const std::string endpoint = in_flight[index];
+        in_flight.erase(in_flight.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+        balancer.on_complete(endpoint);
+        reference.complete(endpoint);
+      }
+
+      // Bookkeeping must agree exactly after every operation.
+      ASSERT_EQ(balancer.endpoints().size(), reference.active.size());
+      for (const auto& [endpoint, load] : reference.active) {
+        ASSERT_TRUE(balancer.has_endpoint(endpoint));
+        ASSERT_EQ(balancer.outstanding(endpoint), load)
+            << "seed " << seed << " op " << op << " ep " << endpoint;
+      }
+      for (const auto& [endpoint, load] : reference.draining) {
+        ASSERT_EQ(balancer.outstanding(endpoint), load);
+      }
+      ASSERT_EQ(reference.total_in_flight(), in_flight.size());
+      ASSERT_EQ(balancer.draining_total(),
+                [&] {
+                  std::size_t total = 0;
+                  for (const auto& [endpoint, load] : reference.draining) {
+                    total += load;
+                  }
+                  return total;
+                }());
+    }
+  }
+}
+
+TEST(BalancerProperty, RoundRobinCoversAllEndpointsAfterChurn) {
+  // After any add/remove churn, size() consecutive picks with no
+  // mutations must hit every endpoint exactly once.
+  common::Rng rng(5);
+  ml::RoundRobinBalancer balancer({"a", "b", "c"});
+  std::size_t next_endpoint = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t action =
+        static_cast<std::size_t>(rng.uniform_int(0, 2));
+    if (action == 0) {
+      balancer.add_endpoint("rr" + std::to_string(next_endpoint++));
+    } else if (action == 1 && balancer.endpoints().size() > 1) {
+      const auto& endpoints = balancer.endpoints();
+      const std::size_t index = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(endpoints.size()) - 1));
+      balancer.remove_endpoint(endpoints[index]);
+    }
+    std::map<std::string, int> seen;
+    const std::size_t n = balancer.endpoints().size();
+    for (std::size_t i = 0; i < n; ++i) ++seen[balancer.pick()];
+    ASSERT_EQ(seen.size(), n) << "round " << round;
+    for (const auto& [endpoint, count] : seen) ASSERT_EQ(count, 1);
+  }
 }
 
 TEST(BootstrapShape, LaunchContentionAppearsAtScale) {

@@ -1,0 +1,680 @@
+// Serving-layer tests: EventLoop now-queue fast path edge cases,
+// adaptive micro-batching, client backpressure, and bit-exact
+// determinism of the batched server + autoscaler pipeline.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ripple/common/error.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/ml/autoscaler.hpp"
+#include "ripple/ml/inference_server.hpp"
+#include "ripple/ml/inference_service.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/profiles.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::ml;
+
+// ---------------------------------------------------------------------------
+// EventLoop now-queue fast path
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopFastPath, PostDuringPostRunsAfterPendingPosts) {
+  sim::EventLoop loop;
+  std::vector<int> order;
+  loop.post([&] {
+    order.push_back(1);
+    loop.post([&] { order.push_back(3); });
+  });
+  loop.post([&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopFastPath, PostInterleavesWithSameTimeHeapEvents) {
+  // Mixed call_at(now) and post() at the same timestamp must fire in
+  // global posting order — the now-queue must not jump the heap.
+  sim::EventLoop loop;
+  std::vector<char> order;
+  loop.call_at(0.0, [&] { order.push_back('a'); });
+  loop.post([&] { order.push_back('b'); });
+  loop.call_at(0.0, [&] { order.push_back('c'); });
+  loop.post([&] { order.push_back('d'); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c', 'd'}));
+}
+
+TEST(EventLoopFastPath, CancelNowQueuedEvent) {
+  sim::EventLoop loop;
+  bool ran = false;
+  const auto handle = loop.post([&] { ran = true; });
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_TRUE(loop.cancel(handle));
+  EXPECT_FALSE(loop.cancel(handle));  // already cancelled
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.cancelled_backlog(), 0u);  // skimmed, no leak
+}
+
+TEST(EventLoopFastPath, CancelPostedEventFromEarlierEvent) {
+  sim::EventLoop loop;
+  bool second_ran = false;
+  sim::EventLoop::TimerHandle second;
+  loop.post([&] { EXPECT_TRUE(loop.cancel(second)); });
+  second = loop.post([&] { second_ran = true; });
+  loop.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventLoopFastPath, RunUntilBoundaryIncludesDeadlinePosts) {
+  // An event at exactly the deadline runs, and a post() it makes (same
+  // time) runs too before run_until returns; now() lands on deadline.
+  sim::EventLoop loop;
+  std::vector<int> order;
+  loop.call_at(2.0, [&] {
+    order.push_back(1);
+    loop.post([&] { order.push_back(2); });
+  });
+  loop.call_at(2.5, [&] { order.push_back(99); });
+  EXPECT_EQ(loop.run_until(2.0), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+  // The 2.5 event is untouched and runs on the next call.
+  EXPECT_EQ(loop.run_until(3.0), 1u);
+  EXPECT_EQ(order.back(), 99);
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoopFastPath, PendingCountsBothQueues) {
+  sim::EventLoop loop;
+  const auto a = loop.post([] {});
+  loop.post([] {});
+  loop.call_after(1.0, [] {});
+  EXPECT_EQ(loop.pending(), 3u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run();
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopFastPath, PostRejectsEmptyCallback) {
+  sim::EventLoop loop;
+  EXPECT_THROW(loop.post(sim::EventLoop::Callback{}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive micro-batching
+// ---------------------------------------------------------------------------
+
+class BatchServerFixture : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  common::Rng rng{5};
+  sim::Network net{loop, rng};
+  msg::Router router{loop, net};
+  std::unique_ptr<msg::RpcServer> rpc_server;
+  std::unique_ptr<msg::RpcClient> rpc_client;
+  std::unique_ptr<InferenceServer> server;
+
+  void SetUp() override {
+    net.register_host("s", "z");
+    net.register_host("c", "z");
+    net.set_link("z", "z",
+                 sim::LinkModel{common::Distribution::constant(1e-4), 0});
+    rpc_server = std::make_unique<msg::RpcServer>(router, "svc", "s");
+    rpc_client = std::make_unique<msg::RpcClient>(router, "cli", "c");
+  }
+
+  /// A deterministic LLM-ish model: 1 s per request, perfect batching.
+  static ModelSpec second_model() {
+    ModelSpec model = noop_model();
+    model.parse = common::Distribution::constant(0.0);
+    model.serialize = common::Distribution::constant(0.0);
+    model.tokens_out = common::Distribution::constant(100.0);
+    model.per_token_s = 0.01;
+    model.inference_floor_s = 0.0;
+    model.batch_cost_slope = 0.0;
+    return model;
+  }
+
+  void make_server(ModelSpec model, ServerConfig config) {
+    server = std::make_unique<InferenceServer>(loop, common::Rng(6),
+                                               std::move(model), config);
+    rpc_server->bind_method("infer",
+                            [this](std::shared_ptr<msg::Responder> r) {
+                              server->handle(std::move(r));
+                            });
+  }
+
+};
+
+TEST_F(BatchServerFixture, FullBatchDispatchesWithoutWaitingForWindow) {
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 2,
+                           .batch_window = 10.0});
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       ++completed;
+                     });
+  }
+  loop.run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(server->batches(), 2u);
+  EXPECT_EQ(server->batch_trace(), (std::vector<std::uint32_t>{2, 2}));
+  // Two full batches of 1 s each, never the 10 s window.
+  EXPECT_LT(loop.now(), 3.0);
+}
+
+TEST_F(BatchServerFixture, WindowFlushesPartialBatch) {
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 8,
+                           .batch_window = 0.05});
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       ++completed;
+                     });
+  }
+  loop.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(server->batches(), 1u);
+  EXPECT_EQ(server->batch_trace(), (std::vector<std::uint32_t>{3}));
+  // One window wait plus one batched second.
+  EXPECT_NEAR(loop.now(), 1.05, 0.01);
+}
+
+TEST_F(BatchServerFixture, BatchingCollapsesMakespan) {
+  // 8 one-second requests: serial = 8 s; batch-of-8 = 1 s (+window).
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 8,
+                           .batch_window = 0.02});
+  int completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       ++completed;
+                     });
+  }
+  loop.run();
+  EXPECT_EQ(completed, 8);
+  EXPECT_EQ(server->batches(), 1u);
+  EXPECT_LT(loop.now(), 1.5);
+  EXPECT_EQ(server->served(), 8u);
+}
+
+TEST_F(BatchServerFixture, BatchCostSlopeStretchesBatch) {
+  ModelSpec model = second_model();
+  model.batch_cost_slope = 0.25;  // batch of 4: 1.75x a single request
+  make_server(model, ServerConfig{.max_concurrency = 1,
+                                  .max_queue = 0,
+                                  .max_batch = 4,
+                                  .batch_window = 0.01});
+  for (int i = 0; i < 4; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [](msg::CallResult) {});
+  }
+  loop.run();
+  EXPECT_EQ(server->batches(), 1u);
+  EXPECT_NEAR(server->inference_times().mean(), 1.75, 1e-9);
+}
+
+TEST_F(BatchServerFixture, BoundedQueueRejectsWhileBatching) {
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 2,
+                           .max_batch = 2,
+                           .batch_window = 10.0});
+  int ok = 0;
+  int rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       if (r.ok) {
+                         ++ok;
+                       } else {
+                         EXPECT_NE(r.error.find("queue full"),
+                                   std::string::npos);
+                         ++rejected;
+                       }
+                     });
+  }
+  loop.run();
+  EXPECT_EQ(ok + rejected, 6);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(server->rejected(), static_cast<std::uint64_t>(rejected));
+}
+
+TEST_F(BatchServerFixture, DestructionWithPendingWorkIsSafe) {
+  // A failed/killed service tears its server down with a batch window
+  // armed or an inference in flight; pending callbacks must no-op.
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 4,
+                           .batch_window = 0.05});
+  for (int i = 0; i < 3; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [](msg::CallResult) {}, /*timeout=*/5.0);
+  }
+  loop.run_until(0.01);   // requests queued, batch window armed
+  ASSERT_GT(server->queue_depth(), 0u);
+  server.reset();         // service died mid-window
+  loop.run_until(0.2);    // window event fires into the dead server
+
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 4,
+                           .batch_window = 0.02});
+  rpc_client->call("svc", "infer", json::Value::object(),
+                   [](msg::CallResult) {}, /*timeout=*/5.0);
+  loop.run_until(0.5);    // batch dispatched, 1 s inference in flight
+  ASSERT_GT(server->busy(), 0u);
+  server.reset();         // service died mid-inference
+  loop.run();             // inference/serialize callbacks must no-op
+  SUCCEED();              // reaching here without UB/crash is the test
+}
+
+TEST(EndpointDirectory, TracksRunningServices) {
+  core::Session session({.seed = 3});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(1));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 1});
+
+  core::ServiceDescription svc;
+  svc.name = "dir-svc";
+  svc.program = "inference";
+  svc.config = json::Value::object({{"model", "noop"}});
+  svc.gpus = 1;
+  const std::string uid = session.services().submit(pilot, svc);
+
+  EXPECT_TRUE(session.runtime().endpoints_of("dir-svc").empty());
+  session.services().when_ready({uid}, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    // Synchronous directory: visible the instant the service RUNs,
+    // before any pub/sub event is delivered.
+    const auto endpoints = session.runtime().endpoints_of("dir-svc");
+    ASSERT_EQ(endpoints.size(), 1u);
+    EXPECT_EQ(endpoints[0], session.services().get(uid).endpoint());
+    session.services().stop_all();
+  });
+  session.run();
+  EXPECT_TRUE(session.runtime().endpoints_of("dir-svc").empty());
+}
+
+TEST(ModelBatching, BatchDurationMatchesSingleAtSizeOne) {
+  const ModelSpec llama = llama_8b_model();
+  EXPECT_DOUBLE_EQ(llama.batch_duration({120.0}),
+                   llama.inference_floor_s + 120.0 * llama.per_token_s);
+  // Longest sequence governs; slope charges per extra sequence.
+  const double batched = llama.batch_duration({60.0, 120.0, 90.0});
+  const double expected =
+      llama.inference_floor_s +
+      120.0 * llama.per_token_s * (1.0 + llama.batch_cost_slope * 2.0);
+  EXPECT_DOUBLE_EQ(batched, expected);
+  EXPECT_DOUBLE_EQ(llama.batch_duration({}), 0.0);
+  // Batching a full batch is far cheaper than serial execution.
+  EXPECT_LT(llama.mean_batch_duration(8), 8.0 * llama.mean_inference());
+}
+
+// ---------------------------------------------------------------------------
+// Serving determinism: batched server + autoscaler + watching clients
+// ---------------------------------------------------------------------------
+
+struct ServingTrace {
+  std::uint64_t events = 0;
+  std::size_t requests = 0;
+  double makespan = 0.0;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::vector<double> decision_times;
+  std::vector<std::uint64_t> served;
+  std::vector<std::uint64_t> rejected;
+  std::vector<std::uint32_t> batch_sizes;  // concatenated, replica order
+  std::size_t stopped_services = 0;
+
+  bool operator==(const ServingTrace&) const = default;
+};
+
+ServingTrace run_serving(std::uint64_t seed) {
+  core::Session session({.seed = seed});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription replica;
+  replica.name = "pool";
+  replica.program = "inference";
+  replica.config = json::Value::object({{"model", "llama-8b"},
+                                        {"max_batch", 4},
+                                        {"batch_window", 0.02},
+                                        {"max_queue", 8}});
+  replica.gpus = 1;
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 1;
+  scaling.max_replicas = 3;
+  scaling.scale_up_outstanding = 4.0;
+  scaling.scale_down_outstanding = 0.5;
+  scaling.poll_interval = 0.25;
+  scaling.cooldown = 1.0;
+  Autoscaler scaler(session, pilot, replica, scaling);
+
+  ServingTrace trace;
+  double start = 0.0;
+  scaler.start([&](bool ok) {
+    if (!ok) {
+      ADD_FAILURE() << "serving bootstrap failed";
+      session.loop().stop();  // the poll timer would keep run() alive
+      return;
+    }
+    start = session.now();
+    std::vector<std::string> task_uids;
+    for (int c = 0; c < 6; ++c) {
+      core::TaskDescription task;
+      task.kind = "inference_client";
+      json::Value endpoints = json::Value::array();
+      for (const auto& endpoint : scaler.endpoints()) {
+        endpoints.push_back(endpoint);
+      }
+      task.payload = json::Value::object({{"endpoints", endpoints},
+                                          {"requests", 12},
+                                          {"concurrency", 3},
+                                          {"series", "det"},
+                                          {"balancer", "least_outstanding"},
+                                          {"watch", "pool"},
+                                          {"max_retries", 12},
+                                          {"retry_backoff", 0.2}});
+      task_uids.push_back(session.tasks().submit(pilot, task));
+    }
+    session.tasks().when_done(task_uids, [&](bool) {
+      trace.makespan = session.now() - start;
+      for (const auto& uid : scaler.replicas()) {
+        if (!session.services().exists(uid)) continue;
+        auto* program = dynamic_cast<InferenceProgram*>(
+            session.services().program(uid));
+        if (program == nullptr || program->server() == nullptr) continue;
+        trace.served.push_back(program->server()->served());
+        trace.rejected.push_back(program->server()->rejected());
+        const auto& batch_trace = program->server()->batch_trace();
+        trace.batch_sizes.insert(trace.batch_sizes.end(),
+                                 batch_trace.begin(), batch_trace.end());
+      }
+      scaler.stop();
+    });
+  });
+  session.run();
+
+  trace.events = session.loop().events_processed();
+  if (session.metrics().has_series("det")) {
+    trace.requests = session.metrics().series("det").count();
+  }
+  trace.scale_ups = scaler.scale_ups();
+  trace.scale_downs = scaler.scale_downs();
+  for (const auto& decision : scaler.decisions()) {
+    trace.decision_times.push_back(decision.time);
+  }
+  trace.stopped_services =
+      session.services().count_in_state(core::ServiceState::stopped);
+  return trace;
+}
+
+TEST(ServingDeterminism, SameSeedBitIdenticalTraces) {
+  const ServingTrace a = run_serving(21);
+  const ServingTrace b = run_serving(21);
+  EXPECT_EQ(a, b);
+  // The run exercised the whole elastic path.
+  EXPECT_EQ(a.requests, 6u * 12u);
+  EXPECT_GT(a.scale_ups, 0u);
+  EXPECT_FALSE(a.batch_sizes.empty());
+  // Every replica was drained and stopped at the end.
+  EXPECT_EQ(a.stopped_services, a.served.size());
+}
+
+TEST(ServingDeterminism, DifferentSeedsDiverge) {
+  const ServingTrace a = run_serving(21);
+  const ServingTrace b = run_serving(22);
+  EXPECT_EQ(b.requests, 6u * 12u);  // structure invariant
+  EXPECT_NE(a.makespan, b.makespan);  // stochastic draws differ
+}
+
+// ---------------------------------------------------------------------------
+// Client backpressure
+// ---------------------------------------------------------------------------
+
+/// One tiny service with a 2-deep queue, hammered by eager clients.
+/// Without retries, rejects surface as failed requests; with bounded
+/// backoff every request eventually lands.
+struct BackpressureOutcome {
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t retried = 0;
+  std::size_t tasks_done = 0;
+  std::size_t tasks_failed = 0;
+};
+
+BackpressureOutcome run_backpressure(std::size_t max_retries) {
+  core::Session session({.seed = 9});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription svc;
+  svc.name = "tiny";
+  svc.program = "inference";
+  svc.config = json::Value::object(
+      {{"model", "llama-8b"}, {"max_queue", 2}});
+  svc.gpus = 1;
+  const std::string svc_uid = session.services().submit(pilot, svc);
+
+  BackpressureOutcome outcome;
+  std::vector<std::string> task_uids;
+  session.services().when_ready({svc_uid}, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    const std::string endpoint = session.services().get(svc_uid).endpoint();
+    for (int c = 0; c < 4; ++c) {
+      core::TaskDescription task;
+      task.kind = "inference_client";
+      task.payload = json::Value::object(
+          {{"endpoints", json::Value::array({endpoint})},
+           {"requests", 8},
+           {"concurrency", 4},
+           {"series", "bp"},
+           {"max_retries", max_retries},
+           {"retry_backoff", 0.2},
+           {"retry_multiplier", 2.0}});
+      task_uids.push_back(session.tasks().submit(pilot, task));
+    }
+    session.tasks().when_done(
+        task_uids, [&](bool) { session.services().stop_all(); });
+  });
+  session.run();
+
+  for (const auto& uid : task_uids) {
+    const core::Task& task = session.tasks().get(uid);
+    if (task.state() == core::TaskState::done) {
+      ++outcome.tasks_done;
+      outcome.ok += static_cast<std::size_t>(
+          task.result().get_or("ok", json::Value(0)).as_int());
+      outcome.failed += static_cast<std::size_t>(
+          task.result().get_or("failed", json::Value(0)).as_int());
+      outcome.retried += static_cast<std::size_t>(
+          task.result().get_or("retried", json::Value(0)).as_int());
+    } else {
+      ++outcome.tasks_failed;
+    }
+  }
+  return outcome;
+}
+
+TEST(ClientBackpressure, BoundedRetriesAbsorbRejects) {
+  const BackpressureOutcome with_retries = run_backpressure(10);
+  EXPECT_EQ(with_retries.tasks_done, 4u);
+  EXPECT_EQ(with_retries.ok, 4u * 8u);   // everything eventually served
+  EXPECT_EQ(with_retries.failed, 0u);
+  EXPECT_GT(with_retries.retried, 0u);   // the queue did overflow
+
+  const BackpressureOutcome no_retries = run_backpressure(0);
+  const std::size_t no_retry_ok = no_retries.ok;
+  // Fail-fast clients lose the overflow rejects (or entire tasks).
+  EXPECT_LT(no_retry_ok, 4u * 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler behaviour
+// ---------------------------------------------------------------------------
+
+TEST(Autoscaler, ValidatesConfig) {
+  core::Session session({.seed = 1});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(1));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 1});
+  core::ServiceDescription replica;
+  replica.program = "inference";
+
+  AutoscalerConfig bad;
+  bad.min_replicas = 0;
+  EXPECT_THROW(Autoscaler(session, pilot, replica, bad), Error);
+  bad = {};
+  bad.max_replicas = 0;
+  EXPECT_THROW(Autoscaler(session, pilot, replica, bad), Error);
+  bad = {};
+  bad.scale_up_outstanding = 1.0;
+  bad.scale_down_outstanding = 2.0;
+  EXPECT_THROW(Autoscaler(session, pilot, replica, bad), Error);
+}
+
+TEST(Autoscaler, RepairsPoolAfterAllReplicasFail) {
+  core::Session session({.seed = 13});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription replica;
+  replica.name = "fragile";
+  replica.program = "inference";
+  replica.config = json::Value::object({{"model", "noop"}});
+  replica.gpus = 1;
+  replica.monitor = true;  // liveness detection is what declares death
+  replica.heartbeat_interval = 0.5;
+  replica.heartbeat_misses = 2;
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 1;
+  scaling.max_replicas = 2;
+  scaling.poll_interval = 0.25;
+  scaling.cooldown = 0.5;
+  Autoscaler scaler(session, pilot, replica, scaling);
+
+  bool killed = false;
+  scaler.start([&](bool ok) {
+    ASSERT_TRUE(ok);
+    session.services().kill(scaler.replicas().front());
+    killed = true;
+  });
+  // Liveness timeout (~1 s) fails the replica; the next poll after the
+  // cooldown must rebuild the pool from zero.
+  session.run_until(20.0);
+  EXPECT_TRUE(killed);
+  EXPECT_GT(scaler.repairs(), 0u);
+  EXPECT_EQ(scaler.running_replicas(), 1u);
+  EXPECT_GT(scaler.replicas().size(), 1u);  // a fresh uid was submitted
+
+  bool stopped = false;
+  scaler.stop([&] { stopped = true; });
+  session.run();
+  EXPECT_TRUE(stopped);
+}
+
+TEST(ClientWatch, DeferredRemovalAppliesWhenReplacementArrives) {
+  // A watch-mode client whose only endpoint goes down must keep it (no
+  // empty pool) but evict it as soon as a replacement publishes —
+  // otherwise least-outstanding keeps preferring the dead endpoint.
+  core::Session session({.seed = 17});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription svc;
+  svc.name = "grp";
+  svc.program = "inference";
+  svc.config = json::Value::object({{"model", "noop"}});
+  svc.gpus = 1;
+
+  const std::string first = session.services().submit(pilot, svc);
+  std::string task_uid;
+  session.services().when_ready({first}, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    core::TaskDescription task;
+    task.kind = "inference_client";
+    task.payload = json::Value::object(
+        {{"endpoints", json::Value::array(
+                           {session.services().get(first).endpoint()})},
+         {"requests", 24},
+         {"concurrency", 1},
+         {"think_time", 0.25},
+         {"series", "watching"},
+         {"balancer", "least_outstanding"},
+         {"watch", "grp"},
+         {"max_retries", 8},
+         {"retry_backoff", 0.1}});
+    task_uid = session.tasks().submit(pilot, task);
+    // Mid-run: the only replica drains away, then a replacement
+    // appears. The down event hits the last-endpoint guard and must be
+    // applied when the replacement's up event arrives.
+    session.loop().call_after(1.0, [&] { session.services().stop(first); });
+    session.loop().call_after(2.0, [&] {
+      const std::string second = session.services().submit(pilot, svc);
+      session.services().when_ready({second}, [](bool) {});
+    });
+    session.tasks().when_done(
+        {task_uid}, [&](bool) { session.services().stop_all(); });
+  });
+  session.run();
+
+  const core::Task& task = session.tasks().get(task_uid);
+  ASSERT_EQ(task.state(), core::TaskState::done);
+  // All requests landed despite the swap, the replacement was added,
+  // and the dead endpoint was evicted (deferred removal applied).
+  EXPECT_EQ(task.result().get_or("ok", json::Value(0)).as_int(), 24);
+  EXPECT_EQ(task.result()
+                .get_or("endpoints_added", json::Value(0))
+                .as_int(),
+            1);
+  EXPECT_EQ(task.result()
+                .get_or("endpoints_removed", json::Value(0))
+                .as_int(),
+            1);
+}
+
+TEST(Autoscaler, ScalesUpUnderLoadAndDrainsOnStop) {
+  const ServingTrace trace = run_serving(33);
+  EXPECT_GT(trace.scale_ups, 0u);
+  EXPECT_GT(trace.served.size(), 1u);  // more than the initial replica
+  // Replicas beyond the first actually took traffic.
+  std::size_t replicas_with_traffic = 0;
+  for (const std::uint64_t served : trace.served) {
+    if (served > 0) ++replicas_with_traffic;
+  }
+  EXPECT_GT(replicas_with_traffic, 1u);
+}
+
+}  // namespace
