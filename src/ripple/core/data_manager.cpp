@@ -1,146 +1,261 @@
 #include "ripple/core/data_manager.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "ripple/common/error.hpp"
 #include "ripple/common/strutil.hpp"
+#include "ripple/data/placement_advisor.hpp"
 
 namespace ripple::core {
 
 DataManager::DataManager(Runtime& runtime)
-    : runtime_(runtime), rng_(runtime.rng().fork("data_manager")) {}
+    : runtime_(runtime),
+      engine_(runtime.loop(), runtime.rng().fork("data_manager")) {
+  engine_.set_network(&runtime.network());
+}
 
 void DataManager::register_dataset(const std::string& name, double bytes,
                                    const std::string& zone) {
-  ensure(!name.empty(), Errc::invalid_argument, "dataset needs a name");
-  ensure(bytes >= 0.0, Errc::invalid_argument, "dataset bytes must be >= 0");
-  auto [it, inserted] = datasets_.try_emplace(name);
-  if (inserted) {
-    it->second.name = name;
-    it->second.bytes = bytes;
-  }
-  it->second.zones.insert(zone);
+  catalog_.register_dataset(name, bytes, zone);
 }
 
 bool DataManager::has(const std::string& name) const {
-  return datasets_.count(name) != 0;
+  return catalog_.has(name);
 }
 
 const Dataset& DataManager::dataset(const std::string& name) const {
-  const auto it = datasets_.find(name);
-  ensure(it != datasets_.end(), Errc::not_found,
-         strutil::cat("unknown dataset '", name, "'"));
-  return it->second;
+  return catalog_.dataset(name);
 }
 
 bool DataManager::available_in(const std::string& name,
                                const std::string& zone) const {
-  const auto it = datasets_.find(name);
-  return it != datasets_.end() && it->second.zones.count(zone) != 0;
+  return catalog_.available_in(name, zone);
+}
+
+void DataManager::add_store(const std::string& zone, double capacity_bytes) {
+  catalog_.add_store(zone, capacity_bytes);
+}
+
+void DataManager::set_setup_latency(common::Distribution dist) {
+  engine_.set_setup_latency(dist);
 }
 
 void DataManager::set_bandwidth(const std::string& zone_a,
                                 const std::string& zone_b,
                                 double bytes_per_s) {
-  ensure(bytes_per_s > 0.0, Errc::invalid_argument,
-         "bandwidth must be positive");
-  const auto key = std::minmax(zone_a, zone_b);
-  bandwidth_[{key.first, key.second}] = bytes_per_s;
+  engine_.set_bandwidth(zone_a, zone_b, bytes_per_s);
 }
 
 void DataManager::set_default_bandwidth(double bytes_per_s) {
-  ensure(bytes_per_s > 0.0, Errc::invalid_argument,
-         "bandwidth must be positive");
-  default_bandwidth_ = bytes_per_s;
+  engine_.set_default_bandwidth(bytes_per_s);
 }
 
-double DataManager::bandwidth_between(const std::string& zone_a,
-                                      const std::string& zone_b) const {
-  const auto key = std::minmax(zone_a, zone_b);
-  const auto it = bandwidth_.find({key.first, key.second});
-  return it == bandwidth_.end() ? default_bandwidth_ : it->second;
+double DataManager::bytes_required(const std::vector<std::string>& names,
+                                   const std::string& zone) const {
+  // One definition of the locality cost metric: the advisor's.
+  return data::PlacementAdvisor(catalog_).bytes_to_move(names, zone);
+}
+
+std::string DataManager::pick_source(const Dataset& ds,
+                                     const std::string& dst_zone) const {
+  ensure(!ds.zones.empty(), Errc::internal,
+         strutil::cat("dataset '", ds.name, "' has no replica"));
+  const std::string* best = nullptr;
+  double best_bw = -1.0;
+  for (const auto& zone : ds.zones) {  // ordered: ties pick the smallest
+    const double bw = engine_.bandwidth_between(zone, dst_zone);
+    if (bw > best_bw) {
+      best = &zone;
+      best_bw = bw;
+    }
+  }
+  return *best;
 }
 
 void DataManager::stage(const std::string& name, const std::string& dst_zone,
                         TransferCallback on_done) {
+  (void)stage_tracked(name, dst_zone, std::move(on_done));
+}
+
+DataManager::StageTicket DataManager::stage_tracked(
+    const std::string& name, const std::string& dst_zone,
+    TransferCallback on_done) {
   ensure(static_cast<bool>(on_done), Errc::invalid_argument,
          "stage: empty callback");
-  const auto it = datasets_.find(name);
-  if (it == datasets_.end()) {
-    runtime_.loop().post([on_done = std::move(on_done)] {
-      on_done(false, 0.0);
-    });
-    return;
+  if (!catalog_.has(name)) {
+    runtime_.loop().post(
+        [on_done = std::move(on_done)] { on_done(false, 0.0); });
+    return 0;
   }
-  Dataset& ds = it->second;
-  if (ds.zones.count(dst_zone) != 0) {
-    runtime_.loop().post([on_done = std::move(on_done)] {
-      on_done(true, 0.0);
-    });
-    return;
+  if (catalog_.available_in(name, dst_zone)) {
+    catalog_.touch(name, dst_zone);
+    runtime_.loop().post(
+        [on_done = std::move(on_done)] { on_done(true, 0.0); });
+    return 0;
   }
 
-  const auto flight_key = std::make_pair(name, dst_zone);
-  auto flight = in_flight_.find(flight_key);
-  if (flight != in_flight_.end()) {
-    flight->second.push_back(std::move(on_done));  // piggyback
-    return;
+  const FlightKey key{name, dst_zone};
+  const StageTicket ticket = next_ticket_++;
+  const auto flight = flights_.find(key);
+  if (flight != flights_.end()) {  // piggyback on the shared transfer
+    flight->second.waiters.emplace_back(ticket, std::move(on_done));
+    ticket_index_.emplace(ticket, key);
+    return ticket;
   }
-  in_flight_[flight_key].push_back(std::move(on_done));
 
-  // Pick the nearest replica: same-zone is impossible here, so any
-  // replica works; use the first (zones is ordered, deterministic).
-  ensure(!ds.zones.empty(), Errc::internal,
-         strutil::cat("dataset '", name, "' has no replica"));
-  const std::string src_zone = *ds.zones.begin();
-  const double bandwidth = bandwidth_between(src_zone, dst_zone);
-  const sim::Duration duration =
-      setup_.sample(rng_) + ds.bytes / bandwidth;
+  const Dataset& ds = catalog_.dataset(name);
+  // Eviction may have reclaimed every replica of an unprotected
+  // dataset; that is a failed stage, not an internal error.
+  if (ds.zones.empty()) {
+    runtime_.loop().post(
+        [on_done = std::move(on_done)] { on_done(false, 0.0); });
+    return 0;
+  }
+  if (!catalog_.reserve(dst_zone, ds.bytes)) {
+    runtime_.loop().post(
+        [on_done = std::move(on_done)] { on_done(false, 0.0); });
+    return 0;
+  }
+  const std::string src_zone = pick_source(ds, dst_zone);
+  // The source replica feeds the transfer: pin it so store pressure in
+  // its zone cannot evict it mid-flight.
+  catalog_.pin(name, src_zone);
 
-  ++transfers_;
-  bytes_moved_ += ds.bytes;
-
-  runtime_.loop().call_after(duration, [this, name, dst_zone, flight_key,
-                                        duration] {
-    transfer_times_.add(duration);
-    auto ds_it = datasets_.find(name);
-    if (ds_it != datasets_.end()) ds_it->second.zones.insert(dst_zone);
-    auto waiting = in_flight_.find(flight_key);
-    if (waiting == in_flight_.end()) return;
-    auto callbacks = std::move(waiting->second);
-    in_flight_.erase(waiting);
-    for (auto& callback : callbacks) callback(true, duration);
-  });
+  Flight new_flight;
+  new_flight.src_zone = src_zone;
+  new_flight.reserved_bytes = ds.bytes;
+  new_flight.waiters.emplace_back(ticket, std::move(on_done));
+  new_flight.transfer_id = engine_.transfer(
+      name, src_zone, dst_zone, ds.bytes,
+      [this, key](bool ok, sim::Duration elapsed) {
+        on_flight_done(key, ok, elapsed);
+      });
+  flights_.emplace(key, std::move(new_flight));
+  ticket_index_.emplace(ticket, key);
+  return ticket;
 }
+
+void DataManager::on_flight_done(const FlightKey& key, bool ok,
+                                 sim::Duration elapsed) {
+  const auto it = flights_.find(key);
+  if (it == flights_.end()) return;
+  auto waiters = std::move(it->second.waiters);
+  const double reserved = it->second.reserved_bytes;
+  catalog_.unpin(key.first, it->second.src_zone);
+  flights_.erase(it);
+  if (ok) {
+    catalog_.commit_replica(key.first, key.second);
+  } else {
+    catalog_.release_reservation(key.second, reserved);
+  }
+  for (auto& [ticket, callback] : waiters) {
+    ticket_index_.erase(ticket);
+    callback(ok, elapsed);
+  }
+}
+
+bool DataManager::cancel_stage(StageTicket ticket) {
+  const auto indexed = ticket_index_.find(ticket);
+  if (indexed == ticket_index_.end()) return false;
+  const FlightKey key = indexed->second;
+  ticket_index_.erase(indexed);
+  const auto it = flights_.find(key);
+  if (it == flights_.end()) return false;
+  auto& waiters = it->second.waiters;
+  waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                               [ticket](const auto& waiter) {
+                                 return waiter.first == ticket;
+                               }),
+                waiters.end());
+  if (waiters.empty()) {
+    // Last waiter gone: the transfer itself is no longer wanted.
+    engine_.cancel(it->second.transfer_id);
+    catalog_.unpin(key.first, it->second.src_zone);
+    catalog_.release_reservation(key.second, it->second.reserved_bytes);
+    flights_.erase(it);
+  }
+  return true;
+}
+
+struct DataManager::StageBatch {
+  std::size_t remaining = 0;
+  bool failed = false;     ///< first failure already reported
+  bool abandoned = false;  ///< cancel_batch: callback must never fire
+  std::vector<StageTicket> tickets;
+  BatchCallback on_done;
+};
 
 void DataManager::stage_all(const std::vector<std::string>& names,
                             const std::string& dst_zone,
                             BatchCallback on_done) {
+  (void)stage_all_tracked(names, dst_zone, std::move(on_done));
+}
+
+DataManager::BatchHandle DataManager::stage_all_tracked(
+    const std::vector<std::string>& names, const std::string& dst_zone,
+    BatchCallback on_done) {
+  std::vector<std::pair<std::string, std::string>> targets;
+  targets.reserve(names.size());
+  for (const auto& name : names) targets.emplace_back(name, dst_zone);
+  return stage_all_tracked(targets, std::move(on_done));
+}
+
+DataManager::BatchHandle DataManager::stage_all_tracked(
+    const std::vector<std::pair<std::string, std::string>>& targets,
+    BatchCallback on_done) {
   ensure(static_cast<bool>(on_done), Errc::invalid_argument,
          "stage_all: empty callback");
-  if (names.empty()) {
+  if (targets.empty()) {
     runtime_.loop().post(
         [on_done = std::move(on_done)] { on_done(true, ""); });
-    return;
+    return nullptr;
   }
-  auto remaining = std::make_shared<std::size_t>(names.size());
-  auto failed = std::make_shared<bool>(false);
-  auto shared = std::make_shared<BatchCallback>(std::move(on_done));
-  for (const auto& name : names) {
-    stage(name, dst_zone,
-          [name, remaining, failed, shared](bool ok, sim::Duration) {
-            if (!ok && !*failed) {
-              *failed = true;
-              (*shared)(false, name);
+  auto batch = std::make_shared<StageBatch>();
+  batch->remaining = targets.size();
+  batch->tickets.resize(targets.size(), 0);
+  batch->on_done = std::move(on_done);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::string& name = targets[i].first;
+    batch->tickets[i] = stage_tracked(
+        name, targets[i].second,
+        [this, batch, i, name](bool ok, sim::Duration) {
+          batch->tickets[i] = 0;  // completed: nothing left to cancel
+          if (batch->abandoned) return;
+          if (!ok && !batch->failed) {
+            batch->failed = true;
+            // Abandon the batch's other in-flight stages; shared
+            // transfers keep running for their remaining waiters.
+            for (const StageTicket ticket : batch->tickets) {
+              if (ticket != 0) cancel_stage(ticket);
             }
-            if (--(*remaining) == 0 && !*failed) (*shared)(true, "");
-          });
+            batch->on_done(false, name);
+            return;
+          }
+          if (--batch->remaining == 0 && !batch->failed) {
+            batch->on_done(true, "");
+          }
+        });
+  }
+  return batch;
+}
+
+void DataManager::cancel_batch(const BatchHandle& handle) {
+  if (!handle) return;
+  auto batch = std::static_pointer_cast<StageBatch>(handle);
+  if (batch->failed || batch->abandoned) return;
+  batch->abandoned = true;
+  for (StageTicket& ticket : batch->tickets) {
+    if (ticket != 0) {
+      cancel_stage(ticket);
+      ticket = 0;
+    }
   }
 }
 
 void DataManager::put(const std::string& name, double bytes,
                       const std::string& zone) {
-  register_dataset(name, bytes, zone);
+  catalog_.register_dataset(name, bytes, zone);
 }
 
 }  // namespace ripple::core

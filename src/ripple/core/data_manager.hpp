@@ -1,31 +1,37 @@
 #pragma once
 
 /// \file data_manager.hpp
-/// Dataset registry and bulk-transfer model (Globus role).
+/// Dataset registry and staging facade over the data plane.
 ///
 /// The paper collects "existing data capabilities into a DataManager".
-/// Datasets are named byte blobs resident in one or more zones; staging
-/// a task means ensuring its input datasets are present in the pilot's
-/// zone. Transfers cost a setup latency (transfer-service handshake)
-/// plus bytes / bandwidth of the zone pair.
+/// Since the data-plane rework this class is a thin compatibility
+/// facade over two subsystems it owns: the data::ReplicaCatalog
+/// (datasets, finite per-zone stores, pinning/lineage, LRU eviction)
+/// and the data::TransferEngine (fair-share shared-link transfer
+/// scheduling with concurrency caps and retries). Existing call sites —
+/// stage(), stage_all(), put() — keep working unchanged; new code can
+/// reach the full surface through catalog() and engine().
+///
+/// Staging a task means ensuring its input datasets are present in the
+/// pilot's zone. Concurrent stages of one (dataset, zone) pair share a
+/// single transfer; stage_all() cancels its surviving siblings when one
+/// dataset fails, so no batch leaves untracked transfers behind.
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ripple/common/statistics.hpp"
 #include "ripple/core/runtime.hpp"
+#include "ripple/data/catalog.hpp"
+#include "ripple/data/transfer_engine.hpp"
 
 namespace ripple::core {
 
-struct Dataset {
-  std::string name;
-  double bytes = 0.0;
-  std::set<std::string> zones;  ///< where replicas currently live
-};
+using data::Dataset;
 
 class DataManager {
  public:
@@ -41,14 +47,24 @@ class DataManager {
   [[nodiscard]] bool available_in(const std::string& name,
                                   const std::string& zone) const;
 
-  /// Transfer-service handshake latency (default ~1.5 s, Globus-like).
-  void set_setup_latency(common::Distribution dist) { setup_ = dist; }
+  /// Declares a finite store for `zone` (bytes); see ReplicaCatalog.
+  void add_store(const std::string& zone, double capacity_bytes);
 
-  /// Bulk bandwidth between two zones (bytes/s, symmetric). Falls back
-  /// to `default_bandwidth` when a pair is not configured.
+  /// Transfer-service handshake latency (default ~1.5 s, Globus-like).
+  void set_setup_latency(common::Distribution dist);
+
+  /// Explicit bulk-bandwidth override between two zones (bytes/s,
+  /// symmetric). Zone pairs without an override use the sim::Network
+  /// link model's bandwidth; pairs the network does not model fall back
+  /// to `default_bandwidth`.
   void set_bandwidth(const std::string& zone_a, const std::string& zone_b,
                      double bytes_per_s);
   void set_default_bandwidth(double bytes_per_s);
+
+  /// Bytes of `names` without a replica in `zone` (the footprint a
+  /// ScheduleRequest carries for locality-aware placement).
+  [[nodiscard]] double bytes_required(const std::vector<std::string>& names,
+                                      const std::string& zone) const;
 
   using TransferCallback = std::function<void(bool ok, sim::Duration)>;
 
@@ -59,43 +75,105 @@ class DataManager {
   void stage(const std::string& name, const std::string& dst_zone,
              TransferCallback on_done);
 
+  /// Handle for cancelling one stage() waiter; 0 when the request
+  /// completed (or failed) without an in-flight transfer.
+  using StageTicket = std::uint64_t;
+
+  /// stage() returning a cancellable ticket. Cancelling the last waiter
+  /// of a shared transfer aborts the transfer itself.
+  StageTicket stage_tracked(const std::string& name,
+                            const std::string& dst_zone,
+                            TransferCallback on_done);
+
+  /// Cancels a pending staged waiter; its callback never fires. Returns
+  /// false when the ticket already completed.
+  bool cancel_stage(StageTicket ticket);
+
   using BatchCallback =
       std::function<void(bool ok, const std::string& failed_dataset)>;
 
   /// Stages every dataset in `names` into `dst_zone` and fires `on_done`
-  /// exactly once: (false, name) as soon as any transfer fails, or
+  /// exactly once: (false, name) as soon as any transfer fails — at
+  /// which point the batch's remaining in-flight stages are cancelled
+  /// (transfers shared with other callers keep running for them) — or
   /// (true, "") when all have landed. An empty batch completes
   /// asynchronously on the next event-loop turn.
   void stage_all(const std::vector<std::string>& names,
                  const std::string& dst_zone, BatchCallback on_done);
 
+  /// Opaque handle to a stage_all batch; null when the batch completed
+  /// inline (empty name list).
+  using BatchHandle = std::shared_ptr<void>;
+
+  /// stage_all() returning a handle for cancel_batch().
+  BatchHandle stage_all_tracked(const std::vector<std::string>& names,
+                                const std::string& dst_zone,
+                                BatchCallback on_done);
+
+  /// Pair form: per-target destination zones — the stage-out fan-out,
+  /// where each produced dataset may go somewhere else. Same batch
+  /// semantics (first failure cancels the surviving siblings).
+  BatchHandle stage_all_tracked(
+      const std::vector<std::pair<std::string, std::string>>& targets,
+      BatchCallback on_done);
+
+  /// Abandons a batch: its remaining in-flight stages are cancelled
+  /// (transfers shared with other callers keep running for them) and
+  /// the batch callback never fires. No-op for null or already
+  /// completed/failed handles. Callers cancelling a task mid-stage-in
+  /// use this so abandoned transfers stop burning link bandwidth.
+  void cancel_batch(const BatchHandle& handle);
+
   /// Records a task-produced dataset (stage-out target).
   void put(const std::string& name, double bytes, const std::string& zone);
 
-  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
-  [[nodiscard]] double bytes_moved() const noexcept { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t transfers() const noexcept {
+    return engine_.transfers_started();
+  }
+  [[nodiscard]] double bytes_moved() const noexcept {
+    return engine_.bytes_moved();
+  }
+  [[nodiscard]] std::uint64_t cancelled_transfers() const noexcept {
+    return engine_.transfers_cancelled();
+  }
   [[nodiscard]] const common::Summary& transfer_times() const noexcept {
-    return transfer_times_;
+    return engine_.transfer_times();
+  }
+
+  [[nodiscard]] data::ReplicaCatalog& catalog() noexcept { return catalog_; }
+  [[nodiscard]] const data::ReplicaCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] data::TransferEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const data::TransferEngine& engine() const noexcept {
+    return engine_;
   }
 
  private:
-  [[nodiscard]] double bandwidth_between(const std::string& zone_a,
-                                         const std::string& zone_b) const;
+  struct StageBatch;
+
+  struct Flight {
+    data::TransferEngine::TransferId transfer_id = 0;
+    std::string src_zone;  ///< source replica, pinned for the flight
+    double reserved_bytes = 0.0;
+    std::vector<std::pair<StageTicket, TransferCallback>> waiters;
+  };
+
+  using FlightKey = std::pair<std::string, std::string>;
+
+  /// Picks the source replica zone: highest resolved bandwidth to
+  /// `dst_zone`, lexicographically smallest on ties.
+  [[nodiscard]] std::string pick_source(const Dataset& ds,
+                                        const std::string& dst_zone) const;
+
+  void on_flight_done(const FlightKey& key, bool ok, sim::Duration elapsed);
 
   Runtime& runtime_;
-  common::Rng rng_;
-  std::map<std::string, Dataset> datasets_;
-  std::map<std::pair<std::string, std::string>, double> bandwidth_;
-  double default_bandwidth_ = 1.25e9;  ///< 10 Gb/s
-  common::Distribution setup_ =
-      common::Distribution::lognormal(1.5, 0.3, 0.05);
-  std::uint64_t transfers_ = 0;
-  double bytes_moved_ = 0.0;
-  common::Summary transfer_times_;
-  // (dataset, zone) -> callbacks waiting on an in-flight transfer
-  std::map<std::pair<std::string, std::string>,
-           std::vector<TransferCallback>>
-      in_flight_;
+  data::ReplicaCatalog catalog_;
+  data::TransferEngine engine_;
+  std::map<FlightKey, Flight> flights_;
+  std::map<StageTicket, FlightKey> ticket_index_;
+  StageTicket next_ticket_ = 1;
 };
 
 }  // namespace ripple::core

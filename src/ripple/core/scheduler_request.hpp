@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "ripple/platform/node.hpp"
 
@@ -20,6 +21,14 @@ struct ScheduleRequest {
   std::size_t gpus = 0;
   double mem_gb = 0.0;
   int priority = 0;
+
+  /// Input-dataset footprint (locality-aware placement): the datasets
+  /// the request reads and the bytes that must still move into the
+  /// target pilot's zone at submission time. The data plane's
+  /// PlacementAdvisor ranks candidate pilots by this before the request
+  /// is bound to one; the scheduler itself carries it for telemetry.
+  std::vector<std::string> input_datasets;
+  double input_bytes = 0.0;
 
   /// Fired (asynchronously) with the placement when granted.
   std::function<void(platform::Slot, platform::Node*)> granted;

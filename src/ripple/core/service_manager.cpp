@@ -123,6 +123,11 @@ std::size_t ServiceManager::total_outstanding(
   return n;
 }
 
+std::size_t ServiceManager::outstanding_of(const std::string& uid) const {
+  const Active& active = active_for(uid);
+  return active.program ? active.program->outstanding() : 0;
+}
+
 std::size_t ServiceManager::count_bootstrapping(
     const std::string& pilot_uid) const {
   std::size_t n = 0;

@@ -87,6 +87,10 @@ class ServiceManager {
   [[nodiscard]] std::size_t total_outstanding(
       const std::string& name_filter = "") const;
 
+  /// Outstanding (queued + executing) requests of one service; 0 once
+  /// its program is gone. Drives least-loaded scale-down victims.
+  [[nodiscard]] std::size_t outstanding_of(const std::string& uid) const;
+
   /// Fires cb(true) once all `uids` are RUNNING, cb(false) as soon as
   /// any of them reaches a terminal state first.
   void when_ready(std::vector<std::string> uids,

@@ -1,13 +1,30 @@
 #include "ripple/core/task_manager.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "ripple/common/error.hpp"
 #include "ripple/common/ids.hpp"
 #include "ripple/common/strutil.hpp"
+#include "ripple/data/placement_advisor.hpp"
 #include "ripple/platform/cluster.hpp"
 
 namespace ripple::core {
+
+namespace {
+
+/// Datasets a description stages in — the task's input footprint.
+std::vector<std::string> stage_in_datasets(const TaskDescription& desc) {
+  std::vector<std::string> inputs;
+  for (const auto& directive : desc.staging) {
+    if (directive.action == StagingDirective::Action::stage_in) {
+      inputs.push_back(directive.dataset);
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
 
 TaskManager::TaskManager(Runtime& runtime, Scheduler& scheduler,
                          Executor& executor, DataManager& data,
@@ -149,6 +166,15 @@ std::string TaskManager::submit(Pilot& pilot, TaskDescription desc) {
   return uid;
 }
 
+std::string TaskManager::submit_any(const std::vector<Pilot*>& candidates,
+                                    TaskDescription desc) {
+  ensure(!candidates.empty(), Errc::invalid_argument,
+         "submit_any: no candidate pilots");
+  const data::PlacementAdvisor advisor(data_.catalog());
+  Pilot* pilot = advisor.best(candidates, stage_in_datasets(desc));
+  return submit(*pilot, std::move(desc));
+}
+
 std::vector<std::string> TaskManager::submit_all(
     Pilot& pilot, std::vector<TaskDescription> descs) {
   std::vector<std::string> out;
@@ -248,28 +274,53 @@ void TaskManager::recheck_waiting() {
 
 void TaskManager::to_staging_in(const std::string& uid) {
   Active& active = active_for(uid);
-  std::vector<std::string> inputs;
-  for (const auto& directive : active.task->description().staging) {
-    if (directive.action == StagingDirective::Action::stage_in) {
-      inputs.push_back(directive.dataset);
-    }
-  }
+  const std::vector<std::string> inputs =
+      stage_in_datasets(active.task->description());
   if (inputs.empty()) {
     to_scheduling(uid);
     return;
   }
   set_state(active, TaskState::staging_input);
+  active.stage_in_pending = true;
   const std::string zone = active.pilot->cluster().name();
-  data_.stage_all(inputs, zone,
-                  [this, uid](bool ok, const std::string& failed_dataset) {
-                    if (!ok) {
-                      fail_task(uid, strutil::cat("stage-in of '",
-                                                  failed_dataset,
-                                                  "' failed"));
-                      return;
-                    }
-                    to_scheduling(uid);
-                  });
+  active.stage_batch = data_.stage_all_tracked(
+      inputs, zone,
+      [this, uid, inputs, zone](bool ok,
+                                const std::string& failed_dataset) {
+        const auto it = tasks_.find(uid);
+        if (it == tasks_.end()) return;
+        Active& active = it->second;
+        active.stage_in_pending = false;
+        active.stage_batch.reset();
+        if (is_terminal(active.task->state())) return;
+        if (!ok) {
+          fail_task(uid, strutil::cat("stage-in of '", failed_dataset,
+                                      "' failed"));
+          return;
+        }
+        // Pin the landed inputs until the task is terminal: while it
+        // waits for its grant, store pressure must not evict them. An
+        // input already gone (evicted between its landing and the
+        // batch completing) is a staging failure.
+        active.input_pin_zone = zone;
+        for (const auto& name : inputs) {
+          if (!data_.available_in(name, zone)) {
+            fail_task(uid, strutil::cat("stage-in of '", name,
+                                        "' was evicted before launch"));
+            return;
+          }
+          data_.catalog().pin(name, zone);
+          active.input_pins.push_back(name);
+        }
+        // The grant may have arrived while the data was in flight.
+        if (active.slot_held &&
+            active.task->state() == TaskState::scheduled) {
+          begin_launch(uid);
+        }
+      });
+  // Staging overlaps the queue wait: enter the scheduler immediately;
+  // launch is gated on both the grant and the staged inputs.
+  to_scheduling(uid);
 }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +336,9 @@ ScheduleRequest TaskManager::make_request(const std::string& uid,
   request.gpus = desc.gpus;
   request.mem_gb = desc.mem_gb;
   request.priority = desc.priority;
+  request.input_datasets = stage_in_datasets(desc);
+  request.input_bytes = data_.bytes_required(
+      request.input_datasets, active.pilot->cluster().name());
   request.granted = [this, uid](platform::Slot slot, platform::Node* node) {
     on_granted(uid, std::move(slot), node);
   };
@@ -349,11 +403,17 @@ void TaskManager::on_granted(const std::string& uid, platform::Slot slot,
   }
   active.task->set_slot(std::move(slot));
   active.slot_held = true;
+  active.node = node;
   set_state(active, TaskState::scheduled);
-  set_state(active, TaskState::launching);
+  if (active.stage_in_pending) return;  // launch once the inputs land
+  begin_launch(uid);
+}
 
+void TaskManager::begin_launch(const std::string& uid) {
+  Active& active = active_for(uid);
+  set_state(active, TaskState::launching);
   active.ctx = std::make_unique<ExecutionContext>(executor_.make_context(
-      uid, node->host(), active.task->description().payload));
+      uid, active.node->host(), active.task->description().payload));
   active.ctx->data = &data_;
   executor_.launch(active.pilot->cluster(), 0,
                    [this, uid](sim::Duration) { on_launched(uid); });
@@ -382,6 +442,9 @@ void TaskManager::on_payload_done(const std::string& uid,
   Active& active = it->second;
   if (is_terminal(active.task->state())) return;
   active.task->set_result(std::move(result));
+  // The payload has read its inputs: stop pinning them, so a finite
+  // store can evict them to make room for this task's own outputs.
+  release_input_pins(active);
   to_staging_out(uid);
 }
 
@@ -403,29 +466,45 @@ void TaskManager::to_staging_out(const std::string& uid) {
   }
   set_state(active, TaskState::staging_output);
   const std::string pilot_zone = active.pilot->cluster().name();
-  auto remaining = std::make_shared<std::size_t>(outputs.size());
-  auto failed = std::make_shared<bool>(false);
+  // Register products first: a full store rejecting the output is a
+  // task failure, not a crash (this runs inside an event-loop callback,
+  // where a throw would abort the whole run).
   for (const auto& directive : outputs) {
-    // Auto-register outputs the payload did not register itself.
-    if (!data_.has(directive.dataset)) {
-      const double bytes = active.task->description()
-                               .payload.get_or("output_bytes", 1e6)
-                               .as_double();
+    if (data_.has(directive.dataset)) continue;
+    const double bytes = active.task->description()
+                             .payload.get_or("output_bytes", 1e6)
+                             .as_double();
+    try {
       data_.put(directive.dataset, bytes, pilot_zone);
+    } catch (const Error& error) {
+      fail_task(uid, strutil::cat("stage-out of '", directive.dataset,
+                                  "' failed: ", error.what()));
+      return;
     }
-    const std::string dst =
-        directive.zone.empty() ? pilot_zone : directive.zone;
-    data_.stage(directive.dataset, dst,
-                [this, uid, dataset = directive.dataset, remaining, failed](
-                    bool ok, sim::Duration) {
-                  if (!ok && !*failed) {
-                    *failed = true;
-                    fail_task(uid, strutil::cat("stage-out of '", dataset,
-                                                "' failed"));
-                  }
-                  if (--(*remaining) == 0 && !*failed) finish(uid);
-                });
   }
+  // Tracked like stage-in: the first failed output cancels the task's
+  // surviving output transfers instead of leaving them running
+  // untracked (transfers shared with other callers keep running).
+  std::vector<std::pair<std::string, std::string>> targets;
+  targets.reserve(outputs.size());
+  for (const auto& directive : outputs) {
+    targets.emplace_back(directive.dataset, directive.zone.empty()
+                                                ? pilot_zone
+                                                : directive.zone);
+  }
+  active.stage_batch = data_.stage_all_tracked(
+      targets, [this, uid](bool ok, const std::string& failed_dataset) {
+        const auto it = tasks_.find(uid);
+        if (it == tasks_.end()) return;
+        it->second.stage_batch.reset();
+        if (is_terminal(it->second.task->state())) return;
+        if (!ok) {
+          fail_task(uid, strutil::cat("stage-out of '", failed_dataset,
+                                      "' failed"));
+          return;
+        }
+        finish(uid);
+      });
 }
 
 void TaskManager::finish(const std::string& uid) {
@@ -434,6 +513,7 @@ void TaskManager::finish(const std::string& uid) {
   Active& active = it->second;
   if (is_terminal(active.task->state())) return;
   release_slot(active);
+  release_input_pins(active);
   active.payload.reset();
   set_state(active, TaskState::done);
 }
@@ -445,6 +525,13 @@ void TaskManager::release_slot(Active& active) {
   }
 }
 
+void TaskManager::release_input_pins(Active& active) {
+  for (const auto& name : active.input_pins) {
+    data_.catalog().unpin(name, active.input_pin_zone);
+  }
+  active.input_pins.clear();
+}
+
 void TaskManager::fail_task(const std::string& uid,
                             const std::string& error) {
   const auto it = tasks_.find(uid);
@@ -454,7 +541,18 @@ void TaskManager::fail_task(const std::string& uid,
   log_.error(strutil::cat(uid, ": ", error));
   active.task->set_error(error);
   waiting_.erase(uid);
+  if (active.task->state() == TaskState::scheduling) {
+    // Staging can fail while the request queues (overlapped stage-in);
+    // drop the queue entry so the scheduler never grants a dead task.
+    scheduler_.cancel(active.pilot->uid(), uid);
+  }
+  if (active.stage_batch) {
+    data_.cancel_batch(active.stage_batch);
+    active.stage_batch.reset();
+    active.stage_in_pending = false;
+  }
   release_slot(active);
+  release_input_pins(active);
   active.payload.reset();
   set_state(active, TaskState::failed);
 }
@@ -462,6 +560,13 @@ void TaskManager::fail_task(const std::string& uid,
 bool TaskManager::cancel(const std::string& uid) {
   Active& active = active_for(uid);
   const TaskState state = active.task->state();
+  const auto abandon_staging = [this, &active] {
+    if (active.stage_batch) {
+      data_.cancel_batch(active.stage_batch);
+      active.stage_batch.reset();
+    }
+    active.stage_in_pending = false;
+  };
   switch (state) {
     case TaskState::created:
     case TaskState::waiting:
@@ -470,7 +575,19 @@ bool TaskManager::cancel(const std::string& uid) {
       if (state == TaskState::scheduling) {
         scheduler_.cancel(active.pilot->uid(), uid);
       }
+      abandon_staging();
+      release_input_pins(active);
       waiting_.erase(uid);
+      set_state(active, TaskState::canceled);
+      return true;
+    }
+    case TaskState::scheduled: {
+      // Launch is imminent unless the task is parked on overlapped
+      // stage-in; in that window the slot is reclaimable.
+      if (!active.stage_in_pending) return false;
+      abandon_staging();
+      release_input_pins(active);
+      release_slot(active);
       set_state(active, TaskState::canceled);
       return true;
     }

@@ -35,6 +35,13 @@ class TaskManager {
   /// in the description must already exist.
   std::string submit(Pilot& pilot, TaskDescription desc);
 
+  /// Locality-aware submission: places the task on whichever candidate
+  /// pilot minimizes the bytes its stage-in datasets must move
+  /// (data::PlacementAdvisor ranking; ties keep caller order, so
+  /// data-less tasks go to the first candidate).
+  std::string submit_any(const std::vector<Pilot*>& candidates,
+                         TaskDescription desc);
+
   /// Submits a batch; returns uids in order. Tasks that are immediately
   /// runnable (no pending dependency, no stage-in) enter the scheduler
   /// through one batch submit_all pass — priorities are enacted across
@@ -62,9 +69,23 @@ class TaskManager {
   struct Active {
     std::unique_ptr<Task> task;
     Pilot* pilot = nullptr;
+    platform::Node* node = nullptr;  ///< placement, set on grant
     std::unique_ptr<TaskPayload> payload;
     std::unique_ptr<ExecutionContext> ctx;
     bool slot_held = false;
+    /// Stage-in still in flight. Staging overlaps the scheduler queue
+    /// wait: the task enters SCHEDULING immediately and launch is gated
+    /// on both the grant and this flag clearing.
+    bool stage_in_pending = false;
+    /// The in-flight staging batch (overlapped stage-in, then reused
+    /// for stage-out), cancelled with the task so abandoned transfers
+    /// stop consuming link bandwidth.
+    DataManager::BatchHandle stage_batch;
+    /// Inputs pinned in the pilot's zone from stage-in completion until
+    /// the payload finishes reading them — store pressure while the
+    /// task waits for its grant must not evict what was just staged.
+    std::vector<std::string> input_pins;
+    std::string input_pin_zone;
   };
 
   struct DoneWatcher {
@@ -92,12 +113,15 @@ class TaskManager {
   void to_scheduling(const std::string& uid);
   void on_granted(const std::string& uid, platform::Slot slot,
                   platform::Node* node);
+  /// Slot held and inputs local: transition to LAUNCHING and start.
+  void begin_launch(const std::string& uid);
   void on_launched(const std::string& uid);
   void on_payload_done(const std::string& uid, json::Value result);
   void to_staging_out(const std::string& uid);
   void finish(const std::string& uid);
   void fail_task(const std::string& uid, const std::string& error);
   void release_slot(Active& active);
+  void release_input_pins(Active& active);
   void set_state(Active& active, TaskState state);
   void recheck_waiting();
   void recheck_watchers();

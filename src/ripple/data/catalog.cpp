@@ -1,0 +1,261 @@
+#include "ripple/data/catalog.hpp"
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::data {
+
+namespace {
+
+/// Accounting slack: the reserved/used pools accumulate ULP-scale
+/// rounding from long chains of +=/-= on ~1e10-byte quantities, so
+/// exact comparisons misfire. One byte (or a relative margin for
+/// terabyte-scale datasets) is far below anything the model resolves.
+double slack(double bytes) {
+  return bytes * 1e-9 > 1.0 ? bytes * 1e-9 : 1.0;
+}
+
+}  // namespace
+
+void ReplicaCatalog::add_store(const std::string& zone,
+                               double capacity_bytes) {
+  ensure(!zone.empty(), Errc::invalid_argument, "store needs a zone name");
+  ensure(capacity_bytes >= 0.0, Errc::invalid_argument,
+         "store capacity must be >= 0");
+  Store& store = stores_[zone];
+  ensure(capacity_bytes >= store.info.used + store.info.reserved,
+         Errc::invalid_state,
+         strutil::cat("store '", zone, "' cannot shrink below ",
+                      store.info.used + store.info.reserved,
+                      " bytes in use"));
+  store.info.capacity = capacity_bytes;
+}
+
+void ReplicaCatalog::register_dataset(const std::string& name, double bytes,
+                                      const std::string& zone) {
+  ensure(!name.empty(), Errc::invalid_argument, "dataset needs a name");
+  ensure(bytes >= 0.0, Errc::invalid_argument, "dataset bytes must be >= 0");
+  auto [it, inserted] = datasets_.try_emplace(name);
+  if (inserted) {
+    it->second.info.name = name;
+    it->second.info.bytes = bytes;
+  }
+  add_replica(it->second, zone);
+}
+
+bool ReplicaCatalog::has(const std::string& name) const {
+  return datasets_.count(name) != 0;
+}
+
+const Dataset& ReplicaCatalog::dataset(const std::string& name) const {
+  return entry_for(name).info;
+}
+
+bool ReplicaCatalog::available_in(const std::string& name,
+                                  const std::string& zone) const {
+  const auto it = datasets_.find(name);
+  return it != datasets_.end() && it->second.replicas.count(zone) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Transfer admission
+// ---------------------------------------------------------------------------
+
+bool ReplicaCatalog::reserve(const std::string& zone, double bytes) {
+  ensure(bytes >= 0.0, Errc::invalid_argument,
+         "reservation must be >= 0 bytes");
+  Store& store = store_for(zone);
+  if (!make_room(zone, bytes)) return false;
+  store.info.reserved += bytes;
+  return true;
+}
+
+void ReplicaCatalog::release_reservation(const std::string& zone,
+                                         double bytes) {
+  Store& store = store_for(zone);
+  ensure(store.info.reserved >= bytes - slack(bytes), Errc::invalid_state,
+         strutil::cat("store '", zone, "' releasing more than reserved"));
+  store.info.reserved -= bytes;
+  if (store.info.reserved < 0.0) store.info.reserved = 0.0;
+}
+
+void ReplicaCatalog::commit_replica(const std::string& name,
+                                    const std::string& zone) {
+  Entry& entry = entry_for(name);
+  Store& store = store_for(zone);
+  ensure(store.info.reserved >= entry.info.bytes - slack(entry.info.bytes),
+         Errc::invalid_state,
+         strutil::cat("committing '", name, "' in '", zone,
+                      "' without a reservation"));
+  store.info.reserved -= entry.info.bytes;
+  if (store.info.reserved < 0.0) store.info.reserved = 0.0;
+  if (entry.replicas.count(zone) != 0) return;  // landed twice: keep one
+  entry.info.zones.insert(zone);
+  Replica replica;
+  replica.last_use = ++clock_;
+  store.lru.insert({replica.last_use, name});
+  store.info.used += entry.info.bytes;
+  entry.replicas.emplace(zone, replica);
+}
+
+void ReplicaCatalog::touch(const std::string& name, const std::string& zone) {
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) return;
+  const auto rep = it->second.replicas.find(zone);
+  if (rep == it->second.replicas.end()) return;
+  Store& store = store_for(zone);
+  remove_from_lru(store, rep->second.last_use, name);
+  rep->second.last_use = ++clock_;
+  store.lru.insert({rep->second.last_use, name});
+}
+
+bool ReplicaCatalog::drop_replica(const std::string& name,
+                                  const std::string& zone) {
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) return false;
+  Entry& entry = it->second;
+  const auto rep = entry.replicas.find(zone);
+  if (rep == entry.replicas.end()) return false;
+  if (protected_replica(entry, rep->second)) return false;
+  Store& store = store_for(zone);
+  remove_from_lru(store, rep->second.last_use, name);
+  store.info.used -= entry.info.bytes;
+  if (store.info.used < 0.0) store.info.used = 0.0;
+  entry.replicas.erase(rep);
+  entry.info.zones.erase(zone);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Pinning & lineage
+// ---------------------------------------------------------------------------
+
+void ReplicaCatalog::pin(const std::string& name, const std::string& zone) {
+  Entry& entry = entry_for(name);
+  const auto rep = entry.replicas.find(zone);
+  ensure(rep != entry.replicas.end(), Errc::not_found,
+         strutil::cat("pin: no replica of '", name, "' in '", zone, "'"));
+  ++rep->second.pins;
+}
+
+void ReplicaCatalog::unpin(const std::string& name, const std::string& zone) {
+  Entry& entry = entry_for(name);
+  const auto rep = entry.replicas.find(zone);
+  ensure(rep != entry.replicas.end(), Errc::not_found,
+         strutil::cat("unpin: no replica of '", name, "' in '", zone, "'"));
+  ensure(rep->second.pins > 0, Errc::invalid_state,
+         strutil::cat("unpin: '", name, "' in '", zone, "' is not pinned"));
+  --rep->second.pins;
+}
+
+std::size_t ReplicaCatalog::pins(const std::string& name,
+                                 const std::string& zone) const {
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) return 0;
+  const auto rep = it->second.replicas.find(zone);
+  return rep == it->second.replicas.end() ? 0 : rep->second.pins;
+}
+
+void ReplicaCatalog::add_consumers(const std::string& name,
+                                   std::size_t count) {
+  if (count == 0) return;
+  lineage_[name] += count;
+}
+
+void ReplicaCatalog::consume_done(const std::string& name) {
+  const auto it = lineage_.find(name);
+  ensure(it != lineage_.end() && it->second > 0, Errc::invalid_state,
+         strutil::cat("consume_done: '", name, "' has no consumers left"));
+  if (--it->second == 0) lineage_.erase(it);
+}
+
+std::size_t ReplicaCatalog::consumers_left(const std::string& name) const {
+  const auto it = lineage_.find(name);
+  return it == lineage_.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection & internals
+// ---------------------------------------------------------------------------
+
+StoreInfo ReplicaCatalog::store(const std::string& zone) const {
+  const auto it = stores_.find(zone);
+  return it == stores_.end() ? StoreInfo{} : it->second.info;
+}
+
+bool ReplicaCatalog::protected_replica(const Entry& entry,
+                                       const Replica& replica) const {
+  return replica.pins > 0 || consumers_left(entry.info.name) > 0;
+}
+
+bool ReplicaCatalog::make_room(const std::string& zone, double bytes) {
+  Store& store = store_for(zone);
+  if (store.info.free() >= bytes) return true;
+  if (bytes > store.info.capacity) return false;
+  // Walk the LRU index ascending, evicting every unprotected replica
+  // until the reservation fits; set::erase returns the next iterator,
+  // so the walk survives its own evictions.
+  auto it = store.lru.begin();
+  while (store.info.free() < bytes && it != store.lru.end()) {
+    const std::string name = it->second;
+    Entry& entry = entry_for(name);
+    const Replica& replica = entry.replicas.at(zone);
+    if (protected_replica(entry, replica)) {
+      ++it;
+      continue;
+    }
+    it = store.lru.erase(it);
+    store.info.used -= entry.info.bytes;
+    if (store.info.used < 0.0) store.info.used = 0.0;
+    entry.replicas.erase(zone);
+    entry.info.zones.erase(zone);
+    ++total_evictions_;
+    ++store.info.evictions;
+    eviction_log_.push_back(strutil::cat(zone, "/", name));
+  }
+  return store.info.free() >= bytes;
+}
+
+void ReplicaCatalog::add_replica(Entry& entry, const std::string& zone) {
+  ensure(!zone.empty(), Errc::invalid_argument, "replica needs a zone");
+  if (entry.replicas.count(zone) != 0) {
+    touch(entry.info.name, zone);
+    return;
+  }
+  Store& store = store_for(zone);
+  ensure(make_room(zone, entry.info.bytes), Errc::capacity,
+         strutil::cat("store '", zone, "' cannot fit dataset '",
+                      entry.info.name, "' (", entry.info.bytes, " bytes)"));
+  entry.info.zones.insert(zone);
+  Replica replica;
+  replica.last_use = ++clock_;
+  store.lru.insert({replica.last_use, entry.info.name});
+  store.info.used += entry.info.bytes;
+  entry.replicas.emplace(zone, replica);
+}
+
+void ReplicaCatalog::remove_from_lru(Store& store, std::uint64_t last_use,
+                                     const std::string& name) {
+  store.lru.erase({last_use, name});
+}
+
+ReplicaCatalog::Entry& ReplicaCatalog::entry_for(const std::string& name) {
+  const auto it = datasets_.find(name);
+  ensure(it != datasets_.end(), Errc::not_found,
+         strutil::cat("unknown dataset '", name, "'"));
+  return it->second;
+}
+
+const ReplicaCatalog::Entry& ReplicaCatalog::entry_for(
+    const std::string& name) const {
+  const auto it = datasets_.find(name);
+  ensure(it != datasets_.end(), Errc::not_found,
+         strutil::cat("unknown dataset '", name, "'"));
+  return it->second;
+}
+
+ReplicaCatalog::Store& ReplicaCatalog::store_for(const std::string& zone) {
+  return stores_[zone];
+}
+
+}  // namespace ripple::data

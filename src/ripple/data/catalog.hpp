@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file catalog.hpp
+/// The replica catalog: datasets, per-zone stores with finite capacity,
+/// pinning and lineage reference counts, and deterministic LRU eviction.
+///
+/// This is the data plane's bookkeeping half (the TransferEngine is the
+/// movement half). A dataset is a named byte blob with replicas in one
+/// or more zones; each zone has a Store with a capacity (infinite until
+/// declared via add_store). Transfers reserve space up front, commit a
+/// replica on arrival, and release the reservation on failure, so a
+/// store can never overcommit. When a reservation does not fit, the
+/// least-recently-used *unprotected* replicas are evicted until it does.
+///
+/// A replica is protected from eviction while it is pinned (explicit
+/// pin()/unpin(), used by workflow stages for the datasets they are
+/// actively reading) or while its dataset still has lineage consumers
+/// (add_consumers()/consume_done(), driven by workflow lineage: an
+/// intermediate becomes evictable only when every stage that reads it
+/// has finished). Eviction order is deterministic: strictly ascending
+/// last-use stamps from a logical clock, name as the tie-break.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ripple::data {
+
+struct Dataset {
+  std::string name;
+  double bytes = 0.0;
+  std::set<std::string> zones;  ///< where committed replicas live
+};
+
+/// Aggregate view of one zone's store.
+struct StoreInfo {
+  double capacity = std::numeric_limits<double>::infinity();
+  double used = 0.0;      ///< bytes held by committed replicas
+  double reserved = 0.0;  ///< bytes promised to in-flight transfers
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double free() const noexcept {
+    return capacity - used - reserved;
+  }
+};
+
+class ReplicaCatalog {
+ public:
+  /// Declares (or resizes) the store of `zone` to a finite capacity in
+  /// bytes. Zones never declared have infinite capacity. Shrinking
+  /// below the currently used+reserved bytes throws.
+  void add_store(const std::string& zone, double capacity_bytes);
+
+  /// Registers a dataset resident in `zone`; re-registering adds a
+  /// replica location (bytes of the first registration win). May evict
+  /// to make room; throws Errc::capacity when the store cannot fit the
+  /// replica even after evicting everything unprotected.
+  void register_dataset(const std::string& name, double bytes,
+                        const std::string& zone);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const Dataset& dataset(const std::string& name) const;
+  [[nodiscard]] bool available_in(const std::string& name,
+                                  const std::string& zone) const;
+
+  // --- transfer admission -------------------------------------------------
+
+  /// Reserves `bytes` in `zone` for an in-flight transfer, evicting LRU
+  /// unprotected replicas as needed. Returns false (reserving nothing)
+  /// when the store cannot fit the reservation.
+  [[nodiscard]] bool reserve(const std::string& zone, double bytes);
+
+  /// Returns a reservation made by reserve() (transfer failed/cancelled).
+  void release_reservation(const std::string& zone, double bytes);
+
+  /// Converts a reservation of dataset(name).bytes into a committed
+  /// replica of `name` in `zone`.
+  void commit_replica(const std::string& name, const std::string& zone);
+
+  /// Marks the replica recently used (LRU bump). No-op when absent.
+  void touch(const std::string& name, const std::string& zone);
+
+  /// Drops a committed replica; returns false when absent or protected.
+  bool drop_replica(const std::string& name, const std::string& zone);
+
+  // --- pinning & lineage --------------------------------------------------
+
+  /// Pin/unpin the replica of `name` in `zone` (pin counts nest).
+  /// Pinned replicas are never evicted. Pinning requires the replica to
+  /// exist; unpinning an unpinned replica throws.
+  void pin(const std::string& name, const std::string& zone);
+  void unpin(const std::string& name, const std::string& zone);
+  [[nodiscard]] std::size_t pins(const std::string& name,
+                                 const std::string& zone) const;
+
+  /// Lineage: records `count` future consumers of `name` (the dataset
+  /// may not be registered yet). While consumers remain, no replica of
+  /// the dataset is evicted anywhere.
+  void add_consumers(const std::string& name, std::size_t count);
+
+  /// One consumer finished; at zero the dataset becomes evictable.
+  void consume_done(const std::string& name);
+
+  [[nodiscard]] std::size_t consumers_left(const std::string& name) const;
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] StoreInfo store(const std::string& zone) const;
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return total_evictions_;
+  }
+
+  /// Every eviction in order, as "zone/dataset" — bit-identical across
+  /// same-seed runs (the determinism suite diffs it).
+  [[nodiscard]] const std::vector<std::string>& eviction_log()
+      const noexcept {
+    return eviction_log_;
+  }
+
+ private:
+  struct Replica {
+    std::uint64_t last_use = 0;
+    std::size_t pins = 0;
+  };
+
+  struct Entry {
+    Dataset info;
+    std::map<std::string, Replica> replicas;  ///< zone -> state
+  };
+
+  struct Store {
+    StoreInfo info;
+    /// LRU index: (last_use, dataset) ascending. last_use stamps are
+    /// unique per touch, dataset tie-break keeps determinism if a
+    /// future refactor reuses stamps.
+    std::set<std::pair<std::uint64_t, std::string>> lru;
+  };
+
+  /// True when the replica of `entry` may not be evicted.
+  [[nodiscard]] bool protected_replica(const Entry& entry,
+                                       const Replica& replica) const;
+
+  /// Evicts LRU unprotected replicas of `zone` until `bytes` fit.
+  /// Returns false (leaving a partial eviction trail) when impossible.
+  bool make_room(const std::string& zone, double bytes);
+
+  void add_replica(Entry& entry, const std::string& zone);
+  void remove_from_lru(Store& store, std::uint64_t last_use,
+                       const std::string& name);
+
+  [[nodiscard]] Entry& entry_for(const std::string& name);
+  [[nodiscard]] const Entry& entry_for(const std::string& name) const;
+  [[nodiscard]] Store& store_for(const std::string& zone);
+
+  std::map<std::string, Entry> datasets_;
+  std::map<std::string, Store> stores_;
+  std::map<std::string, std::size_t> lineage_;  ///< consumers left
+  std::uint64_t clock_ = 0;
+  std::uint64_t total_evictions_ = 0;
+  std::vector<std::string> eviction_log_;
+};
+
+}  // namespace ripple::data

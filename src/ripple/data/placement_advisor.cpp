@@ -1,0 +1,48 @@
+#include "ripple/data/placement_advisor.hpp"
+
+#include <algorithm>
+
+#include "ripple/core/entities.hpp"
+#include "ripple/platform/cluster.hpp"
+
+namespace ripple::data {
+
+double PlacementAdvisor::bytes_to_move(
+    const std::vector<std::string>& datasets,
+    const std::string& zone) const {
+  double bytes = 0.0;
+  for (const auto& name : datasets) {
+    if (!catalog_.has(name)) continue;
+    if (catalog_.available_in(name, zone)) continue;
+    bytes += catalog_.dataset(name).bytes;
+  }
+  return bytes;
+}
+
+std::vector<core::Pilot*> PlacementAdvisor::rank(
+    std::vector<core::Pilot*> candidates,
+    const std::vector<std::string>& datasets) const {
+  std::vector<std::pair<double, core::Pilot*>> scored;
+  scored.reserve(candidates.size());
+  for (core::Pilot* pilot : candidates) {
+    scored.emplace_back(bytes_to_move(datasets, pilot->cluster().name()),
+                        pilot);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    candidates[i] = scored[i].second;
+  }
+  return candidates;
+}
+
+core::Pilot* PlacementAdvisor::best(
+    const std::vector<core::Pilot*>& candidates,
+    const std::vector<std::string>& datasets) const {
+  if (candidates.empty()) return nullptr;
+  return rank(candidates, datasets).front();
+}
+
+}  // namespace ripple::data

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file placement_advisor.hpp
+/// Data-locality-aware placement: rank candidate zones/pilots by the
+/// bytes that must move to run there.
+///
+/// The scheduler places within a pilot; *which* pilot a task goes to
+/// was previously the caller's guess. The advisor closes that gap: for
+/// a task's input-dataset footprint it computes, per candidate zone,
+/// the bytes the TransferEngine would have to haul in (datasets with no
+/// replica in that zone), and ranks candidates ascending — compute goes
+/// to the data. Ties preserve caller order, so ranking is deterministic
+/// and data-blind callers (everything in one zone) keep their existing
+/// placement.
+
+#include <string>
+#include <vector>
+
+#include "ripple/data/catalog.hpp"
+
+namespace ripple::core {
+class Pilot;
+}
+
+namespace ripple::data {
+
+class PlacementAdvisor {
+ public:
+  explicit PlacementAdvisor(const ReplicaCatalog& catalog)
+      : catalog_(catalog) {}
+
+  /// Bytes that must move into `zone` before `datasets` are all local.
+  /// Unknown datasets cost nothing (they will be produced in place).
+  [[nodiscard]] double bytes_to_move(
+      const std::vector<std::string>& datasets,
+      const std::string& zone) const;
+
+  /// Candidates sorted by ascending bytes_to_move into their cluster's
+  /// zone; stable (ties keep caller order).
+  [[nodiscard]] std::vector<core::Pilot*> rank(
+      std::vector<core::Pilot*> candidates,
+      const std::vector<std::string>& datasets) const;
+
+  /// The cheapest candidate; null when `candidates` is empty.
+  [[nodiscard]] core::Pilot* best(
+      const std::vector<core::Pilot*>& candidates,
+      const std::vector<std::string>& datasets) const;
+
+ private:
+  const ReplicaCatalog& catalog_;
+};
+
+}  // namespace ripple::data

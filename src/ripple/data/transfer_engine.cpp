@@ -1,0 +1,249 @@
+#include "ripple/data/transfer_engine.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::data {
+
+TransferEngine::TransferEngine(sim::EventLoop& loop, common::Rng rng)
+    : loop_(loop), rng_(rng) {}
+
+TransferEngine::LinkKey TransferEngine::key_for(const std::string& zone_a,
+                                                const std::string& zone_b) {
+  const auto ordered = std::minmax(zone_a, zone_b);
+  return {ordered.first, ordered.second};
+}
+
+void TransferEngine::set_bandwidth(const std::string& zone_a,
+                                   const std::string& zone_b,
+                                   double bytes_per_s) {
+  ensure(bytes_per_s > 0.0, Errc::invalid_argument,
+         "bandwidth must be positive");
+  bandwidth_override_[key_for(zone_a, zone_b)] = bytes_per_s;
+}
+
+void TransferEngine::set_default_bandwidth(double bytes_per_s) {
+  ensure(bytes_per_s > 0.0, Errc::invalid_argument,
+         "bandwidth must be positive");
+  default_bandwidth_ = bytes_per_s;
+}
+
+void TransferEngine::set_link_concurrency(const std::string& zone_a,
+                                          const std::string& zone_b,
+                                          std::size_t cap) {
+  ensure(cap >= 1, Errc::invalid_argument, "concurrency cap must be >= 1");
+  concurrency_[key_for(zone_a, zone_b)] = cap;
+}
+
+void TransferEngine::set_default_concurrency(std::size_t cap) {
+  ensure(cap >= 1, Errc::invalid_argument, "concurrency cap must be >= 1");
+  default_concurrency_ = cap;
+}
+
+void TransferEngine::set_failure(double probability, int max_retries) {
+  ensure(probability >= 0.0 && probability < 1.0, Errc::invalid_argument,
+         "failure probability must be in [0, 1)");
+  ensure(max_retries >= 0, Errc::invalid_argument,
+         "max_retries must be >= 0");
+  failure_probability_ = probability;
+  max_retries_ = max_retries;
+}
+
+double TransferEngine::bandwidth_between(const std::string& zone_a,
+                                         const std::string& zone_b) const {
+  const auto it = bandwidth_override_.find(key_for(zone_a, zone_b));
+  if (it != bandwidth_override_.end()) return it->second;
+  if (network_ != nullptr) {
+    const double bw = network_->link_bandwidth(zone_a, zone_b);
+    if (bw > 0.0) return bw;
+  }
+  return default_bandwidth_;
+}
+
+std::size_t TransferEngine::cap_for(const LinkKey& key) const {
+  const auto it = concurrency_.find(key);
+  return it == concurrency_.end() ? default_concurrency_ : it->second;
+}
+
+std::size_t TransferEngine::active_on(const std::string& zone_a,
+                                      const std::string& zone_b) const {
+  const auto it = links_.find(key_for(zone_a, zone_b));
+  return it == links_.end() ? 0 : it->second.active.size();
+}
+
+std::size_t TransferEngine::queued_on(const std::string& zone_a,
+                                      const std::string& zone_b) const {
+  const auto it = links_.find(key_for(zone_a, zone_b));
+  return it == links_.end() ? 0 : it->second.queued.size();
+}
+
+TransferEngine::TransferId TransferEngine::transfer(
+    const std::string& dataset, const std::string& src_zone,
+    const std::string& dst_zone, double bytes, Callback on_done) {
+  ensure(static_cast<bool>(on_done), Errc::invalid_argument,
+         "transfer: empty callback");
+  ensure(bytes >= 0.0, Errc::invalid_argument,
+         "transfer: bytes must be >= 0");
+  ensure(src_zone != dst_zone, Errc::invalid_argument,
+         "transfer: src and dst zones are the same");
+
+  const TransferId id = next_id_++;
+  Transfer t;
+  t.id = id;
+  t.dataset = dataset;
+  t.src = src_zone;
+  t.dst = dst_zone;
+  t.total_bytes = bytes;
+  t.remaining = bytes;
+  t.started_at = loop_.now();
+  t.on_done = std::move(on_done);
+  auto [it, inserted] = transfers_.emplace(id, std::move(t));
+  ++started_;
+
+  const LinkKey key = key_for(src_zone, dst_zone);
+  Link& link = links_[key];
+  if (link.active.size() < cap_for(key)) {
+    admit(it->second);
+  } else {
+    link.queued.push_back(id);
+  }
+  return id;
+}
+
+void TransferEngine::admit(Transfer& transfer) {
+  Link& link = links_[key_for(transfer.src, transfer.dst)];
+  link.active.push_back(transfer.id);
+  transfer.phase = Phase::setup;
+  ++transfer.attempts;
+  // Per-attempt draws, in admission order: deterministic given the
+  // event schedule.
+  transfer.attempt_fails = rng_.chance(failure_probability_);
+  const sim::Duration setup = setup_.sample(rng_);
+  const TransferId id = transfer.id;
+  transfer.timer = loop_.call_after(setup, [this, id] { begin_flow(id); });
+}
+
+void TransferEngine::begin_flow(TransferId id) {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  it->second.phase = Phase::flowing;
+  it->second.timer = {};
+  it->second.last_update = loop_.now();
+  replan(key_for(it->second.src, it->second.dst));
+}
+
+void TransferEngine::replan(const LinkKey& key) {
+  const auto link_it = links_.find(key);
+  if (link_it == links_.end()) return;
+  Link& link = link_it->second;
+  const sim::SimTime now = loop_.now();
+
+  std::size_t flowing = 0;
+  for (const TransferId id : link.active) {
+    Transfer& t = transfers_.at(id);
+    if (t.phase != Phase::flowing) continue;
+    ++flowing;
+    t.remaining -= t.rate * (now - t.last_update);
+    if (t.remaining < 0.0) t.remaining = 0.0;
+    t.last_update = now;
+    if (t.timer.valid()) {
+      loop_.cancel(t.timer);
+      t.timer = {};
+    }
+  }
+  if (flowing == 0) return;
+
+  const double share =
+      bandwidth_between(key.first, key.second) / static_cast<double>(flowing);
+  for (const TransferId id : link.active) {
+    Transfer& t = transfers_.at(id);
+    if (t.phase != Phase::flowing) continue;
+    t.rate = share;
+    const sim::Duration eta = t.remaining / share;
+    t.timer = loop_.call_after(eta, [this, id] { on_attempt_end(id); });
+  }
+}
+
+void TransferEngine::leave_link(Transfer& transfer) {
+  const LinkKey key = key_for(transfer.src, transfer.dst);
+  Link& link = links_[key];
+  link.active.erase(
+      std::remove(link.active.begin(), link.active.end(), transfer.id),
+      link.active.end());
+  if (transfer.timer.valid()) {
+    loop_.cancel(transfer.timer);
+    transfer.timer = {};
+  }
+  transfer.phase = Phase::queued;
+  transfer.rate = 0.0;
+  // A freed slot admits the queue head before the survivors re-plan, so
+  // the link never idles below its cap while work waits.
+  while (!link.queued.empty() && link.active.size() < cap_for(key)) {
+    const TransferId next = link.queued.front();
+    link.queued.pop_front();
+    admit(transfers_.at(next));
+  }
+  replan(key);
+}
+
+void TransferEngine::on_attempt_end(TransferId id) {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  t.remaining = 0.0;
+  t.timer = {};
+
+  if (t.attempt_fails) {
+    leave_link(t);
+    if (t.attempts <= max_retries_) {
+      ++retries_;
+      t.remaining = t.total_bytes;
+      const LinkKey key = key_for(t.src, t.dst);
+      Link& link = links_[key];
+      if (link.active.size() < cap_for(key)) {
+        admit(t);
+      } else {
+        link.queued.push_back(id);
+      }
+      return;
+    }
+    ++failed_;
+    Callback on_done = std::move(t.on_done);
+    const sim::Duration elapsed = loop_.now() - t.started_at;
+    transfers_.erase(it);
+    on_done(false, elapsed);
+    return;
+  }
+
+  ++completed_;
+  bytes_moved_ += t.total_bytes;
+  const sim::Duration elapsed = loop_.now() - t.started_at;
+  transfer_times_.add(elapsed);
+  completion_log_.push_back(t.dataset);
+  leave_link(t);
+  Callback on_done = std::move(t.on_done);
+  transfers_.erase(it);
+  on_done(true, elapsed);
+}
+
+bool TransferEngine::cancel(TransferId id) {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return false;
+  Transfer& t = it->second;
+  const LinkKey key = key_for(t.src, t.dst);
+  Link& link = links_[key];
+  const auto queued =
+      std::find(link.queued.begin(), link.queued.end(), id);
+  if (queued != link.queued.end()) {
+    link.queued.erase(queued);
+  } else {
+    leave_link(t);
+  }
+  ++cancelled_;
+  transfers_.erase(it);
+  return true;
+}
+
+}  // namespace ripple::data

@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file transfer_engine.hpp
+/// Contention-aware bulk transfer scheduling over zone-pair links.
+///
+/// The old DataManager modeled every transfer as an independent
+/// bandwidth sample: ten concurrent 10 GB transfers over one 10 Gb/s
+/// WAN link each finished as if they had the link to themselves. The
+/// TransferEngine replaces that fiction with a progress-based fair-share
+/// model: all transfers flowing over the same zone-pair link split its
+/// bandwidth equally, and every join/leave re-plans the survivors —
+/// remaining bytes are advanced at the old rate, a new rate is
+/// assigned, and completion timers are rescheduled. The event loop's
+/// (time, sequence) ordering makes the whole schedule bit-reproducible.
+///
+/// Links carry a per-link concurrency cap (queued transfers start FIFO
+/// as slots free up) and an optional failure model with bounded retries.
+/// Bandwidth resolution makes sim::Network the single source of truth:
+/// an explicit per-pair override wins (for zones without a modeled
+/// link, e.g. external archives), then the Network link model's
+/// bandwidth, then the engine default.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ripple/common/random.hpp"
+#include "ripple/common/statistics.hpp"
+#include "ripple/sim/event_loop.hpp"
+#include "ripple/sim/network.hpp"
+
+namespace ripple::data {
+
+class TransferEngine {
+ public:
+  using TransferId = std::uint64_t;
+  using Callback = std::function<void(bool ok, sim::Duration elapsed)>;
+
+  TransferEngine(sim::EventLoop& loop, common::Rng rng);
+
+  /// Wires the Network whose link models provide bandwidth (may be
+  /// null: overrides/default only).
+  void set_network(const sim::Network* network) noexcept {
+    network_ = network;
+  }
+
+  /// Explicit per-pair bandwidth override (bytes/s, symmetric). Wins
+  /// over the Network link model.
+  void set_bandwidth(const std::string& zone_a, const std::string& zone_b,
+                     double bytes_per_s);
+  void set_default_bandwidth(double bytes_per_s);
+
+  /// Transfer-service handshake latency per attempt (Globus-like).
+  void set_setup_latency(common::Distribution dist) { setup_ = dist; }
+
+  /// Concurrency cap of one link (default: default_concurrency()).
+  void set_link_concurrency(const std::string& zone_a,
+                            const std::string& zone_b, std::size_t cap);
+  void set_default_concurrency(std::size_t cap);
+
+  /// Per-attempt failure probability and the retry budget per transfer.
+  void set_failure(double probability, int max_retries);
+
+  /// Starts (or queues, when the link is at its cap) a transfer of
+  /// `bytes` from `src_zone` to `dst_zone`. `on_done` fires exactly
+  /// once with the outcome and the elapsed time since this call.
+  TransferId transfer(const std::string& dataset,
+                      const std::string& src_zone,
+                      const std::string& dst_zone, double bytes,
+                      Callback on_done);
+
+  /// Abandons a transfer; its callback never fires. Returns false when
+  /// the id is unknown (already completed/cancelled).
+  bool cancel(TransferId id);
+
+  /// Resolved bandwidth for a zone pair: override, then Network link
+  /// model, then default.
+  [[nodiscard]] double bandwidth_between(const std::string& zone_a,
+                                         const std::string& zone_b) const;
+
+  [[nodiscard]] std::size_t active_on(const std::string& zone_a,
+                                      const std::string& zone_b) const;
+  [[nodiscard]] std::size_t queued_on(const std::string& zone_a,
+                                      const std::string& zone_b) const;
+
+  [[nodiscard]] std::uint64_t transfers_started() const noexcept {
+    return started_;
+  }
+  [[nodiscard]] std::uint64_t transfers_completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t transfers_failed() const noexcept {
+    return failed_;
+  }
+  [[nodiscard]] std::uint64_t transfers_cancelled() const noexcept {
+    return cancelled_;
+  }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] double bytes_moved() const noexcept { return bytes_moved_; }
+  [[nodiscard]] const common::Summary& transfer_times() const noexcept {
+    return transfer_times_;
+  }
+
+  /// Dataset names in completion order (successes only) — the
+  /// determinism suite asserts this is bit-identical across same-seed
+  /// runs.
+  [[nodiscard]] const std::vector<std::string>& completion_log()
+      const noexcept {
+    return completion_log_;
+  }
+
+ private:
+  using LinkKey = std::pair<std::string, std::string>;
+
+  enum class Phase { queued, setup, flowing };
+
+  struct Transfer {
+    TransferId id = 0;
+    std::string dataset;
+    std::string src;
+    std::string dst;
+    double total_bytes = 0.0;
+    double remaining = 0.0;
+    double rate = 0.0;
+    sim::SimTime last_update = 0.0;
+    sim::SimTime started_at = 0.0;  ///< transfer() call time
+    sim::EventLoop::TimerHandle timer;
+    Phase phase = Phase::queued;
+    int attempts = 0;
+    bool attempt_fails = false;  ///< sampled at admission, per attempt
+    Callback on_done;
+  };
+
+  struct Link {
+    std::vector<TransferId> active;  ///< setup + flowing, admission order
+    std::deque<TransferId> queued;
+  };
+
+  [[nodiscard]] static LinkKey key_for(const std::string& zone_a,
+                                       const std::string& zone_b);
+  [[nodiscard]] std::size_t cap_for(const LinkKey& key) const;
+
+  void admit(Transfer& transfer);
+  void begin_flow(TransferId id);
+  void on_attempt_end(TransferId id);
+  void leave_link(Transfer& transfer);
+
+  /// Advances progress of every flowing transfer on the link to `now`,
+  /// reassigns fair-share rates and reschedules completion timers.
+  void replan(const LinkKey& key);
+
+  sim::EventLoop& loop_;
+  common::Rng rng_;
+  const sim::Network* network_ = nullptr;
+  std::map<LinkKey, double> bandwidth_override_;
+  std::map<LinkKey, std::size_t> concurrency_;
+  std::map<LinkKey, Link> links_;
+  std::map<TransferId, Transfer> transfers_;
+  double default_bandwidth_ = 1.25e9;  ///< 10 Gb/s
+  std::size_t default_concurrency_ = 32;
+  common::Distribution setup_ =
+      common::Distribution::lognormal(1.5, 0.3, 0.05);
+  double failure_probability_ = 0.0;
+  int max_retries_ = 2;
+  TransferId next_id_ = 1;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t retries_ = 0;
+  double bytes_moved_ = 0.0;
+  common::Summary transfer_times_;
+  std::vector<std::string> completion_log_;
+};
+
+}  // namespace ripple::data

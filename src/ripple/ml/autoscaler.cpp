@@ -187,26 +187,40 @@ void Autoscaler::scale_up(std::size_t outstanding) {
                          " replicas (backlog ", outstanding, ")"));
 }
 
-void Autoscaler::scale_down(std::size_t outstanding) {
-  // Deterministic victim: the newest running replica (oldest replicas
-  // hold the group's floor, which keeps endpoint churn minimal).
-  for (auto it = replicas_.rbegin(); it != replicas_.rend(); ++it) {
-    if (!session_.services().exists(*it)) continue;
-    if (session_.services().get(*it).state() !=
+std::string Autoscaler::scale_down_victim() const {
+  // Deterministic victim: the least-loaded running replica drains
+  // fastest under skewed load (the balancer migrates its few in-flight
+  // requests); ties pick the newest, so an evenly idle pool keeps its
+  // oldest replicas and endpoint churn stays minimal.
+  std::string victim;
+  std::size_t victim_load = 0;
+  for (const auto& uid : replicas_) {  // submission order: <= favors newest
+    if (!session_.services().exists(uid)) continue;
+    if (session_.services().get(uid).state() !=
         core::ServiceState::running) {
       continue;
     }
-    last_action_ = session_.now();
-    ++scale_downs_;
-    session_.services().stop(*it);
-    // The victim is DRAINING now, so running_replicas() is the pool
-    // size traffic can still reach.
-    decisions_.push_back(
-        Decision{session_.now(), false, outstanding, running_replicas()});
-    log_.info(strutil::cat("scale down -> ", active_replicas(),
-                           " replicas (backlog ", outstanding, ")"));
-    return;
+    const std::size_t load = session_.services().outstanding_of(uid);
+    if (victim.empty() || load <= victim_load) {
+      victim = uid;
+      victim_load = load;
+    }
   }
+  return victim;
+}
+
+void Autoscaler::scale_down(std::size_t outstanding) {
+  const std::string victim = scale_down_victim();
+  if (victim.empty()) return;
+  last_action_ = session_.now();
+  ++scale_downs_;
+  session_.services().stop(victim);
+  // The victim is DRAINING now, so running_replicas() is the pool
+  // size traffic can still reach.
+  decisions_.push_back(
+      Decision{session_.now(), false, outstanding, running_replicas()});
+  log_.info(strutil::cat("scale down -> ", active_replicas(),
+                         " replicas (backlog ", outstanding, ")"));
 }
 
 json::Value Autoscaler::stats() const {

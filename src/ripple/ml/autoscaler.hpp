@@ -95,6 +95,12 @@ class Autoscaler {
     return scale_downs_;
   }
 
+  /// The replica a scale-down would drain right now: the RUNNING
+  /// replica with the fewest outstanding requests, newest on ties (so
+  /// an idle pool sheds its newest replica and keeps endpoint churn
+  /// minimal). Empty when nothing is running.
+  [[nodiscard]] std::string scale_down_victim() const;
+
   /// Times the pool was rebuilt after every replica reached a terminal
   /// state (crashes/liveness failures).
   [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }

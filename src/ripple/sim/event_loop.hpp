@@ -18,10 +18,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
+
+#include "ripple/sim/callback.hpp"
 
 namespace ripple::sim {
 
@@ -33,7 +34,9 @@ using Duration = double;
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only with inline storage for typical closure sizes — no
+  /// per-event heap allocation (see callback.hpp).
+  using Callback = UniqueCallback;
 
   /// Identifies a scheduled event so it can be cancelled.
   struct TimerHandle {

@@ -59,6 +59,13 @@ const LinkModel& Network::link_between(const std::string& zone_a,
   return it->second;
 }
 
+double Network::link_bandwidth(const std::string& zone_a,
+                               const std::string& zone_b) const noexcept {
+  const auto key = std::minmax(zone_a, zone_b);
+  const auto it = links_.find({key.first, key.second});
+  return it == links_.end() ? 0.0 : it->second.bandwidth_bytes_per_s;
+}
+
 Duration Network::sample_delay(const HostId& from, const HostId& to,
                                std::size_t bytes) {
   Duration delay = 0.0;

@@ -64,6 +64,14 @@ class Network {
     zone_loopback_[zone] = link;
   }
 
+  /// Bulk bandwidth of the zone-pair link model, bytes/s; 0 when the
+  /// pair has no link or the link is latency-only. The data plane's
+  /// TransferEngine reads shared-link rates from here, which makes the
+  /// network's link models the single source of truth for bandwidth.
+  [[nodiscard]] double link_bandwidth(const std::string& zone_a,
+                                      const std::string& zone_b) const
+      noexcept;
+
   /// Samples the delivery delay for a message of `bytes` from -> to.
   [[nodiscard]] Duration sample_delay(const HostId& from, const HostId& to,
                                       std::size_t bytes);

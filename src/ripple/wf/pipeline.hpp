@@ -39,6 +39,20 @@ struct StageAutoscale {
 struct Stage {
   std::string name = "stage";
 
+  /// Datasets this stage's tasks read. They are staged into the chosen
+  /// pilot's zone as soon as the stage starts (overlapping service
+  /// bootstrap), pinned there while the stage runs, and feed the
+  /// locality-aware pilot ranking of multi-pilot runs.
+  std::vector<std::string> consumes;
+
+  /// Output contract: datasets this stage must register (via task
+  /// stage-out or payload put) before it completes — a missing one
+  /// fails the pipeline. Produced replicas in the stage's zone are
+  /// LRU-touched so store pressure does not immediately evict them;
+  /// eviction *protection* is driven by later stages' `consumes`
+  /// (lineage reference counts).
+  std::vector<std::string> produces;
+
   /// Services started (and readiness-awaited) before this stage's tasks.
   std::vector<core::ServiceDescription> services;
 
@@ -61,9 +75,16 @@ struct Stage {
   }
 };
 
+/// How a multi-pilot run picks the pilot of each stage.
+enum class Placement {
+  first,     ///< data-blind: every stage runs on the first pilot
+  locality,  ///< rank pilots by bytes-that-must-move (PlacementAdvisor)
+};
+
 struct Pipeline {
   std::string name = "pipeline";
   std::vector<Stage> stages;
+  Placement placement = Placement::locality;
 };
 
 /// Outcome of a pipeline run, reported to the completion callback and

@@ -2,6 +2,8 @@
 
 #include "ripple/common/error.hpp"
 #include "ripple/common/strutil.hpp"
+#include "ripple/data/placement_advisor.hpp"
+#include "ripple/platform/cluster.hpp"
 
 namespace ripple::wf {
 
@@ -12,24 +14,40 @@ WorkflowManager::WorkflowManager(core::Session& session)
 void WorkflowManager::run_pipeline(
     Pipeline pipeline, core::Pilot& pilot,
     std::function<void(const PipelineResult&)> on_done) {
+  run_pipeline(std::move(pipeline), std::vector<core::Pilot*>{&pilot},
+               std::move(on_done));
+}
+
+void WorkflowManager::run_pipeline(
+    Pipeline pipeline, std::vector<core::Pilot*> pilots,
+    std::function<void(const PipelineResult&)> on_done) {
   ensure(!pipeline.stages.empty(), Errc::invalid_argument,
          strutil::cat("pipeline '", pipeline.name, "' has no stages"));
+  ensure(!pilots.empty(), Errc::invalid_argument,
+         strutil::cat("pipeline '", pipeline.name, "' has no pilots"));
   ensure(static_cast<bool>(on_done), Errc::invalid_argument,
          "run_pipeline: empty callback");
 
   auto run = std::make_shared<PipelineRun>();
   run->name = pipeline.name;
-  run->pilot = &pilot;
+  run->pilots = std::move(pilots);
+  run->placement = pipeline.placement;
   run->on_done = std::move(on_done);
   run->started_at = session_.now();
   run->stages.reserve(pipeline.stages.size());
   for (auto& stage : pipeline.stages) {
+    // Lineage: every stage that reads a dataset holds one reference;
+    // the catalog keeps the dataset evict-proof until they all finish.
+    for (const auto& name : stage.consumes) {
+      session_.data().catalog().add_consumers(name, 1);
+    }
     StageRun stage_run;
     stage_run.stage = std::move(stage);
     run->stages.push_back(std::move(stage_run));
   }
   log_.info(strutil::cat("pipeline '", run->name, "' started (",
-                         run->stages.size(), " stages)"));
+                         run->stages.size(), " stages, ",
+                         run->pilots.size(), " pilots)"));
   start_stage(run, 0);
 }
 
@@ -38,11 +56,51 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
   if (index >= run->stages.size()) return;
   StageRun& stage_run = run->stages[index];
   stage_run.started_at = session_.now();
+
+  if (run->placement == Placement::locality) {
+    const data::PlacementAdvisor advisor(session_.data().catalog());
+    stage_run.pilot = advisor.best(run->pilots, stage_run.stage.consumes);
+  } else {
+    stage_run.pilot = run->pilots.front();
+  }
+  const std::string zone = stage_run.pilot->cluster().name();
   log_.info(strutil::cat("pipeline '", run->name, "': stage '",
-                         stage_run.stage.name, "' starting"));
+                         stage_run.stage.name, "' starting on ", zone));
+
+  // Stage-level data staging overlaps service bootstrap; tasks launch
+  // once both have cleared.
+  if (stage_run.stage.consumes.empty()) {
+    stage_run.data_ready = true;
+  } else {
+    stage_run.stage_batch = session_.data().stage_all_tracked(
+        stage_run.stage.consumes, zone,
+        [this, run, index, zone](bool ok,
+                                 const std::string& failed_dataset) {
+          StageRun& sr = run->stages[index];
+          sr.stage_batch.reset();
+          // The stage may have completed already (service bootstrap
+          // failure); a late-landing pin would leak.
+          if (sr.completed) return;
+          if (!ok) {
+            run->failed = true;
+            log_.error(strutil::cat("pipeline '", run->name,
+                                    "': staging '", failed_dataset,
+                                    "' into ", zone, " failed"));
+            complete_stage(run, index);
+            return;
+          }
+          for (const auto& name : sr.stage.consumes) {
+            session_.data().catalog().pin(name, zone);
+          }
+          sr.data_pinned = true;
+          sr.data_ready = true;
+          maybe_launch_tasks(run, index);
+        });
+  }
 
   if (stage_run.stage.services.empty()) {
-    launch_stage_tasks(run, index);
+    stage_run.services_ready = true;
+    maybe_launch_tasks(run, index);
     return;
   }
   const auto on_services_ready = [this, run, index](bool ok) {
@@ -53,7 +111,8 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
       complete_stage(run, index);
       return;
     }
-    launch_stage_tasks(run, index);
+    run->stages[index].services_ready = true;
+    maybe_launch_tasks(run, index);
   };
   if (stage_run.stage.autoscale.enabled) {
     // Elastic stage: every service description seeds a replica group.
@@ -70,9 +129,9 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
     auto all_ok = std::make_shared<bool>(true);
     for (const auto& desc : stage_run.stage.services) {
       stage_run.autoscalers.push_back(std::make_unique<ml::Autoscaler>(
-          session_, *run->pilot, desc, config));
+          session_, *stage_run.pilot, desc, config));
       stage_run.autoscalers.back()->start(
-          [this, run, index, ready, all_ok, on_services_ready](bool ok) {
+          [ready, all_ok, on_services_ready](bool ok) {
             *all_ok = *all_ok && ok;
             if (--(*ready) == 0) on_services_ready(*all_ok);
           });
@@ -88,9 +147,18 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
   // One submit_all batch: priorities are enacted across the whole
   // stage and the pilot's wait queue is scanned once, not N times.
   stage_run.service_uids = session_.services().submit_all(
-      *run->pilot, stage_run.stage.services);
+      *stage_run.pilot, stage_run.stage.services);
   session_.services().when_ready(stage_run.service_uids,
                                  on_services_ready);
+}
+
+void WorkflowManager::maybe_launch_tasks(
+    const std::shared_ptr<PipelineRun>& run, std::size_t index) {
+  StageRun& stage_run = run->stages[index];
+  if (stage_run.tasks_launched || stage_run.completed) return;
+  if (!stage_run.services_ready || !stage_run.data_ready) return;
+  stage_run.tasks_launched = true;
+  launch_stage_tasks(run, index);
 }
 
 void WorkflowManager::launch_stage_tasks(
@@ -105,7 +173,8 @@ void WorkflowManager::launch_stage_tasks(
     for (const auto& svc : stage_run.service_uids) {
       desc.requires_services.push_back(svc);
     }
-    const std::string uid = session_.tasks().submit(*run->pilot, desc);
+    const std::string uid =
+        session_.tasks().submit(*stage_run.pilot, desc);
     stage_run.task_uids.push_back(uid);
     session_.tasks().when_done({uid}, [this, run, index](bool ok) {
       on_task_terminal(run, index, ok);
@@ -122,9 +191,14 @@ void WorkflowManager::on_task_terminal(
     ++stage_run.tasks_failed;
     run->failed = true;
   }
-  maybe_release_next(run, index);
   const std::size_t terminal = stage_run.tasks_done + stage_run.tasks_failed;
-  if (terminal == stage_run.task_uids.size()) complete_stage(run, index);
+  if (terminal == stage_run.task_uids.size()) {
+    // Full completion releases the next stage through complete_stage,
+    // after the output contract has been checked.
+    complete_stage(run, index);
+  } else {
+    maybe_release_next(run, index);
+  }
 }
 
 void WorkflowManager::maybe_release_next(
@@ -141,6 +215,19 @@ void WorkflowManager::maybe_release_next(
   }
 }
 
+void WorkflowManager::release_stage_data(StageRun& stage_run) {
+  if (stage_run.lineage_released) return;
+  stage_run.lineage_released = true;
+  auto& catalog = session_.data().catalog();
+  const std::string zone = stage_run.pilot->cluster().name();
+  for (const auto& name : stage_run.stage.consumes) {
+    if (stage_run.data_pinned) catalog.unpin(name, zone);
+    // This stage's read is over; when every consuming stage has
+    // finished, the intermediate becomes evictable.
+    catalog.consume_done(name);
+  }
+}
+
 void WorkflowManager::complete_stage(const std::shared_ptr<PipelineRun>& run,
                                      std::size_t index) {
   StageRun& stage_run = run->stages[index];
@@ -148,6 +235,32 @@ void WorkflowManager::complete_stage(const std::shared_ptr<PipelineRun>& run,
   stage_run.completed = true;
   stage_run.finished_at = session_.now();
   ++run->finished_stages;
+  if (stage_run.stage_batch) {
+    // Completing with transfers still in flight (service bootstrap
+    // failed): abandon them so they stop consuming link bandwidth.
+    session_.data().cancel_batch(stage_run.stage_batch);
+    stage_run.stage_batch.reset();
+  }
+  release_stage_data(stage_run);
+  // Declared outputs are a contract: completing without having
+  // registered one is a failure the downstream stages would otherwise
+  // hit as a confusing missing-dataset error.
+  if (!run->failed) {
+    const std::string zone = stage_run.pilot->cluster().name();
+    for (const auto& name : stage_run.stage.produces) {
+      if (!session_.data().has(name)) {
+        run->failed = true;
+        log_.error(strutil::cat("pipeline '", run->name, "': stage '",
+                                stage_run.stage.name,
+                                "' declared output '", name,
+                                "' but never produced it"));
+      } else if (session_.data().available_in(name, zone)) {
+        // Freshly produced: mark recently used so store pressure does
+        // not evict it before its consumers run.
+        session_.data().catalog().touch(name, zone);
+      }
+    }
+  }
   session_.metrics().add_duration(
       strutil::cat("pipeline.", run->name, ".stage.", stage_run.stage.name),
       stage_run.finished_at - stage_run.started_at);
@@ -190,6 +303,17 @@ void WorkflowManager::finish_pipeline(
     if (stage_run.started_at >= 0 && !stage_run.completed) return;
   }
   run->reported = true;
+
+  // Stages that never started (failure upstream) still hold the
+  // lineage references taken at submission; drop them, or the catalog
+  // would keep their datasets evict-proof forever.
+  for (auto& stage_run : run->stages) {
+    if (stage_run.started_at >= 0 || stage_run.lineage_released) continue;
+    stage_run.lineage_released = true;
+    for (const auto& name : stage_run.stage.consumes) {
+      session_.data().catalog().consume_done(name);
+    }
+  }
 
   PipelineResult result;
   result.pipeline = run->name;

@@ -35,6 +35,15 @@ class WorkflowManager {
   void run_pipeline(Pipeline pipeline, core::Pilot& pilot,
                     std::function<void(const PipelineResult&)> on_done);
 
+  /// Multi-pilot run: each stage is placed on one of `pilots` according
+  /// to `pipeline.placement` — by the bytes its `consumes` datasets
+  /// must move (locality) or always the first pilot (first). Stage
+  /// datasets are staged into the chosen zone overlapping service
+  /// bootstrap, pinned for the stage's duration, and released through
+  /// lineage reference counts when their last consuming stage finishes.
+  void run_pipeline(Pipeline pipeline, std::vector<core::Pilot*> pilots,
+                    std::function<void(const PipelineResult&)> on_done);
+
   /// Results of completed pipelines, keyed by pipeline name.
   [[nodiscard]] const std::map<std::string, PipelineResult>& results()
       const noexcept {
@@ -44,6 +53,10 @@ class WorkflowManager {
  private:
   struct StageRun {
     Stage stage;
+    core::Pilot* pilot = nullptr;  ///< chosen at stage start
+    /// The stage's `consumes` staging batch; cancelled if the stage
+    /// completes while transfers are still in flight.
+    core::DataManager::BatchHandle stage_batch;
     std::vector<std::string> service_uids;
     std::vector<std::unique_ptr<ml::Autoscaler>> autoscalers;
     std::vector<std::string> task_uids;
@@ -51,14 +64,20 @@ class WorkflowManager {
     double finished_at = -1.0;
     std::size_t tasks_done = 0;
     std::size_t tasks_failed = 0;
+    bool services_ready = false;  ///< bootstrap barrier passed
+    bool data_ready = false;      ///< `consumes` staged into the zone
+    bool data_pinned = false;     ///< consumed replicas pinned in zone
+    bool lineage_released = false;
+    bool tasks_launched = false;
     bool next_released = false;
     bool completed = false;
   };
 
   struct PipelineRun {
     std::string name;
-    core::Pilot* pilot = nullptr;
+    std::vector<core::Pilot*> pilots;
     std::vector<StageRun> stages;
+    Placement placement = Placement::locality;
     std::function<void(const PipelineResult&)> on_done;
     double started_at = 0.0;
     std::size_t finished_stages = 0;
@@ -68,8 +87,15 @@ class WorkflowManager {
 
   void start_stage(const std::shared_ptr<PipelineRun>& run,
                    std::size_t index);
+  /// Launches tasks once both the service barrier and the stage's
+  /// dataset staging have cleared.
+  void maybe_launch_tasks(const std::shared_ptr<PipelineRun>& run,
+                          std::size_t index);
   void launch_stage_tasks(const std::shared_ptr<PipelineRun>& run,
                           std::size_t index);
+  /// Unpins the stage's consumed replicas and drops one lineage
+  /// reference per consumed dataset (idempotent).
+  void release_stage_data(StageRun& stage_run);
   void on_task_terminal(const std::shared_ptr<PipelineRun>& run,
                         std::size_t index, bool ok);
   void maybe_release_next(const std::shared_ptr<PipelineRun>& run,

@@ -1,0 +1,668 @@
+// Data-plane tests: replica catalog (finite stores, LRU eviction,
+// pinning, lineage), fair-share transfer engine (shared links,
+// concurrency caps, retries), the DataManager facade (stage_all batch
+// cancellation), locality-aware placement, and workflow dataset wiring.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ripple/common/error.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/data/catalog.hpp"
+#include "ripple/data/placement_advisor.hpp"
+#include "ripple/data/transfer_engine.hpp"
+#include "ripple/ml/install.hpp"
+#include "ripple/platform/profiles.hpp"
+#include "ripple/wf/workflow_manager.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::core;
+
+// ---------------------------------------------------------------------------
+// ReplicaCatalog
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, FiniteStoreEvictsLeastRecentlyUsed) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 100.0);
+  catalog.register_dataset("a", 40.0, "z");
+  catalog.register_dataset("b", 40.0, "z");
+  catalog.touch("a", "z");  // b is now the LRU replica
+
+  catalog.register_dataset("c", 40.0, "z");  // needs 40, free is 20
+  EXPECT_FALSE(catalog.available_in("b", "z"));
+  EXPECT_TRUE(catalog.available_in("a", "z"));
+  EXPECT_TRUE(catalog.available_in("c", "z"));
+  EXPECT_EQ(catalog.evictions(), 1u);
+  EXPECT_EQ(catalog.eviction_log(),
+            (std::vector<std::string>{"z/b"}));
+  EXPECT_DOUBLE_EQ(catalog.store("z").used, 80.0);
+}
+
+TEST(Catalog, PinnedReplicasSurviveEvictionPressure) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 100.0);
+  catalog.register_dataset("a", 40.0, "z");
+  catalog.register_dataset("b", 40.0, "z");
+  catalog.pin("a", "z");
+
+  // 70 bytes needed: only b (40) is evictable -> impossible, and the
+  // pinned a is skipped despite being the LRU replica. The failed
+  // attempt leaves a partial eviction trail (b is gone).
+  EXPECT_THROW(catalog.register_dataset("big", 70.0, "z"), Error);
+  EXPECT_TRUE(catalog.available_in("a", "z"));
+  EXPECT_FALSE(catalog.available_in("b", "z"));
+  // 60 bytes now fit next to the pinned 40.
+  catalog.register_dataset("c", 60.0, "z");
+  EXPECT_TRUE(catalog.available_in("a", "z"));
+
+  catalog.unpin("a", "z");
+  EXPECT_THROW(catalog.unpin("a", "z"), Error);  // not pinned anymore
+}
+
+TEST(Catalog, LineageConsumersProtectIntermediates) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 100.0);
+  // Lineage may be declared before the dataset exists.
+  catalog.add_consumers("mid", 2);
+  catalog.register_dataset("mid", 60.0, "z");
+  EXPECT_EQ(catalog.consumers_left("mid"), 2u);
+
+  // Protected: eviction pressure cannot reclaim it.
+  EXPECT_THROW(catalog.register_dataset("big", 80.0, "z"), Error);
+
+  catalog.consume_done("mid");
+  EXPECT_THROW(catalog.register_dataset("big", 80.0, "z"), Error);
+  catalog.consume_done("mid");  // last consumer finished
+  catalog.register_dataset("big", 80.0, "z");
+  EXPECT_FALSE(catalog.available_in("mid", "z"));
+  EXPECT_THROW(catalog.consume_done("mid"), Error);
+}
+
+TEST(Catalog, ReservationsHoldSpaceUntilCommitOrRelease) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 100.0);
+  catalog.register_dataset("in-flight", 60.0, "elsewhere");
+
+  EXPECT_TRUE(catalog.reserve("z", 60.0));
+  EXPECT_DOUBLE_EQ(catalog.store("z").reserved, 60.0);
+  EXPECT_FALSE(catalog.reserve("z", 50.0));  // 40 free, nothing to evict
+
+  catalog.commit_replica("in-flight", "z");
+  EXPECT_TRUE(catalog.available_in("in-flight", "z"));
+  EXPECT_DOUBLE_EQ(catalog.store("z").reserved, 0.0);
+  EXPECT_DOUBLE_EQ(catalog.store("z").used, 60.0);
+
+  EXPECT_TRUE(catalog.reserve("z", 30.0));
+  catalog.release_reservation("z", 30.0);
+  EXPECT_DOUBLE_EQ(catalog.store("z").reserved, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TransferEngine
+// ---------------------------------------------------------------------------
+
+TEST(TransferEngineTest, FairShareSplitsLinkBandwidth) {
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::TransferEngine engine(loop, rng);
+  engine.set_default_bandwidth(1e9);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+
+  double done_a = -1.0;
+  double done_b = -1.0;
+  engine.transfer("a", "src", "dst", 10e9, [&](bool ok, sim::Duration) {
+    EXPECT_TRUE(ok);
+    done_a = loop.now();
+  });
+  loop.call_after(5.0, [&] {
+    engine.transfer("b", "src", "dst", 10e9, [&](bool ok, sim::Duration) {
+      EXPECT_TRUE(ok);
+      done_b = loop.now();
+    });
+  });
+  loop.run();
+  // a runs alone for 5 s (5 GB), shares for 10 s (5 GB) -> done at 15;
+  // b then has the link to itself for its remaining 5 GB -> done at 20.
+  EXPECT_NEAR(done_a, 15.0, 1e-9);
+  EXPECT_NEAR(done_b, 20.0, 1e-9);
+  EXPECT_EQ(engine.transfers_completed(), 2u);
+  EXPECT_DOUBLE_EQ(engine.bytes_moved(), 20e9);
+}
+
+TEST(TransferEngineTest, ConcurrencyCapQueuesExcessTransfers) {
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::TransferEngine engine(loop, rng);
+  engine.set_default_bandwidth(1e9);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+  engine.set_link_concurrency("src", "dst", 1);
+
+  double done_a = -1.0;
+  double done_b = -1.0;
+  engine.transfer("a", "src", "dst", 1e9,
+                  [&](bool, sim::Duration) { done_a = loop.now(); });
+  engine.transfer("b", "src", "dst", 1e9,
+                  [&](bool, sim::Duration) { done_b = loop.now(); });
+  EXPECT_EQ(engine.active_on("src", "dst"), 1u);
+  EXPECT_EQ(engine.queued_on("src", "dst"), 1u);
+  loop.run();
+  // Serialized at full bandwidth instead of halved in parallel.
+  EXPECT_NEAR(done_a, 1.0, 1e-9);
+  EXPECT_NEAR(done_b, 2.0, 1e-9);
+}
+
+TEST(TransferEngineTest, FailuresRetryUpToBudget) {
+  sim::EventLoop loop;
+  common::Rng rng(11);
+  data::TransferEngine engine(loop, rng);
+  engine.set_default_bandwidth(1e9);
+  engine.set_setup_latency(common::Distribution::constant(0.1));
+  engine.set_failure(0.97, 2);
+
+  int fired = 0;
+  engine.transfer("flaky", "src", "dst", 1e9,
+                  [&](bool, sim::Duration) { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.transfers_started(), 1u);
+  EXPECT_EQ(engine.transfers_completed() + engine.transfers_failed(), 1u);
+  if (engine.transfers_failed() == 1) {
+    EXPECT_EQ(engine.retries(), 2u);  // budget exhausted before giving up
+  }
+}
+
+TEST(TransferEngineTest, CancelStopsTransferWithoutCallback) {
+  sim::EventLoop loop;
+  common::Rng rng(3);
+  data::TransferEngine engine(loop, rng);
+  engine.set_default_bandwidth(1e9);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+
+  bool fired = false;
+  const auto id = engine.transfer(
+      "doomed", "src", "dst", 10e9,
+      [&](bool, sim::Duration) { fired = true; });
+  loop.call_after(1.0, [&] { EXPECT_TRUE(engine.cancel(id)); });
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.transfers_cancelled(), 1u);
+  EXPECT_EQ(engine.transfers_completed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DataManager facade
+// ---------------------------------------------------------------------------
+
+class DataPlaneFacadeTest : public ::testing::Test {
+ protected:
+  Runtime runtime{17};
+  DataManager data{runtime};
+};
+
+TEST_F(DataPlaneFacadeTest, StageEvictsIntoFiniteStore) {
+  data.add_store("delta", 10e9);
+  data.register_dataset("old1", 4e9, "delta");
+  data.register_dataset("old2", 4e9, "delta");
+  data.register_dataset("incoming", 8e9, "lab");
+  data.set_bandwidth("lab", "delta", 1e9);
+
+  bool ok = false;
+  data.stage("incoming", "delta",
+             [&](bool result, sim::Duration) { ok = result; });
+  runtime.loop().run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(data.available_in("incoming", "delta"));
+  EXPECT_FALSE(data.available_in("old1", "delta"));
+  EXPECT_FALSE(data.available_in("old2", "delta"));
+  EXPECT_EQ(data.catalog().eviction_log(),
+            (std::vector<std::string>{"delta/old1", "delta/old2"}));
+}
+
+TEST_F(DataPlaneFacadeTest, StageFailsWhenStoreCannotFit) {
+  data.add_store("tiny", 1e9);
+  data.register_dataset("blob", 8e9, "lab");
+  bool ok = true;
+  data.stage("blob", "tiny",
+             [&](bool result, sim::Duration) { ok = result; });
+  runtime.loop().run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(data.transfers(), 0u);
+}
+
+TEST_F(DataPlaneFacadeTest, SourceReplicaPinnedDuringFlight) {
+  data.add_store("lab", 10e9);
+  data.register_dataset("feed", 8e9, "lab");
+  data.set_bandwidth("lab", "delta", 1e9);
+  bool staged = false;
+  data.stage("feed", "delta",
+             [&](bool ok, sim::Duration) { staged = ok; });
+  runtime.loop().run_until(1.0);
+  // Mid-flight: the source replica must resist eviction pressure.
+  EXPECT_GT(data.catalog().pins("feed", "lab"), 0u);
+  EXPECT_THROW(data.register_dataset("other", 4e9, "lab"), Error);
+  runtime.loop().run();
+  EXPECT_TRUE(staged);
+  EXPECT_EQ(data.catalog().pins("feed", "lab"), 0u);
+}
+
+TEST_F(DataPlaneFacadeTest, StageAllFailureCancelsSiblingsButNotSharers) {
+  data.register_dataset("shared", 10e9, "lab");
+  data.register_dataset("solo", 10e9, "lab");
+  data.set_bandwidth("lab", "delta", 1e9);
+
+  int batch_a_calls = 0;
+  std::string batch_a_failed;
+  data.stage_all({"missing", "shared", "solo"}, "delta",
+                 [&](bool ok, const std::string& failed) {
+                   ++batch_a_calls;
+                   EXPECT_FALSE(ok);
+                   batch_a_failed = failed;
+                 });
+  int batch_b_calls = 0;
+  data.stage_all({"shared"}, "delta",
+                 [&](bool ok, const std::string&) {
+                   ++batch_b_calls;
+                   EXPECT_TRUE(ok);
+                 });
+  runtime.loop().run();
+
+  EXPECT_EQ(batch_a_calls, 1);
+  EXPECT_EQ(batch_a_failed, "missing");
+  EXPECT_EQ(batch_b_calls, 1);
+  // The shared transfer survived for batch B; the batch-private solo
+  // transfer was cancelled instead of running on untracked.
+  EXPECT_TRUE(data.available_in("shared", "delta"));
+  EXPECT_FALSE(data.available_in("solo", "delta"));
+  EXPECT_EQ(data.transfers(), 2u);
+  EXPECT_EQ(data.cancelled_transfers(), 1u);
+}
+
+TEST_F(DataPlaneFacadeTest, StageFailsCleanlyWhenLastReplicaEvicted) {
+  data.add_store("lab", 10e9);
+  data.register_dataset("victim", 6e9, "lab");
+  data.register_dataset("squatter", 8e9, "elsewhere");
+  // Staging squatter into lab evicts victim's only replica.
+  bool squatter_ok = false;
+  data.stage("squatter", "lab",
+             [&](bool ok, sim::Duration) { squatter_ok = ok; });
+  runtime.loop().run();
+  ASSERT_TRUE(squatter_ok);
+  ASSERT_TRUE(data.dataset("victim").zones.empty());
+
+  // A stage of the orphaned dataset fails via its callback — no throw.
+  bool victim_ok = true;
+  data.stage("victim", "delta",
+             [&](bool ok, sim::Duration) { victim_ok = ok; });
+  runtime.loop().run();
+  EXPECT_FALSE(victim_ok);
+}
+
+TEST_F(DataPlaneFacadeTest, CancelBatchAbortsInFlightTransfers) {
+  data.register_dataset("bulk", 10e9, "lab");
+  data.set_bandwidth("lab", "delta", 1e9);
+  bool fired = false;
+  const DataManager::BatchHandle batch = data.stage_all_tracked(
+      {"bulk"}, "delta",
+      [&](bool, const std::string&) { fired = true; });
+  runtime.loop().run_until(1.0);
+  data.cancel_batch(batch);
+  runtime.loop().run();
+  EXPECT_FALSE(fired);  // abandoned batches never call back
+  EXPECT_EQ(data.cancelled_transfers(), 1u);
+  EXPECT_FALSE(data.available_in("bulk", "delta"));
+  // The reservation and the source pin were returned.
+  EXPECT_DOUBLE_EQ(data.catalog().store("delta").reserved, 0.0);
+  EXPECT_EQ(data.catalog().pins("bulk", "lab"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Locality-aware placement
+// ---------------------------------------------------------------------------
+
+TEST(PlacementAdvisorTest, RanksZonesByBytesToMove) {
+  data::ReplicaCatalog catalog;
+  catalog.register_dataset("big", 10e9, "frontier");
+  catalog.register_dataset("small", 1e9, "delta");
+  const data::PlacementAdvisor advisor(catalog);
+  EXPECT_DOUBLE_EQ(
+      advisor.bytes_to_move({"big", "small"}, "frontier"), 1e9);
+  EXPECT_DOUBLE_EQ(advisor.bytes_to_move({"big", "small"}, "delta"), 10e9);
+  EXPECT_DOUBLE_EQ(advisor.bytes_to_move({"unknown"}, "delta"), 0.0);
+}
+
+TEST(TaskLocality, SubmitAnyRunsWhereTheDataLives) {
+  Session session({.seed = 3});
+  session.add_platform(platform::delta_profile(2));
+  session.add_platform(platform::frontier_profile(2));
+  auto& on_delta = session.submit_pilot({.platform = "delta", .nodes = 2});
+  auto& on_frontier =
+      session.submit_pilot({.platform = "frontier", .nodes = 2});
+  session.data().register_dataset("blob", 5e9, "frontier");
+
+  TaskDescription desc;
+  desc.duration = common::Distribution::constant(0.5);
+  desc.staging.push_back(StagingDirective::in("blob"));
+  const auto uid =
+      session.tasks().submit_any({&on_delta, &on_frontier}, desc);
+  session.run();
+
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::done);
+  EXPECT_EQ(session.tasks().get(uid).pilot_uid(), on_frontier.uid());
+  EXPECT_DOUBLE_EQ(session.data().bytes_moved(), 0.0);
+}
+
+TEST(WorkflowData, LocalityPlacementMovesNoBytes) {
+  Session session({.seed = 5});
+  session.add_platform(platform::delta_profile(2));
+  session.add_platform(platform::frontier_profile(2));
+  auto& on_delta = session.submit_pilot({.platform = "delta", .nodes = 2});
+  auto& on_frontier =
+      session.submit_pilot({.platform = "frontier", .nodes = 2});
+  session.data().register_dataset("shard-d", 8e9, "delta");
+  session.data().register_dataset("shard-f", 8e9, "frontier");
+  wf::WorkflowManager workflows(session);
+
+  TaskDescription work;
+  work.duration = common::Distribution::constant(1.0);
+  wf::Pipeline pipeline;
+  pipeline.name = "loc";
+  pipeline.placement = wf::Placement::locality;
+  wf::Stage first;
+  first.name = "near-delta";
+  first.consumes = {"shard-d"};
+  first.tasks = {work};
+  wf::Stage second;
+  second.name = "near-frontier";
+  second.consumes = {"shard-f"};
+  second.tasks = {work};
+  pipeline.stages = {first, second};
+
+  wf::PipelineResult result;
+  workflows.run_pipeline(pipeline, {&on_delta, &on_frontier},
+                         [&](const wf::PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.tasks_done, 2u);
+  // Compute went to the data: nothing crossed the WAN.
+  EXPECT_DOUBLE_EQ(session.data().bytes_moved(), 0.0);
+  // Lineage drained: pins and consumer references are all released.
+  EXPECT_EQ(session.data().catalog().consumers_left("shard-d"), 0u);
+  EXPECT_EQ(session.data().catalog().consumers_left("shard-f"), 0u);
+  EXPECT_EQ(session.data().catalog().pins("shard-d", "delta"), 0u);
+  EXPECT_EQ(session.data().catalog().pins("shard-f", "frontier"), 0u);
+}
+
+TEST(WorkflowData, DataBlindPlacementPaysTheTransfer) {
+  Session session({.seed = 5});
+  session.add_platform(platform::delta_profile(2));
+  session.add_platform(platform::frontier_profile(2));
+  auto& on_delta = session.submit_pilot({.platform = "delta", .nodes = 2});
+  auto& on_frontier =
+      session.submit_pilot({.platform = "frontier", .nodes = 2});
+  session.data().register_dataset("shard-d", 8e9, "delta");
+  session.data().register_dataset("shard-f", 8e9, "frontier");
+  wf::WorkflowManager workflows(session);
+
+  TaskDescription work;
+  work.duration = common::Distribution::constant(1.0);
+  wf::Pipeline pipeline;
+  pipeline.name = "blind";
+  pipeline.placement = wf::Placement::first;
+  wf::Stage first;
+  first.name = "near-delta";
+  first.consumes = {"shard-d"};
+  first.tasks = {work};
+  wf::Stage second;
+  second.name = "far-from-frontier";
+  second.consumes = {"shard-f"};
+  second.tasks = {work};
+  pipeline.stages = {first, second};
+
+  wf::PipelineResult result;
+  workflows.run_pipeline(pipeline, {&on_delta, &on_frontier},
+                         [&](const wf::PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_TRUE(result.ok);
+  // Everything ran on the first pilot: shard-f crossed the WAN.
+  EXPECT_DOUBLE_EQ(session.data().bytes_moved(), 8e9);
+  EXPECT_TRUE(session.data().available_in("shard-f", "delta"));
+}
+
+TEST(TaskLocality, CancelDuringOverlappedStageInReclaimsEverything) {
+  Session session({.seed = 9});
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.runtime().network().register_host("lab:x", "lab");
+  session.data().register_dataset("slow-input", 50e9, "lab");
+  session.data().set_bandwidth("lab", "delta", 1e9);  // ~50 s transfer
+
+  TaskDescription desc;
+  desc.duration = common::Distribution::constant(1.0);
+  desc.staging.push_back(StagingDirective::in("slow-input"));
+  const auto uid = session.tasks().submit(pilot, desc);
+  // The grant lands long before the 50 GB transfer: the task parks in
+  // SCHEDULED holding its slot. Cancelling in that window must free
+  // the slot and abort the now-unwanted transfer.
+  session.run_until(5.0);
+  ASSERT_EQ(session.tasks().get(uid).state(), TaskState::scheduled);
+  EXPECT_TRUE(session.tasks().cancel(uid));
+  session.run();
+
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::canceled);
+  EXPECT_EQ(session.data().cancelled_transfers(), 1u);
+  EXPECT_FALSE(session.data().available_in("slow-input", "delta"));
+  // The slot returned to the pool: a follow-up task runs immediately.
+  TaskDescription probe;
+  probe.cores = 64;  // a whole node: fails if the slot leaked
+  probe.duration = common::Distribution::constant(0.5);
+  const auto probe_uid = session.tasks().submit(pilot, probe);
+  session.run();
+  EXPECT_EQ(session.tasks().get(probe_uid).state(), TaskState::done);
+}
+
+TEST(TaskLocality, StageOutIntoFullStoreFailsTaskNotRun) {
+  Session session({.seed = 14});
+  session.add_platform(platform::delta_profile(1));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 1});
+  session.data().add_store("delta", 1e9);
+
+  TaskDescription desc;
+  desc.duration = common::Distribution::constant(0.5);
+  desc.staging.push_back(StagingDirective::out("oversized"));
+  desc.payload.set("output_bytes", 5e9);  // cannot ever fit the store
+  const auto uid = session.tasks().submit(pilot, desc);
+  session.run();  // must not abort on a capacity throw
+
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::failed);
+  EXPECT_NE(session.tasks().get(uid).error().find("stage-out"),
+            std::string::npos);
+}
+
+TEST(TaskLocality, ConsumedInputsMakeRoomForOutputsInSameStore) {
+  Session session({.seed = 23});
+  session.add_platform(platform::delta_profile(1));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 1});
+  session.data().add_store("delta", 10e9);
+  session.runtime().network().register_host("lab:x", "lab");
+  session.data().register_dataset("input", 6e9, "lab");
+  session.data().set_bandwidth("lab", "delta", 1e9);
+
+  // Input (6 GB) and output (6 GB) cannot coexist in the 10 GB store;
+  // once the payload has read the input, its pin drops and the output
+  // may evict it instead of failing the task.
+  TaskDescription desc;
+  desc.duration = common::Distribution::constant(1.0);
+  desc.staging.push_back(StagingDirective::in("input"));
+  desc.staging.push_back(StagingDirective::out("output"));
+  desc.payload.set("output_bytes", 6e9);
+  const auto uid = session.tasks().submit(pilot, desc);
+  session.run();
+
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::done);
+  EXPECT_TRUE(session.data().available_in("output", "delta"));
+  EXPECT_FALSE(session.data().available_in("input", "delta"));  // evicted
+  EXPECT_EQ(session.data().catalog().evictions(), 1u);
+}
+
+TEST(TaskLocality, StageOutFailureCancelsSiblingOutputs) {
+  Session session({.seed = 19});
+  session.add_platform(platform::delta_profile(1));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 1});
+  session.data().add_store("tiny", 1e9);  // can never take a 5 GB output
+  session.data().set_bandwidth("delta", "archive", 1e9);  // ~5 s out
+
+  TaskDescription desc;
+  desc.duration = common::Distribution::constant(0.5);
+  desc.staging.push_back(StagingDirective::out("out-a", "tiny"));
+  desc.staging.push_back(StagingDirective::out("out-b", "archive"));
+  desc.payload.set("output_bytes", 5e9);
+  const auto uid = session.tasks().submit(pilot, desc);
+  session.run();
+
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::failed);
+  // The failed tiny-store output aborted the archive transfer too.
+  EXPECT_EQ(session.data().cancelled_transfers(), 1u);
+  EXPECT_FALSE(session.data().available_in("out-b", "archive"));
+}
+
+TEST(TaskLocality, StagedInputsStayPinnedUntilTaskFinishes) {
+  Session session({.seed = 15});
+  session.add_platform(platform::delta_profile(1));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 1});
+  session.runtime().network().register_host("lab:x", "lab");
+  session.data().register_dataset("input", 5e9, "lab");
+  session.data().set_bandwidth("lab", "delta", 1e9);  // ~5 s transfer
+
+  // A hog keeps the single node busy so the victim waits granted-less
+  // long after its stage-in lands.
+  TaskDescription hog;
+  hog.cores = 64;
+  hog.duration = common::Distribution::constant(20.0);
+  session.tasks().submit(pilot, hog);
+  TaskDescription victim;
+  victim.cores = 64;
+  victim.duration = common::Distribution::constant(1.0);
+  victim.staging.push_back(StagingDirective::in("input"));
+  const auto uid = session.tasks().submit(pilot, victim);
+
+  session.run_until(10.0);  // staged, still queued behind the hog
+  ASSERT_EQ(session.tasks().get(uid).state(), TaskState::scheduling);
+  ASSERT_TRUE(session.data().available_in("input", "delta"));
+  // Pinned while waiting: store pressure cannot evict the input.
+  EXPECT_GT(session.data().catalog().pins("input", "delta"), 0u);
+  session.run();
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::done);
+  EXPECT_EQ(session.data().catalog().pins("input", "delta"), 0u);
+}
+
+TEST(WorkflowData, ServiceFailureAbandonsStageTransfers) {
+  Session session({.seed = 16});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.runtime().network().register_host("lab:x", "lab");
+  session.data().register_dataset("huge", 50e9, "lab");
+  session.data().set_bandwidth("lab", "delta", 1e9);  // ~50 s transfer
+  wf::WorkflowManager workflows(session);
+
+  wf::Pipeline pipeline;
+  pipeline.name = "cut-short";
+  wf::Stage stage;
+  stage.name = "doomed";
+  stage.consumes = {"huge"};
+  ServiceDescription svc;
+  svc.program = "inference";
+  svc.config = json::Value::object({{"model", "llama-8b"}});
+  svc.gpus = 1;
+  svc.ready_timeout = 2.0;  // guaranteed bootstrap failure
+  stage.services = {svc};
+  TaskDescription task;
+  task.duration = common::Distribution::constant(1.0);
+  stage.tasks = {task};
+  pipeline.stages = {stage};
+
+  wf::PipelineResult result;
+  workflows.run_pipeline(pipeline, pilot,
+                         [&](const wf::PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_FALSE(result.ok);
+  // The 50 GB transfer was abandoned with the stage, not left running.
+  EXPECT_EQ(session.data().cancelled_transfers(), 1u);
+  EXPECT_FALSE(session.data().available_in("huge", "delta"));
+}
+
+TEST(WorkflowData, MissingDeclaredOutputFailsPipeline) {
+  Session session({.seed = 18});
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  wf::WorkflowManager workflows(session);
+
+  wf::Pipeline pipeline;
+  pipeline.name = "broken-contract";
+  wf::Stage stage;
+  stage.name = "claims-too-much";
+  stage.produces = {"never-made"};  // no task registers it
+  TaskDescription task;
+  task.duration = common::Distribution::constant(1.0);
+  stage.tasks = {task};
+  wf::Stage after;
+  after.name = "never-runs";
+  TaskDescription task2;
+  task2.duration = common::Distribution::constant(1.0);
+  after.tasks = {task2};
+  pipeline.stages = {stage, after};
+
+  wf::PipelineResult result;
+  workflows.run_pipeline(pipeline, pilot,
+                         [&](const wf::PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.stage_names.size(), 1u);  // stage 2 never started
+}
+
+TEST(WorkflowData, FailedPipelineReleasesUnstartedStageLineage) {
+  Session session({.seed = 12});
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.data().register_dataset("early", 1e9, "delta");
+  session.data().register_dataset("late", 1e9, "delta");
+  wf::WorkflowManager workflows(session);
+
+  wf::Pipeline pipeline;
+  pipeline.name = "doomed";
+  wf::Stage breaks;
+  breaks.name = "breaks";
+  breaks.consumes = {"early"};
+  TaskDescription bad;
+  bad.staging.push_back(StagingDirective::in("no-such-dataset"));
+  breaks.tasks = {bad};
+  wf::Stage never;
+  never.name = "never-starts";
+  never.consumes = {"late"};
+  TaskDescription fine;
+  fine.duration = common::Distribution::constant(1.0);
+  never.tasks = {fine};
+  pipeline.stages = {breaks, never};
+
+  wf::PipelineResult result;
+  workflows.run_pipeline(pipeline, pilot,
+                         [&](const wf::PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_FALSE(result.ok);
+  // Both the failed stage's and the never-started stage's lineage
+  // references were dropped — nothing stays evict-proof forever.
+  EXPECT_EQ(session.data().catalog().consumers_left("early"), 0u);
+  EXPECT_EQ(session.data().catalog().consumers_left("late"), 0u);
+}
+
+}  // namespace

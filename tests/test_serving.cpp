@@ -604,6 +604,78 @@ TEST(Autoscaler, RepairsPoolAfterAllReplicasFail) {
   EXPECT_TRUE(stopped);
 }
 
+TEST(Autoscaler, ScaleDownDrainsLeastLoadedReplica) {
+  core::Session session({.seed = 21});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription replica;
+  replica.name = "skewed-pool";
+  replica.program = "inference";
+  replica.config = json::Value::object({{"model", "llama-8b"}});
+  replica.gpus = 1;
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 2;
+  scaling.max_replicas = 2;
+  Autoscaler scaler(session, pilot, replica, scaling);
+
+  msg::RpcClient prober(session.runtime().router(), "prober",
+                        session.cluster("delta").head_host());
+  std::string victim;
+  scaler.start([&](bool ok) {
+    ASSERT_TRUE(ok);
+    // Pin slow inferences onto the NEWEST replica only; the oldest
+    // replica idles. The legacy policy always drained the newest —
+    // exactly the replica carrying all the load.
+    const std::string loaded =
+        session.services().get(scaler.replicas().back()).endpoint();
+    for (int i = 0; i < 3; ++i) {
+      prober.call(loaded, "infer", json::Value::object(),
+                  [](msg::CallResult) {});
+    }
+    session.loop().call_after(1.0, [&] {
+      victim = scaler.scale_down_victim();
+      scaler.stop();
+    });
+  });
+  session.run();
+
+  ASSERT_EQ(scaler.replicas().size(), 2u);
+  EXPECT_EQ(victim, scaler.replicas().front());  // the idle one drains
+  EXPECT_NE(victim, scaler.replicas().back());
+}
+
+TEST(Autoscaler, ScaleDownVictimPrefersNewestWhenIdle) {
+  core::Session session({.seed = 22});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription replica;
+  replica.name = "idle-pool";
+  replica.program = "inference";
+  replica.config = json::Value::object({{"model", "noop"}});
+  replica.gpus = 1;
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 3;
+  scaling.max_replicas = 3;
+  Autoscaler scaler(session, pilot, replica, scaling);
+
+  std::string victim;
+  scaler.start([&](bool ok) {
+    ASSERT_TRUE(ok);
+    // Evenly idle pool: ties keep the oldest replicas (legacy
+    // behaviour), minimizing endpoint churn.
+    victim = scaler.scale_down_victim();
+    scaler.stop();
+  });
+  session.run();
+  EXPECT_EQ(victim, scaler.replicas().back());
+}
+
 TEST(ClientWatch, DeferredRemovalAppliesWhenReplacementArrives) {
   // A watch-mode client whose only endpoint goes down must keep it (no
   // empty pool) but evict it as soon as a replacement publishes —
