@@ -5,10 +5,17 @@
 //     reference model; both zones get finite stores;
 //   * stage "featurize" consumes the raw shards — locality-aware
 //     placement sends it to delta, where the bytes already live;
-//   * stage "train" consumes the features it produced plus the
-//     reference data — the advisor weighs both and the fair-share
-//     transfer engine hauls whatever must still move, overlapping the
-//     stage's queue wait;
+//   * stage "train" consumes the features it produced, a large
+//     calibration set resident on delta, and the reference model — the
+//     contention-aware advisor weighs estimated stage-in time (at live
+//     striped fair-share rates) and queue depth, and keeps training on
+//     delta: pulling the 30 GB reference beats pushing the 50 GB
+//     calibration set the other way;
+//   * the reference model is replicated (frontier + an external lab
+//     archive), so hauling it stripes across both links at once — and
+//     while "featurize" computes, the WorkflowManager prefetches it
+//     toward delta (replication-ahead over idle links), so training
+//     starts with its data already resident;
 //   * lineage reference counts unpin the intermediate features once
 //     training finishes, so the finite store can evict them.
 //
@@ -38,7 +45,16 @@ int main() {
   for (int i = 0; i < 4; ++i) {
     data.register_dataset("raw-" + std::to_string(i), 20e9, "delta");
   }
+  // The calibration set anchors training to delta: moving it would
+  // cost more than pulling the reference model in.
+  data.register_dataset("calibration", 50e9, "delta");
+  // The reference model is replicated: frontier plus an external lab
+  // archive the Network does not model (explicit bandwidth override).
+  // A transfer that must haul it stripes across both links.
   data.register_dataset("reference", 30e9, "frontier");
+  data.register_dataset("reference", 30e9, "lab");
+  data.set_bandwidth("lab", "delta", 2e9);
+  data.set_bandwidth("lab", "frontier", 2e9);
 
   // 2. The pipeline declares what each stage reads and writes; the
   //    WorkflowManager stages, pins and releases datasets accordingly.
@@ -66,7 +82,7 @@ int main() {
 
   wf::Stage train;
   train.name = "train";
-  train.consumes = {"features", "reference"};
+  train.consumes = {"features", "calibration", "reference"};
   core::TaskDescription trainer;
   trainer.name = "train";
   trainer.cores = 16;
@@ -96,7 +112,11 @@ int main() {
             << strutil::format_fixed(data.bytes_moved() / 1e9, 2)
             << " GB in " << data.transfers() << " transfers (mean "
             << strutil::format_fixed(data.transfer_times().mean(), 1)
-            << " s)\n";
+            << " s), " << data.engine().stripes_started()
+            << " stripes\n";
+  std::cout << "prefetches: " << data.prefetches_started() << " started, "
+            << data.prefetches_completed()
+            << " landed ahead of demand\n";
   std::cout << "features consumers left: "
             << data.catalog().consumers_left("features")
             << " (0 = evictable now that training is done)\n";

@@ -57,20 +57,30 @@ double DataManager::bytes_required(const std::vector<std::string>& names,
   return data::PlacementAdvisor(catalog_).bytes_to_move(names, zone);
 }
 
-std::string DataManager::pick_source(const Dataset& ds,
-                                     const std::string& dst_zone) const {
-  ensure(!ds.zones.empty(), Errc::internal,
-         strutil::cat("dataset '", ds.name, "' has no replica"));
-  const std::string* best = nullptr;
-  double best_bw = -1.0;
-  for (const auto& zone : ds.zones) {  // ordered: ties pick the smallest
-    const double bw = engine_.bandwidth_between(zone, dst_zone);
-    if (bw > best_bw) {
-      best = &zone;
-      best_bw = bw;
-    }
+DataManager::Flight& DataManager::launch_flight(
+    const FlightKey& key, std::vector<std::string> sources, double bytes,
+    bool prefetch) {
+  const std::string& name = key.first;
+  const std::string& dst_zone = key.second;
+  // Every source replica feeds the (striped) transfer: pin them all so
+  // store pressure in their zones cannot evict them mid-flight.
+  for (const auto& src : sources) catalog_.pin(name, src);
+
+  Flight flight;
+  flight.src_zones = std::move(sources);
+  flight.reserved_bytes = bytes;
+  flight.prefetch = prefetch;
+  if (prefetch) {
+    prefetch_inflight_[dst_zone] += bytes;
+    ++prefetches_started_;
   }
-  return *best;
+  auto [it, inserted] = flights_.emplace(key, std::move(flight));
+  it->second.transfer_id = engine_.transfer_striped(
+      name, it->second.src_zones, dst_zone, bytes,
+      [this, key](bool ok, sim::Duration elapsed) {
+        on_flight_done(key, ok, elapsed);
+      });
+  return it->second;
 }
 
 void DataManager::stage(const std::string& name, const std::string& dst_zone,
@@ -112,28 +122,91 @@ DataManager::StageTicket DataManager::stage_tracked(
         [on_done = std::move(on_done)] { on_done(false, 0.0); });
     return 0;
   }
-  if (!catalog_.reserve(dst_zone, ds.bytes)) {
+  // Demand outranks speculation: when the store cannot take the
+  // reservation, reclaim waiterless prefetch flights into this zone
+  // (cancelling them frees their reservations) before giving up — but
+  // only when the dataset could ever fit; a doomed oversized stage
+  // must not wipe out useful speculative work on its way to failing.
+  bool reserved = catalog_.reserve(dst_zone, ds.bytes);
+  if (!reserved && ds.bytes <= catalog_.store(dst_zone).capacity) {
+    while (!reserved && reclaim_one_prefetch(dst_zone)) {
+      reserved = catalog_.reserve(dst_zone, ds.bytes);
+    }
+  }
+  if (!reserved) {
     runtime_.loop().post(
         [on_done = std::move(on_done)] { on_done(false, 0.0); });
     return 0;
   }
-  const std::string src_zone = pick_source(ds, dst_zone);
-  // The source replica feeds the transfer: pin it so store pressure in
-  // its zone cannot evict it mid-flight.
-  catalog_.pin(name, src_zone);
-
-  Flight new_flight;
-  new_flight.src_zone = src_zone;
-  new_flight.reserved_bytes = ds.bytes;
-  new_flight.waiters.emplace_back(ticket, std::move(on_done));
-  new_flight.transfer_id = engine_.transfer(
-      name, src_zone, dst_zone, ds.bytes,
-      [this, key](bool ok, sim::Duration elapsed) {
-        on_flight_done(key, ok, elapsed);
-      });
-  flights_.emplace(key, std::move(new_flight));
+  // Every replica contributes: a multi-zone dataset moves as one
+  // striped transfer over the disjoint (src, dst) links.
+  Flight& launched = launch_flight(
+      key, {ds.zones.begin(), ds.zones.end()}, ds.bytes,
+      /*prefetch=*/false);
+  launched.waiters.emplace_back(ticket, std::move(on_done));
   ticket_index_.emplace(ticket, key);
   return ticket;
+}
+
+std::size_t DataManager::prefetch(const std::vector<std::string>& names,
+                                  const std::string& zone) {
+  std::size_t started = 0;
+  for (const auto& name : names) {
+    if (!catalog_.has(name)) continue;
+    if (catalog_.available_in(name, zone)) continue;
+    if (flights_.count({name, zone}) != 0) continue;  // already inbound
+    const Dataset& ds = catalog_.dataset(name);
+    if (ds.zones.empty()) continue;
+    // Budget: bytes already being prefetched into this store.
+    const auto inflight = prefetch_inflight_.find(zone);
+    const double pending =
+        inflight == prefetch_inflight_.end() ? 0.0 : inflight->second;
+    if (pending + ds.bytes > prefetch_budget_) continue;
+    // Never evict for a prefetch: demand data outranks speculation.
+    if (catalog_.store(zone).free() < ds.bytes) continue;
+    // Idle links only — a prefetch must not steal fair-share bandwidth
+    // from demand transfers already flowing.
+    std::vector<std::string> idle_sources;
+    for (const auto& src : ds.zones) {
+      if (src == zone) continue;
+      if (engine_.active_on(src, zone) == 0 &&
+          engine_.queued_on(src, zone) == 0) {
+        idle_sources.push_back(src);
+      }
+    }
+    if (idle_sources.empty()) continue;
+    if (!catalog_.reserve(zone, ds.bytes)) continue;
+    launch_flight({name, zone}, std::move(idle_sources), ds.bytes,
+                  /*prefetch=*/true);
+    ++started;
+  }
+  return started;
+}
+
+void DataManager::set_prefetch_budget(double bytes) {
+  ensure(bytes >= 0.0, Errc::invalid_argument,
+         "prefetch budget must be >= 0");
+  prefetch_budget_ = bytes;
+}
+
+bool DataManager::reclaim_one_prefetch(const std::string& zone) {
+  // First waiterless prefetch into `zone` in flight-key order
+  // (deterministic). A prefetch a demand stage piggybacked on is no
+  // longer speculation and is never reclaimed.
+  for (auto it = flights_.begin(); it != flights_.end(); ++it) {
+    if (it->first.second != zone) continue;
+    if (!it->second.prefetch || !it->second.waiters.empty()) continue;
+    engine_.cancel(it->second.transfer_id);
+    for (const auto& src : it->second.src_zones) {
+      catalog_.unpin(it->first.first, src);
+    }
+    catalog_.release_reservation(zone, it->second.reserved_bytes);
+    prefetch_inflight_[zone] -= it->second.reserved_bytes;
+    if (prefetch_inflight_[zone] < 0.0) prefetch_inflight_[zone] = 0.0;
+    flights_.erase(it);
+    return true;
+  }
+  return false;
 }
 
 void DataManager::on_flight_done(const FlightKey& key, bool ok,
@@ -142,7 +215,16 @@ void DataManager::on_flight_done(const FlightKey& key, bool ok,
   if (it == flights_.end()) return;
   auto waiters = std::move(it->second.waiters);
   const double reserved = it->second.reserved_bytes;
-  catalog_.unpin(key.first, it->second.src_zone);
+  for (const auto& src : it->second.src_zones) {
+    catalog_.unpin(key.first, src);
+  }
+  if (it->second.prefetch) {
+    prefetch_inflight_[key.second] -= reserved;
+    if (prefetch_inflight_[key.second] < 0.0) {
+      prefetch_inflight_[key.second] = 0.0;
+    }
+    if (ok) ++prefetches_completed_;
+  }
   flights_.erase(it);
   if (ok) {
     catalog_.commit_replica(key.first, key.second);
@@ -168,10 +250,13 @@ bool DataManager::cancel_stage(StageTicket ticket) {
                                  return waiter.first == ticket;
                                }),
                 waiters.end());
-  if (waiters.empty()) {
-    // Last waiter gone: the transfer itself is no longer wanted.
+  if (waiters.empty() && !it->second.prefetch) {
+    // Last waiter gone: the transfer itself is no longer wanted. (A
+    // prefetch flight keeps running waiterless — that is its job.)
     engine_.cancel(it->second.transfer_id);
-    catalog_.unpin(key.first, it->second.src_zone);
+    for (const auto& src : it->second.src_zones) {
+      catalog_.unpin(key.first, src);
+    }
     catalog_.release_reservation(key.second, it->second.reserved_bytes);
     flights_.erase(it);
   }

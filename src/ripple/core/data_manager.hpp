@@ -15,7 +15,12 @@
 /// Staging a task means ensuring its input datasets are present in the
 /// pilot's zone. Concurrent stages of one (dataset, zone) pair share a
 /// single transfer; stage_all() cancels its surviving siblings when one
-/// dataset fails, so no batch leaves untracked transfers behind.
+/// dataset fails, so no batch leaves untracked transfers behind. A
+/// dataset replicated in several zones stages as one multi-source
+/// striped transfer (every replica's link contributes its fair share);
+/// prefetch() additionally pushes datasets toward a likely consumer
+/// zone on idle links ahead of demand, without ever evicting and within
+/// a per-store in-flight budget.
 
 #include <cstdint>
 #include <functional>
@@ -127,6 +132,31 @@ class DataManager {
   /// Records a task-produced dataset (stage-out target).
   void put(const std::string& name, double bytes, const std::string& zone);
 
+  // --- replication-ahead ----------------------------------------------------
+
+  /// Opportunistically replicates `names` toward `zone` ahead of
+  /// demand (stage lookahead). A prefetch is strictly best-effort: it
+  /// only uses sources whose link to `zone` is currently idle, never
+  /// evicts (the store must have genuinely free bytes), and the bytes
+  /// in flight per store are bounded by the prefetch budget — datasets
+  /// that fail any bound are skipped silently. A later stage() of the
+  /// same (dataset, zone) pair piggybacks on the in-flight prefetch,
+  /// and a demand reservation that does not fit reclaims waiterless
+  /// prefetch flights (speculation never starves real work). Returns
+  /// the number of prefetch transfers started.
+  std::size_t prefetch(const std::vector<std::string>& names,
+                       const std::string& zone);
+
+  /// Per-store cap on in-flight prefetched bytes (default 32 GB).
+  void set_prefetch_budget(double bytes);
+
+  [[nodiscard]] std::uint64_t prefetches_started() const noexcept {
+    return prefetches_started_;
+  }
+  [[nodiscard]] std::uint64_t prefetches_completed() const noexcept {
+    return prefetches_completed_;
+  }
+
   [[nodiscard]] std::uint64_t transfers() const noexcept {
     return engine_.transfers_started();
   }
@@ -154,17 +184,27 @@ class DataManager {
 
   struct Flight {
     data::TransferEngine::TransferId transfer_id = 0;
-    std::string src_zone;  ///< source replica, pinned for the flight
+    /// Source replicas feeding the (possibly striped) transfer, each
+    /// pinned for the flight's duration.
+    std::vector<std::string> src_zones;
     double reserved_bytes = 0.0;
+    bool prefetch = false;  ///< counts against the prefetch budget
     std::vector<std::pair<StageTicket, TransferCallback>> waiters;
   };
 
   using FlightKey = std::pair<std::string, std::string>;
 
-  /// Picks the source replica zone: highest resolved bandwidth to
-  /// `dst_zone`, lexicographically smallest on ties.
-  [[nodiscard]] std::string pick_source(const Dataset& ds,
-                                        const std::string& dst_zone) const;
+  /// Launches the transfer of `name` into `dst_zone` (striped across
+  /// every replica when there are several) and registers the flight.
+  /// `sources` must be non-empty and reserve() must have succeeded.
+  Flight& launch_flight(const FlightKey& key,
+                        std::vector<std::string> sources, double bytes,
+                        bool prefetch);
+
+  /// Cancels one waiterless prefetch flight into `zone`, returning its
+  /// reservation to the store (demand staging outranks speculation).
+  /// False when none is left to reclaim.
+  bool reclaim_one_prefetch(const std::string& zone);
 
   void on_flight_done(const FlightKey& key, bool ok, sim::Duration elapsed);
 
@@ -173,6 +213,10 @@ class DataManager {
   data::TransferEngine engine_;
   std::map<FlightKey, Flight> flights_;
   std::map<StageTicket, FlightKey> ticket_index_;
+  std::map<std::string, double> prefetch_inflight_;  ///< zone -> bytes
+  double prefetch_budget_ = 32e9;
+  std::uint64_t prefetches_started_ = 0;
+  std::uint64_t prefetches_completed_ = 0;
   StageTicket next_ticket_ = 1;
 };
 

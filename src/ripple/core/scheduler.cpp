@@ -176,7 +176,14 @@ WaitQueue::iterator Scheduler::grant(PilotEntry& entry,
   return next;
 }
 
+void Scheduler::set_locality_oracle(LocalityOracle oracle) {
+  oracle_ = std::move(oracle);
+}
+
 std::size_t Scheduler::try_schedule(PilotEntry& entry) {
+  if (oracle_ && policy_ == SchedulerPolicy::backfill) {
+    return try_schedule_data_aware(entry);
+  }
   std::size_t grants = 0;
   auto it = entry.waiting.begin();
   while (it != entry.waiting.end()) {
@@ -190,6 +197,67 @@ std::size_t Scheduler::try_schedule(PilotEntry& entry) {
     }
     it = grant(entry, it, *node);
     ++grants;
+  }
+  entry.needs_full_scan = false;
+  return grants;
+}
+
+std::size_t Scheduler::try_schedule_data_aware(PilotEntry& entry) {
+  std::size_t grants = 0;
+  const std::string zone = entry.pilot->cluster().name();
+  std::vector<WaitQueue::Key> deferred;  ///< skipped: non-zero footprint
+  auto group_begin = entry.waiting.begin();
+  while (group_begin != entry.waiting.end()) {
+    const int priority = group_begin->first.priority;
+    deferred.clear();
+    // Pass 1 — resident requests of this priority class, in submission
+    // order. With every footprint zero this pass *is* the data-blind
+    // scan of the class: capacity only shrinks as grants land, so
+    // anything it skips stays unplaceable and pass 2 grants nothing —
+    // the conservative bit-identical-order guarantee.
+    for (auto it = group_begin;
+         it != entry.waiting.end() && it->first.priority == priority;) {
+      const ScheduleRequest& request = it->second.request;
+      // No declared inputs is the common case; it is resident by
+      // definition, so don't pay the oracle's catalog lookup for it.
+      if (!request.input_datasets.empty() &&
+          oracle_(request.input_datasets, zone) > 0.0) {
+        deferred.push_back(it->first);
+        ++it;
+        continue;
+      }
+      platform::Node* node = entry.index.first_fit(
+          request.cores, request.gpus, request.mem_gb);
+      if (node == nullptr) {
+        ++it;
+        continue;
+      }
+      const bool at_begin = it == group_begin;
+      it = grant(entry, it, *node);
+      if (at_begin) group_begin = it;
+      ++grants;
+    }
+    // Pass 2 — non-resident backfill, submission order. Only the
+    // requests pass 1 deferred are probed: every resident request it
+    // left behind already failed first_fit at capacity that has only
+    // shrunk since, so re-probing them would be pure waste (and with
+    // nothing deferred this pass is free — the all-resident hot path
+    // costs exactly the data-blind scan).
+    for (const WaitQueue::Key& key : deferred) {
+      const auto it = entry.waiting.find(key);
+      const ScheduleRequest& request = it->second.request;
+      platform::Node* node = entry.index.first_fit(
+          request.cores, request.gpus, request.mem_gb);
+      if (node == nullptr) continue;
+      const bool at_begin = it == group_begin;
+      const auto next = grant(entry, it, *node);
+      if (at_begin) group_begin = next;
+      ++grants;
+    }
+    while (group_begin != entry.waiting.end() &&
+           group_begin->first.priority == priority) {
+      ++group_begin;
+    }
   }
   entry.needs_full_scan = false;
   return grants;

@@ -18,8 +18,18 @@
 /// queue with a uid index) making submit/cancel O(log waiting). Grant
 /// order is identical to a linear first-fit rescan of the old
 /// deque-based scheduler; only the cost changes.
+///
+/// Backfill can additionally be *data-aware*: a locality oracle
+/// (set_locality_oracle — typically the data plane's catalog lookup,
+/// threaded in from outside so core/ stays decoupled from data/) tells
+/// the scheduler how many input bytes a request would still have to
+/// move into the pilot's zone. Each placement pass then prefers, within
+/// every priority class, requests whose inputs are already resident —
+/// conservatively: when every footprint is zero the grant order is
+/// bit-identical to the oracle-less scan.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,6 +53,20 @@ class Scheduler {
   /// submit (the fast path's invariants are policy-specific).
   void set_policy(SchedulerPolicy policy) noexcept;
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
+
+  /// Live residency lookup: bytes of `datasets` that still have to move
+  /// into `zone` (0 == fully resident). Queried at placement time, so
+  /// the answer tracks the catalog, not the submission-time snapshot in
+  /// ScheduleRequest::input_bytes.
+  using LocalityOracle = std::function<double(
+      const std::vector<std::string>& datasets, const std::string& zone)>;
+
+  /// Makes backfill data-aware (see file comment). A null oracle
+  /// restores the data-blind scan.
+  void set_locality_oracle(LocalityOracle oracle);
+  [[nodiscard]] bool data_aware() const noexcept {
+    return static_cast<bool>(oracle_);
+  }
 
   /// Registers a pilot's nodes with the scheduler.
   void add_pilot(Pilot& pilot);
@@ -114,6 +138,13 @@ class Scheduler {
   /// the submit fast path relies on.
   std::size_t try_schedule(PilotEntry& entry);
 
+  /// Backfill pass with the locality oracle: within each priority
+  /// class, resident requests (zero footprint) are granted first in
+  /// submission order, then whatever else fits. Identical to
+  /// try_schedule when every footprint is zero, and it reestablishes
+  /// the same everything-left-is-unplaceable invariant.
+  std::size_t try_schedule_data_aware(PilotEntry& entry);
+
   /// Post-submit fast path: only the entry at `key` can possibly be
   /// granted (all others were unplaceable at unchanged capacity).
   void try_place_new(PilotEntry& entry, WaitQueue::Key key);
@@ -122,6 +153,7 @@ class Scheduler {
 
   Runtime& runtime_;
   SchedulerPolicy policy_;
+  LocalityOracle oracle_;
   std::map<std::string, PilotEntry> pilots_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t granted_ = 0;

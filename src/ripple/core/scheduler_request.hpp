@@ -26,7 +26,11 @@ struct ScheduleRequest {
   /// the request reads and the bytes that must still move into the
   /// target pilot's zone at submission time. The data plane's
   /// PlacementAdvisor ranks candidate pilots by this before the request
-  /// is bound to one; the scheduler itself carries it for telemetry.
+  /// is bound to one, and a data-aware backfill pass (see
+  /// Scheduler::set_locality_oracle) prefers requests whose
+  /// `input_datasets` are already resident — the oracle re-resolves
+  /// residency live, so `input_bytes` stays the submission-time
+  /// snapshot used for telemetry.
   std::vector<std::string> input_datasets;
   double input_bytes = 0.0;
 

@@ -17,7 +17,17 @@ Session::Session(SessionConfig config)
                                                  *executor_)),
       tasks_(std::make_unique<TaskManager>(runtime_, *scheduler_, *executor_,
                                            *data_, *services_)),
-      log_(runtime_.make_logger("session")) {}
+      log_(runtime_.make_logger("session")) {
+  // Data-aware backfill: the scheduler asks the data plane, live, how
+  // many input bytes a queued request would still have to move. The
+  // hook keeps core/ decoupled from data/ (the scheduler only sees a
+  // std::function).
+  scheduler_->set_locality_oracle(
+      [this](const std::vector<std::string>& datasets,
+             const std::string& zone) {
+        return data_->bytes_required(datasets, zone);
+      });
+}
 
 Session::~Session() = default;
 

@@ -170,7 +170,10 @@ std::string TaskManager::submit_any(const std::vector<Pilot*>& candidates,
                                     TaskDescription desc) {
   ensure(!candidates.empty(), Errc::invalid_argument,
          "submit_any: no candidate pilots");
-  const data::PlacementAdvisor advisor(data_.catalog());
+  // Contention-aware: estimated stage-in time at live link rates plus
+  // the candidate's queue depth, not just resident bytes.
+  const data::PlacementAdvisor advisor(data_.catalog(), &data_.engine(),
+                                       &scheduler_);
   Pilot* pilot = advisor.best(candidates, stage_in_datasets(desc));
   return submit(*pilot, std::move(desc));
 }

@@ -190,13 +190,17 @@ bool ReplicaCatalog::protected_replica(const Entry& entry,
 
 bool ReplicaCatalog::make_room(const std::string& zone, double bytes) {
   Store& store = store_for(zone);
-  if (store.info.free() >= bytes) return true;
-  if (bytes > store.info.capacity) return false;
+  // The same ULP tolerance as release/commit: after long +=/-= chains
+  // an exact-fit reservation must neither evict one extra replica nor
+  // fail admission over rounding dust.
+  const double need = bytes - slack(bytes);
+  if (store.info.free() >= need) return true;
+  if (bytes > store.info.capacity + slack(bytes)) return false;
   // Walk the LRU index ascending, evicting every unprotected replica
   // until the reservation fits; set::erase returns the next iterator,
   // so the walk survives its own evictions.
   auto it = store.lru.begin();
-  while (store.info.free() < bytes && it != store.lru.end()) {
+  while (store.info.free() < need && it != store.lru.end()) {
     const std::string name = it->second;
     Entry& entry = entry_for(name);
     const Replica& replica = entry.replicas.at(zone);
@@ -213,7 +217,7 @@ bool ReplicaCatalog::make_room(const std::string& zone, double bytes) {
     ++store.info.evictions;
     eviction_log_.push_back(strutil::cat(zone, "/", name));
   }
-  return store.info.free() >= bytes;
+  return store.info.free() >= need;
 }
 
 void ReplicaCatalog::add_replica(Entry& entry, const std::string& zone) {

@@ -1,33 +1,53 @@
 #pragma once
 
 /// \file placement_advisor.hpp
-/// Data-locality-aware placement: rank candidate zones/pilots by the
-/// bytes that must move to run there.
+/// Contention-aware placement: rank candidate zones/pilots by the
+/// estimated *time* it takes to start computing there — stage-in time
+/// at the currently achievable transfer rate plus a scheduler
+/// queue-depth penalty — so data movement trades off against compute
+/// wait explicitly.
 ///
 /// The scheduler places within a pilot; *which* pilot a task goes to
-/// was previously the caller's guess. The advisor closes that gap: for
-/// a task's input-dataset footprint it computes, per candidate zone,
-/// the bytes the TransferEngine would have to haul in (datasets with no
-/// replica in that zone), and ranks candidates ascending — compute goes
-/// to the data. Ties preserve caller order, so ranking is deterministic
-/// and data-blind callers (everything in one zone) keep their existing
-/// placement.
+/// was previously the caller's guess. The advisor closes that gap. The
+/// catalog-only constructor keeps the original bytes-that-must-move
+/// metric (no live link or queue state); wiring a TransferEngine makes
+/// the score rate-aware — a dataset replicated in several zones stripes
+/// across its links, each contributing the fair share it would get if
+/// the transfer joined now — and wiring a Scheduler adds the queue
+/// penalty. Ties preserve caller order, so ranking is deterministic and
+/// data-blind callers (everything in one zone, idle queues) keep their
+/// existing placement.
 
 #include <string>
 #include <vector>
 
 #include "ripple/data/catalog.hpp"
+#include "ripple/data/transfer_engine.hpp"
 
 namespace ripple::core {
 class Pilot;
-}
+class Scheduler;
+}  // namespace ripple::core
 
 namespace ripple::data {
 
 class PlacementAdvisor {
  public:
+  /// Bytes-only ranking (no live contention state).
   explicit PlacementAdvisor(const ReplicaCatalog& catalog)
       : catalog_(catalog) {}
+
+  /// Contention-aware ranking: `engine` supplies live per-link rates
+  /// (striped-source stage-in time), `scheduler` the queue-depth
+  /// penalty. Either may be null; absent state contributes nothing.
+  PlacementAdvisor(const ReplicaCatalog& catalog,
+                   const TransferEngine* engine,
+                   const core::Scheduler* scheduler = nullptr)
+      : catalog_(catalog), engine_(engine), scheduler_(scheduler) {}
+
+  /// Seconds of estimated compute wait per already-queued request when
+  /// scoring a pilot (default 0.5). Zero disables the queue penalty.
+  void set_queue_penalty(double seconds_per_request);
 
   /// Bytes that must move into `zone` before `datasets` are all local.
   /// Unknown datasets cost nothing (they will be produced in place).
@@ -35,8 +55,26 @@ class PlacementAdvisor {
       const std::vector<std::string>& datasets,
       const std::string& zone) const;
 
-  /// Candidates sorted by ascending bytes_to_move into their cluster's
-  /// zone; stable (ties keep caller order).
+  /// Estimated seconds to stage `datasets` into `zone` at the rate
+  /// achievable right now: each missing dataset stripes across its
+  /// replica links, each contributing
+  /// TransferEngine::newcomer_rate(src, zone) — bandwidth discounted
+  /// by the link's active and queued transfers. Falls back to bytes
+  /// when no engine is wired (so ranking still orders by footprint).
+  [[nodiscard]] double stage_in_time(
+      const std::vector<std::string>& datasets,
+      const std::string& zone) const;
+
+  /// The full placement score of one candidate: stage-in time plus the
+  /// queue-depth penalty of `pilot_uid`. The penalty (seconds) applies
+  /// only when both engine and scheduler are wired — against the
+  /// bytes-based fallback it would be unit-nonsense noise.
+  [[nodiscard]] double score(const std::vector<std::string>& datasets,
+                             const std::string& zone,
+                             const std::string& pilot_uid) const;
+
+  /// Candidates sorted by ascending score into their cluster's zone;
+  /// stable (ties keep caller order).
   [[nodiscard]] std::vector<core::Pilot*> rank(
       std::vector<core::Pilot*> candidates,
       const std::vector<std::string>& datasets) const;
@@ -48,6 +86,9 @@ class PlacementAdvisor {
 
  private:
   const ReplicaCatalog& catalog_;
+  const TransferEngine* engine_ = nullptr;
+  const core::Scheduler* scheduler_ = nullptr;
+  double queue_penalty_ = 0.5;
 };
 
 }  // namespace ripple::data

@@ -62,6 +62,14 @@ double TransferEngine::bandwidth_between(const std::string& zone_a,
   return default_bandwidth_;
 }
 
+double TransferEngine::newcomer_rate(const std::string& src_zone,
+                                     const std::string& dst_zone) const {
+  const double load = static_cast<double>(active_on(src_zone, dst_zone)) +
+                      static_cast<double>(queued_on(src_zone, dst_zone)) +
+                      1.0;
+  return bandwidth_between(src_zone, dst_zone) / load;
+}
+
 std::size_t TransferEngine::cap_for(const LinkKey& key) const {
   const auto it = concurrency_.find(key);
   return it == concurrency_.end() ? default_concurrency_ : it->second;
@@ -99,17 +107,96 @@ TransferEngine::TransferId TransferEngine::transfer(
   t.remaining = bytes;
   t.started_at = loop_.now();
   t.on_done = std::move(on_done);
-  auto [it, inserted] = transfers_.emplace(id, std::move(t));
+  transfers_.emplace(id, std::move(t));
   ++started_;
+  enter_link(id);
+  return id;
+}
 
-  const LinkKey key = key_for(src_zone, dst_zone);
+void TransferEngine::enter_link(TransferId id) {
+  Transfer& t = transfers_.at(id);
+  const LinkKey key = key_for(t.src, t.dst);
   Link& link = links_[key];
   if (link.active.size() < cap_for(key)) {
-    admit(it->second);
+    admit(t);
   } else {
     link.queued.push_back(id);
   }
-  return id;
+}
+
+TransferEngine::TransferId TransferEngine::transfer_striped(
+    const std::string& dataset, std::vector<std::string> src_zones,
+    const std::string& dst_zone, double bytes, Callback on_done) {
+  ensure(static_cast<bool>(on_done), Errc::invalid_argument,
+         "transfer_striped: empty callback");
+  ensure(bytes >= 0.0, Errc::invalid_argument,
+         "transfer_striped: bytes must be >= 0");
+  // Distinct sources in sorted order: one stripe per (src, dst) link,
+  // admitted deterministically.
+  std::sort(src_zones.begin(), src_zones.end());
+  src_zones.erase(std::unique(src_zones.begin(), src_zones.end()),
+                  src_zones.end());
+  src_zones.erase(
+      std::remove(src_zones.begin(), src_zones.end(), dst_zone),
+      src_zones.end());
+  ensure(!src_zones.empty(), Errc::invalid_argument,
+         "transfer_striped: no usable source zone");
+  if (src_zones.size() == 1) {
+    return transfer(dataset, src_zones.front(), dst_zone, bytes,
+                    std::move(on_done));
+  }
+
+  // Weight each stripe by the rate its link can actually give a
+  // newcomer *right now* (newcomer_rate), so a congested replica
+  // carries proportionally fewer bytes and the parent is not gated on
+  // its slowest link. Deterministic: link state is a pure function of
+  // the event schedule at this instant.
+  double rate_sum = 0.0;
+  for (const auto& src : src_zones) {
+    rate_sum += newcomer_rate(src, dst_zone);
+  }
+
+  const TransferId parent_id = next_id_++;
+  StripedTransfer parent;
+  parent.id = parent_id;
+  parent.dataset = dataset;
+  parent.total_bytes = bytes;
+  parent.started_at = loop_.now();
+  parent.on_done = std::move(on_done);
+  ++started_;
+
+  // Bandwidth-proportional split; the last stripe takes the remainder
+  // so the shares always sum to exactly `bytes`.
+  double assigned = 0.0;
+  for (std::size_t i = 0; i < src_zones.size(); ++i) {
+    const std::string& src = src_zones[i];
+    const double share =
+        i + 1 == src_zones.size()
+            ? bytes - assigned
+            : bytes * (newcomer_rate(src, dst_zone) / rate_sum);
+    assigned += share;
+
+    const TransferId stripe_id = next_id_++;
+    Transfer stripe;
+    stripe.id = stripe_id;
+    stripe.dataset = dataset;
+    stripe.src = src;
+    stripe.dst = dst_zone;
+    stripe.total_bytes = share;
+    stripe.remaining = share;
+    stripe.started_at = parent.started_at;
+    stripe.parent = parent_id;
+    transfers_.emplace(stripe_id, std::move(stripe));
+    parent.stripes.push_back(stripe_id);
+    ++stripes_started_;
+  }
+  auto [it, inserted] = striped_.emplace(parent_id, std::move(parent));
+  // Admission after the parent is registered: a zero-byte stripe could
+  // otherwise complete before its siblings exist.
+  for (const TransferId stripe_id : it->second.stripes) {
+    enter_link(stripe_id);
+  }
+  return parent_id;
 }
 
 void TransferEngine::admit(Transfer& transfer) {
@@ -200,13 +287,11 @@ void TransferEngine::on_attempt_end(TransferId id) {
     if (t.attempts <= max_retries_) {
       ++retries_;
       t.remaining = t.total_bytes;
-      const LinkKey key = key_for(t.src, t.dst);
-      Link& link = links_[key];
-      if (link.active.size() < cap_for(key)) {
-        admit(t);
-      } else {
-        link.queued.push_back(id);
-      }
+      enter_link(id);
+      return;
+    }
+    if (t.parent != 0) {
+      finish_stripe(id, false);
       return;
     }
     ++failed_;
@@ -217,32 +302,100 @@ void TransferEngine::on_attempt_end(TransferId id) {
     return;
   }
 
-  ++completed_;
+  leave_link(t);
+  if (t.parent != 0) {
+    // Stripe bytes are credited when the parent commits, so a striped
+    // transfer that ultimately fails reports 0 — same as a failed
+    // plain transfer.
+    finish_stripe(id, true);
+    return;
+  }
   bytes_moved_ += t.total_bytes;
+  ++completed_;
   const sim::Duration elapsed = loop_.now() - t.started_at;
   transfer_times_.add(elapsed);
   completion_log_.push_back(t.dataset);
-  leave_link(t);
   Callback on_done = std::move(t.on_done);
   transfers_.erase(it);
   on_done(true, elapsed);
 }
 
-bool TransferEngine::cancel(TransferId id) {
+void TransferEngine::finish_stripe(TransferId id, bool ok) {
   const auto it = transfers_.find(id);
-  if (it == transfers_.end()) return false;
+  const TransferId parent_id = it->second.parent;
+  const double stripe_bytes = it->second.total_bytes;
+  transfers_.erase(it);
+  const auto pit = striped_.find(parent_id);
+  if (pit == striped_.end()) return;
+  StripedTransfer& parent = pit->second;
+  parent.stripes.erase(
+      std::remove(parent.stripes.begin(), parent.stripes.end(), id),
+      parent.stripes.end());
+  const sim::Duration elapsed = loop_.now() - parent.started_at;
+  if (!ok) {
+    if (!parent.stripes.empty()) {
+      // Failover: a dead stripe's share moves to the first surviving
+      // stripe (creation order — deterministic) instead of failing the
+      // transfer, so extra replicas add reliability, never risk. The
+      // heir's current attempt simply carries more bytes; its own
+      // retry budget still applies.
+      ++stripe_failovers_;
+      Transfer& heir = transfers_.at(parent.stripes.front());
+      heir.total_bytes += stripe_bytes;
+      heir.remaining += stripe_bytes;
+      if (heir.phase == Phase::flowing) {
+        replan(key_for(heir.src, heir.dst));
+      }
+      return;
+    }
+    // The last stripe ran out of retries: the whole transfer fails and
+    // the partial bytes of earlier stripes are never committed.
+    ++failed_;
+    Callback on_done = std::move(parent.on_done);
+    striped_.erase(pit);
+    on_done(false, elapsed);
+    return;
+  }
+  if (!parent.stripes.empty()) return;  // commit when the last lands
+  ++completed_;
+  bytes_moved_ += parent.total_bytes;
+  transfer_times_.add(elapsed);
+  completion_log_.push_back(parent.dataset);
+  Callback on_done = std::move(parent.on_done);
+  striped_.erase(pit);
+  on_done(true, elapsed);
+}
+
+void TransferEngine::abort_stripe(TransferId id) {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
   Transfer& t = it->second;
-  const LinkKey key = key_for(t.src, t.dst);
-  Link& link = links_[key];
-  const auto queued =
-      std::find(link.queued.begin(), link.queued.end(), id);
+  Link& link = links_[key_for(t.src, t.dst)];
+  const auto queued = std::find(link.queued.begin(), link.queued.end(), id);
   if (queued != link.queued.end()) {
     link.queued.erase(queued);
   } else {
     leave_link(t);
   }
-  ++cancelled_;
   transfers_.erase(it);
+}
+
+bool TransferEngine::cancel(TransferId id) {
+  const auto striped = striped_.find(id);
+  if (striped != striped_.end()) {
+    const std::vector<TransferId> stripes = std::move(striped->second.stripes);
+    striped_.erase(striped);
+    for (const TransferId sid : stripes) abort_stripe(sid);
+    ++cancelled_;
+    return true;
+  }
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return false;
+  if (it->second.parent != 0) {
+    return cancel(it->second.parent);  // a stripe stands for the set
+  }
+  abort_stripe(id);  // same dequeue-or-leave-link teardown
+  ++cancelled_;
   return true;
 }
 

@@ -19,6 +19,17 @@
 /// an explicit per-pair override wins (for zones without a modeled
 /// link, e.g. external archives), then the Network link model's
 /// bandwidth, then the engine default.
+///
+/// A dataset replicated in several zones can move as one *striped*
+/// transfer (transfer_striped): the bytes are split across the distinct
+/// (src, dst) links proportionally to the rate each link would give a
+/// newcomer right now (bandwidth discounted by its active and queued
+/// transfers), and every stripe rides the ordinary fair-share
+/// replanning of its own link. Stripes complete (and retry, and
+/// cancel) independently; the parent transfer commits when the last
+/// stripe lands and is the only thing the completion log records —
+/// stripe order is deterministic (sources sorted), so same-seed
+/// schedules stay bit-reproducible.
 
 #include <cstdint>
 #include <deque>
@@ -72,14 +83,38 @@ class TransferEngine {
                       const std::string& dst_zone, double bytes,
                       Callback on_done);
 
+  /// Starts a multi-source striped transfer of `bytes` into `dst_zone`:
+  /// one stripe per distinct source zone (duplicates collapse, sources
+  /// equal to the destination are ignored), each carrying a share of
+  /// the bytes proportional to the rate its link would give a newcomer
+  /// now (newcomer_rate). Stripes are admitted in sorted source order,
+  /// so the schedule is deterministic. `on_done` fires exactly once:
+  /// success when the last stripe lands; a stripe that exhausts its
+  /// retries fails over its share to the first surviving stripe, and
+  /// the transfer fails only when the last stripe dies. A single
+  /// usable source degrades to the plain transfer() path. Counters and
+  /// the completion log see the parent once, never the stripes.
+  TransferId transfer_striped(const std::string& dataset,
+                              std::vector<std::string> src_zones,
+                              const std::string& dst_zone, double bytes,
+                              Callback on_done);
+
   /// Abandons a transfer; its callback never fires. Returns false when
-  /// the id is unknown (already completed/cancelled).
+  /// the id is unknown (already completed/cancelled). Cancelling a
+  /// striped parent (or any of its stripes) abandons the whole set.
   bool cancel(TransferId id);
 
   /// Resolved bandwidth for a zone pair: override, then Network link
   /// model, then default.
   [[nodiscard]] double bandwidth_between(const std::string& zone_a,
                                          const std::string& zone_b) const;
+
+  /// The rate a transfer joining the link right now could expect:
+  /// resolved bandwidth discounted by the transfers already active or
+  /// queued there. The single source of truth for both the striped
+  /// split and the PlacementAdvisor's stage-in estimate.
+  [[nodiscard]] double newcomer_rate(const std::string& src_zone,
+                                     const std::string& dst_zone) const;
 
   [[nodiscard]] std::size_t active_on(const std::string& zone_a,
                                       const std::string& zone_b) const;
@@ -99,6 +134,14 @@ class TransferEngine {
     return cancelled_;
   }
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  /// Stripes admitted on behalf of striped transfers (>= 2 per parent).
+  [[nodiscard]] std::uint64_t stripes_started() const noexcept {
+    return stripes_started_;
+  }
+  /// Dead stripes whose share was reassigned to a surviving stripe.
+  [[nodiscard]] std::uint64_t stripe_failovers() const noexcept {
+    return stripe_failovers_;
+  }
   [[nodiscard]] double bytes_moved() const noexcept { return bytes_moved_; }
   [[nodiscard]] const common::Summary& transfer_times() const noexcept {
     return transfer_times_;
@@ -131,6 +174,18 @@ class TransferEngine {
     Phase phase = Phase::queued;
     int attempts = 0;
     bool attempt_fails = false;  ///< sampled at admission, per attempt
+    TransferId parent = 0;       ///< striped parent; 0 for plain transfers
+    Callback on_done;
+  };
+
+  /// A multi-source transfer: bookkeeping for the stripes in flight.
+  /// Metrics and the completion log see the parent exactly once.
+  struct StripedTransfer {
+    TransferId id = 0;
+    std::string dataset;
+    double total_bytes = 0.0;
+    sim::SimTime started_at = 0.0;
+    std::vector<TransferId> stripes;  ///< still in flight
     Callback on_done;
   };
 
@@ -148,6 +203,19 @@ class TransferEngine {
   void on_attempt_end(TransferId id);
   void leave_link(Transfer& transfer);
 
+  /// Admits (or queues, at the link cap) a transfer already registered
+  /// in transfers_ — the shared tail of transfer()/transfer_striped().
+  void enter_link(TransferId id);
+
+  /// A stripe finished its last attempt: settle it against its parent.
+  /// Success commits the parent when it was the last stripe; failure
+  /// fails the parent and abandons the survivors.
+  void finish_stripe(TransferId id, bool ok);
+
+  /// Removes a stripe from its link/queue without callbacks or metric
+  /// changes (the parent's outcome is accounted elsewhere).
+  void abort_stripe(TransferId id);
+
   /// Advances progress of every flowing transfer on the link to `now`,
   /// reassigns fair-share rates and reschedules completion timers.
   void replan(const LinkKey& key);
@@ -159,6 +227,7 @@ class TransferEngine {
   std::map<LinkKey, std::size_t> concurrency_;
   std::map<LinkKey, Link> links_;
   std::map<TransferId, Transfer> transfers_;
+  std::map<TransferId, StripedTransfer> striped_;
   double default_bandwidth_ = 1.25e9;  ///< 10 Gb/s
   std::size_t default_concurrency_ = 32;
   common::Distribution setup_ =
@@ -171,6 +240,8 @@ class TransferEngine {
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t stripes_started_ = 0;
+  std::uint64_t stripe_failovers_ = 0;
   double bytes_moved_ = 0.0;
   common::Summary transfer_times_;
   std::vector<std::string> completion_log_;

@@ -1,8 +1,12 @@
 #include "ripple/metrics/report.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <optional>
 
 #include "ripple/common/error.hpp"
+#include "ripple/common/json.hpp"
 #include "ripple/common/strutil.hpp"
 
 namespace ripple::metrics {
@@ -87,6 +91,46 @@ void Table::write_csv(const std::string& path) const {
   ensure(static_cast<bool>(file), Errc::io_error,
          strutil::cat("cannot write '", path, "'"));
   file << to_csv();
+}
+
+namespace {
+
+/// The whole cell parses as a finite double (the CSV convention the
+/// benches already follow for numeric columns). Non-finite values stay
+/// strings: a bare `inf`/`nan` would make the emitted JSON invalid.
+std::optional<double> cell_as_number(const std::string& cell) {
+  if (cell.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* end = cell.data() + cell.size();
+  const auto [parsed, errc] = std::from_chars(cell.data(), end, value);
+  if (errc != std::errc{} || parsed != end) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  json::Value rows = json::Value::array();
+  for (const auto& row : rows_) {
+    json::Value obj = json::Value::object();
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (const auto number = cell_as_number(row[c])) {
+        obj.set(headers_[c], *number);
+      } else {
+        obj.set(headers_[c], row[c]);
+      }
+    }
+    rows.push_back(std::move(obj));
+  }
+  return rows.dump(2);
+}
+
+void Table::write_json(const std::string& path) const {
+  std::ofstream file(path);
+  ensure(static_cast<bool>(file), Errc::io_error,
+         strutil::cat("cannot write '", path, "'"));
+  file << to_json() << '\n';
 }
 
 std::string mean_pm_std(const common::Summary& summary) {

@@ -28,8 +28,16 @@ class Table {
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] std::string to_csv() const;
 
+  /// JSON rendering: an array of row objects keyed by header. Numeric
+  /// cells are emitted as numbers so downstream tooling (the BENCH
+  /// trajectory) can plot without re-parsing strings.
+  [[nodiscard]] std::string to_json() const;
+
   /// Writes the CSV rendering to `path` (overwrites).
   void write_csv(const std::string& path) const;
+
+  /// Writes the JSON rendering to `path` (overwrites).
+  void write_json(const std::string& path) const;
 
  private:
   std::vector<std::string> headers_;

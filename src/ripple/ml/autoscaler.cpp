@@ -123,8 +123,23 @@ void Autoscaler::schedule_poll() {
   });
 }
 
+void Autoscaler::prune_terminal_replicas() {
+  // Terminal uids are dead weight: endpoints()/running_replicas()/
+  // scale_down_victim() scan replicas_ every tick, so a pool that
+  // repeatedly crash-repairs would otherwise degrade O(history).
+  replicas_.erase(
+      std::remove_if(replicas_.begin(), replicas_.end(),
+                     [this](const std::string& uid) {
+                       return !session_.services().exists(uid) ||
+                              core::is_terminal(
+                                  session_.services().get(uid).state());
+                     }),
+      replicas_.end());
+}
+
 void Autoscaler::poll() {
   if (stopping_) return;
+  prune_terminal_replicas();
   const std::size_t running = running_replicas();
   const std::size_t active = active_replicas();
   if (running == 0) {

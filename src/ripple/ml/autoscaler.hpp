@@ -78,7 +78,10 @@ class Autoscaler {
     return replica_.name;
   }
 
-  /// Uids of every replica ever submitted, in submission order.
+  /// Uids of live (non-terminal) replicas in submission order. Uids
+  /// whose service reached a terminal state are pruned on each poll
+  /// tick, so the list stays bounded by max_replicas no matter how
+  /// often the pool crash-repairs.
   [[nodiscard]] const std::vector<std::string>& replicas() const noexcept {
     return replicas_;
   }
@@ -113,6 +116,7 @@ class Autoscaler {
  private:
   void poll();
   void schedule_poll();
+  void prune_terminal_replicas();
   void scale_up(std::size_t outstanding);
   void scale_down(std::size_t outstanding);
   void repair_pool();

@@ -42,33 +42,41 @@ void InferenceServer::handle(std::shared_ptr<msg::Responder> responder) {
 
 void InferenceServer::pump() {
   while (busy_workers_ < config_.max_concurrency && !queue_.empty()) {
-    if (queue_.size() < config_.max_batch && config_.batch_window > 0.0) {
-      // Partial batch: hold a window open so near-simultaneous arrivals
-      // coalesce; dispatch whatever accumulated when it closes. A full
-      // batch (or a later idle worker finding one) dispatches without
-      // waiting — handle() pumps on every arrival.
-      if (!window_timer_.valid()) {
-        window_timer_ = loop_.call_after(
-            config_.batch_window,
-            [this, alive = std::weak_ptr<char>(alive_)] {
-              if (alive.expired()) return;
-              window_timer_ = {};
-              if (busy_workers_ < config_.max_concurrency &&
-                  !queue_.empty()) {
-                dispatch(std::min(queue_.size(), config_.max_batch));
-              }
-              pump();
-            });
-      }
-      return;
+    if (queue_.size() < config_.max_batch && config_.batch_window > 0.0 &&
+        !window_expired_) {
+      break;  // partial batch: accumulate under the window below
     }
     dispatch(std::min(queue_.size(), config_.max_batch));
+  }
+  // A partial batch accumulates under an open window regardless of
+  // worker availability: the clock starts when the batch starts
+  // waiting, not when a worker happens to free up. When the window
+  // runs out with every worker busy, the expiry sticks — the first
+  // freeing worker takes the batch immediately instead of re-windowing
+  // requests that already waited out their window.
+  if (!queue_.empty() && queue_.size() < config_.max_batch &&
+      config_.batch_window > 0.0 && !window_expired_ &&
+      !window_timer_.valid()) {
+    window_timer_ = loop_.call_after(
+        config_.batch_window,
+        [this, alive = std::weak_ptr<char>(alive_)] {
+          if (alive.expired()) return;
+          window_timer_ = {};
+          if (queue_.empty()) return;
+          if (busy_workers_ < config_.max_concurrency) {
+            dispatch(std::min(queue_.size(), config_.max_batch));
+            pump();
+          } else {
+            window_expired_ = true;
+          }
+        });
   }
 }
 
 void InferenceServer::dispatch(std::size_t batch_size) {
   // The window belongs to the requests being taken now; the next
   // accumulation opens a fresh one.
+  window_expired_ = false;
   if (window_timer_.valid()) {
     loop_.cancel(window_timer_);
     window_timer_ = {};

@@ -122,6 +122,10 @@ class InferenceServer {
   ServerConfig config_;
   std::deque<std::shared_ptr<msg::Responder>> queue_;
   sim::EventLoop::TimerHandle window_timer_;
+  /// The open batch window ran out while every worker was busy; the
+  /// waiting partial batch dispatches to the first freeing worker
+  /// instead of being re-windowed (it already paid its window once).
+  bool window_expired_ = false;
   /// Liveness token captured (weakly) by every scheduled callback.
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   std::size_t busy_workers_ = 0;

@@ -57,12 +57,7 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
   StageRun& stage_run = run->stages[index];
   stage_run.started_at = session_.now();
 
-  if (run->placement == Placement::locality) {
-    const data::PlacementAdvisor advisor(session_.data().catalog());
-    stage_run.pilot = advisor.best(run->pilots, stage_run.stage.consumes);
-  } else {
-    stage_run.pilot = run->pilots.front();
-  }
+  stage_run.pilot = predict_pilot(*run, stage_run.stage);
   const std::string zone = stage_run.pilot->cluster().name();
   log_.info(strutil::cat("pipeline '", run->name, "': stage '",
                          stage_run.stage.name, "' starting on ", zone));
@@ -152,6 +147,36 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
                                  on_services_ready);
 }
 
+core::Pilot* WorkflowManager::predict_pilot(const PipelineRun& run,
+                                            const Stage& stage) const {
+  if (run.placement != Placement::locality) return run.pilots.front();
+  const data::PlacementAdvisor advisor(session_.data().catalog(),
+                                       &session_.data().engine(),
+                                       &session_.scheduler());
+  return advisor.best(run.pilots, stage.consumes);
+}
+
+void WorkflowManager::prefetch_next_stage(
+    const std::shared_ptr<PipelineRun>& run, std::size_t index) {
+  if (index + 1 >= run->stages.size() || run->failed) return;
+  const StageRun& next = run->stages[index + 1];
+  if (next.started_at >= 0 || next.stage.consumes.empty()) return;
+  // Replication-ahead: while this stage computes, idle links push the
+  // next stage's inputs toward where it will probably run. A wrong
+  // prediction costs only budgeted idle-link bytes — the next stage's
+  // own staging re-resolves placement when it actually starts.
+  core::Pilot* predicted = predict_pilot(*run, next.stage);
+  if (predicted == nullptr) return;
+  const std::size_t started = session_.data().prefetch(
+      next.stage.consumes, predicted->cluster().name());
+  if (started > 0) {
+    log_.info(strutil::cat("pipeline '", run->name, "': prefetching ",
+                           started, " dataset(s) for stage '",
+                           next.stage.name, "' toward ",
+                           predicted->cluster().name()));
+  }
+}
+
 void WorkflowManager::maybe_launch_tasks(
     const std::shared_ptr<PipelineRun>& run, std::size_t index) {
   StageRun& stage_run = run->stages[index];
@@ -159,6 +184,7 @@ void WorkflowManager::maybe_launch_tasks(
   if (!stage_run.services_ready || !stage_run.data_ready) return;
   stage_run.tasks_launched = true;
   launch_stage_tasks(run, index);
+  prefetch_next_stage(run, index);
 }
 
 void WorkflowManager::launch_stage_tasks(

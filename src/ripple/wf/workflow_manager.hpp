@@ -6,6 +6,11 @@
 ///
 /// Stages run in order with optional asynchronous overlap: stage s+1 is
 /// released when stage s reaches its `unblock_next_after` threshold.
+/// While stage s computes, stage s+1's `consumes` are prefetched toward
+/// the pilot the contention-aware PlacementAdvisor predicts for it
+/// (replication-ahead): the DataManager copies them on idle links only,
+/// within its per-store prefetch budget, so speculation never competes
+/// with demand transfers or evicts protected data.
 /// Stage services are submitted before stage tasks — as one batch, so
 /// the scheduler enacts priorities across the whole stage — and awaited
 /// via the ServiceManager's readiness barrier; tasks automatically
@@ -87,6 +92,14 @@ class WorkflowManager {
 
   void start_stage(const std::shared_ptr<PipelineRun>& run,
                    std::size_t index);
+  /// The pilot a stage would be placed on right now (contention-aware
+  /// advisor under Placement::locality, first pilot otherwise).
+  [[nodiscard]] core::Pilot* predict_pilot(const PipelineRun& run,
+                                           const Stage& stage) const;
+  /// Stage lookahead: prefetch stage index+1's `consumes` toward its
+  /// predicted pilot's zone while stage `index` computes.
+  void prefetch_next_stage(const std::shared_ptr<PipelineRun>& run,
+                           std::size_t index);
   /// Launches tasks once both the service barrier and the stage's
   /// dataset staging have cleared.
   void maybe_launch_tasks(const std::shared_ptr<PipelineRun>& run,

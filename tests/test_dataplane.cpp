@@ -194,6 +194,194 @@ TEST(TransferEngineTest, CancelStopsTransferWithoutCallback) {
   EXPECT_EQ(engine.transfers_completed(), 0u);
 }
 
+TEST(Catalog, ExactFitReserveSurvivesFloatChurn) {
+  // Accounting drift regression: make_room used exact comparisons while
+  // release/commit tolerated ULP drift, so after a long commit/drop
+  // churn an exact-fit reservation could evict one replica too many (or
+  // fail admission outright).
+  data::ReplicaCatalog catalog;
+  const double unit = 0.1;  // not a binary fraction: every sum rounds
+  catalog.add_store("z", 1000 * unit);
+  catalog.register_dataset("keep", 400 * unit, "z");
+  catalog.register_dataset("churn-a", 333 * unit, "elsewhere");
+  catalog.register_dataset("churn-b", 251 * unit, "elsewhere");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(catalog.reserve("z", 333 * unit));
+    catalog.commit_replica("churn-a", "z");
+    ASSERT_TRUE(catalog.reserve("z", 251 * unit));
+    catalog.commit_replica("churn-b", "z");
+    ASSERT_TRUE(catalog.drop_replica("churn-b", "z"));
+    ASSERT_TRUE(catalog.drop_replica("churn-a", "z"));
+  }
+  // Nominally exactly 600 units are free. Whatever ULP dust the churn
+  // left behind, the exact-fit reservation must neither fail nor evict
+  // the resident replica.
+  EXPECT_TRUE(catalog.reserve("z", 600 * unit));
+  EXPECT_TRUE(catalog.available_in("keep", "z"));
+  EXPECT_EQ(catalog.evictions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-source striped transfers
+// ---------------------------------------------------------------------------
+
+TEST(TransferEngineTest, StripedTransferSplitsAcrossDisjointLinks) {
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::TransferEngine engine(loop, rng);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+  engine.set_bandwidth("s1", "dst", 1e9);
+  engine.set_bandwidth("s2", "dst", 1e9);
+  engine.set_bandwidth("s3", "dst", 1e9);
+
+  double done_at = -1.0;
+  engine.transfer_striped("wide", {"s1", "s2", "s3"}, "dst", 30e9,
+                          [&](bool ok, sim::Duration) {
+                            EXPECT_TRUE(ok);
+                            done_at = loop.now();
+                          });
+  EXPECT_EQ(engine.active_on("s1", "dst"), 1u);
+  EXPECT_EQ(engine.active_on("s2", "dst"), 1u);
+  EXPECT_EQ(engine.active_on("s3", "dst"), 1u);
+  loop.run();
+  // Three disjoint 1 GB/s links carry 10 GB each: 10 s, not the 30 s a
+  // single source would take.
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+  EXPECT_EQ(engine.transfers_started(), 1u);
+  EXPECT_EQ(engine.transfers_completed(), 1u);
+  EXPECT_EQ(engine.stripes_started(), 3u);
+  EXPECT_DOUBLE_EQ(engine.bytes_moved(), 30e9);
+  // The parent is logged exactly once.
+  EXPECT_EQ(engine.completion_log(), (std::vector<std::string>{"wide"}));
+}
+
+TEST(TransferEngineTest, StripedSplitIsBandwidthProportional) {
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::TransferEngine engine(loop, rng);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+  engine.set_bandwidth("fast", "dst", 2e9);
+  engine.set_bandwidth("slow", "dst", 1e9);
+
+  double done_at = -1.0;
+  engine.transfer_striped("skewed", {"fast", "slow"}, "dst", 30e9,
+                          [&](bool, sim::Duration) { done_at = loop.now(); });
+  loop.run();
+  // Shares proportional to bandwidth (20 GB over 2 GB/s, 10 GB over
+  // 1 GB/s): both stripes land at 10 s — the aggregate-rate optimum.
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+}
+
+TEST(TransferEngineTest, StripedSplitDiscountsCongestedLinks) {
+  // Source A has an idle 1 GB/s link; source B's equal link already
+  // carries nine transfers. A bandwidth-proportional 50/50 split would
+  // gate the parent on B's 0.1 GB/s fair share (~150 s for 30 GB); the
+  // contention-aware split hands B only its achievable share, so the
+  // transfer lands close to the idle-link optimum.
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::TransferEngine engine(loop, rng);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+  engine.set_bandwidth("a", "dst", 1e9);
+  engine.set_bandwidth("b", "dst", 1e9);
+  for (int i = 0; i < 9; ++i) {
+    engine.transfer("noise-" + std::to_string(i), "b", "dst", 500e9,
+                    [](bool, sim::Duration) {});
+  }
+  double done_at = -1.0;
+  engine.transfer_striped("hot", {"a", "b"}, "dst", 30e9,
+                          [&](bool ok, sim::Duration) {
+                            EXPECT_TRUE(ok);
+                            done_at = loop.now();
+                          });
+  loop.run_until(200.0);
+  // Effective rates at admission: a = 1 GB/s, b = 0.1 GB/s -> a hauls
+  // ~27.3 GB, b ~2.7 GB, both landing near 27.3 s.
+  EXPECT_GT(done_at, 0.0);
+  EXPECT_LT(done_at, 35.0);
+}
+
+TEST(TransferEngineTest, StripeFailureFailsOverToSurvivors) {
+  // A dead stripe's share moves to a surviving stripe instead of
+  // failing the transfer: replicas must add reliability, not risk.
+  // Across seeds, every run must satisfy the invariants, and at least
+  // one run must demonstrate a successful failover (one stripe dies,
+  // the other carries its bytes, the full payload still commits).
+  bool saw_successful_failover = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::EventLoop loop;
+    common::Rng rng(seed);
+    data::TransferEngine engine(loop, rng);
+    engine.set_setup_latency(common::Distribution::constant(0.1));
+    engine.set_bandwidth("s1", "dst", 1e9);
+    engine.set_bandwidth("s2", "dst", 1e9);
+    engine.set_failure(0.5, 0);
+
+    int fired = 0;
+    bool outcome = false;
+    engine.transfer_striped("contested", {"s1", "s2"}, "dst", 10e9,
+                            [&](bool ok, sim::Duration) {
+                              ++fired;
+                              outcome = ok;
+                            });
+    loop.run();
+    EXPECT_EQ(fired, 1) << "seed " << seed;
+    EXPECT_EQ(engine.transfers_started(), 1u);
+    EXPECT_EQ(engine.transfers_completed() + engine.transfers_failed(), 1u);
+    EXPECT_EQ(engine.active_on("s1", "dst"), 0u);
+    EXPECT_EQ(engine.active_on("s2", "dst"), 0u);
+    if (outcome) {
+      // Success must mean the *whole* payload moved, failover or not.
+      EXPECT_DOUBLE_EQ(engine.bytes_moved(), 10e9) << "seed " << seed;
+      EXPECT_EQ(engine.completion_log(),
+                (std::vector<std::string>{"contested"}));
+      if (engine.stripe_failovers() > 0) saw_successful_failover = true;
+    } else {
+      // Failure only when every stripe (and every failover) died.
+      EXPECT_TRUE(engine.completion_log().empty()) << "seed " << seed;
+    }
+  }
+  EXPECT_TRUE(saw_successful_failover);
+}
+
+TEST(TransferEngineTest, StripedCancelAbortsEveryStripe) {
+  sim::EventLoop loop;
+  common::Rng rng(3);
+  data::TransferEngine engine(loop, rng);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+  engine.set_bandwidth("s1", "dst", 1e9);
+  engine.set_bandwidth("s2", "dst", 1e9);
+
+  bool fired = false;
+  const auto id = engine.transfer_striped(
+      "doomed", {"s1", "s2"}, "dst", 20e9,
+      [&](bool, sim::Duration) { fired = true; });
+  loop.call_after(1.0, [&] { EXPECT_TRUE(engine.cancel(id)); });
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.transfers_cancelled(), 1u);
+  EXPECT_EQ(engine.active_on("s1", "dst"), 0u);
+  EXPECT_EQ(engine.active_on("s2", "dst"), 0u);
+}
+
+TEST(TransferEngineTest, StripedSingleSourceDegradesToPlainTransfer) {
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::TransferEngine engine(loop, rng);
+  engine.set_default_bandwidth(1e9);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+
+  double done_at = -1.0;
+  engine.transfer_striped("solo", {"src", "src"}, "dst", 5e9,
+                          [&](bool ok, sim::Duration) {
+                            EXPECT_TRUE(ok);
+                            done_at = loop.now();
+                          });
+  loop.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+  EXPECT_EQ(engine.stripes_started(), 0u);  // plain path, no stripes
+}
+
 // ---------------------------------------------------------------------------
 // DataManager facade
 // ---------------------------------------------------------------------------
@@ -320,6 +508,126 @@ TEST_F(DataPlaneFacadeTest, CancelBatchAbortsInFlightTransfers) {
   EXPECT_EQ(data.catalog().pins("bulk", "lab"), 0u);
 }
 
+TEST_F(DataPlaneFacadeTest, StageStripesAcrossEveryReplica) {
+  data.register_dataset("wide", 30e9, "lab");
+  data.register_dataset("wide", 30e9, "archive");
+  data.set_bandwidth("lab", "delta", 1e9);
+  data.set_bandwidth("archive", "delta", 1e9);
+  data.set_setup_latency(common::Distribution::constant(0.0));
+
+  bool ok = false;
+  double done_at = -1.0;
+  data.stage("wide", "delta", [&](bool result, sim::Duration) {
+    ok = result;
+    done_at = runtime.loop().now();
+  });
+  runtime.loop().run_until(1.0);
+  // Mid-flight both source replicas are pinned (each feeds a stripe).
+  EXPECT_GT(data.catalog().pins("wide", "lab"), 0u);
+  EXPECT_GT(data.catalog().pins("wide", "archive"), 0u);
+  runtime.loop().run();
+  EXPECT_TRUE(ok);
+  // Two disjoint 1 GB/s links: 15 s instead of a single source's 30 s.
+  EXPECT_NEAR(done_at, 15.0, 1e-9);
+  EXPECT_EQ(data.transfers(), 1u);
+  EXPECT_EQ(data.engine().stripes_started(), 2u);
+  EXPECT_EQ(data.catalog().pins("wide", "lab"), 0u);
+  EXPECT_EQ(data.catalog().pins("wide", "archive"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Replication-ahead prefetch
+// ---------------------------------------------------------------------------
+
+TEST_F(DataPlaneFacadeTest, PrefetchUsesIdleLinksOnly) {
+  data.register_dataset("busy-feed", 20e9, "lab");
+  data.register_dataset("hot", 5e9, "lab");
+  data.set_bandwidth("lab", "delta", 1e9);
+
+  bool staged = false;
+  data.stage("busy-feed", "delta",
+             [&](bool result, sim::Duration) { staged = result; });
+  runtime.loop().run_until(3.0);  // demand transfer occupies the link
+  EXPECT_EQ(data.prefetch({"hot"}, "delta"), 0u);  // link busy: skip
+  runtime.loop().run();
+  ASSERT_TRUE(staged);
+  EXPECT_EQ(data.prefetch({"hot"}, "delta"), 1u);  // link now idle
+  runtime.loop().run();
+  EXPECT_TRUE(data.available_in("hot", "delta"));
+  EXPECT_EQ(data.prefetches_started(), 1u);
+  EXPECT_EQ(data.prefetches_completed(), 1u);
+  // An already-resident dataset is not re-prefetched.
+  EXPECT_EQ(data.prefetch({"hot"}, "delta"), 0u);
+}
+
+TEST_F(DataPlaneFacadeTest, PrefetchNeverEvicts) {
+  data.add_store("delta", 10e9);
+  data.register_dataset("resident", 8e9, "delta");
+  data.register_dataset("spec", 5e9, "lab");
+  // A demand stage would evict `resident`; speculation must not.
+  EXPECT_EQ(data.prefetch({"spec"}, "delta"), 0u);
+  EXPECT_TRUE(data.available_in("resident", "delta"));
+  EXPECT_EQ(data.catalog().evictions(), 0u);
+}
+
+TEST_F(DataPlaneFacadeTest, PrefetchBudgetBoundsInFlightBytes) {
+  data.set_prefetch_budget(6e9);
+  data.register_dataset("p1", 4e9, "lab");
+  data.register_dataset("p2", 4e9, "lab2");
+  data.set_bandwidth("lab", "delta", 1e9);
+  data.set_bandwidth("lab2", "delta", 1e9);
+  // Both links are idle, but the second prefetch would put 8 GB in
+  // flight against a 6 GB budget.
+  EXPECT_EQ(data.prefetch({"p1", "p2"}, "delta"), 1u);
+  runtime.loop().run();
+  EXPECT_TRUE(data.available_in("p1", "delta"));
+  EXPECT_FALSE(data.available_in("p2", "delta"));
+  // The landed prefetch released its budget: p2 may go now.
+  EXPECT_EQ(data.prefetch({"p2"}, "delta"), 1u);
+  runtime.loop().run();
+  EXPECT_TRUE(data.available_in("p2", "delta"));
+}
+
+TEST_F(DataPlaneFacadeTest, DemandStagingReclaimsPrefetchReservations) {
+  // A waiterless prefetch holds an 8 GB reservation in a 10 GB store;
+  // a 5 GB demand stage that cannot otherwise fit must reclaim the
+  // speculation (cancelling its transfer) instead of failing the task.
+  data.add_store("delta", 10e9);
+  data.register_dataset("spec", 8e9, "lab");
+  data.register_dataset("needed", 5e9, "lab2");
+  data.set_bandwidth("lab", "delta", 1e9);
+  data.set_bandwidth("lab2", "delta", 1e9);
+  ASSERT_EQ(data.prefetch({"spec"}, "delta"), 1u);
+  runtime.loop().run_until(2.0);  // prefetch mid-flight
+
+  bool ok = false;
+  data.stage("needed", "delta",
+             [&](bool result, sim::Duration) { ok = result; });
+  runtime.loop().run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(data.available_in("needed", "delta"));
+  EXPECT_FALSE(data.available_in("spec", "delta"));
+  EXPECT_EQ(data.cancelled_transfers(), 1u);
+  // The reclaimed reservation and source pin were fully returned.
+  EXPECT_DOUBLE_EQ(data.catalog().store("delta").reserved, 0.0);
+  EXPECT_EQ(data.catalog().pins("spec", "lab"), 0u);
+}
+
+TEST_F(DataPlaneFacadeTest, DemandStagePiggybacksOnPrefetch) {
+  data.register_dataset("warm", 10e9, "lab");
+  data.set_bandwidth("lab", "delta", 1e9);
+  ASSERT_EQ(data.prefetch({"warm"}, "delta"), 1u);
+  runtime.loop().run_until(3.0);  // prefetch mid-flight
+  bool ok = false;
+  data.stage("warm", "delta",
+             [&](bool result, sim::Duration) { ok = result; });
+  runtime.loop().run();
+  EXPECT_TRUE(ok);
+  // The demand stage rode the in-flight prefetch: one transfer total.
+  EXPECT_EQ(data.transfers(), 1u);
+  EXPECT_TRUE(data.available_in("warm", "delta"));
+}
+
 // ---------------------------------------------------------------------------
 // Locality-aware placement
 // ---------------------------------------------------------------------------
@@ -333,6 +641,74 @@ TEST(PlacementAdvisorTest, RanksZonesByBytesToMove) {
       advisor.bytes_to_move({"big", "small"}, "frontier"), 1e9);
   EXPECT_DOUBLE_EQ(advisor.bytes_to_move({"big", "small"}, "delta"), 10e9);
   EXPECT_DOUBLE_EQ(advisor.bytes_to_move({"unknown"}, "delta"), 0.0);
+}
+
+TEST(PlacementAdvisorTest, StageInTimeTracksLiveLinkContention) {
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::ReplicaCatalog catalog;
+  data::TransferEngine engine(loop, rng);
+  engine.set_setup_latency(common::Distribution::constant(0.0));
+  engine.set_bandwidth("far", "a", 1e9);
+  engine.set_bandwidth("far", "b", 1e9);
+  catalog.register_dataset("ds", 10e9, "far");
+
+  const data::PlacementAdvisor advisor(catalog, &engine);
+  // Idle links: 10 GB over 1 GB/s either way.
+  EXPECT_DOUBLE_EQ(advisor.stage_in_time({"ds"}, "a"), 10.0);
+  EXPECT_DOUBLE_EQ(advisor.stage_in_time({"ds"}, "b"), 10.0);
+  // A transfer flowing on far->b halves the fair share a newcomer
+  // would get there; the estimate must see it.
+  engine.transfer("noise", "far", "b", 50e9, [](bool, sim::Duration) {});
+  EXPECT_DOUBLE_EQ(advisor.stage_in_time({"ds"}, "a"), 10.0);
+  EXPECT_DOUBLE_EQ(advisor.stage_in_time({"ds"}, "b"), 20.0);
+  // Resident data costs nothing.
+  EXPECT_DOUBLE_EQ(advisor.stage_in_time({"ds"}, "far"), 0.0);
+}
+
+TEST(PlacementAdvisorTest, StripedSourcesSumTheirFairShares) {
+  sim::EventLoop loop;
+  common::Rng rng(7);
+  data::ReplicaCatalog catalog;
+  data::TransferEngine engine(loop, rng);
+  engine.set_bandwidth("r1", "dst", 1e9);
+  engine.set_bandwidth("r2", "dst", 1e9);
+  catalog.register_dataset("wide", 10e9, "r1");
+  catalog.register_dataset("wide", 10e9, "r2");
+
+  const data::PlacementAdvisor advisor(catalog, &engine);
+  // Two replica links stripe: the achievable rate is their sum.
+  EXPECT_DOUBLE_EQ(advisor.stage_in_time({"wide"}, "dst"), 5.0);
+}
+
+TEST(TaskLocality, QueueDepthSteersPlacementWhenDataTies) {
+  Session session({.seed = 8});
+  session.add_platform(platform::delta_profile(1));
+  session.add_platform(platform::frontier_profile(1));
+  auto& on_delta = session.submit_pilot({.platform = "delta", .nodes = 1});
+  auto& on_frontier =
+      session.submit_pilot({.platform = "frontier", .nodes = 1});
+
+  // Saturate delta and pile up a queue there.
+  std::vector<std::string> uids;
+  for (int i = 0; i < 4; ++i) {
+    TaskDescription hog;
+    hog.cores = 64;
+    hog.duration = common::Distribution::constant(5.0);
+    uids.push_back(session.tasks().submit(on_delta, hog));
+  }
+  session.run_until(1.0);
+  ASSERT_GT(session.scheduler().queue_length(on_delta.uid()), 0u);
+
+  // No data anywhere: bytes-only ranking would tie and keep the first
+  // candidate (delta). The queue-depth penalty must steer to frontier.
+  TaskDescription work;
+  work.cores = 2;
+  work.duration = common::Distribution::constant(0.5);
+  const auto uid =
+      session.tasks().submit_any({&on_delta, &on_frontier}, work);
+  session.run();
+  EXPECT_EQ(session.tasks().get(uid).pilot_uid(), on_frontier.uid());
 }
 
 TEST(TaskLocality, SubmitAnyRunsWhereTheDataLives) {
@@ -396,6 +772,47 @@ TEST(WorkflowData, LocalityPlacementMovesNoBytes) {
   EXPECT_EQ(session.data().catalog().consumers_left("shard-f"), 0u);
   EXPECT_EQ(session.data().catalog().pins("shard-d", "delta"), 0u);
   EXPECT_EQ(session.data().catalog().pins("shard-f", "frontier"), 0u);
+}
+
+TEST(WorkflowData, LookaheadPrefetchesNextStageInputs) {
+  Session session({.seed = 11});
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.runtime().network().register_host("lab:x", "lab");
+  session.data().register_dataset("later", 8e9, "lab");
+  session.data().set_bandwidth("lab", "delta", 1e9);  // ~8 s transfer
+  wf::WorkflowManager workflows(session);
+
+  // Stage 1 computes for 15 s with the lab->delta link idle; stage 2's
+  // input must be prefetched during that window so stage 2 starts with
+  // its data already resident.
+  TaskDescription slow;
+  slow.duration = common::Distribution::constant(15.0);
+  TaskDescription quick;
+  quick.duration = common::Distribution::constant(0.5);
+  wf::Pipeline pipeline;
+  pipeline.name = "lookahead";
+  wf::Stage compute;
+  compute.name = "compute";
+  compute.tasks = {slow};
+  wf::Stage analyze;
+  analyze.name = "analyze";
+  analyze.consumes = {"later"};
+  analyze.tasks = {quick};
+  pipeline.stages = {compute, analyze};
+
+  wf::PipelineResult result;
+  workflows.run_pipeline(pipeline, pilot,
+                         [&](const wf::PipelineResult& r) { result = r; });
+  session.run_until(14.0);  // stage 1 still computing
+  EXPECT_EQ(session.data().prefetches_started(), 1u);
+  EXPECT_TRUE(session.data().available_in("later", "delta"));
+  session.run();
+  EXPECT_TRUE(result.ok);
+  // Stage 2 found its input resident: its staging was instantaneous,
+  // so its duration is just the task (well under the 8 s transfer).
+  ASSERT_EQ(result.stage_durations.size(), 2u);
+  EXPECT_LT(result.stage_durations[1], 4.0);
 }
 
 TEST(WorkflowData, DataBlindPlacementPaysTheTransfer) {

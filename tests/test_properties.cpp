@@ -13,6 +13,7 @@
 #include "ripple/ml/install.hpp"
 #include "ripple/ml/load_balancer.hpp"
 #include "ripple/platform/profiles.hpp"
+#include "ripple/wf/workflow_manager.hpp"
 
 namespace {
 
@@ -392,6 +393,7 @@ struct DataPlaneTrace {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t retries = 0;
+  std::uint64_t stripes = 0;
   double bytes_moved = 0.0;
   double finished_at = 0.0;
   bool stores_within_capacity = true;
@@ -437,26 +439,37 @@ DataPlaneTrace run_dataplane_fuzz(std::uint64_t seed) {
         names[static_cast<std::size_t>(driver.uniform_int(0, 39))];
     const auto dst =
         zones[static_cast<std::size_t>(driver.uniform_int(0, 3))];
-    loop.call_at(at, [&catalog, &engine, name, dst] {
+    // Drawn now (not at event time) so the schedule stays a pure
+    // function of the seed.
+    const bool stripe = driver.chance(0.5);
+    loop.call_at(at, [&catalog, &engine, name, dst, stripe] {
       if (catalog.available_in(name, dst)) return;
       const double bytes = catalog.dataset(name).bytes;
       if (!catalog.reserve(dst, bytes)) return;
       const auto& sources = catalog.dataset(name).zones;
       // Eviction may have reclaimed the last replica (the fuzz drives
       // the raw engine, which does not pin sources like DataManager).
-      if (sources.empty() || *sources.begin() == dst) {
+      std::vector<std::string> usable;
+      for (const auto& zone : sources) {
+        if (zone != dst) usable.push_back(zone);
+      }
+      if (usable.empty()) {
         catalog.release_reservation(dst, bytes);
         return;
       }
-      const std::string src = *sources.begin();
-      engine.transfer(name, src, dst, bytes,
-                      [&catalog, name, dst, bytes](bool ok, sim::Duration) {
-                        if (ok) {
-                          catalog.commit_replica(name, dst);
-                        } else {
-                          catalog.release_reservation(dst, bytes);
-                        }
-                      });
+      const auto on_done = [&catalog, name, dst, bytes](bool ok,
+                                                        sim::Duration) {
+        if (ok) {
+          catalog.commit_replica(name, dst);
+        } else {
+          catalog.release_reservation(dst, bytes);
+        }
+      };
+      if (stripe) {
+        engine.transfer_striped(name, usable, dst, bytes, on_done);
+      } else {
+        engine.transfer(name, usable.front(), dst, bytes, on_done);
+      }
     });
   }
   loop.run();
@@ -468,6 +481,7 @@ DataPlaneTrace run_dataplane_fuzz(std::uint64_t seed) {
   trace.completed = engine.transfers_completed();
   trace.failed = engine.transfers_failed();
   trace.retries = engine.retries();
+  trace.stripes = engine.stripes_started();
   trace.bytes_moved = engine.bytes_moved();
   trace.finished_at = loop.now();
   for (const auto& zone : zones) {
@@ -492,11 +506,15 @@ TEST(DataPlaneDeterminism, SameSeedSameCompletionAndEvictionOrder) {
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.failed, b.failed);
   EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.stripes, b.stripes);
   EXPECT_DOUBLE_EQ(a.bytes_moved, b.bytes_moved);
   EXPECT_DOUBLE_EQ(a.finished_at, b.finished_at);
-  // The run exercised the interesting paths.
+  // The run exercised the interesting paths — including multi-source
+  // striping (datasets accrete replicas as transfers land, and half
+  // the requests stripe across them).
   EXPECT_GT(a.completed, 20u);
   EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(a.stripes, 0u);
   EXPECT_FALSE(a.evictions.empty());
   EXPECT_EQ(a.started, a.completed + a.failed);
 }
@@ -517,6 +535,73 @@ TEST(DataPlaneDeterminism, DifferentSeedsDivergeButStayConsistent) {
   const DataPlaneTrace c = run_dataplane_fuzz(4243);
   EXPECT_NE(a.completions, c.completions);
   EXPECT_EQ(c.started, c.completed + c.failed);
+}
+
+/// One multi-stage pipeline whose later stages' inputs are prefetched
+/// during earlier stages' compute (replication-ahead) into a finite
+/// store under eviction pressure. Everything order-sensitive lands in
+/// the trace.
+struct PrefetchTrace {
+  std::vector<std::string> completions;
+  std::vector<std::string> evictions;
+  std::uint64_t prefetches_started = 0;
+  std::uint64_t prefetches_completed = 0;
+  std::uint64_t events = 0;
+  double makespan = 0.0;
+  bool ok = false;
+};
+
+PrefetchTrace run_prefetch_pipeline(std::uint64_t seed) {
+  Session session({.seed = seed});
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.runtime().network().register_host("lab:x", "lab");
+  session.data().add_store("delta", 40e9);
+  session.data().set_bandwidth("lab", "delta", 2e9);
+  for (int i = 0; i < 4; ++i) {
+    session.data().register_dataset("stage-in-" + std::to_string(i),
+                                    6e9 + 1e9 * i, "lab");
+  }
+  wf::WorkflowManager workflows(session);
+
+  wf::Pipeline pipeline;
+  pipeline.name = "prefetched";
+  for (int i = 0; i < 4; ++i) {
+    wf::Stage stage;
+    stage.name = "s" + std::to_string(i);
+    stage.consumes = {"stage-in-" + std::to_string(i)};
+    core::TaskDescription work;
+    work.duration = common::Distribution::lognormal(6.0, 0.3, 1.0);
+    stage.tasks = {work, work};
+    pipeline.stages.push_back(stage);
+  }
+  PrefetchTrace trace;
+  workflows.run_pipeline(pipeline, pilot, [&](const wf::PipelineResult& r) {
+    trace.ok = r.ok;
+    trace.makespan = r.makespan;
+  });
+  session.run();
+  trace.completions = session.data().engine().completion_log();
+  trace.evictions = session.data().catalog().eviction_log();
+  trace.prefetches_started = session.data().prefetches_started();
+  trace.prefetches_completed = session.data().prefetches_completed();
+  trace.events = session.loop().events_processed();
+  return trace;
+}
+
+TEST(DataPlaneDeterminism, PrefetchPipelineIsBitReproducible) {
+  const PrefetchTrace a = run_prefetch_pipeline(606);
+  const PrefetchTrace b = run_prefetch_pipeline(606);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.prefetches_started, b.prefetches_started);
+  EXPECT_EQ(a.prefetches_completed, b.prefetches_completed);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  // The run exercised replication-ahead for real.
+  EXPECT_TRUE(a.ok);
+  EXPECT_GT(a.prefetches_started, 0u);
+  EXPECT_GT(a.prefetches_completed, 0u);
 }
 
 TEST(BootstrapShape, LaunchContentionAppearsAtScale) {

@@ -407,8 +407,10 @@ ServingTrace run_serving(std::uint64_t seed) {
     }
     session.tasks().when_done(task_uids, [&](bool) {
       trace.makespan = session.now() - start;
-      for (const auto& uid : scaler.replicas()) {
-        if (!session.services().exists(uid)) continue;
+      // All services in this session belong to the pool; replicas()
+      // holds only live uids (terminal ones are pruned each poll), so
+      // the drained replicas' counters come from the ServiceManager.
+      for (const auto& uid : session.services().uids()) {
         auto* program = dynamic_cast<InferenceProgram*>(
             session.services().program(uid));
         if (program == nullptr || program->server() == nullptr) continue;
@@ -585,9 +587,11 @@ TEST(Autoscaler, RepairsPoolAfterAllReplicasFail) {
   Autoscaler scaler(session, pilot, replica, scaling);
 
   bool killed = false;
+  std::string killed_uid;
   scaler.start([&](bool ok) {
     ASSERT_TRUE(ok);
-    session.services().kill(scaler.replicas().front());
+    killed_uid = scaler.replicas().front();
+    session.services().kill(killed_uid);
     killed = true;
   });
   // Liveness timeout (~1 s) fails the replica; the next poll after the
@@ -596,7 +600,10 @@ TEST(Autoscaler, RepairsPoolAfterAllReplicasFail) {
   EXPECT_TRUE(killed);
   EXPECT_GT(scaler.repairs(), 0u);
   EXPECT_EQ(scaler.running_replicas(), 1u);
-  EXPECT_GT(scaler.replicas().size(), 1u);  // a fresh uid was submitted
+  // A fresh uid was submitted and the dead one was pruned: the uid
+  // list tracks the live pool, not the crash history.
+  ASSERT_EQ(scaler.replicas().size(), 1u);
+  EXPECT_NE(scaler.replicas().front(), killed_uid);
 
   bool stopped = false;
   scaler.stop([&] { stopped = true; });
@@ -747,6 +754,85 @@ TEST(Autoscaler, ScalesUpUnderLoadAndDrainsOnStop) {
     if (served > 0) ++replicas_with_traffic;
   }
   EXPECT_GT(replicas_with_traffic, 1u);
+}
+
+TEST(Autoscaler, PrunesTerminalUidsAcrossRepeatedRepairs) {
+  core::Session session({.seed = 29});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  core::ServiceDescription replica;
+  replica.name = "crashy";
+  replica.program = "inference";
+  replica.config = json::Value::object({{"model", "noop"}});
+  replica.gpus = 1;
+  replica.monitor = true;  // liveness detection is what declares death
+  replica.heartbeat_interval = 0.5;
+  replica.heartbeat_misses = 2;
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 1;
+  scaling.max_replicas = 2;
+  scaling.poll_interval = 0.25;
+  scaling.cooldown = 0.5;
+  Autoscaler scaler(session, pilot, replica, scaling);
+  scaler.start();
+
+  // A crash loop: whenever a replica is RUNNING, kill it. Every repair
+  // submits fresh uids; without pruning the uid list accumulates every
+  // uid ever submitted and each poll tick rescans the whole history.
+  std::function<void()> crash_loop = [&] {
+    for (const auto& uid : scaler.replicas()) {
+      if (session.services().exists(uid) &&
+          session.services().get(uid).state() ==
+              core::ServiceState::running) {
+        session.services().kill(uid);
+      }
+    }
+    if (session.now() < 60.0) session.loop().call_after(1.0, crash_loop);
+  };
+  session.loop().call_after(1.0, crash_loop);
+  session.run_until(70.0);
+
+  EXPECT_GT(scaler.repairs(), 3u);
+  // The regression: the uid list stays bounded by the pool size no
+  // matter how many times the pool was rebuilt.
+  EXPECT_LE(scaler.replicas().size(), scaling.max_replicas);
+  scaler.stop();
+  session.run();
+}
+
+TEST_F(BatchServerFixture, ExpiredWindowDispatchesOnFirstFreeWorker) {
+  // A request that waits out its batch window while the only worker is
+  // busy must dispatch the moment the worker frees — re-windowing it
+  // (the old behaviour) doubles its queueing delay.
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 2,
+                           .batch_window = 0.5});
+  // Two requests form a full batch: dispatched immediately, the worker
+  // is busy until ~1 s.
+  for (int i = 0; i < 2; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [](msg::CallResult) {});
+  }
+  // The straggler arrives at 0.1 s; its 0.5 s window runs out at 0.6 s,
+  // long before the worker frees.
+  double straggler_done = -1.0;
+  loop.call_at(0.1, [&] {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       straggler_done = loop.now();
+                     });
+  });
+  loop.run();
+  EXPECT_EQ(server->batch_trace(), (std::vector<std::uint32_t>{2, 1}));
+  // Fixed: dispatch at ~1 s, reply at ~2 s. Re-windowed: ~2.5 s.
+  EXPECT_GT(straggler_done, 0.0);
+  EXPECT_LT(straggler_done, 2.3);
 }
 
 }  // namespace
