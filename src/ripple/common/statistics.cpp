@@ -58,18 +58,22 @@ void Summary::ensure_sorted() const {
   sorted_valid_ = true;
 }
 
-double Summary::quantile(double q) const {
-  ensure(!samples_.empty(), Errc::invalid_state,
-         "quantile of an empty summary");
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  ensure(!sorted.empty(), Errc::invalid_state,
+         "quantile of an empty sample set");
   ensure(q >= 0.0 && q <= 1.0, Errc::invalid_argument,
          "quantile q must be in [0, 1]");
-  ensure_sorted();
-  if (sorted_.size() == 1) return sorted_.front();
-  const double position = q * static_cast<double>(sorted_.size() - 1);
+  if (sorted.size() == 1) return sorted.front();
+  const double position = q * static_cast<double>(sorted.size() - 1);
   const auto below = static_cast<std::size_t>(position);
   const double fraction = position - static_cast<double>(below);
-  if (below + 1 >= sorted_.size()) return sorted_.back();
-  return sorted_[below] * (1.0 - fraction) + sorted_[below + 1] * fraction;
+  if (below + 1 >= sorted.size()) return sorted.back();
+  return sorted[below] * (1.0 - fraction) + sorted[below + 1] * fraction;
+}
+
+double Summary::quantile(double q) const {
+  ensure_sorted();
+  return quantile_sorted(sorted_, q);
 }
 
 json::Value Summary::to_json() const {

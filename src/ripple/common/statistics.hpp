@@ -14,6 +14,13 @@
 
 namespace ripple::common {
 
+/// Linear-interpolation quantile of an already-sorted vector — the one
+/// definition of the quantile convention, shared by Summary and the
+/// metrics layer's windowed quantiles so the two can never diverge.
+/// Throws when `sorted` is empty or q is outside [0, 1].
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted,
+                                     double q);
+
 /// Numerically stable (Welford) streaming moments: O(1) memory.
 class OnlineStats {
  public:

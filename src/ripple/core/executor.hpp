@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ripple/core/descriptions.hpp"
 #include "ripple/core/runtime.hpp"
@@ -73,6 +74,17 @@ class ServiceProgram {
 
   /// Requests in flight (queued + executing); used for draining.
   [[nodiscard]] virtual std::size_t outstanding() const { return 0; }
+
+  /// Appends the request latencies (seconds) the program observed in
+  /// its trailing window to `out`. Programs without a latency stream
+  /// append nothing. The ServiceManager pools these across a replica
+  /// group into the exact windowed quantile the SLO autoscaler polls
+  /// (ServiceManager::window_latency_quantile).
+  virtual void collect_window_latencies(sim::SimTime now,
+                                        std::vector<double>& out) const {
+    (void)now;
+    (void)out;
+  }
 
   /// Implementation-defined counters exposed via the "stats" method.
   [[nodiscard]] virtual json::Value stats() const {

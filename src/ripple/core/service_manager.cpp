@@ -4,6 +4,7 @@
 
 #include "ripple/common/error.hpp"
 #include "ripple/common/ids.hpp"
+#include "ripple/common/statistics.hpp"
 #include "ripple/common/strutil.hpp"
 
 namespace ripple::core {
@@ -126,6 +127,25 @@ std::size_t ServiceManager::total_outstanding(
 std::size_t ServiceManager::outstanding_of(const std::string& uid) const {
   const Active& active = active_for(uid);
   return active.program ? active.program->outstanding() : 0;
+}
+
+double ServiceManager::window_latency_quantile(
+    const std::string& name_filter, double q) const {
+  const sim::SimTime now = runtime_.loop().now();
+  std::vector<double> samples;
+  for (const auto& [uid, active] : services_) {
+    if (active.service->state() != ServiceState::running) continue;
+    if (!name_filter.empty() &&
+        active.service->description().name != name_filter) {
+      continue;
+    }
+    if (active.program) {
+      active.program->collect_window_latencies(now, samples);
+    }
+  }
+  if (samples.empty()) return -1.0;
+  std::sort(samples.begin(), samples.end());
+  return common::quantile_sorted(samples, q);
 }
 
 std::size_t ServiceManager::count_bootstrapping(

@@ -91,6 +91,16 @@ class ServiceManager {
   /// its program is gone. Drives least-loaded scale-down victims.
   [[nodiscard]] std::size_t outstanding_of(const std::string& uid) const;
 
+  /// Exact windowed q-quantile of request latency pooled across RUNNING
+  /// services (name-filtered): merges every matching program's live
+  /// window samples (ServiceProgram::collect_window_latencies) and
+  /// interpolates over the merged set, so the group p95 weights busy
+  /// replicas by their traffic instead of averaging per-replica
+  /// quantiles. Negative when no service reported a sample — the SLO
+  /// autoscaler reads that as full headroom.
+  [[nodiscard]] double window_latency_quantile(
+      const std::string& name_filter, double q) const;
+
   /// Fires cb(true) once all `uids` are RUNNING, cb(false) as soon as
   /// any of them reaches a terminal state first.
   void when_ready(std::vector<std::string> uids,

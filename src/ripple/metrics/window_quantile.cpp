@@ -1,0 +1,55 @@
+#include "ripple/metrics/window_quantile.hpp"
+
+#include <algorithm>
+
+#include "ripple/common/error.hpp"
+
+namespace ripple::metrics {
+
+WindowQuantile::WindowQuantile(sim::Duration window) : window_(window) {
+  ensure(window_ > 0.0, Errc::invalid_argument,
+         "window quantile needs window > 0");
+}
+
+void WindowQuantile::add(sim::SimTime now, double value) {
+  ensure(!has_samples_ || now >= last_time_, Errc::invalid_argument,
+         "window quantile samples must arrive in time order");
+  has_samples_ = true;
+  last_time_ = now;
+  evict(now);
+  samples_.emplace_back(now, value);
+}
+
+void WindowQuantile::evict(sim::SimTime now) const {
+  while (!samples_.empty() && samples_.front().first < now - window_) {
+    samples_.pop_front();
+  }
+}
+
+std::size_t WindowQuantile::count(sim::SimTime now) const {
+  evict(now);
+  return samples_.size();
+}
+
+double WindowQuantile::quantile(sim::SimTime now, double q) const {
+  evict(now);
+  std::vector<double> sorted;
+  sorted.reserve(samples_.size());
+  for (const auto& [time, value] : samples_) sorted.push_back(value);
+  std::sort(sorted.begin(), sorted.end());
+  return common::quantile_sorted(sorted, q);
+}
+
+void WindowQuantile::collect(sim::SimTime now,
+                             std::vector<double>& out) const {
+  evict(now);
+  for (const auto& [time, value] : samples_) out.push_back(value);
+}
+
+void WindowQuantile::clear() {
+  samples_.clear();
+  has_samples_ = false;
+  last_time_ = 0.0;
+}
+
+}  // namespace ripple::metrics

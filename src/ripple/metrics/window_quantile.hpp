@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file window_quantile.hpp
+/// Sliding-time-window quantile accumulator.
+///
+/// The serving layer's SLO signal is "p95 request latency over the last
+/// W seconds", not the full-lifetime quantile a common::Summary
+/// computes: a pool that was slow ten minutes ago but is healthy now
+/// must not keep scaling up. WindowQuantile keeps (time, value) samples
+/// in arrival order, lazily evicts those older than the window, and
+/// computes exact linear-interpolation quantiles (same convention as
+/// common::Summary) over what remains.
+///
+/// Timestamps must be non-decreasing — event-loop time is monotone, and
+/// the deque eviction depends on it — so add() rejects a sample older
+/// than its predecessor. Queries are O(n log n) in the live sample
+/// count, which is fine at autoscaler poll rates (a few Hz over a few
+/// hundred samples).
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "ripple/common/statistics.hpp"
+#include "ripple/sim/event_loop.hpp"
+
+namespace ripple::metrics {
+
+class WindowQuantile {
+ public:
+  /// `window` is the trailing duration samples stay live for: a sample
+  /// stamped at time t is visible to queries at `now` while
+  /// now - t <= window (inclusive at the boundary).
+  explicit WindowQuantile(sim::Duration window);
+
+  /// Records `value` observed at time `now`. Times must be
+  /// non-decreasing; a sample stamped before its predecessor throws.
+  void add(sim::SimTime now, double value);
+
+  /// Live samples at time `now` (evicts expired ones).
+  [[nodiscard]] std::size_t count(sim::SimTime now) const;
+
+  /// Exact q-quantile over the live samples at `now`. Throws when the
+  /// window is empty — callers that want a sentinel use count() first.
+  [[nodiscard]] double quantile(sim::SimTime now, double q) const;
+
+  /// Appends the live values at `now` to `out` (arrival order). This is
+  /// how per-service windows merge into one pooled group quantile.
+  void collect(sim::SimTime now, std::vector<double>& out) const;
+
+  [[nodiscard]] sim::Duration window() const noexcept { return window_; }
+
+  void clear();
+
+ private:
+  void evict(sim::SimTime now) const;
+
+  sim::Duration window_;
+  /// (time, value) in arrival order; eviction pops the front. Mutable
+  /// so read paths can evict lazily — eviction never changes what a
+  /// query at `now` observes, only drops what it no longer can.
+  mutable std::deque<std::pair<sim::SimTime, double>> samples_;
+  sim::SimTime last_time_ = 0.0;
+  bool has_samples_ = false;  ///< monotonicity guard saw at least one add
+};
+
+}  // namespace ripple::metrics

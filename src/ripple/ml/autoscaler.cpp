@@ -26,6 +26,14 @@ Autoscaler::Autoscaler(core::Session& session, core::Pilot& pilot,
   ensure(config_.scale_up_outstanding > config_.scale_down_outstanding,
          Errc::invalid_argument,
          "autoscaler thresholds must satisfy up > down");
+  if (config_.target_p95 > 0.0) {
+    ensure(config_.headroom_fraction > 0.0 &&
+               config_.headroom_fraction < 1.0,
+           Errc::invalid_argument,
+           "SLO autoscaler needs headroom_fraction in (0, 1)");
+    ensure(config_.down_sustain >= 1, Errc::invalid_argument,
+           "SLO autoscaler needs down_sustain >= 1");
+  }
 }
 
 Autoscaler::~Autoscaler() {
@@ -155,6 +163,11 @@ void Autoscaler::poll() {
     schedule_poll();
     return;
   }
+  if (config_.target_p95 > 0.0) {
+    poll_slo(running, active);
+    schedule_poll();
+    return;
+  }
   // The group's queue-depth signal comes from the ServiceManager's
   // name-filtered aggregate (the replica name identifies the group, so
   // it must not be shared with unrelated services).
@@ -175,6 +188,63 @@ void Autoscaler::poll() {
   schedule_poll();
 }
 
+double Autoscaler::window_p95() const {
+  return session_.services().window_latency_quantile(replica_.name, 0.95);
+}
+
+void Autoscaler::poll_slo(std::size_t running, std::size_t active) {
+  const double p95 = window_p95();
+  const std::size_t outstanding =
+      session_.services().total_outstanding(replica_.name);
+  const bool cooled =
+      session_.now() - last_action_ >= config_.cooldown;
+  if (p95 > config_.target_p95) {
+    // SLO violated: any headroom streak is over, add capacity. Scaling
+    // up repeats every cooled poll while the violation lasts — even
+    // though the window still holds pre-scale-up samples — because
+    // under-reacting to a breached SLO costs more than overshooting
+    // toward max_replicas; the cooldown paces the ramp and the
+    // sustained-headroom path sheds any excess once the window clears.
+    headroom_polls_ = 0;
+    if (cooled && active < config_.max_replicas) {
+      scale_up(outstanding, p95);
+    }
+    return;
+  }
+  if (p95 < 0.0 && outstanding > 0) {
+    // No completed request inside the window, yet work is in flight: a
+    // saturated pool whose requests all outlive the window looks
+    // exactly like an idle one to the latency signal. Hold — shedding
+    // capacity here would deepen the very overload that emptied the
+    // window.
+    headroom_polls_ = 0;
+    return;
+  }
+  if (p95 < 0.0 ||
+      p95 <= config_.headroom_fraction * config_.target_p95) {
+    // Sustained headroom (an empty window is an idle group): only a
+    // full streak of quiet polls sheds a replica. A pool in flux (a
+    // replica still booting) does not accrue the streak — the window
+    // does not yet reflect the new capacity, and shedding the moment a
+    // bootstrap completes is exactly the flapping hysteresis exists to
+    // prevent.
+    if (active != running) {
+      headroom_polls_ = 0;
+      return;
+    }
+    ++headroom_polls_;
+    if (headroom_polls_ >= config_.down_sustain && cooled &&
+        running > config_.min_replicas && active == running) {
+      scale_down(outstanding, p95);
+      headroom_polls_ = 0;
+    }
+    return;
+  }
+  // Hysteresis band (headroom < p95 <= target): hold the pool steady
+  // so a p95 oscillating near the target cannot flap replicas.
+  headroom_polls_ = 0;
+}
+
 void Autoscaler::repair_pool() {
   last_action_ = session_.now();
   ++repairs_;
@@ -190,14 +260,14 @@ void Autoscaler::repair_pool() {
       Decision{session_.now(), true, 0, active_replicas()});
 }
 
-void Autoscaler::scale_up(std::size_t outstanding) {
+void Autoscaler::scale_up(std::size_t outstanding, double p95) {
   last_action_ = session_.now();
   ++scale_ups_;
   const std::string uid =
       session_.services().submit(pilot_, replica_);
   replicas_.push_back(uid);
-  decisions_.push_back(
-      Decision{session_.now(), true, outstanding, active_replicas()});
+  decisions_.push_back(Decision{session_.now(), true, outstanding,
+                                active_replicas(), p95});
   log_.info(strutil::cat("scale up -> ", active_replicas(),
                          " replicas (backlog ", outstanding, ")"));
 }
@@ -224,7 +294,7 @@ std::string Autoscaler::scale_down_victim() const {
   return victim;
 }
 
-void Autoscaler::scale_down(std::size_t outstanding) {
+void Autoscaler::scale_down(std::size_t outstanding, double p95) {
   const std::string victim = scale_down_victim();
   if (victim.empty()) return;
   last_action_ = session_.now();
@@ -232,8 +302,8 @@ void Autoscaler::scale_down(std::size_t outstanding) {
   session_.services().stop(victim);
   // The victim is DRAINING now, so running_replicas() is the pool
   // size traffic can still reach.
-  decisions_.push_back(
-      Decision{session_.now(), false, outstanding, running_replicas()});
+  decisions_.push_back(Decision{session_.now(), false, outstanding,
+                                running_replicas(), p95});
   log_.info(strutil::cat("scale down -> ", active_replicas(),
                          " replicas (backlog ", outstanding, ")"));
 }
@@ -248,6 +318,10 @@ json::Value Autoscaler::stats() const {
   out.set("scale_ups", scale_ups_);
   out.set("scale_downs", scale_downs_);
   out.set("repairs", repairs_);
+  if (config_.target_p95 > 0.0) {
+    out.set("target_p95", config_.target_p95);
+    out.set("window_p95", window_p95());
+  }
   return out;
 }
 

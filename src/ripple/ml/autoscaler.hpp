@@ -1,19 +1,29 @@
 #pragma once
 
 /// \file autoscaler.hpp
-/// Queue-depth-driven replica autoscaling for inference services.
+/// Replica autoscaling for inference services: queue-depth or
+/// latency-SLO driven.
 ///
 /// The paper's services are fixed at submission time; its future-work
 /// list ("dynamically rerouting requests to less used service
 /// instances") implies an elastic pool. The Autoscaler manages one
 /// replica group — N copies of a ServiceDescription on one pilot —
-/// through the ServiceManager: it polls the group's total outstanding
-/// request count (queued + executing, the queue-depth/latency proxy)
-/// and grows the pool when the per-replica backlog exceeds
-/// `scale_up_outstanding`, shrinks it when the backlog falls below
-/// `scale_down_outstanding`. Endpoint registration/deregistration rides
-/// the ServiceManager's "endpoints" pub/sub events, so balancing
-/// clients reroute without any coupling to this class.
+/// through the ServiceManager. The default policy polls the group's
+/// total outstanding request count (queued + executing, the queue-depth
+/// latency proxy) and grows the pool when the per-replica backlog
+/// exceeds `scale_up_outstanding`, shrinks it when the backlog falls
+/// below `scale_down_outstanding`. Setting `target_p95 > 0` switches to
+/// the latency-SLO policy production serving stacks use: the signal is
+/// the group's pooled windowed p95 request latency
+/// (ServiceManager::window_latency_quantile over the servers' sliding
+/// latency windows) — scale up when p95 exceeds `target_p95`, scale
+/// down only after `down_sustain` consecutive polls of sustained
+/// headroom (p95 below `headroom_fraction * target_p95`, or an empty
+/// window). Latencies between the two thresholds are the hysteresis
+/// band: the pool holds, so a p95 oscillating around the target cannot
+/// flap replicas. Endpoint registration/deregistration rides the
+/// ServiceManager's "endpoints" pub/sub events, so balancing clients
+/// reroute without any coupling to this class.
 ///
 /// Everything runs on the event loop: same-seed runs make bit-identical
 /// scaling decisions (the decision trace is exposed for tests to diff).
@@ -43,6 +53,20 @@ struct AutoscalerConfig {
   /// Minimum time between two scaling actions (lets a fresh replica
   /// absorb load before the backlog is re-judged).
   sim::Duration cooldown = 1.0;
+
+  /// Latency-SLO policy (enabled when > 0): scale on the group's
+  /// windowed p95 request latency against this target (seconds)
+  /// instead of queue depth.
+  double target_p95 = 0.0;
+
+  /// Scale-down headroom threshold as a fraction of target_p95. p95
+  /// values in (headroom_fraction * target_p95, target_p95] are the
+  /// hysteresis band: no action.
+  double headroom_fraction = 0.5;
+
+  /// Consecutive headroom polls required before a scale-down — a
+  /// momentary dip (or a briefly empty window) must not shed capacity.
+  std::size_t down_sustain = 4;
 };
 
 class Autoscaler {
@@ -53,6 +77,7 @@ class Autoscaler {
     bool up = false;             ///< true: replica added, false: removed
     std::size_t outstanding = 0; ///< group backlog at decision time
     std::size_t replicas = 0;    ///< active replicas after the decision
+    double p95 = -1.0;           ///< windowed p95 (SLO policy; -1 = n/a)
   };
 
   /// `replica` is the template description; its `name` is the group
@@ -107,6 +132,11 @@ class Autoscaler {
   /// Times the pool was rebuilt after every replica reached a terminal
   /// state (crashes/liveness failures).
   [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+
+  /// The group's current pooled windowed p95 request latency, negative
+  /// when no replica has a live sample (SLO policy's signal, exposed
+  /// for tests and benches).
+  [[nodiscard]] double window_p95() const;
   [[nodiscard]] const std::vector<Decision>& decisions() const noexcept {
     return decisions_;
   }
@@ -117,8 +147,11 @@ class Autoscaler {
   void poll();
   void schedule_poll();
   void prune_terminal_replicas();
-  void scale_up(std::size_t outstanding);
-  void scale_down(std::size_t outstanding);
+  /// SLO policy body (target_p95 > 0): up on p95 over target, down on
+  /// sustained headroom, hold inside the hysteresis band.
+  void poll_slo(std::size_t running, std::size_t active);
+  void scale_up(std::size_t outstanding, double p95 = -1.0);
+  void scale_down(std::size_t outstanding, double p95 = -1.0);
   void repair_pool();
 
   core::Session& session_;
@@ -133,6 +166,8 @@ class Autoscaler {
   /// capture it weakly and no-op once the autoscaler is destroyed.
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   sim::SimTime last_action_ = -1e300;
+  /// Consecutive SLO polls that saw sustained headroom.
+  std::size_t headroom_polls_ = 0;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;
   std::uint64_t repairs_ = 0;

@@ -1,14 +1,28 @@
 #include "ripple/ml/inference_server.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "ripple/common/error.hpp"
 
 namespace ripple::ml {
 
+namespace {
+/// Residual solo-work below which a sequence counts as finished: the
+/// decode timer targets the minimum remaining work exactly, but the
+/// round trip through dt = remaining * factor and back leaves up to a
+/// few ulps. Sequences within this of each other finish in the same
+/// decode boundary (in admission order), deterministically.
+constexpr double kDecodeEpsilon = 1e-9;
+}  // namespace
+
 InferenceServer::InferenceServer(sim::EventLoop& loop, common::Rng rng,
                                  ModelSpec model, ServerConfig config)
-    : loop_(loop), rng_(rng), model_(std::move(model)), config_(config) {
+    : loop_(loop),
+      rng_(rng),
+      model_(std::move(model)),
+      config_(config),
+      latency_window_(config.latency_window) {
   ensure(config_.max_concurrency > 0, Errc::invalid_argument,
          "server needs max_concurrency >= 1");
   ensure(config_.max_batch > 0, Errc::invalid_argument,
@@ -22,9 +36,15 @@ InferenceServer::~InferenceServer() {
     loop_.cancel(window_timer_);
     window_timer_ = {};
   }
+  if (decode_timer_.valid()) {
+    loop_.cancel(decode_timer_);
+    decode_timer_ = {};
+  }
   // alive_ expires here; in-flight batch callbacks see it and bail.
-  // Their responders are dropped unreplied, which is exactly what a
-  // crashed server looks like to clients (timeout / unreachable).
+  // Their responders are dropped unreplied — already-replied sequences
+  // of a partially completed continuous batch are never re-replied —
+  // which is exactly what a crashed server looks like to clients
+  // (timeout / unreachable).
 }
 
 void InferenceServer::handle(std::shared_ptr<msg::Responder> responder) {
@@ -35,12 +55,31 @@ void InferenceServer::handle(std::shared_ptr<msg::Responder> responder) {
     responder->fail("server queue full");
     return;
   }
-  queue_.push_back(std::move(responder));
+  queue_.push_back(Queued{std::move(responder), loop_.now()});
   peak_queue_ = std::max(peak_queue_, queue_.size());
   pump();
 }
 
+void InferenceServer::note_batch(std::size_t batch_size) {
+  batch_sizes_.add(static_cast<double>(batch_size));
+  if (batch_trace_.size() < kBatchTraceCap) {
+    batch_trace_.push_back(static_cast<std::uint32_t>(batch_size));
+  }
+  batch_trace_hash_ ^= static_cast<std::uint64_t>(batch_size);
+  batch_trace_hash_ *= 1099511628211ULL;
+}
+
+void InferenceServer::record_latency(sim::SimTime arrived) {
+  const double latency = loop_.now() - arrived;
+  request_latencies_.add(latency);
+  latency_window_.add(loop_.now(), latency);
+}
+
 void InferenceServer::pump() {
+  if (config_.continuous) {
+    admit();
+    return;
+  }
   while (busy_workers_ < config_.max_concurrency && !queue_.empty()) {
     if (queue_.size() < config_.max_batch && config_.batch_window > 0.0 &&
         !window_expired_) {
@@ -81,8 +120,7 @@ void InferenceServer::dispatch(std::size_t batch_size) {
     loop_.cancel(window_timer_);
     window_timer_ = {};
   }
-  auto batch = std::make_shared<
-      std::vector<std::shared_ptr<msg::Responder>>>();
+  auto batch = std::make_shared<std::vector<Queued>>();
   batch->reserve(batch_size);
   for (std::size_t i = 0; i < batch_size; ++i) {
     batch->push_back(std::move(queue_.front()));
@@ -91,12 +129,7 @@ void InferenceServer::dispatch(std::size_t batch_size) {
   ++busy_workers_;
   busy_requests_ += batch_size;
   ++batches_;
-  batch_sizes_.add(static_cast<double>(batch_size));
-  if (batch_trace_.size() < kBatchTraceCap) {
-    batch_trace_.push_back(static_cast<std::uint32_t>(batch_size));
-  }
-  batch_trace_hash_ ^= static_cast<std::uint64_t>(batch_size);
-  batch_trace_hash_ *= 1099511628211ULL;
+  note_batch(batch_size);
 
   // Requests are parsed one after another before the batch launches.
   sim::Duration parse_time = 0.0;
@@ -108,8 +141,8 @@ void InferenceServer::dispatch(std::size_t batch_size) {
     if (alive.expired()) return;
     std::vector<double> tokens;
     tokens.reserve(batch->size());
-    for (const auto& responder : *batch) {
-      responder->begin_compute();
+    for (const auto& request : *batch) {
+      request.responder->begin_compute();
       tokens.push_back(std::max(0.0, model_.tokens_out.sample(rng_)));
     }
     const sim::Duration inference_time = model_.batch_duration(tokens);
@@ -118,21 +151,22 @@ void InferenceServer::dispatch(std::size_t batch_size) {
       if (alive.expired()) return;
       inference_times_.add(inference_time);
       sim::Duration serialize_time = 0.0;
-      for (const auto& responder : *batch) {
-        responder->end_compute();
+      for (const auto& request : *batch) {
+        request.responder->end_compute();
         serialize_time += model_.serialize.sample(rng_);
       }
       loop_.call_after(serialize_time, [this, batch, alive,
                                         inference_time] {
         if (alive.expired()) return;
-        for (auto& responder : *batch) {
+        for (auto& request : *batch) {
           json::Value body = json::Value::object();
           body.set("model", model_.name);
           body.set("inference_s", inference_time);
           body.set("batch", batch->size());
           body.set("ok", true);
-          responder->reply(std::move(body));
+          request.responder->reply(std::move(body));
           ++served_;
+          record_latency(request.arrived);
         }
         busy_requests_ -= batch->size();
         --busy_workers_;
@@ -140,6 +174,129 @@ void InferenceServer::dispatch(std::size_t batch_size) {
       });
     });
   });
+}
+
+// --- continuous engine -----------------------------------------------------
+
+void InferenceServer::admit() {
+  // Admitted-but-parsing requests hold their batch slot (parsing_), so
+  // the running batch can never overshoot max_batch no matter how many
+  // parses are in flight at once.
+  while (!queue_.empty() &&
+         running_.size() + parsing_ < config_.max_batch) {
+    Queued request = std::move(queue_.front());
+    queue_.pop_front();
+    ++parsing_;
+    ++busy_requests_;
+    const sim::Duration parse_time = model_.parse.sample(rng_);
+    loop_.call_after(
+        parse_time, [this, alive = std::weak_ptr<char>(alive_),
+                     request = std::move(request)]() mutable {
+          if (alive.expired()) return;
+          --parsing_;
+          join(std::move(request));
+        });
+  }
+}
+
+void InferenceServer::join(Queued request) {
+  // A composition change is a step boundary: everyone's progress is
+  // settled at the old decode rate before the batch grows.
+  settle();
+  request.responder->begin_compute();
+  const double tokens = std::max(0.0, model_.tokens_out.sample(rng_));
+  Sequence sequence;
+  sequence.id = next_sequence_++;
+  sequence.responder = std::move(request.responder);
+  sequence.remaining = model_.sequence_work(tokens);
+  sequence.arrived = request.arrived;
+  sequence.started = loop_.now();
+  running_.push_back(std::move(sequence));
+  ++batches_;
+  note_batch(running_.size());
+  reschedule();
+}
+
+void InferenceServer::settle() {
+  const sim::SimTime now = loop_.now();
+  if (!running_.empty()) {
+    const double elapsed = now - segment_start_;
+    if (elapsed > 0.0) {
+      const double rate = 1.0 / model_.step_factor(running_.size());
+      for (auto& sequence : running_) {
+        sequence.remaining -= elapsed * rate;
+      }
+    }
+  }
+  segment_start_ = now;
+}
+
+void InferenceServer::reschedule() {
+  if (decode_timer_.valid()) {
+    loop_.cancel(decode_timer_);
+    decode_timer_ = {};
+  }
+  if (running_.empty()) return;
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& sequence : running_) {
+    next = std::min(next, std::max(0.0, sequence.remaining));
+  }
+  const double dt = next * model_.step_factor(running_.size());
+  decode_timer_ = loop_.call_after(
+      dt, [this, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) return;
+        decode_timer_ = {};
+        on_decode_boundary();
+      });
+}
+
+void InferenceServer::on_decode_boundary() {
+  settle();
+  // Retire every sequence that ran out of work, in admission order —
+  // ties (identical remaining work) complete together, oldest first,
+  // which keeps the completion order a pure function of the seed.
+  std::vector<Sequence> finished;
+  auto it = running_.begin();
+  while (it != running_.end()) {
+    if (it->remaining <= kDecodeEpsilon) {
+      finished.push_back(std::move(*it));
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& sequence : finished) finish_sequence(std::move(sequence));
+  // The freed slots take queued requests at this same step boundary.
+  admit();
+  reschedule();
+}
+
+void InferenceServer::finish_sequence(Sequence sequence) {
+  sequence.responder->end_compute();
+  const sim::Duration decode_time = loop_.now() - sequence.started;
+  inference_times_.add(decode_time);
+  if (completion_order_.size() < kBatchTraceCap) {
+    completion_order_.push_back(sequence.id);
+  }
+  completion_hash_ ^= sequence.id;
+  completion_hash_ *= 1099511628211ULL;
+  const sim::Duration serialize_time = model_.serialize.sample(rng_);
+  loop_.call_after(
+      serialize_time,
+      [this, alive = std::weak_ptr<char>(alive_),
+       responder = std::move(sequence.responder), id = sequence.id,
+       arrived = sequence.arrived, decode_time]() mutable {
+        if (alive.expired()) return;
+        json::Value body = json::Value::object();
+        body.set("model", model_.name);
+        body.set("inference_s", decode_time);
+        body.set("sequence", static_cast<std::int64_t>(id));
+        body.set("ok", true);
+        responder->reply(std::move(body));
+        ++served_;
+        --busy_requests_;
+        record_latency(arrived);
+      });
 }
 
 json::Value InferenceServer::stats() const {
@@ -153,13 +310,20 @@ json::Value InferenceServer::stats() const {
   out.set("max_concurrency", config_.max_concurrency);
   out.set("max_batch", config_.max_batch);
   out.set("batch_window", config_.batch_window);
+  out.set("continuous", config_.continuous);
   out.set("batches", batches_);
+  if (config_.continuous) {
+    out.set("running_sequences", running_.size());
+  }
   if (!batch_sizes_.empty()) {
     out.set("batch_size_mean", batch_sizes_.mean());
     out.set("batch_size_max", batch_sizes_.max());
   }
   if (!inference_times_.empty()) {
     out.set("inference", inference_times_.to_json());
+  }
+  if (latency_window_.count(loop_.now()) > 0) {
+    out.set("window_p95", latency_window_.quantile(loop_.now(), 0.95));
   }
   return out;
 }

@@ -27,6 +27,10 @@ void InferenceProgram::init(core::ExecutionContext& ctx, DoneFn done,
       ctx.config.get_or("max_batch", json::Value(1)).as_int());
   server_config.batch_window =
       ctx.config.get_or("batch_window", json::Value(0.0)).as_double();
+  server_config.continuous =
+      ctx.config.get_or("continuous", json::Value(false)).as_bool();
+  server_config.latency_window =
+      ctx.config.get_or("latency_window", json::Value(10.0)).as_double();
   server_ = std::make_unique<InferenceServer>(
       ctx.loop(), ctx.rng.fork("server"), model, server_config);
 
@@ -64,6 +68,11 @@ void InferenceProgram::bind(msg::RpcServer& server) {
 
 std::size_t InferenceProgram::outstanding() const {
   return server_ ? server_->outstanding() : 0;
+}
+
+void InferenceProgram::collect_window_latencies(
+    sim::SimTime now, std::vector<double>& out) const {
+  if (server_ != nullptr) server_->latency_window().collect(now, out);
 }
 
 json::Value InferenceProgram::stats() const {

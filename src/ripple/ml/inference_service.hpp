@@ -12,6 +12,10 @@
 ///   max_queue        - int: queue bound, 0 = unbounded
 ///   max_batch        - int: requests per batched inference (default 1)
 ///   batch_window     - double: seconds a partial batch waits to fill
+///   continuous       - bool: vLLM-style continuous batching (admit at
+///                      step boundaries, reply per sequence)
+///   latency_window   - double: trailing seconds of request latencies
+///                      kept for the SLO autoscaler (default 10)
 ///
 /// RPC methods exposed: "infer", "stats" (plus the manager-bound
 /// "health").
@@ -30,6 +34,8 @@ class InferenceProgram final : public core::ServiceProgram {
   void init(core::ExecutionContext& ctx, DoneFn done, FailFn fail) override;
   void bind(msg::RpcServer& server) override;
   [[nodiscard]] std::size_t outstanding() const override;
+  void collect_window_latencies(sim::SimTime now,
+                                std::vector<double>& out) const override;
   [[nodiscard]] json::Value stats() const override;
 
   /// The underlying server (valid after init).

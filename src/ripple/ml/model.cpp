@@ -30,21 +30,28 @@ double ModelSpec::mean_inference() const {
   return inference_floor_s + tokens_out.mean() * per_token_s;
 }
 
+double ModelSpec::step_factor(std::size_t batch_size) const {
+  if (batch_size <= 1) return 1.0;
+  return 1.0 + batch_cost_slope * static_cast<double>(batch_size - 1);
+}
+
+double ModelSpec::sequence_work(double tokens) const {
+  return inference_floor_s + std::max(0.0, tokens) * per_token_s;
+}
+
 sim::Duration ModelSpec::batch_duration(
     const std::vector<double>& tokens) const {
   if (tokens.empty()) return 0.0;
   double max_tokens = 0.0;
   for (const double t : tokens) max_tokens = std::max(max_tokens, t);
-  const double step_factor =
-      1.0 + batch_cost_slope * static_cast<double>(tokens.size() - 1);
-  return inference_floor_s + max_tokens * per_token_s * step_factor;
+  return inference_floor_s +
+         max_tokens * per_token_s * step_factor(tokens.size());
 }
 
 double ModelSpec::mean_batch_duration(std::size_t batch_size) const {
   if (batch_size == 0) return 0.0;
-  const double step_factor =
-      1.0 + batch_cost_slope * static_cast<double>(batch_size - 1);
-  return inference_floor_s + tokens_out.mean() * per_token_s * step_factor;
+  return inference_floor_s +
+         tokens_out.mean() * per_token_s * step_factor(batch_size);
 }
 
 ModelSpec noop_model() {

@@ -55,6 +55,18 @@ struct ModelSpec {
   /// Samples one inference duration.
   [[nodiscard]] sim::Duration sample_inference(common::Rng& rng) const;
 
+  /// Decode-step slowdown at the given batch size: every sequence in a
+  /// batch of N progresses at 1/step_factor(N) of its solo rate. This
+  /// is the single source of the batch_cost_slope model — fixed
+  /// micro-batches charge it over the whole batch duration, continuous
+  /// batching charges it per decode segment as sequences join/leave.
+  [[nodiscard]] double step_factor(std::size_t batch_size) const;
+
+  /// Solo decode work of one sequence (seconds at batch size 1):
+  /// inference_floor_s + tokens * per_token_s. The continuous-batching
+  /// engine drains this at rate 1/step_factor(current batch size).
+  [[nodiscard]] double sequence_work(double tokens) const;
+
   /// Cost of one batched inference over requests with the given sampled
   /// token counts: the batch runs until its longest sequence finishes,
   /// every step slowed by batch_cost_slope per extra sequence.

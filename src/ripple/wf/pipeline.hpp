@@ -34,6 +34,13 @@ struct StageAutoscale {
   double scale_down_outstanding = 1.0;
   sim::Duration poll_interval = 0.25;
   sim::Duration cooldown = 1.0;
+
+  /// Latency SLO for the stage's serving groups: when > 0, replicas
+  /// scale on the windowed p95 request latency against this target
+  /// (seconds) instead of queue depth — see ml::AutoscalerConfig.
+  double target_p95 = 0.0;
+  double headroom_fraction = 0.5;
+  std::size_t down_sustain = 4;
 };
 
 struct Stage {

@@ -119,6 +119,9 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
     config.scale_down_outstanding = as.scale_down_outstanding;
     config.poll_interval = as.poll_interval;
     config.cooldown = as.cooldown;
+    config.target_p95 = as.target_p95;
+    config.headroom_fraction = as.headroom_fraction;
+    config.down_sustain = as.down_sustain;
     auto ready = std::make_shared<std::size_t>(
         stage_run.stage.services.size());
     auto all_ok = std::make_shared<bool>(true);

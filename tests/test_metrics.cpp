@@ -1,5 +1,5 @@
-// Tests for the metrics layer: registry (BT/RT/IT series), timeline and
-// table/CSV reporting.
+// Tests for the metrics layer: registry (BT/RT/IT series), timeline,
+// table/CSV reporting and the sliding-window quantile accumulator.
 
 #include <gtest/gtest.h>
 
@@ -7,9 +7,11 @@
 #include <fstream>
 
 #include "ripple/common/error.hpp"
+#include "ripple/common/statistics.hpp"
 #include "ripple/metrics/registry.hpp"
 #include "ripple/metrics/report.hpp"
 #include "ripple/metrics/timeline.hpp"
+#include "ripple/metrics/window_quantile.hpp"
 
 namespace {
 
@@ -156,6 +158,75 @@ TEST(Table, WriteCsvToDisk) {
   EXPECT_EQ(line, "1.5,2.5");
   std::remove(path.c_str());
   EXPECT_THROW(table.write_csv("/nonexistent-dir/x.csv"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// WindowQuantile: the SLO autoscaler's latency window
+// ---------------------------------------------------------------------------
+
+TEST(WindowQuantile, ExactQuantilesOnSmallWindows) {
+  // Quantiles over a small window must match common::Summary exactly
+  // (same linear-interpolation convention), including the interpolated
+  // positions between samples.
+  WindowQuantile window(100.0);
+  common::Summary reference;
+  const std::vector<double> values = {5.0, 1.0, 9.0, 3.0, 7.0};
+  double t = 0.0;
+  for (const double v : values) {
+    window.add(t, v);
+    reference.add(v);
+    t += 1.0;
+  }
+  EXPECT_EQ(window.count(t), values.size());
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(window.quantile(t, q), reference.quantile(q)) << q;
+  }
+  // A single live sample is every quantile.
+  WindowQuantile single(10.0);
+  single.add(0.0, 42.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.0, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.0, 0.95), 42.0);
+}
+
+TEST(WindowQuantile, EvictsExpiredSamples) {
+  WindowQuantile window(10.0);
+  window.add(0.0, 100.0);
+  window.add(5.0, 1.0);
+  // Both alive: the old outlier dominates the p95.
+  EXPECT_EQ(window.count(9.0), 2u);
+  EXPECT_GT(window.quantile(9.0, 0.95), 90.0);
+  // A sample stamped at t stays live through now == t + window
+  // (inclusive boundary) and is gone just after.
+  EXPECT_EQ(window.count(10.0), 2u);
+  EXPECT_EQ(window.count(10.5), 1u);
+  EXPECT_DOUBLE_EQ(window.quantile(10.5, 0.95), 1.0);
+  // Everything expires eventually; an empty window throws (callers use
+  // count() for the no-signal sentinel).
+  EXPECT_EQ(window.count(20.0), 0u);
+  EXPECT_THROW((void)window.quantile(20.0, 0.5), Error);
+  // collect() appends only live values.
+  window.add(21.0, 2.0);
+  window.add(22.0, 3.0);
+  std::vector<double> live;
+  window.collect(31.5, live);
+  EXPECT_EQ(live, (std::vector<double>{3.0}));
+}
+
+TEST(WindowQuantile, MonotoneClockEnforced) {
+  // Event-loop time never goes backwards; the deque eviction depends on
+  // it, so a regressing timestamp is a caller bug worth throwing at.
+  WindowQuantile window(10.0);
+  window.add(5.0, 1.0);
+  window.add(5.0, 2.0);  // equal timestamps are fine (same-time events)
+  EXPECT_THROW(window.add(4.999, 3.0), Error);
+  // clear() resets the monotonicity guard along with the samples.
+  window.clear();
+  EXPECT_EQ(window.count(100.0), 0u);
+  window.add(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(window.quantile(0.0, 0.5), 7.0);
+  // Invalid construction and queries.
+  EXPECT_THROW(WindowQuantile(0.0), Error);
+  EXPECT_THROW((void)window.quantile(0.0, 1.5), Error);
 }
 
 TEST(Report, MeanPmStdAndBanner) {

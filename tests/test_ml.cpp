@@ -1,14 +1,21 @@
 // Tests for the ML substrate: model specs, the single-threaded
-// inference server, load balancers and the client payload config.
+// inference server, load balancers, the client payload config and the
+// latency-SLO autoscaler policy.
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "ripple/common/error.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/ml/autoscaler.hpp"
 #include "ripple/ml/client.hpp"
 #include "ripple/ml/inference_server.hpp"
+#include "ripple/ml/install.hpp"
 #include "ripple/ml/load_balancer.hpp"
 #include "ripple/ml/model.hpp"
 #include "ripple/msg/rpc.hpp"
+#include "ripple/platform/profiles.hpp"
 
 namespace {
 
@@ -231,6 +238,325 @@ TEST(LoadBalancer, FactoryAndValidation) {
   EXPECT_THROW((void)make_balancer("psychic", {"x"}, common::Rng(1)),
                Error);
   EXPECT_THROW((void)make_balancer("random", {}, common::Rng(1)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Latency-SLO autoscaler policy
+// ---------------------------------------------------------------------------
+
+/// Registers (or refreshes) a fully deterministic model: constant
+/// `floor_s`-second inferences, zero parse/serialize, instant load.
+/// Every request latency is then queue wait + floor_s exactly.
+ModelSpec slo_model(const std::string& name, double floor_s) {
+  ModelSpec model = noop_model();
+  model.name = name;
+  model.init = common::Distribution::constant(0.05);
+  model.parse = common::Distribution::constant(0.0);
+  model.serialize = common::Distribution::constant(0.0);
+  model.tokens_out = common::Distribution::constant(0.0);
+  model.per_token_s = 0.0;
+  model.inference_floor_s = floor_s;
+  model.batch_cost_slope = 0.0;
+  ModelRegistry::global().add(model);
+  return model;
+}
+
+core::ServiceDescription slo_replica(const std::string& group,
+                                     const std::string& model,
+                                     double latency_window) {
+  core::ServiceDescription replica;
+  replica.name = group;
+  replica.program = "inference";
+  replica.config = json::Value::object({{"model", model},
+                                        {"continuous", true},
+                                        {"latency_window", latency_window}});
+  replica.gpus = 1;
+  return replica;
+}
+
+TEST(AutoscalerSlo, ValidatesConfig) {
+  core::Session session({.seed = 1});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(1));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 1});
+  core::ServiceDescription replica;
+  replica.program = "inference";
+
+  AutoscalerConfig bad;
+  bad.target_p95 = 1.0;
+  bad.headroom_fraction = 1.0;  // must leave a band below the target
+  EXPECT_THROW(Autoscaler(session, pilot, replica, bad), Error);
+  bad = {};
+  bad.target_p95 = 1.0;
+  bad.down_sustain = 0;
+  EXPECT_THROW(Autoscaler(session, pilot, replica, bad), Error);
+}
+
+TEST(AutoscalerSlo, ScalesUpWhenWindowedP95ExceedsTarget) {
+  core::Session session({.seed = 31});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(3));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 3});
+  slo_model("slo-second", 1.0);
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 1;
+  scaling.max_replicas = 3;
+  scaling.poll_interval = 0.25;
+  scaling.cooldown = 0.5;
+  scaling.target_p95 = 0.5;
+  Autoscaler scaler(session, pilot,
+                    slo_replica("slo-up", "slo-second", 30.0), scaling);
+
+  msg::RpcClient prober(session.runtime().router(), "prober",
+                        session.cluster("delta").head_host());
+  scaler.start([&](bool ok) {
+    ASSERT_TRUE(ok);
+    // Four serial one-second requests: completed latencies 1..4 s, all
+    // far over the 0.5 s target for the whole 30 s window.
+    for (int i = 0; i < 4; ++i) {
+      prober.call(scaler.endpoints().front(), "infer",
+                  json::Value::object(), [](msg::CallResult) {});
+    }
+  });
+  session.run_until(12.0);
+  EXPECT_GE(scaler.scale_ups(), 1u);
+  ASSERT_FALSE(scaler.decisions().empty());
+  EXPECT_TRUE(scaler.decisions().front().up);
+  // The decision recorded the violating signal, not a queue depth.
+  EXPECT_GT(scaler.decisions().front().p95, scaling.target_p95);
+  EXPECT_EQ(scaler.scale_downs(), 0u);  // the window is still hot
+  scaler.stop();
+  session.run();
+}
+
+TEST(AutoscalerSlo, HysteresisBandHoldsThenSustainedHeadroomScalesDown) {
+  core::Session session({.seed = 37});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  slo_model("slo-hold", 1.0);
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 1;
+  scaling.max_replicas = 2;
+  scaling.poll_interval = 0.25;
+  scaling.cooldown = 0.5;
+  scaling.target_p95 = 1.2;        // band: (0.36, 1.2]
+  scaling.headroom_fraction = 0.3;
+  scaling.down_sustain = 3;
+  Autoscaler scaler(session, pilot,
+                    slo_replica("slo-hold-pool", "slo-hold", 3.0),
+                    scaling);
+
+  msg::RpcClient prober(session.runtime().router(), "prober",
+                        session.cluster("delta").head_host());
+  std::string endpoint;
+  scaler.start([&](bool ok) {
+    ASSERT_TRUE(ok);
+    endpoint = scaler.endpoints().front();
+    // Burst: five queued one-second requests, latencies 1..5 s — the
+    // p95 breaks the 1.2 s target and forces a scale-up.
+    for (int i = 0; i < 5; ++i) {
+      prober.call(endpoint, "infer", json::Value::object(),
+                  [](msg::CallResult) {});
+    }
+  });
+
+  // Controller tick: once the pool reaches two running replicas, send
+  // one non-overlapping request every 1.5 s for 10 s. Each completes in
+  // exactly 1.0 s — inside the hysteresis band, below the target but
+  // above the headroom threshold — so the oscillating load must hold
+  // the pool at two replicas. Going silent afterwards empties the 3 s
+  // window and only then may the sustained-headroom streak drain one.
+  double hold_until = -1.0;
+  double next_send = -1.0;
+  std::size_t decisions_at_hold = 0;
+  bool hold_checked = false;
+  std::function<void()> controller = [&] {
+    if (hold_until < 0.0 && scaler.running_replicas() == 2) {
+      hold_until = session.now() + 10.0;
+      next_send = session.now();
+      decisions_at_hold = scaler.decisions().size();
+    }
+    if (hold_until > 0.0 && session.now() <= hold_until &&
+        session.now() >= next_send) {
+      prober.call(endpoint, "infer", json::Value::object(),
+                  [](msg::CallResult) {});
+      next_send = session.now() + 1.5;
+    }
+    if (hold_until > 0.0 && !hold_checked && session.now() > hold_until) {
+      hold_checked = true;
+      // The whole oscillating phase made no scaling decision.
+      EXPECT_EQ(scaler.decisions().size(), decisions_at_hold);
+      EXPECT_EQ(scaler.running_replicas(), 2u);
+    }
+    if (session.now() < 60.0 && scaler.scale_downs() == 0) {
+      session.loop().call_after(0.25, controller);
+    }
+  };
+  session.loop().call_after(0.25, controller);
+  session.run_until(60.0);
+
+  EXPECT_TRUE(hold_checked);
+  EXPECT_EQ(scaler.scale_ups(), 1u);
+  EXPECT_EQ(scaler.scale_downs(), 1u);
+  EXPECT_EQ(scaler.running_replicas(), 1u);
+  scaler.stop();
+  session.run();
+}
+
+TEST(AutoscalerSlo, SaturatedPoolWithEmptyWindowHoldsScaleDown) {
+  // Latency samples land only at reply time, so a pool whose in-flight
+  // requests all outlive the window shows an EMPTY window while
+  // drowning. That must read as "no signal", not as headroom: scaling
+  // down here would deepen the overload. Only after the backlog drains
+  // to zero may the idle-window streak shed the extra replica.
+  core::Session session({.seed = 43});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  slo_model("slo-slow", 5.0);
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 1;
+  scaling.max_replicas = 2;
+  scaling.poll_interval = 0.25;
+  scaling.cooldown = 0.5;
+  scaling.target_p95 = 0.5;
+  scaling.headroom_fraction = 0.5;
+  scaling.down_sustain = 3;
+  // 1 s window << 5 s inferences: between two completions the window
+  // spends seconds empty while several requests are in flight.
+  Autoscaler scaler(session, pilot,
+                    slo_replica("slo-saturated", "slo-slow", 1.0),
+                    scaling);
+
+  msg::RpcClient prober(session.runtime().router(), "prober",
+                        session.cluster("delta").head_host());
+  bool storm_sent = false;
+  bool mid_storm_checked = false;
+  scaler.start([&](bool ok) {
+    ASSERT_TRUE(ok);
+    // Three queued 5 s requests: their completions put p95 >= 5 s into
+    // the window and scale the pool up.
+    for (int i = 0; i < 3; ++i) {
+      prober.call(scaler.endpoints().front(), "infer",
+                  json::Value::object(), [](msg::CallResult) {});
+    }
+  });
+  std::function<void()> controller = [&] {
+    if (!storm_sent && scaler.running_replicas() == 2) {
+      storm_sent = true;
+      // Saturate both replicas: four 5 s requests each. For the next
+      // ~20 s most polls see an empty window with a deep backlog.
+      const auto endpoints = scaler.endpoints();
+      ASSERT_EQ(endpoints.size(), 2u);
+      for (const auto& endpoint : endpoints) {
+        for (int i = 0; i < 4; ++i) {
+          prober.call(endpoint, "infer", json::Value::object(),
+                      [](msg::CallResult) {});
+        }
+      }
+      session.loop().call_after(10.0, [&] {
+        mid_storm_checked = true;
+        // Deep into the storm: an unfixed policy would have counted the
+        // empty-window polls as headroom and drained a replica by now.
+        EXPECT_EQ(scaler.scale_downs(), 0u);
+        EXPECT_EQ(scaler.running_replicas(), 2u);
+      });
+      return;
+    }
+    if (!storm_sent && session.now() < 30.0) {
+      session.loop().call_after(0.25, controller);
+    }
+  };
+  session.loop().call_after(0.25, controller);
+  session.run_until(70.0);
+
+  EXPECT_TRUE(storm_sent);
+  EXPECT_TRUE(mid_storm_checked);
+  // Once the backlog fully drained, the idle empty window counted as
+  // sustained headroom again and shed the extra replica.
+  EXPECT_EQ(scaler.scale_downs(), 1u);
+  EXPECT_EQ(scaler.running_replicas(), 1u);
+  scaler.stop();
+  session.run();
+}
+
+TEST(AutoscalerSlo, SloScaleDownDrainsLeastLoadedReplica) {
+  core::Session session({.seed = 41});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  slo_model("slo-fast", 0.05);
+
+  AutoscalerConfig scaling;
+  scaling.min_replicas = 1;
+  scaling.max_replicas = 2;
+  scaling.poll_interval = 0.25;
+  scaling.cooldown = 0.5;
+  scaling.target_p95 = 0.5;
+  // Headroom threshold 0.45 s: the trickle below stays under it even
+  // with three requests in flight, so the SLO sees sustained headroom
+  // while the NEWEST replica carries all the traffic.
+  scaling.headroom_fraction = 0.9;
+  scaling.down_sustain = 3;
+  Autoscaler scaler(session, pilot,
+                    slo_replica("slo-drain", "slo-fast", 1.0), scaling);
+
+  msg::RpcClient prober(session.runtime().router(), "prober",
+                        session.cluster("delta").head_host());
+  std::string old_uid;
+  std::string new_uid;
+  std::string new_endpoint;
+  bool keep_sending = false;
+  std::function<void()> send_loop = [&] {
+    if (!keep_sending) return;
+    prober.call(new_endpoint, "infer", json::Value::object(),
+                [&](msg::CallResult) { send_loop(); });
+  };
+  scaler.start([&](bool ok) {
+    ASSERT_TRUE(ok);
+    old_uid = scaler.replicas().front();
+    // Queue burst on the first replica: latencies up to ~1.5 s violate
+    // the target and scale the pool up.
+    for (int i = 0; i < 30; ++i) {
+      prober.call(scaler.endpoints().front(), "infer",
+                  json::Value::object(), [](msg::CallResult) {});
+    }
+  });
+  std::function<void()> controller = [&] {
+    if (new_endpoint.empty() && scaler.running_replicas() == 2) {
+      for (const auto& uid : scaler.replicas()) {
+        if (uid != old_uid) new_uid = uid;
+      }
+      ASSERT_FALSE(new_uid.empty());
+      new_endpoint = session.services().get(new_uid).endpoint();
+      // Pin three closed-loop request streams onto the NEWEST replica
+      // only; the oldest idles. The legacy policy always drained the
+      // newest — exactly the replica carrying all the load.
+      keep_sending = true;
+      for (int i = 0; i < 3; ++i) send_loop();
+    }
+    if (scaler.scale_downs() > 0) {
+      keep_sending = false;
+      return;
+    }
+    if (session.now() < 60.0) session.loop().call_after(0.1, controller);
+  };
+  session.loop().call_after(0.1, controller);
+  session.run_until(60.0);
+
+  EXPECT_EQ(scaler.scale_downs(), 1u);
+  ASSERT_FALSE(new_uid.empty());
+  // The loaded (newest) replica survived; the idle oldest was drained.
+  EXPECT_EQ(session.services().get(new_uid).state(),
+            core::ServiceState::running);
+  EXPECT_NE(session.services().get(old_uid).state(),
+            core::ServiceState::running);
+  scaler.stop();
+  session.run();
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "ripple/core/session.hpp"
 #include "ripple/data/catalog.hpp"
 #include "ripple/data/transfer_engine.hpp"
+#include "ripple/ml/inference_server.hpp"
 #include "ripple/ml/install.hpp"
 #include "ripple/ml/load_balancer.hpp"
 #include "ripple/platform/profiles.hpp"
@@ -375,6 +376,132 @@ TEST(BalancerProperty, RoundRobinCoversAllEndpointsAfterChurn) {
     ASSERT_EQ(seen.size(), n) << "round " << round;
     for (const auto& [endpoint, count] : seen) ASSERT_EQ(count, 1);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Continuous batching: invariants under random arrival/length traces
+// ---------------------------------------------------------------------------
+
+/// One fuzz run of the continuous-batching engine: a server with a
+/// randomly drawn batch cap, driven by requests at random arrival times
+/// whose sequence lengths come from a heavy-ish lognormal. The trace
+/// captures everything order-sensitive.
+struct ContinuousTrace {
+  std::vector<std::uint32_t> batch_trace;       // size after each admission
+  std::vector<std::uint64_t> completion_order;  // sequence ids
+  std::uint64_t batch_hash = 0;
+  std::uint64_t completion_hash = 0;
+  std::uint64_t served = 0;
+  std::size_t max_batch = 0;
+  double finished_at = 0.0;
+  std::size_t replies = 0;
+};
+
+ContinuousTrace run_continuous_fuzz(std::uint64_t seed) {
+  sim::EventLoop loop;
+  common::Rng rng(seed);
+  sim::Network net(loop, rng.fork("net"));
+  msg::Router router(loop, net);
+  net.register_host("s", "z");
+  net.register_host("c", "z");
+  net.set_link("z", "z",
+               sim::LinkModel{common::Distribution::constant(1e-4), 0});
+  msg::RpcServer rpc_server(router, "svc", "s");
+  msg::RpcClient rpc_client(router, "cli", "c");
+
+  common::Rng driver = rng.fork("driver");
+  ml::ModelSpec model = ml::noop_model();
+  model.parse = common::Distribution::constant(2e-5);
+  model.serialize = common::Distribution::constant(1e-5);
+  model.tokens_out = common::Distribution::lognormal(80.0, 0.6, 1.0);
+  model.per_token_s = 0.01;
+  model.inference_floor_s = 0.05;
+  model.batch_cost_slope = 0.12;
+
+  ContinuousTrace trace;
+  trace.max_batch =
+      static_cast<std::size_t>(driver.uniform_int(2, 8));
+  ml::ServerConfig config;
+  config.max_batch = trace.max_batch;
+  config.continuous = true;
+  ml::InferenceServer server(loop, rng.fork("server"), model, config);
+  rpc_server.bind_method("infer",
+                         [&](std::shared_ptr<msg::Responder> r) {
+                           server.handle(std::move(r));
+                         });
+
+  constexpr int kRequests = 120;
+  for (int i = 0; i < kRequests; ++i) {
+    // Clustered arrivals: bursts hammer admission at full batches,
+    // gaps let the batch drain to empty and restart.
+    const double at = driver.chance(0.3)
+                          ? driver.uniform(0.0, 2.0)
+                          : driver.uniform(0.0, 40.0);
+    loop.call_at(at, [&] {
+      rpc_client.call("svc", "infer", json::Value::object(),
+                      [&](msg::CallResult r) {
+                        ASSERT_TRUE(r.ok);
+                        ++trace.replies;
+                      });
+    });
+  }
+  loop.run();
+
+  trace.batch_trace = server.batch_trace();
+  trace.completion_order = server.completion_order();
+  trace.batch_hash = server.batch_trace_hash();
+  trace.completion_hash = server.completion_hash();
+  trace.served = server.served();
+  trace.finished_at = loop.now();
+  return trace;
+}
+
+TEST(ContinuousBatchingProperty, InvariantsHoldAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull, 9001ull}) {
+    const ContinuousTrace trace = run_continuous_fuzz(seed);
+    // The running batch never exceeds max_batch at any admission point.
+    for (const std::uint32_t size : trace.batch_trace) {
+      ASSERT_LE(size, trace.max_batch) << "seed " << seed;
+    }
+    // No admitted sequence starves: every request was admitted (120
+    // admissions), every sequence finished decoding exactly once, and
+    // every reply landed.
+    ASSERT_EQ(trace.batch_trace.size(), 120u) << "seed " << seed;
+    ASSERT_EQ(trace.served, 120u) << "seed " << seed;
+    ASSERT_EQ(trace.replies, 120u) << "seed " << seed;
+    ASSERT_EQ(trace.completion_order.size(), 120u) << "seed " << seed;
+    std::vector<std::uint64_t> sorted = trace.completion_order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint64_t i = 0; i < 120; ++i) {
+      ASSERT_EQ(sorted[i], i) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ContinuousBatchingProperty, SameSeedBitIdenticalCompletion) {
+  const ContinuousTrace a = run_continuous_fuzz(4242);
+  const ContinuousTrace b = run_continuous_fuzz(4242);
+  EXPECT_EQ(a.batch_trace, b.batch_trace);
+  EXPECT_EQ(a.completion_order, b.completion_order);
+  EXPECT_EQ(a.batch_hash, b.batch_hash);
+  EXPECT_EQ(a.completion_hash, b.completion_hash);
+  EXPECT_DOUBLE_EQ(a.finished_at, b.finished_at);
+  // The run exercised real interleaving: sequences completed out of
+  // admission order (short ones overtook long ones) and the batch
+  // filled to its cap at least once.
+  std::vector<std::uint64_t> in_order(120);
+  for (std::uint64_t i = 0; i < 120; ++i) in_order[i] = i;
+  EXPECT_NE(a.completion_order, in_order);
+  EXPECT_EQ(*std::max_element(a.batch_trace.begin(), a.batch_trace.end()),
+            a.max_batch);
+}
+
+TEST(ContinuousBatchingProperty, DifferentSeedsDiverge) {
+  const ContinuousTrace a = run_continuous_fuzz(4242);
+  const ContinuousTrace c = run_continuous_fuzz(4243);
+  // Different draws, same invariants (checked above); traces diverge.
+  EXPECT_TRUE(a.batch_hash != c.batch_hash ||
+              a.completion_hash != c.completion_hash);
 }
 
 // ---------------------------------------------------------------------------

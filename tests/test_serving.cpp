@@ -320,6 +320,176 @@ TEST(EndpointDirectory, TracksRunningServices) {
   EXPECT_TRUE(session.runtime().endpoints_of("dir-svc").empty());
 }
 
+// ---------------------------------------------------------------------------
+// Continuous batching
+// ---------------------------------------------------------------------------
+
+TEST_F(BatchServerFixture, ContinuousRepliesPerSequenceNotAtBatchEnd) {
+  // Two staggered one-second requests share the decode loop (slope 0):
+  // A finishes at ~1.0 s and replies immediately; B joined at ~0.5 s
+  // and finishes at ~1.5 s. Fixed batching would hold A's reply until
+  // the batch end.
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 8,
+                           .batch_window = 0.0,
+                           .continuous = true});
+  std::vector<double> done_at(2, -1.0);
+  rpc_client->call("svc", "infer", json::Value::object(),
+                   [&](msg::CallResult r) {
+                     ASSERT_TRUE(r.ok);
+                     done_at[0] = loop.now();
+                   });
+  loop.call_at(0.5, [&] {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       done_at[1] = loop.now();
+                     });
+  });
+  loop.run();
+  EXPECT_NEAR(done_at[0], 1.0, 0.01);
+  EXPECT_NEAR(done_at[1], 1.5, 0.01);
+  // Admission trace: A joined a batch of 1, B grew it to 2.
+  EXPECT_EQ(server->batch_trace(), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(server->completion_order(),
+            (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(server->served(), 2u);
+}
+
+TEST_F(BatchServerFixture, ContinuousChargesStepFactorPerSegment) {
+  // Two simultaneous sequences with batch_cost_slope 0.25 decode at
+  // 1/1.25 of solo rate: both finish at 1.25 s, not 1 s (and not the
+  // fixed-batch 1.25 s *after a window*). A third request arriving
+  // mid-flight re-settles progress at the 3-sequence rate.
+  ModelSpec model = second_model();
+  model.batch_cost_slope = 0.25;
+  make_server(model, ServerConfig{.max_concurrency = 1,
+                                  .max_queue = 0,
+                                  .max_batch = 8,
+                                  .batch_window = 0.0,
+                                  .continuous = true});
+  std::vector<double> done_at;
+  for (int i = 0; i < 2; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       done_at.push_back(loop.now());
+                     });
+  }
+  loop.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  // Ties complete together at the same boundary, admission order.
+  EXPECT_NEAR(done_at[0], 1.25, 0.01);
+  EXPECT_NEAR(done_at[1], 1.25, 0.01);
+  EXPECT_EQ(server->completion_order(),
+            (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST_F(BatchServerFixture, ContinuousAdmitsFreedSlotsAtBoundaries) {
+  // max_batch 2 with four simultaneous arrivals: two admitted, two wait
+  // queued; the freed slots admit them at the completion boundary. The
+  // batch size never exceeds 2 anywhere in the trace.
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 2,
+                           .batch_window = 0.0,
+                           .continuous = true});
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult r) {
+                       ASSERT_TRUE(r.ok);
+                       ++completed;
+                     });
+  }
+  loop.run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(server->batch_trace(),
+            (std::vector<std::uint32_t>{1, 2, 1, 2}));
+  for (const std::uint32_t size : server->batch_trace()) {
+    EXPECT_LE(size, 2u);
+  }
+  EXPECT_EQ(server->completion_order(),
+            (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_NEAR(loop.now(), 2.0, 0.01);
+}
+
+TEST_F(BatchServerFixture, ContinuousRecordsLatencyWindow) {
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 4,
+                           .batch_window = 0.0,
+                           .continuous = true,
+                           .latency_window = 30.0});
+  for (int i = 0; i < 3; ++i) {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [](msg::CallResult) {});
+  }
+  loop.run();
+  // Three simultaneous one-second sequences, slope 0: every latency is
+  // ~1 s (arrival -> reply, including the rpc hop) and all sit in the
+  // window.
+  EXPECT_EQ(server->request_latencies().count(), 3u);
+  EXPECT_EQ(server->latency_window().count(loop.now()), 3u);
+  EXPECT_NEAR(server->latency_window().quantile(loop.now(), 0.95), 1.0,
+              0.05);
+}
+
+TEST_F(BatchServerFixture,
+       TeardownMidContinuousBatchDoesNotRereplyCompletedSequences) {
+  // The liveness-token regression, continuous edition: a server torn
+  // down with a *partially completed* running batch — some sequences
+  // already replied, others still decoding — must neither reply to the
+  // completed sequences a second time (Responder::reply throws on
+  // double reply, so that would surface as a crash) nor touch the
+  // still-running ones.
+  make_server(second_model(),
+              ServerConfig{.max_concurrency = 1,
+                           .max_queue = 0,
+                           .max_batch = 8,
+                           .batch_window = 0.0,
+                           .continuous = true});
+  std::vector<int> replies(3, 0);
+  // A finishes at ~1.0 s; B and C (arriving at 0.4/0.6 s) are still
+  // decoding when the server dies at 1.2 s.
+  rpc_client->call("svc", "infer", json::Value::object(),
+                   [&](msg::CallResult r) {
+                     ASSERT_TRUE(r.ok);
+                     ++replies[0];
+                   });
+  loop.call_at(0.4, [&] {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult) { ++replies[1]; });
+  });
+  loop.call_at(0.6, [&] {
+    rpc_client->call("svc", "infer", json::Value::object(),
+                     [&](msg::CallResult) { ++replies[2]; });
+  });
+  loop.run_until(1.2);
+  ASSERT_EQ(replies[0], 1);             // A completed and replied
+  ASSERT_EQ(server->served(), 1u);
+  ASSERT_EQ(server->running_sequences(), 2u);  // B, C mid-decode
+  server.reset();                       // teardown mid-continuous-batch
+  loop.run();                           // pending decode/reply events fire
+  EXPECT_EQ(replies[0], 1);             // never re-replied
+  EXPECT_EQ(replies[1], 0);             // dropped, like a crashed server
+  EXPECT_EQ(replies[2], 0);
+}
+
+TEST(ModelBatching, StepFactorAndSequenceWork) {
+  const ModelSpec llama = llama_8b_model();
+  EXPECT_DOUBLE_EQ(llama.step_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(llama.step_factor(4),
+                   1.0 + 3.0 * llama.batch_cost_slope);
+  EXPECT_DOUBLE_EQ(llama.sequence_work(120.0),
+                   llama.inference_floor_s + 120.0 * llama.per_token_s);
+  EXPECT_DOUBLE_EQ(llama.sequence_work(-5.0), llama.inference_floor_s);
+}
+
 TEST(ModelBatching, BatchDurationMatchesSingleAtSizeOne) {
   const ModelSpec llama = llama_8b_model();
   EXPECT_DOUBLE_EQ(llama.batch_duration({120.0}),
@@ -349,12 +519,13 @@ struct ServingTrace {
   std::vector<std::uint64_t> served;
   std::vector<std::uint64_t> rejected;
   std::vector<std::uint32_t> batch_sizes;  // concatenated, replica order
+  std::vector<std::uint64_t> completion_hashes;  // continuous runs
   std::size_t stopped_services = 0;
 
   bool operator==(const ServingTrace&) const = default;
 };
 
-ServingTrace run_serving(std::uint64_t seed) {
+ServingTrace run_serving(std::uint64_t seed, bool continuous = false) {
   core::Session session({.seed = seed});
   ml::install(session);
   session.add_platform(platform::delta_profile(2));
@@ -367,6 +538,7 @@ ServingTrace run_serving(std::uint64_t seed) {
                                         {"max_batch", 4},
                                         {"batch_window", 0.02},
                                         {"max_queue", 8}});
+  if (continuous) replica.config.set("continuous", true);
   replica.gpus = 1;
 
   AutoscalerConfig scaling;
@@ -419,6 +591,8 @@ ServingTrace run_serving(std::uint64_t seed) {
         const auto& batch_trace = program->server()->batch_trace();
         trace.batch_sizes.insert(trace.batch_sizes.end(),
                                  batch_trace.begin(), batch_trace.end());
+        trace.completion_hashes.push_back(
+            program->server()->completion_hash());
       }
       scaler.stop();
     });
@@ -449,6 +623,24 @@ TEST(ServingDeterminism, SameSeedBitIdenticalTraces) {
   EXPECT_FALSE(a.batch_sizes.empty());
   // Every replica was drained and stopped at the end.
   EXPECT_EQ(a.stopped_services, a.served.size());
+}
+
+TEST(ServingDeterminism, ContinuousSameSeedBitIdenticalTraces) {
+  // The whole elastic path again, with continuous batching on every
+  // replica: admission traces, per-sequence completion hashes and
+  // scaling decisions must all be bit-identical under one seed.
+  const ServingTrace a = run_serving(27, /*continuous=*/true);
+  const ServingTrace b = run_serving(27, /*continuous=*/true);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.requests, 6u * 12u);
+  EXPECT_FALSE(a.batch_sizes.empty());
+  // At least one replica actually interleaved sequences (a batch grew
+  // past one mid-flight).
+  bool interleaved = false;
+  for (const std::uint32_t size : a.batch_sizes) {
+    if (size > 1) interleaved = true;
+  }
+  EXPECT_TRUE(interleaved);
 }
 
 TEST(ServingDeterminism, DifferentSeedsDiverge) {

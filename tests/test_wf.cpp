@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "ripple/common/error.hpp"
 #include "ripple/core/session.hpp"
 #include "ripple/ml/install.hpp"
+#include "ripple/ml/model.hpp"
 #include "ripple/platform/profiles.hpp"
 #include "ripple/wf/hyperopt.hpp"
 #include "ripple/wf/workflow_manager.hpp"
@@ -111,6 +114,75 @@ TEST_F(WorkflowTest, ServiceStageStartsServicesFirst) {
   EXPECT_TRUE(result.ok);
   // The one service was created, used and stopped afterwards.
   EXPECT_EQ(session.services().count_in_state(ServiceState::stopped), 1u);
+}
+
+TEST_F(WorkflowTest, StageDeclaresLatencySloAndGroupScalesOnIt) {
+  // A stage declares a latency SLO in Stage::autoscale; the
+  // WorkflowManager threads it into the group's ml::Autoscaler. A
+  // request burst that blows the target must grow the pool while the
+  // stage runs, and stop_services_after must drain the scaled-up
+  // replica the stage's own uid list never saw.
+  ml::ModelSpec model = ml::noop_model();
+  model.name = "wf-slo-second";
+  model.init = common::Distribution::constant(0.05);
+  model.parse = common::Distribution::constant(0.0);
+  model.serialize = common::Distribution::constant(0.0);
+  model.inference_floor_s = 1.0;
+  ml::ModelRegistry::global().add(model);
+
+  Pipeline pipeline;
+  pipeline.name = "slo-stage";
+  Stage stage;
+  stage.name = "elastic";
+  ServiceDescription svc;
+  svc.name = "wf-slo-pool";
+  svc.program = "inference";
+  svc.config = json::Value::object(
+      {{"model", "wf-slo-second"}, {"continuous", true}});
+  svc.gpus = 1;
+  stage.services = {svc};
+  stage.autoscale.enabled = true;
+  stage.autoscale.min_replicas = 1;
+  stage.autoscale.max_replicas = 2;
+  stage.autoscale.poll_interval = 0.25;
+  stage.autoscale.cooldown = 0.5;
+  stage.autoscale.target_p95 = 0.5;  // 1 s inferences always violate it
+  stage.tasks = {modeled(15.0)};     // keeps the stage alive to scale
+  stage.stop_services_after = true;
+  pipeline.stages = {stage};
+
+  msg::RpcClient prober(session.runtime().router(), "prober",
+                        session.cluster("delta").head_host());
+  bool burst_sent = false;
+  std::function<void()> controller = [&] {
+    const auto endpoints = session.runtime().endpoints_of("wf-slo-pool");
+    if (!burst_sent && !endpoints.empty()) {
+      burst_sent = true;
+      // Five serial one-second requests: windowed p95 >= 1 s > 0.5 s.
+      for (int i = 0; i < 5; ++i) {
+        prober.call(endpoints.front(), "infer", json::Value::object(),
+                    [](msg::CallResult) {});
+      }
+      return;
+    }
+    if (!burst_sent && session.now() < 30.0) {
+      session.loop().call_after(0.25, controller);
+    }
+  };
+  session.loop().call_after(0.25, controller);
+
+  PipelineResult result;
+  workflows->run_pipeline(pipeline, *pilot,
+                          [&](const PipelineResult& r) { result = r; });
+  session.run();
+
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(burst_sent);
+  // The SLO scaled the group past its minimum, and the stage teardown
+  // drained every replica — including the scaled-up one.
+  EXPECT_GE(session.services().uids().size(), 2u);
+  EXPECT_EQ(session.services().count_in_state(ServiceState::stopped),
+            session.services().uids().size());
 }
 
 TEST_F(WorkflowTest, TaskFailureMarksPipelineFailed) {
