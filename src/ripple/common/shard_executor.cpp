@@ -1,0 +1,60 @@
+#include "ripple/common/shard_executor.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "ripple/common/error.hpp"
+
+namespace ripple::common {
+
+ShardExecutor::ShardExecutor(std::size_t shards) {
+  if (shards == 0) {
+    shards = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  shards_ = shards;
+  if (shards_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+  }
+}
+
+ShardExecutor::~ShardExecutor() = default;
+
+void ShardExecutor::run(std::size_t tasks,
+                        const std::function<void(std::size_t)>& fn) {
+  ensure(static_cast<bool>(fn), Errc::invalid_argument,
+         "ShardExecutor::run: empty shard function");
+  if (tasks == 0) return;
+  if (pool_ == nullptr || tasks == 1) {
+    for (std::size_t s = 0; s < tasks; ++s) fn(s);
+    return;
+  }
+
+  // Shards 1..tasks-1 go to the pool; the caller runs shard 0 so a
+  // ShardExecutor(S) saturates exactly S threads. Exceptions are
+  // collected per shard and the lowest-indexed one is rethrown after
+  // every shard has finished — deterministic regardless of which
+  // worker faulted first.
+  std::vector<std::exception_ptr> errors(tasks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks - 1);
+  for (std::size_t s = 1; s < tasks; ++s) {
+    futures.push_back(pool_->submit([&fn, &errors, s] {
+      try {
+        fn(s);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    }));
+  }
+  try {
+    fn(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (auto& future : futures) future.get();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ripple::common

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file shard_executor.hpp
+/// Sharded execution of control-plane kernels with a deterministic merge.
+///
+/// The Ripple control plane is a single deterministic event loop; at
+/// O(10k) nodes and millions of queued requests the loop itself becomes
+/// the bottleneck. The ShardExecutor lets the two hottest kernels —
+/// scheduler placement and transfer fair-share re-planning — run their
+/// *computation* on worker threads while every *observable effect*
+/// stays on the calling (event-loop) thread:
+///
+///   1. partition: the caller splits disjoint state into shard groups
+///      (pilots for the scheduler, zone-pair links for the transfer
+///      engine) — shard s owns items s, s+S, s+2S, ...;
+///   2. compute: run(S, fn) executes fn(s) concurrently; each shard
+///      mutates only its own groups' state and appends candidate
+///      results to its own buffer — no locks, no shared writes;
+///   3. merge: the caller flattens the buffers and commits them in
+///      logical MergeKey (time, sequence, shard) order — sequences are
+///      globally unique, so the committed order is a pure function of
+///      the records, independent of shard count or thread timing.
+///
+/// That merge is what preserves the house determinism rule: a run at
+/// shards=N is bit-identical to shards=1 under the same seed, which
+/// every sharded suite and ablation bench asserts via FNV fingerprints
+/// (the parallel==serial hash oracle).
+///
+/// run() blocks until all shards finish; the calling thread executes
+/// shard 0 itself, so a ShardExecutor(S) uses S-1 pool workers and
+/// shards<=1 degrades to a plain inline loop (no threads anywhere —
+/// the default, which all existing determinism suites run under).
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ripple/common/thread_pool.hpp"
+
+namespace ripple::common {
+
+/// Commit-order key for records produced by concurrent shards: logical
+/// time first, then a globally unique sequence, then the shard id as a
+/// final (normally unreachable) tiebreak. Strictly ordered, so the
+/// merged order never depends on thread scheduling.
+struct MergeKey {
+  double time = 0.0;
+  std::uint64_t sequence = 0;
+  std::uint32_t shard = 0;
+
+  bool operator<(const MergeKey& other) const noexcept {
+    if (time != other.time) return time < other.time;
+    if (sequence != other.sequence) return sequence < other.sequence;
+    return shard < other.shard;
+  }
+};
+
+class ShardExecutor {
+ public:
+  /// `shards` == 0 picks the hardware concurrency; 1 means fully
+  /// inline (no worker threads are created).
+  explicit ShardExecutor(std::size_t shards = 0);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+  /// Invokes fn(s) for every s in [0, tasks), concurrently across the
+  /// shard workers (the caller runs shard 0), and blocks until all
+  /// return. `tasks` is typically min(shards(), item_count). Exceptions
+  /// are deterministic: the lowest-indexed shard's exception is
+  /// rethrown after every shard has finished.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  std::size_t shards_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< shards_ - 1 workers; null if <= 1
+};
+
+/// Flattens per-shard record buffers and sorts them into MergeKey
+/// order — the deterministic commit order. `key_of` projects a record
+/// to its MergeKey.
+template <typename Record, typename KeyOf>
+std::vector<Record> merge_shards(std::vector<std::vector<Record>> buffers,
+                                 KeyOf key_of) {
+  std::vector<Record> merged;
+  std::size_t total = 0;
+  for (const auto& buffer : buffers) total += buffer.size();
+  merged.reserve(total);
+  for (auto& buffer : buffers) {
+    for (auto& record : buffer) merged.push_back(std::move(record));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [&](const Record& a, const Record& b) {
+              return key_of(a) < key_of(b);
+            });
+  return merged;
+}
+
+}  // namespace ripple::common

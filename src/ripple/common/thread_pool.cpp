@@ -26,10 +26,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t chunks_per_worker) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, workers_.size());
+  const std::size_t chunks = std::min(
+      total, workers_.size() * std::max<std::size_t>(1, chunks_per_worker));
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);

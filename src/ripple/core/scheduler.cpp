@@ -162,27 +162,59 @@ void Scheduler::release(const std::string& pilot_uid,
 
 WaitQueue::iterator Scheduler::grant(PilotEntry& entry,
                                      WaitQueue::iterator position,
-                                     platform::Node& node) {
+                                     platform::Node& node, GrantSink* sink) {
   ScheduleRequest& request = position->second.request;
   platform::Slot slot =
       node.allocate(request.cores, request.gpus, request.mem_gb);
-  wait_times_.add(runtime_.loop().now() - position->second.enqueued_at);
-  ++granted_;
+  if (sink != nullptr) {
+    // Sharded pass: only pilot-local state may change here. The shard
+    // field of the key is stamped by run_sharded_passes; sequence is
+    // the request's globally unique wait-queue sequence, so the merged
+    // commit order is invariant under the shard count.
+    PendingGrant pending;
+    pending.key = common::MergeKey{position->second.enqueued_at,
+                                   position->first.sequence, 0};
+    pending.enqueued_at = position->second.enqueued_at;
+    pending.uid = request.uid;
+    pending.slot = std::move(slot);
+    pending.node = &node;
+    pending.callback = std::move(request.granted);
+    sink->push_back(std::move(pending));
+    return entry.waiting.erase(position);
+  }
+  const double enqueued_at = position->second.enqueued_at;
+  std::string uid = request.uid;
   auto callback = std::move(request.granted);
   const auto next = entry.waiting.erase(position);
+  commit_grant(enqueued_at, uid, std::move(slot), &node,
+               std::move(callback));
+  return next;
+}
+
+void Scheduler::commit_grant(
+    double enqueued_at, const std::string& uid, platform::Slot slot,
+    platform::Node* node,
+    std::function<void(platform::Slot, platform::Node*)> callback) {
+  wait_times_.add(runtime_.loop().now() - enqueued_at);
+  ++granted_;
+  grant_hash_ = common::fnv1a(grant_hash_, uid);
+  grant_hash_ = common::fnv1a(grant_hash_, node->id());
+  grant_hash_ = common::fnv1a(grant_hash_,
+                              static_cast<std::uint64_t>(slot.cores));
+  grant_hash_ = common::fnv1a(grant_hash_,
+                              static_cast<std::uint64_t>(slot.gpus));
   runtime_.loop().post([callback = std::move(callback),
                         slot = std::move(slot),
-                        placed = &node] { callback(slot, placed); });
-  return next;
+                        placed = node] { callback(slot, placed); });
 }
 
 void Scheduler::set_locality_oracle(LocalityOracle oracle) {
   oracle_ = std::move(oracle);
 }
 
-std::size_t Scheduler::try_schedule(PilotEntry& entry) {
+std::size_t Scheduler::try_schedule(PilotEntry& entry, GrantSink* sink) {
   if (oracle_ && policy_ == SchedulerPolicy::backfill) {
-    return try_schedule_data_aware(entry);
+    return try_schedule_data_aware(entry, sink);
   }
   std::size_t grants = 0;
   auto it = entry.waiting.begin();
@@ -195,14 +227,15 @@ std::size_t Scheduler::try_schedule(PilotEntry& entry) {
       ++it;
       continue;
     }
-    it = grant(entry, it, *node);
+    it = grant(entry, it, *node, sink);
     ++grants;
   }
   entry.needs_full_scan = false;
   return grants;
 }
 
-std::size_t Scheduler::try_schedule_data_aware(PilotEntry& entry) {
+std::size_t Scheduler::try_schedule_data_aware(PilotEntry& entry,
+                                               GrantSink* sink) {
   std::size_t grants = 0;
   const std::string zone = entry.pilot->cluster().name();
   std::vector<WaitQueue::Key> deferred;  ///< skipped: non-zero footprint
@@ -233,7 +266,7 @@ std::size_t Scheduler::try_schedule_data_aware(PilotEntry& entry) {
         continue;
       }
       const bool at_begin = it == group_begin;
-      it = grant(entry, it, *node);
+      it = grant(entry, it, *node, sink);
       if (at_begin) group_begin = it;
       ++grants;
     }
@@ -250,7 +283,7 @@ std::size_t Scheduler::try_schedule_data_aware(PilotEntry& entry) {
           request.cores, request.gpus, request.mem_gb);
       if (node == nullptr) continue;
       const bool at_begin = it == group_begin;
-      const auto next = grant(entry, it, *node);
+      const auto next = grant(entry, it, *node, sink);
       if (at_begin) group_begin = next;
       ++grants;
     }
@@ -261,6 +294,132 @@ std::size_t Scheduler::try_schedule_data_aware(PilotEntry& entry) {
   }
   entry.needs_full_scan = false;
   return grants;
+}
+
+std::size_t Scheduler::run_sharded_passes(
+    const std::vector<PilotEntry*>& touched) {
+  if (touched.empty()) return 0;
+  const std::size_t nshards =
+      (executor_ != nullptr && executor_->shards() > 1)
+          ? std::min<std::size_t>(executor_->shards(), touched.size())
+          : 1;
+  // Round-robin pilots over shards: shard s owns pilots s, s+nshards, …
+  // Each pilot's wait queue, capacity index and nodes belong to exactly
+  // one shard (a node has one exclusive capacity listener), so the
+  // passes share no mutable state. Grants are buffered, not committed.
+  std::vector<GrantSink> buffers(nshards);
+  const auto pass = [&](std::size_t shard) {
+    GrantSink& sink = buffers[shard];
+    for (std::size_t p = shard; p < touched.size(); p += nshards) {
+      try_schedule(*touched[p], &sink);
+    }
+    for (PendingGrant& pending : sink) {
+      pending.key.shard = static_cast<std::uint32_t>(shard);
+    }
+  };
+  if (nshards == 1) {
+    pass(0);
+  } else {
+    executor_->run(nshards, pass);
+  }
+  return commit_merged(std::move(buffers));
+}
+
+std::size_t Scheduler::commit_merged(std::vector<GrantSink> buffers) {
+  // Merge in (enqueue time, request sequence, shard) order and commit
+  // serially. Sequences are globally unique, so this order is a pure
+  // function of the grant records — bit-identical for any shard count.
+  std::vector<PendingGrant> merged = common::merge_shards(
+      std::move(buffers),
+      [](const PendingGrant& pending) { return pending.key; });
+  for (PendingGrant& pending : merged) {
+    commit_grant(pending.enqueued_at, pending.uid, std::move(pending.slot),
+                 pending.node, std::move(pending.callback));
+  }
+  return merged.size();
+}
+
+std::size_t Scheduler::submit_batch(std::vector<PilotBatch> batches) {
+  // Validate everything first so a bad request leaves no partial state.
+  for (const PilotBatch& batch : batches) {
+    const PilotEntry& entry = entry_for(batch.pilot_uid);
+    for (const ScheduleRequest& request : batch.requests) {
+      validate_fits_pilot(entry, request);
+    }
+  }
+  std::vector<PilotEntry*> touched;
+  const auto touch = [&](PilotEntry& entry) {
+    if (std::find(touched.begin(), touched.end(), &entry) == touched.end()) {
+      touched.push_back(&entry);
+    }
+  };
+  try {
+    // Enqueue in input order on the calling thread: sequence assignment
+    // is identical to per-pilot submit_all calls in the same order.
+    for (PilotBatch& batch : batches) {
+      PilotEntry& entry = entry_for(batch.pilot_uid);
+      touch(entry);
+      for (ScheduleRequest& request : batch.requests) {
+        enqueue(entry, std::move(request));
+      }
+    }
+  } catch (...) {
+    // Same strand protection as submit_all: a duplicate uid mid-batch
+    // must not leave enqueued requests without a placement pass.
+    run_sharded_passes(touched);
+    throw;
+  }
+  return run_sharded_passes(touched);
+}
+
+std::size_t Scheduler::release_batch(
+    const std::vector<std::pair<std::string, platform::Slot>>& slots) {
+  // Group slots per pilot in first-occurrence order so each shard can
+  // release its pilots' capacity before re-running their passes.
+  std::vector<std::pair<PilotEntry*, std::vector<const platform::Slot*>>>
+      grouped;
+  for (const auto& [pilot_uid, slot] : slots) {
+    PilotEntry& entry = entry_for(pilot_uid);
+    auto it = std::find_if(grouped.begin(), grouped.end(),
+                           [&](const auto& g) { return g.first == &entry; });
+    if (it == grouped.end()) {
+      grouped.emplace_back(&entry, std::vector<const platform::Slot*>{});
+      it = std::prev(grouped.end());
+    }
+    // Resolve the node up front (loop-thread, may throw not_found).
+    platform::Node* node =
+        entry.pilot->cluster().find_node(slot.node_id);
+    ensure(node != nullptr, Errc::not_found,
+           strutil::cat("release on unknown node '", slot.node_id, "'"));
+    it->second.push_back(&slot);
+  }
+  if (grouped.empty()) return 0;
+  const std::size_t nshards =
+      (executor_ != nullptr && executor_->shards() > 1)
+          ? std::min<std::size_t>(executor_->shards(), grouped.size())
+          : 1;
+  std::vector<GrantSink> buffers(nshards);
+  const auto pass = [&](std::size_t shard) {
+    GrantSink& sink = buffers[shard];
+    for (std::size_t g = shard; g < grouped.size(); g += nshards) {
+      PilotEntry& entry = *grouped[g].first;
+      for (const platform::Slot* slot : grouped[g].second) {
+        platform::Node* node =
+            entry.pilot->cluster().find_node(slot->node_id);
+        node->release(*slot);  // index updates via the listener
+      }
+      try_schedule(entry, &sink);
+    }
+    for (PendingGrant& pending : sink) {
+      pending.key.shard = static_cast<std::uint32_t>(shard);
+    }
+  };
+  if (nshards == 1) {
+    pass(0);
+  } else {
+    executor_->run(nshards, pass);
+  }
+  return commit_merged(std::move(buffers));
 }
 
 void Scheduler::try_place_new(PilotEntry& entry, WaitQueue::Key key) {

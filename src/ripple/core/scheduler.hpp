@@ -27,13 +27,38 @@
 /// every priority class, requests whose inputs are already resident —
 /// conservatively: when every footprint is zero the grant order is
 /// bit-identical to the oracle-less scan.
+///
+/// Placement is *sharded* on the batch paths: submit_batch and
+/// release_batch partition the touched pilots into shard groups over a
+/// common::ShardExecutor (set_shard_executor; null — the default —
+/// runs the identical code inline). Each shard runs ordinary placement
+/// passes over its own pilots — a pilot's WaitQueue, CapacityIndex and
+/// nodes are touched by exactly one shard — and buffers candidate
+/// grants instead of committing them. The buffers are then merged in
+/// logical (enqueue time, request sequence, shard) order and committed
+/// on the calling thread: wait-time stats, the grant counter, the
+/// rolling grant-order FNV fingerprint (grant_log_hash) and the
+/// granted-callback posts all happen in that merged order. Request
+/// sequences are globally unique, so the committed order is a pure
+/// function of the per-pilot grant sets — independent of shard count
+/// or thread timing; a shards=N run is bit-identical to shards=1, the
+/// oracle the sharded suites and bench/ablation_shards assert. With an
+/// executor attached the locality oracle must tolerate concurrent
+/// const calls (the catalog residency lookup does).
+///
+/// The single-pilot paths (submit, submit_all, release, cancel) are
+/// unchanged and never touch the executor, so every pre-existing
+/// determinism suite runs the exact code it always did.
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ripple/common/hash.hpp"
+#include "ripple/common/shard_executor.hpp"
 #include "ripple/common/statistics.hpp"
 #include "ripple/core/entities.hpp"
 #include "ripple/core/runtime.hpp"
@@ -86,6 +111,39 @@ class Scheduler {
   std::size_t submit_all(const std::string& pilot_uid,
                          std::vector<ScheduleRequest> requests);
 
+  /// Attaches the shard executor the batch paths run their placement
+  /// passes on (null — the default — keeps them inline). See the file
+  /// comment for the sharding/merge contract.
+  void set_shard_executor(common::ShardExecutor* executor) noexcept {
+    executor_ = executor;
+  }
+
+  /// One pilot's slice of a cross-pilot batch submission.
+  struct PilotBatch {
+    std::string pilot_uid;
+    std::vector<ScheduleRequest> requests;
+  };
+
+  /// Enqueues requests against many pilots, then runs the per-pilot
+  /// placement passes sharded across the executor and commits the
+  /// merged grants deterministically (see file comment). Returns the
+  /// number granted.
+  std::size_t submit_batch(std::vector<PilotBatch> batches);
+
+  /// Releases granted slots across many pilots, then re-runs the
+  /// per-pilot placement passes the same sharded way. Returns the
+  /// number granted by the re-placement.
+  std::size_t release_batch(
+      const std::vector<std::pair<std::string, platform::Slot>>& slots);
+
+  /// Rolling FNV-1a fingerprint of the committed grant order (request
+  /// uid, node id, slot shape — in commit order). The parallel==serial
+  /// determinism oracle: a shards=N batch run must produce the same
+  /// fingerprint as shards=1 under the same seed.
+  [[nodiscard]] std::uint64_t grant_log_hash() const noexcept {
+    return grant_hash_;
+  }
+
   /// True when a request of this shape could ever fit some node of the
   /// pilot (the submit-time capacity precondition). O(distinct node
   /// shapes), i.e. O(1) for homogeneous pilots.
@@ -122,41 +180,77 @@ class Scheduler {
     bool needs_full_scan = false;
   };
 
+  /// A grant computed by a placement pass but not yet committed: the
+  /// pilot-local state (node capacity, wait queue) is already updated;
+  /// the globally ordered effects (stats, hash, callback post) happen
+  /// at commit, in merge-key order.
+  struct PendingGrant {
+    common::MergeKey key;  ///< (enqueued_at, request sequence, shard)
+    double enqueued_at = 0.0;
+    std::string uid;
+    platform::Slot slot;
+    platform::Node* node = nullptr;
+    std::function<void(platform::Slot, platform::Node*)> callback;
+  };
+  using GrantSink = std::vector<PendingGrant>;
+
   void validate_fits_pilot(const PilotEntry& entry,
                            const ScheduleRequest& request) const;
   WaitQueue::Key enqueue(PilotEntry& entry, ScheduleRequest request);
 
-  /// Allocates on `node`, records stats, posts the callback and removes
-  /// the entry; returns the successor iterator.
-  WaitQueue::iterator grant(PilotEntry& entry,
-                            WaitQueue::iterator position,
-                            platform::Node& node);
+  /// Allocates on `node` and removes the entry; returns the successor
+  /// iterator. With a null sink the grant commits immediately (stats,
+  /// hash, callback post — the single-pilot paths); otherwise it is
+  /// buffered for the batch paths' deterministic merge commit.
+  WaitQueue::iterator grant(PilotEntry& entry, WaitQueue::iterator position,
+                            platform::Node& node,
+                            GrantSink* sink = nullptr);
+
+  /// Commits one grant: wait-time stats, grant counter, rolling FNV
+  /// fingerprint, callback post — always on the loop thread.
+  void commit_grant(double enqueued_at, const std::string& uid,
+                    platform::Slot slot, platform::Node* node,
+                    std::function<void(platform::Slot, platform::Node*)>
+                        callback);
 
   /// Full placement pass in grant order; returns grants made. Every
   /// entry still queued afterwards does not fit the current capacity
   /// (backfill) or sits behind a blocked head (fifo) — the invariant
   /// the submit fast path relies on.
-  std::size_t try_schedule(PilotEntry& entry);
+  std::size_t try_schedule(PilotEntry& entry, GrantSink* sink = nullptr);
 
   /// Backfill pass with the locality oracle: within each priority
   /// class, resident requests (zero footprint) are granted first in
   /// submission order, then whatever else fits. Identical to
   /// try_schedule when every footprint is zero, and it reestablishes
   /// the same everything-left-is-unplaceable invariant.
-  std::size_t try_schedule_data_aware(PilotEntry& entry);
+  std::size_t try_schedule_data_aware(PilotEntry& entry,
+                                      GrantSink* sink = nullptr);
 
   /// Post-submit fast path: only the entry at `key` can possibly be
   /// granted (all others were unplaceable at unchanged capacity).
   void try_place_new(PilotEntry& entry, WaitQueue::Key key);
+
+  /// Runs placement passes over `touched` pilots — round-robin across
+  /// the executor's shards when one is attached, inline otherwise —
+  /// then merges and commits the buffered grants in (time, sequence,
+  /// shard) order. Returns the number committed.
+  std::size_t run_sharded_passes(const std::vector<PilotEntry*>& touched);
+
+  /// Merges per-shard grant buffers in MergeKey order and commits each
+  /// grant serially on the calling thread. Returns the number committed.
+  std::size_t commit_merged(std::vector<GrantSink> buffers);
 
   [[nodiscard]] PilotEntry& entry_for(const std::string& pilot_uid);
 
   Runtime& runtime_;
   SchedulerPolicy policy_;
   LocalityOracle oracle_;
+  common::ShardExecutor* executor_ = nullptr;
   std::map<std::string, PilotEntry> pilots_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t granted_ = 0;
+  std::uint64_t grant_hash_ = common::kFnvOffsetBasis;
   common::Summary wait_times_;
   common::Logger log_;
 };

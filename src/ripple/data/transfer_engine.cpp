@@ -221,10 +221,8 @@ void TransferEngine::begin_flow(TransferId id) {
   replan(key_for(it->second.src, it->second.dst));
 }
 
-void TransferEngine::replan(const LinkKey& key) {
-  const auto link_it = links_.find(key);
-  if (link_it == links_.end()) return;
-  Link& link = link_it->second;
+void TransferEngine::plan_link(const LinkKey& key, Link& link,
+                               std::vector<PlannedTimer>& sink) {
   const sim::SimTime now = loop_.now();
 
   std::size_t flowing = 0;
@@ -235,10 +233,6 @@ void TransferEngine::replan(const LinkKey& key) {
     t.remaining -= t.rate * (now - t.last_update);
     if (t.remaining < 0.0) t.remaining = 0.0;
     t.last_update = now;
-    if (t.timer.valid()) {
-      loop_.cancel(t.timer);
-      t.timer = {};
-    }
   }
   if (flowing == 0) return;
 
@@ -249,8 +243,74 @@ void TransferEngine::replan(const LinkKey& key) {
     if (t.phase != Phase::flowing) continue;
     t.rate = share;
     const sim::Duration eta = t.remaining / share;
-    t.timer = loop_.call_after(eta, [this, id] { on_attempt_end(id); });
+    sink.push_back(PlannedTimer{common::MergeKey{now + eta, t.id, 0}, t.id,
+                                eta});
   }
+}
+
+void TransferEngine::replan(const LinkKey& key) {
+  const auto link_it = links_.find(key);
+  if (link_it == links_.end()) return;
+  // Commit in the link's admission order — cancel() consumes no event
+  // sequence, so the call_after sequence here is byte-identical to the
+  // pre-plan_link implementation.
+  std::vector<PlannedTimer> planned;
+  plan_link(key, link_it->second, planned);
+  for (const PlannedTimer& plan : planned) {
+    Transfer& t = transfers_.at(plan.id);
+    if (t.timer.valid()) loop_.cancel(t.timer);
+    t.timer = loop_.call_after(plan.eta,
+                               [this, id = plan.id] { on_attempt_end(id); });
+  }
+}
+
+std::size_t TransferEngine::replan_all() {
+  // Snapshot links in map-key order; shard s plans links s, s+n, … —
+  // disjoint link (and therefore transfer) sets, no event-loop calls.
+  std::vector<std::pair<const LinkKey*, Link*>> links;
+  links.reserve(links_.size());
+  for (auto& [key, link] : links_) links.emplace_back(&key, &link);
+  if (links.empty()) return 0;
+  const std::size_t nshards =
+      (executor_ != nullptr && executor_->shards() > 1)
+          ? std::min<std::size_t>(executor_->shards(), links.size())
+          : 1;
+  std::vector<std::vector<PlannedTimer>> buffers(nshards);
+  const auto pass = [&](std::size_t shard) {
+    std::vector<PlannedTimer>& sink = buffers[shard];
+    for (std::size_t i = shard; i < links.size(); i += nshards) {
+      plan_link(*links[i].first, *links[i].second, sink);
+    }
+    for (PlannedTimer& plan : sink) {
+      plan.key.shard = static_cast<std::uint32_t>(shard);
+    }
+  };
+  if (nshards == 1) {
+    pass(0);
+  } else {
+    executor_->run(nshards, pass);
+  }
+  // Merge in (completion time, transfer id, shard) order and commit the
+  // timer reschedules serially. Ids are globally unique, so the timer
+  // sequence — and with it every downstream completion event — is a
+  // pure function of the plan, independent of shard count.
+  std::vector<PlannedTimer> merged = common::merge_shards(
+      std::move(buffers), [](const PlannedTimer& plan) { return plan.key; });
+  for (const PlannedTimer& plan : merged) {
+    Transfer& t = transfers_.at(plan.id);
+    if (t.timer.valid()) loop_.cancel(t.timer);
+    t.timer = loop_.call_after(plan.eta,
+                               [this, id = plan.id] { on_attempt_end(id); });
+  }
+  return merged.size();
+}
+
+std::uint64_t TransferEngine::completion_hash() const noexcept {
+  std::uint64_t hash = common::kFnvOffsetBasis;
+  for (const std::string& dataset : completion_log_) {
+    hash = common::fnv1a(hash, dataset);
+  }
+  return hash;
 }
 
 void TransferEngine::leave_link(Transfer& transfer) {

@@ -30,6 +30,20 @@
 /// stripe lands and is the only thing the completion log records —
 /// stripe order is deterministic (sources sorted), so same-seed
 /// schedules stay bit-reproducible.
+///
+/// Fair-share recomputation is *sharded* on the full-replan path:
+/// replan_all() — the "telemetry tick", run after mid-simulation
+/// bandwidth changes — partitions the links round-robin across a
+/// common::ShardExecutor (set_shard_executor; null runs inline). Links
+/// are disjoint: a transfer lives on exactly one (src, dst) link, so
+/// the parallel half (progress advance + new rate assignment) touches
+/// no shared state and never calls the event loop. Timer rescheduling
+/// is then committed serially in merged (completion time, transfer id,
+/// shard) order — transfer ids are globally unique, so the committed
+/// timer sequence is a pure function of the plan, independent of shard
+/// count: shards=N completion logs are bit-identical to shards=1
+/// (completion_hash is the oracle). The per-link replan run by
+/// join/leave events is unchanged and never touches the executor.
 
 #include <cstdint>
 #include <deque>
@@ -38,7 +52,9 @@
 #include <string>
 #include <vector>
 
+#include "ripple/common/hash.hpp"
 #include "ripple/common/random.hpp"
+#include "ripple/common/shard_executor.hpp"
 #include "ripple/common/statistics.hpp"
 #include "ripple/sim/event_loop.hpp"
 #include "ripple/sim/network.hpp"
@@ -74,6 +90,23 @@ class TransferEngine {
 
   /// Per-attempt failure probability and the retry budget per transfer.
   void set_failure(double probability, int max_retries);
+
+  /// Attaches the shard executor replan_all() runs its per-link
+  /// planning passes on (null — the default — keeps them inline). See
+  /// the file comment for the sharding/merge contract.
+  void set_shard_executor(common::ShardExecutor* executor) noexcept {
+    executor_ = executor;
+  }
+
+  /// Recomputes the fair-share rate of every flowing transfer on every
+  /// link against freshly resolved bandwidth — the "telemetry tick".
+  /// Bandwidth setters stay config-only (existing schedules are
+  /// untouched); a caller that changes bandwidth mid-run calls this to
+  /// re-rate live flows. Link planning is sharded across the executor;
+  /// the rescheduling commits serially in (completion time, transfer
+  /// id) order, invariant under the shard count. Returns the number of
+  /// flowing transfers replanned.
+  std::size_t replan_all();
 
   /// Starts (or queues, when the link is at its cap) a transfer of
   /// `bytes` from `src_zone` to `dst_zone`. `on_done` fires exactly
@@ -155,6 +188,10 @@ class TransferEngine {
     return completion_log_;
   }
 
+  /// FNV-1a fingerprint of the completion log — the parallel==serial
+  /// determinism oracle for sharded replanning.
+  [[nodiscard]] std::uint64_t completion_hash() const noexcept;
+
  private:
   using LinkKey = std::pair<std::string, std::string>;
 
@@ -220,8 +257,24 @@ class TransferEngine {
   /// reassigns fair-share rates and reschedules completion timers.
   void replan(const LinkKey& key);
 
+  /// One completion-timer reschedule produced by a planning pass.
+  struct PlannedTimer {
+    common::MergeKey key;  ///< (completion time, transfer id, shard)
+    TransferId id = 0;
+    sim::Duration eta = 0.0;
+  };
+
+  /// The loop-free half of replan(): advances progress and assigns the
+  /// new fair-share rate of every flowing transfer on the link,
+  /// buffering a timer record per transfer instead of touching the
+  /// event loop. Mutates only link-local transfer fields — safe to run
+  /// concurrently for distinct links.
+  void plan_link(const LinkKey& key, Link& link,
+                 std::vector<PlannedTimer>& sink);
+
   sim::EventLoop& loop_;
   common::Rng rng_;
+  common::ShardExecutor* executor_ = nullptr;
   const sim::Network* network_ = nullptr;
   std::map<LinkKey, double> bandwidth_override_;
   std::map<LinkKey, std::size_t> concurrency_;

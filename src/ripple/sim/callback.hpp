@@ -1,128 +1,24 @@
 #pragma once
 
 /// \file callback.hpp
-/// Small-buffer-optimized, move-only callable for event-loop events.
+/// The event-loop callback type.
 ///
 /// Every scheduled event used to carry a `std::function<void()>`, whose
 /// copyability forces a heap allocation for any capture larger than the
-/// implementation's tiny inline buffer (typically 16-24 bytes — less
-/// than `this` plus one uid string). With millions of grant callbacks,
-/// pub/sub deliveries and reply dispatches per run, that allocation was
-/// the remaining small-point cost of the post() fast path (see
-/// bench/micro_runtime's callback suite for the measured delta).
+/// implementation's tiny inline buffer. With millions of grant
+/// callbacks, pub/sub deliveries and reply dispatches per run, that
+/// allocation was the remaining small-point cost of the post() fast
+/// path (see bench/micro_runtime's callback suite for the measured
+/// delta).
 ///
-/// UniqueCallback is move-only, so a capture only needs to be movable,
-/// and it reserves enough inline storage for the common "component
-/// pointer + a couple of uids" closure shape. Larger captures fall back
-/// to the heap transparently.
+/// The actual small-buffer-optimized move-only implementation now lives
+/// in common/unique_function.hpp, shared with the thread pool's work
+/// queue; this alias keeps the event loop's vocabulary type.
 
-#include <cstddef>
-#include <memory>
-#include <new>
-#include <type_traits>
-#include <utility>
+#include "ripple/common/unique_function.hpp"
 
 namespace ripple::sim {
 
-class UniqueCallback {
- public:
-  /// Inline capture budget. 64 bytes holds `this` plus two
-  /// `std::string` uids (or one string and a couple of scalars), which
-  /// covers the runtime's hot callbacks; bigger closures heap-allocate.
-  static constexpr std::size_t inline_capacity = 64;
-
-  UniqueCallback() noexcept = default;
-  UniqueCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, UniqueCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  UniqueCallback(F&& f) {  // NOLINT(runtime/explicit)
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= inline_capacity &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
-      ops_ = &inline_ops<Fn>;
-    } else {
-      ::new (static_cast<void*>(storage_))
-          Fn*(new Fn(std::forward<F>(f)));
-      ops_ = &heap_ops<Fn>;
-    }
-  }
-
-  UniqueCallback(UniqueCallback&& other) noexcept : ops_(other.ops_) {
-    if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
-      other.ops_ = nullptr;
-    }
-  }
-
-  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
-    if (this != &other) {
-      reset();
-      ops_ = other.ops_;
-      if (ops_ != nullptr) {
-        ops_->relocate(other.storage_, storage_);
-        other.ops_ = nullptr;
-      }
-    }
-    return *this;
-  }
-
-  UniqueCallback(const UniqueCallback&) = delete;
-  UniqueCallback& operator=(const UniqueCallback&) = delete;
-
-  ~UniqueCallback() { reset(); }
-
-  void operator()() { ops_->invoke(storage_); }
-
-  [[nodiscard]] explicit operator bool() const noexcept {
-    return ops_ != nullptr;
-  }
-
- private:
-  struct Ops {
-    void (*invoke)(void* storage);
-    /// Move the callable from `from` into `to` and destroy the source.
-    void (*relocate)(void* from, void* to) noexcept;
-    void (*destroy)(void* storage) noexcept;
-  };
-
-  template <typename Fn>
-  static constexpr Ops inline_ops = {
-      [](void* storage) { (*std::launder(static_cast<Fn*>(storage)))(); },
-      [](void* from, void* to) noexcept {
-        Fn* source = std::launder(static_cast<Fn*>(from));
-        ::new (to) Fn(std::move(*source));
-        source->~Fn();
-      },
-      [](void* storage) noexcept {
-        std::launder(static_cast<Fn*>(storage))->~Fn();
-      }};
-
-  template <typename Fn>
-  static constexpr Ops heap_ops = {
-      [](void* storage) {
-        (**std::launder(static_cast<Fn**>(storage)))();
-      },
-      [](void* from, void* to) noexcept {
-        ::new (to) Fn*(*std::launder(static_cast<Fn**>(from)));
-      },
-      [](void* storage) noexcept {
-        delete *std::launder(static_cast<Fn**>(storage));
-      }};
-
-  void reset() noexcept {
-    if (ops_ != nullptr) {
-      ops_->destroy(storage_);
-      ops_ = nullptr;
-    }
-  }
-
-  alignas(std::max_align_t) unsigned char storage_[inline_capacity];
-  const Ops* ops_ = nullptr;
-};
+using UniqueCallback = common::UniqueFunction;
 
 }  // namespace ripple::sim

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <thread>
+#include <vector>
 
 #include "ripple/common/concurrent_queue.hpp"
 #include "ripple/common/thread_pool.hpp"
+#include "ripple/sim/event_loop.hpp"
 
 namespace {
 
@@ -76,6 +80,46 @@ TEST(ConcurrentQueue, ManyProducersManyConsumers) {
   EXPECT_EQ(total.load(), n * (n - 1) / 2);
 }
 
+TEST(ConcurrentQueue, BlockingPushWakesOnPop) {
+  common::ConcurrentQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));  // parks on the full queue
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // capacity 1: still blocked
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(ConcurrentQueue, CloseReleasesFullQueueWaiters) {
+  common::ConcurrentQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(2));  // woken by close(), not by space
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  EXPECT_EQ(queue.pop().value(), 1);  // close still drains
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ConcurrentQueue, TryPopDrainsAfterClose) {
+  common::ConcurrentQueue<int> queue(2);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.try_pop().value(), 1);
+  EXPECT_EQ(queue.try_pop().value(), 2);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
 TEST(ThreadPool, SubmitReturnsFutures) {
   common::ThreadPool pool(3);
   EXPECT_EQ(pool.thread_count(), 3u);
@@ -134,6 +178,62 @@ TEST(ThreadPool, ParallelReductionMatchesSerial) {
   double total = 0;
   for (auto& f : futures) total += f.get();
   EXPECT_DOUBLE_EQ(total, kN * (kN - 1) / 2.0);
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
+  // The queue stores tasks in a move-only inline-storage wrapper, so
+  // submit() no longer needs copyable callables (or the shared_ptr
+  // indirection that used to fake them).
+  common::ThreadPool pool(1);
+  auto future = pool.submit(
+      [p = std::make_unique<int>(41)]() mutable { return *p + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForChunkGranularityBalancesLoad) {
+  // 16 items, the first 8 slow. One chunk per worker puts every slow
+  // item in the same chunk (8 sleeps back to back on one worker); the
+  // default granularity (4 chunks/worker) spreads them across both.
+  common::ThreadPool pool(2);
+  const auto slow_half = [](std::size_t i) {
+    if (i < 8) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  const auto timed = [&](std::size_t chunks_per_worker) {
+    const auto start = std::chrono::steady_clock::now();
+    pool.parallel_for(0, 16, slow_half, chunks_per_worker);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double coarse = timed(1);
+  const double fine = timed(4);
+  EXPECT_GT(coarse, 0.23);  // all 8 sleeps land on one worker
+  EXPECT_LT(fine, 0.21);    // sleeps overlap at finer granularity
+}
+
+TEST(EventLoop, PostExternalHandsOffAcrossThreads) {
+  sim::EventLoop loop;
+  bool ran = false;
+  std::thread worker([&] { loop.post_external([&ran] { ran = true; }); });
+  worker.join();  // hand-off complete before the loop runs
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, PostExternalMidRunDrainsAtStepBoundary) {
+  sim::EventLoop loop;
+  std::vector<int> order;
+  loop.call_after(1.0, [&] {
+    std::thread worker(
+        [&] { loop.post_external([&] { order.push_back(2); }); });
+    worker.join();  // the external callback is parked before we return
+    order.push_back(1);
+  });
+  loop.call_after(2.0, [&] { order.push_back(3); });
+  loop.run();
+  // The drained callback runs at the next step boundary (t=1), ahead of
+  // the strictly later t=2 timer.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(ThreadPool, DestructorDrainsQueuedWork) {
