@@ -343,4 +343,94 @@ void DataManager::put(const std::string& name, double bytes,
   catalog_.register_dataset(name, bytes, zone);
 }
 
+// ---------------------------------------------------------------------------
+// Store-failure repair
+// ---------------------------------------------------------------------------
+
+void DataManager::record_repair(const std::string& event) {
+  const std::string line = strutil::cat(
+      strutil::format_fixed(runtime_.loop().now(), 6), " ", event);
+  repair_log_.push_back(line);
+  repair_hash_ = common::fnv1a(repair_hash_, line);
+}
+
+std::string DataManager::repair_target(const std::string& name) const {
+  const Dataset& ds = catalog_.dataset(name);
+  std::string best;
+  double best_free = -1.0;
+  for (const std::string& zone : catalog_.store_zones()) {
+    if (ds.zones.count(zone) != 0) continue;
+    const double free = catalog_.store(zone).free();
+    if (free < ds.bytes) continue;
+    if (free > best_free) {  // sorted iteration: ties keep the first
+      best = zone;
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+std::size_t DataManager::handle_store_failure(const std::string& zone) {
+  // 1. Flights into the dead store first, while its reservation ledger
+  // still exists: cancel the transfer, unpin the sources, return the
+  // reservation, fail the waiters on the next loop turn (a waiter may
+  // start new stages; those must observe the store already gone).
+  std::vector<FlightKey> inbound;
+  for (const auto& [key, flight] : flights_) {
+    if (key.second == zone) inbound.push_back(key);
+  }
+  for (const FlightKey& key : inbound) {
+    const auto it = flights_.find(key);
+    if (it == flights_.end()) continue;
+    auto waiters = std::move(it->second.waiters);
+    engine_.cancel(it->second.transfer_id);
+    for (const auto& src : it->second.src_zones) {
+      catalog_.unpin(key.first, src);
+    }
+    catalog_.release_reservation(zone, it->second.reserved_bytes);
+    if (it->second.prefetch) {
+      prefetch_inflight_[zone] -= it->second.reserved_bytes;
+      if (prefetch_inflight_[zone] < 0.0) prefetch_inflight_[zone] = 0.0;
+    }
+    flights_.erase(it);
+    for (auto& [ticket, callback] : waiters) {
+      ticket_index_.erase(ticket);
+      runtime_.loop().post(
+          [cb = std::move(callback)] { cb(false, 0.0); });
+    }
+  }
+
+  // 2. Force-drop everything the store held.
+  const std::vector<std::string> lost = catalog_.fail_store(zone);
+  record_repair(strutil::cat("store_failed ", zone, " lost=", lost.size()));
+
+  // 3. Re-replicate each lost dataset from its survivors — `lost` is
+  // sorted and the target choice is a pure function of catalog state,
+  // so the repair schedule is deterministic.
+  std::size_t repairs = 0;
+  for (const std::string& name : lost) {
+    if (!catalog_.dataset(name).zones.empty()) {
+      const std::string target = repair_target(name);
+      if (target.empty()) {
+        record_repair(strutil::cat("no_target ", name));
+        continue;
+      }
+      record_repair(strutil::cat("repair ", name, " -> ", target));
+      ++repairs_started_;
+      ++repairs;
+      stage(name, target, [this, name, target](bool ok, sim::Duration) {
+        if (ok) {
+          ++repairs_completed_;
+          record_repair(strutil::cat("repaired ", name, " ", target));
+        } else {
+          record_repair(strutil::cat("repair_failed ", name, " ", target));
+        }
+      });
+    } else {
+      record_repair(strutil::cat("lost ", name));
+    }
+  }
+  return repairs;
+}
+
 }  // namespace ripple::core

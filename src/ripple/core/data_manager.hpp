@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "ripple/common/hash.hpp"
 #include "ripple/common/statistics.hpp"
 #include "ripple/core/runtime.hpp"
 #include "ripple/data/catalog.hpp"
@@ -132,6 +133,35 @@ class DataManager {
   /// Records a task-produced dataset (stage-out target).
   void put(const std::string& name, double bytes, const std::string& zone);
 
+  // --- failure handling -----------------------------------------------------
+
+  /// The zone's store crashed. Flights *into* it are cancelled (their
+  /// waiters fail on the next loop turn), the catalog force-drops every
+  /// replica it held (fail_store), and each lost dataset that still has
+  /// a surviving replica elsewhere is re-replicated ("repaired") into
+  /// the declared store with the most free bytes that does not already
+  /// hold it — a striped re-stripe from the survivors over the existing
+  /// stage() path. Datasets with no survivor are logged as lost.
+  /// Flights *from* the zone keep running (their bytes are modeled as
+  /// already in flight; the catalog tolerates their late unpins).
+  /// Returns the number of repairs started.
+  std::size_t handle_store_failure(const std::string& zone);
+
+  /// Ordered "t event" lines for every store-failure repair decision —
+  /// the repair determinism oracle, FNV-fingerprinted.
+  [[nodiscard]] const std::vector<std::string>& repair_log() const noexcept {
+    return repair_log_;
+  }
+  [[nodiscard]] std::uint64_t repair_log_hash() const noexcept {
+    return repair_hash_;
+  }
+  [[nodiscard]] std::uint64_t repairs_started() const noexcept {
+    return repairs_started_;
+  }
+  [[nodiscard]] std::uint64_t repairs_completed() const noexcept {
+    return repairs_completed_;
+  }
+
   // --- replication-ahead ----------------------------------------------------
 
   /// Opportunistically replicates `names` toward `zone` ahead of
@@ -208,6 +238,13 @@ class DataManager {
 
   void on_flight_done(const FlightKey& key, bool ok, sim::Duration elapsed);
 
+  /// Healthiest declared store for a repair replica of `name`: most
+  /// free bytes among stores not already holding it, first-sorted zone
+  /// on ties; empty when nothing fits.
+  [[nodiscard]] std::string repair_target(const std::string& name) const;
+
+  void record_repair(const std::string& event);
+
   Runtime& runtime_;
   data::ReplicaCatalog catalog_;
   data::TransferEngine engine_;
@@ -218,6 +255,10 @@ class DataManager {
   std::uint64_t prefetches_started_ = 0;
   std::uint64_t prefetches_completed_ = 0;
   StageTicket next_ticket_ = 1;
+  std::vector<std::string> repair_log_;
+  std::uint64_t repair_hash_ = common::kFnvOffsetBasis;
+  std::uint64_t repairs_started_ = 0;
+  std::uint64_t repairs_completed_ = 0;
 };
 
 }  // namespace ripple::core

@@ -11,7 +11,8 @@ namespace ripple::core {
 
 void ModeledPayload::run(ExecutionContext& ctx, DoneFn done, FailFn fail) {
   (void)fail;
-  const sim::Duration duration = duration_.sample(ctx.rng);
+  const sim::Duration duration =
+      duration_.sample(ctx.rng) * ctx.speed_factor;
   ctx.loop().call_after(duration, [duration, done = std::move(done)] {
     json::Value result = json::Value::object();
     result.set("runtime", duration);
@@ -119,7 +120,8 @@ class FunctionPayload final : public TaskPayload {
       fail(strutil::cat("function '", fn_name, "' threw: ", e.what()));
       return;
     }
-    const sim::Duration duration = desc_.duration.sample(ctx.rng);
+    const sim::Duration duration =
+        desc_.duration.sample(ctx.rng) * ctx.speed_factor;
     ctx.loop().call_after(
         duration, [duration, output = std::move(output),
                    done = std::move(done)]() mutable {

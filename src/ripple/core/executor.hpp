@@ -37,6 +37,10 @@ struct ExecutionContext {
   common::Rng rng;           ///< forked, unit-private stream
   common::Logger log;
 
+  /// Execution-time multiplier of the hosting node at launch (> 1 =
+  /// slower — the straggler model). Modeled durations are scaled by it.
+  double speed_factor = 1.0;
+
   [[nodiscard]] sim::EventLoop& loop() const { return runtime->loop(); }
   [[nodiscard]] msg::Router& router() const { return runtime->router(); }
   [[nodiscard]] metrics::Registry& metrics() const {

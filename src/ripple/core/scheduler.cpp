@@ -50,6 +50,10 @@ void Scheduler::remove_pilot(const std::string& pilot_uid) {
   pilots_.erase(pilot_uid);
 }
 
+std::size_t Scheduler::reschedule(const std::string& pilot_uid) {
+  return try_schedule(entry_for(pilot_uid));
+}
+
 Scheduler::PilotEntry& Scheduler::entry_for(const std::string& pilot_uid) {
   const auto it = pilots_.find(pilot_uid);
   ensure(it != pilots_.end(), Errc::not_found,

@@ -99,6 +99,15 @@ class Scheduler {
   /// Drops a pilot; pending requests for it are discarded.
   void remove_pilot(const std::string& pilot_uid);
 
+  [[nodiscard]] bool has_pilot(const std::string& pilot_uid) const noexcept {
+    return pilots_.count(pilot_uid) != 0;
+  }
+
+  /// Re-runs a full placement pass after node capacity changed outside
+  /// the release path (a crashed node rejoining, capacity freed by a
+  /// node death). Returns the number granted.
+  std::size_t reschedule(const std::string& pilot_uid);
+
   /// Enqueues a request against a pilot's resources. Throws capacity
   /// when the request can never fit on any node of the pilot.
   void submit(const std::string& pilot_uid, ScheduleRequest request);

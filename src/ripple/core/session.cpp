@@ -3,6 +3,7 @@
 #include "ripple/common/error.hpp"
 #include "ripple/common/ids.hpp"
 #include "ripple/common/strutil.hpp"
+#include "ripple/core/failure_coordinator.hpp"
 
 namespace ripple::core {
 
@@ -27,6 +28,7 @@ Session::Session(SessionConfig config)
              const std::string& zone) {
         return data_->bytes_required(datasets, zone);
       });
+  failures_ = std::make_unique<FailureCoordinator>(*this);
 }
 
 Session::~Session() = default;
@@ -58,6 +60,13 @@ platform::Cluster& Session::cluster(const std::string& name) {
 
 bool Session::has_cluster(const std::string& name) const {
   return clusters_.count(name) != 0;
+}
+
+std::vector<std::string> Session::cluster_names() const {
+  std::vector<std::string> names;
+  names.reserve(clusters_.size());
+  for (const auto& [name, cluster] : clusters_) names.push_back(name);
+  return names;
 }
 
 Pilot& Session::submit_pilot(const PilotDescription& desc) {
@@ -105,6 +114,24 @@ void Session::close_pilot(const std::string& uid) {
   p.cluster().release_nodes(p.nodes());
   p.set_state(PilotState::done, runtime_.loop().now());
   runtime_.publish_state("pilot", uid, to_string(PilotState::done));
+}
+
+void Session::fail_pilot(const std::string& uid) {
+  Pilot& p = pilot(uid);
+  if (is_terminal(p.state())) return;  // lost a race with close/failure
+  // Survivors, in deterministic map order: the candidates every
+  // interrupted task may be re-bound to.
+  std::vector<Pilot*> survivors;
+  for (auto& [other_uid, other] : pilots_) {
+    if (other_uid != uid && !is_terminal(other->state())) {
+      survivors.push_back(other.get());
+    }
+  }
+  scheduler_->remove_pilot(uid);
+  p.cluster().release_nodes(p.nodes());
+  p.set_state(PilotState::failed, runtime_.loop().now());
+  runtime_.publish_state("pilot", uid, to_string(PilotState::failed));
+  tasks_->handle_pilot_loss(uid, survivors);
 }
 
 std::size_t Session::run() { return runtime_.loop().run(); }

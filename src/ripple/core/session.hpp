@@ -36,6 +36,8 @@
 
 namespace ripple::core {
 
+class FailureCoordinator;
+
 struct SessionConfig {
   std::uint64_t seed = 42;
   SchedulerPolicy scheduler_policy = SchedulerPolicy::backfill;
@@ -68,6 +70,15 @@ class Session {
   /// Ends a pilot: releases its nodes back to the cluster.
   void close_pilot(const std::string& uid);
 
+  /// The pilot was lost (spot preemption, allocation kill): its
+  /// scheduler entry is removed, nodes returned, state set to FAILED,
+  /// and every bound task re-bound to a surviving pilot (or failed when
+  /// none fits). Tolerant of already-terminal pilots (no-op).
+  void fail_pilot(const std::string& uid);
+
+  /// Platform names in deterministic (sorted) order.
+  [[nodiscard]] std::vector<std::string> cluster_names() const;
+
   // --- components ---
 
   [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
@@ -77,6 +88,8 @@ class Session {
   [[nodiscard]] DataManager& data() noexcept { return *data_; }
   [[nodiscard]] ServiceManager& services() noexcept { return *services_; }
   [[nodiscard]] TaskManager& tasks() noexcept { return *tasks_; }
+  /// Seeded fault injection wired into this session's runtime.
+  [[nodiscard]] FailureCoordinator& failures() noexcept { return *failures_; }
   [[nodiscard]] metrics::Registry& metrics() noexcept {
     return runtime_.metrics();
   }
@@ -109,6 +122,7 @@ class Session {
   std::unique_ptr<DataManager> data_;
   std::unique_ptr<ServiceManager> services_;
   std::unique_ptr<TaskManager> tasks_;
+  std::unique_ptr<FailureCoordinator> failures_;
   std::map<std::string, std::unique_ptr<Pilot>> pilots_;
   common::Logger log_;
 };

@@ -63,6 +63,15 @@ bool is_terminal(PilotState state) noexcept {
 }
 
 bool transition_allowed(TaskState from, TaskState to) noexcept {
+  // Re-placement path: a task interrupted by a node crash or pilot
+  // preemption re-enters the scheduling queue when the restart policy
+  // allows it (enforced by TaskManager). Inputs stay staged; outputs
+  // of the lost attempt are discarded.
+  if (to == TaskState::scheduling &&
+      (from == TaskState::scheduling || from == TaskState::scheduled ||
+       from == TaskState::launching || from == TaskState::running)) {
+    return true;
+  }
   if (is_terminal(from)) return false;
   if (to == TaskState::failed || to == TaskState::canceled) return true;
   switch (from) {

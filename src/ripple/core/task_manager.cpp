@@ -1,6 +1,7 @@
 #include "ripple/core/task_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "ripple/common/error.hpp"
@@ -34,7 +35,8 @@ TaskManager::TaskManager(Runtime& runtime, Scheduler& scheduler,
       executor_(executor),
       data_(data),
       services_(services),
-      log_(runtime.make_logger("task_manager")) {
+      log_(runtime.make_logger("task_manager")),
+      restart_rng_(runtime.rng().fork("task_restart")) {
   // Re-evaluate waiting tasks whenever any entity changes state: a
   // dependency may have completed or a required service become RUNNING.
   runtime_.pubsub().subscribe(
@@ -284,15 +286,27 @@ void TaskManager::to_staging_in(const std::string& uid) {
     return;
   }
   set_state(active, TaskState::staging_input);
+  begin_stage_in(uid, active);
+  // Staging overlaps the queue wait: enter the scheduler immediately;
+  // launch is gated on both the grant and the staged inputs.
+  to_scheduling(uid);
+}
+
+void TaskManager::begin_stage_in(const std::string& uid, Active& active) {
+  const std::vector<std::string> inputs =
+      stage_in_datasets(active.task->description());
+  if (inputs.empty()) return;
   active.stage_in_pending = true;
   const std::string zone = active.pilot->cluster().name();
+  const std::uint64_t epoch = active.epoch;
   active.stage_batch = data_.stage_all_tracked(
       inputs, zone,
-      [this, uid, inputs, zone](bool ok,
-                                const std::string& failed_dataset) {
+      [this, uid, inputs, zone, epoch](bool ok,
+                                       const std::string& failed_dataset) {
         const auto it = tasks_.find(uid);
         if (it == tasks_.end()) return;
         Active& active = it->second;
+        if (active.epoch != epoch) return;  // attempt was interrupted
         active.stage_in_pending = false;
         active.stage_batch.reset();
         if (is_terminal(active.task->state())) return;
@@ -321,9 +335,6 @@ void TaskManager::to_staging_in(const std::string& uid) {
           begin_launch(uid);
         }
       });
-  // Staging overlaps the queue wait: enter the scheduler immediately;
-  // launch is gated on both the grant and the staged inputs.
-  to_scheduling(uid);
 }
 
 // ---------------------------------------------------------------------------
@@ -342,8 +353,11 @@ ScheduleRequest TaskManager::make_request(const std::string& uid,
   request.input_datasets = stage_in_datasets(desc);
   request.input_bytes = data_.bytes_required(
       request.input_datasets, active.pilot->cluster().name());
-  request.granted = [this, uid](platform::Slot slot, platform::Node* node) {
-    on_granted(uid, std::move(slot), node);
+  const std::uint64_t epoch = active.epoch;
+  const std::string pilot_uid = active.pilot->uid();
+  request.granted = [this, uid, epoch, pilot_uid](platform::Slot slot,
+                                                  platform::Node* node) {
+    on_granted(uid, epoch, pilot_uid, std::move(slot), node);
   };
   return request;
 }
@@ -395,13 +409,27 @@ void TaskManager::schedule_batch(Pilot& pilot,
   }
 }
 
-void TaskManager::on_granted(const std::string& uid, platform::Slot slot,
-                             platform::Node* node) {
+void TaskManager::on_granted(const std::string& uid, std::uint64_t epoch,
+                             const std::string& pilot_uid,
+                             platform::Slot slot, platform::Node* node) {
   const auto it = tasks_.find(uid);
-  if (it == tasks_.end()) return;
+  const auto give_back = [this, &pilot_uid](const platform::Slot& s) {
+    if (scheduler_.has_pilot(pilot_uid)) scheduler_.release(pilot_uid, s);
+  };
+  if (it == tasks_.end()) {
+    give_back(slot);
+    return;
+  }
   Active& active = it->second;
-  if (is_terminal(active.task->state())) {
-    scheduler_.release(active.pilot->uid(), slot);
+  if (is_terminal(active.task->state()) || active.epoch != epoch) {
+    give_back(slot);
+    return;
+  }
+  if (!node->alive() || slot.incarnation != node->incarnation()) {
+    // The node died between placement and this (posted) delivery; the
+    // slot died with it. Requeue — the capacity index now excludes the
+    // dead node, so the replacement grant lands elsewhere.
+    scheduler_.submit(pilot_uid, make_request(uid, active));
     return;
   }
   active.task->set_slot(std::move(slot));
@@ -418,37 +446,372 @@ void TaskManager::begin_launch(const std::string& uid) {
   active.ctx = std::make_unique<ExecutionContext>(executor_.make_context(
       uid, active.node->host(), active.task->description().payload));
   active.ctx->data = &data_;
+  active.ctx->speed_factor = active.node->speed_factor();
+  const std::uint64_t epoch = active.epoch;
   executor_.launch(active.pilot->cluster(), 0,
-                   [this, uid](sim::Duration) { on_launched(uid); });
+                   [this, uid, epoch](sim::Duration) {
+                     on_launched(uid, epoch);
+                   });
 }
 
-void TaskManager::on_launched(const std::string& uid) {
+void TaskManager::on_launched(const std::string& uid, std::uint64_t epoch) {
   const auto it = tasks_.find(uid);
   if (it == tasks_.end()) return;
   Active& active = it->second;
-  if (is_terminal(active.task->state())) return;
+  if (is_terminal(active.task->state()) || active.epoch != epoch) return;
   set_state(active, TaskState::running);
 
   active.payload = executor_.payloads().create(active.task->description());
   active.payload->run(
       *active.ctx,
-      [this, uid](json::Value result) {
-        on_payload_done(uid, std::move(result));
+      [this, uid, epoch](json::Value result) {
+        on_payload_done(uid, epoch, std::move(result), /*from_spec=*/false);
       },
-      [this, uid](const std::string& error) { fail_task(uid, error); });
+      [this, uid, epoch](const std::string& error) {
+        on_payload_failed(uid, epoch, error, /*from_spec=*/false);
+      });
+
+  if (speculation_.enabled) {
+    const sim::Duration wait =
+        std::max(speculation_.min_delay,
+                 active.task->description().duration.mean() *
+                     speculation_.latency_multiple);
+    active.spec_timer = runtime_.loop().call_after(
+        wait, [this, uid, epoch] { maybe_speculate(uid, epoch); });
+  }
 }
 
-void TaskManager::on_payload_done(const std::string& uid,
-                                  json::Value result) {
+void TaskManager::on_payload_failed(const std::string& uid,
+                                    std::uint64_t epoch,
+                                    const std::string& error,
+                                    bool from_spec) {
   const auto it = tasks_.find(uid);
   if (it == tasks_.end()) return;
   Active& active = it->second;
-  if (is_terminal(active.task->state())) return;
+  if (is_terminal(active.task->state()) || active.epoch != epoch) return;
+  if (from_spec) {
+    // The duplicate failed; the primary attempt is still the task.
+    cancel_speculation(active, scheduler_.has_pilot(active.pilot->uid()));
+    record_recovery(uid, "spec_failed");
+    return;
+  }
+  fail_task(uid, error);
+}
+
+void TaskManager::on_payload_done(const std::string& uid,
+                                  std::uint64_t epoch, json::Value result,
+                                  bool from_spec) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state()) || active.epoch != epoch) return;
+  // First finisher wins. Bump the epoch so the loser's uncancellable
+  // completion timer drops itself at the guard above.
+  ++active.epoch;
+  if (from_spec) {
+    ++speculation_wins_;
+    record_recovery(uid, "spec_win");
+    // Promote the duplicate: its slot becomes the task's slot, the
+    // straggling primary's slot goes back to the scheduler.
+    release_slot(active);
+    active.task->set_slot(active.spec_slot);
+    active.node = active.spec_node;
+    active.slot_held = active.spec_slot_held;
+    active.ctx = std::move(active.spec_ctx);
+    active.payload = std::move(active.spec_payload);
+    active.spec_slot_held = false;
+    active.spec_node = nullptr;
+    if (active.spec_timer.valid()) {
+      runtime_.loop().cancel(active.spec_timer);
+      active.spec_timer = {};
+    }
+    active.spec_queued = false;
+  } else {
+    cancel_speculation(active, scheduler_.has_pilot(active.pilot->uid()));
+  }
   active.task->set_result(std::move(result));
   // The payload has read its inputs: stop pinning them, so a finite
   // store can evict them to make room for this task's own outputs.
   release_input_pins(active);
   to_staging_out(uid);
+}
+
+// ---------------------------------------------------------------------------
+// Speculation (straggler mitigation)
+// ---------------------------------------------------------------------------
+
+void TaskManager::maybe_speculate(const std::string& uid,
+                                  std::uint64_t epoch) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  active.spec_timer = {};
+  if (active.epoch != epoch) return;
+  if (active.task->state() != TaskState::running) return;
+  if (active.spec_queued || active.spec_slot_held) return;
+  const std::string pilot_uid = active.pilot->uid();
+  if (!scheduler_.has_pilot(pilot_uid)) return;
+
+  const TaskDescription& desc = active.task->description();
+  ScheduleRequest request;
+  request.uid = uid + "#spec";
+  request.cores = desc.cores;
+  request.gpus = desc.gpus;
+  request.mem_gb = desc.mem_gb;
+  request.priority = desc.priority;
+  request.granted = [this, uid, epoch, pilot_uid](platform::Slot slot,
+                                                   platform::Node* node) {
+    on_spec_granted(uid, epoch, pilot_uid, std::move(slot), node);
+  };
+  scheduler_.submit(pilot_uid, std::move(request));
+  active.spec_queued = true;
+  record_recovery(uid, "speculate");
+}
+
+void TaskManager::on_spec_granted(const std::string& uid,
+                                  std::uint64_t epoch,
+                                  const std::string& pilot_uid,
+                                  platform::Slot slot,
+                                  platform::Node* node) {
+  const auto it = tasks_.find(uid);
+  const auto give_back = [this, &pilot_uid](const platform::Slot& s) {
+    if (scheduler_.has_pilot(pilot_uid)) scheduler_.release(pilot_uid, s);
+  };
+  if (it == tasks_.end()) {
+    give_back(slot);
+    return;
+  }
+  Active& active = it->second;
+  if (is_terminal(active.task->state()) || active.epoch != epoch ||
+      active.task->state() != TaskState::running) {
+    give_back(slot);
+    active.spec_queued = false;
+    return;
+  }
+  active.spec_queued = false;
+  if (!node->alive() || slot.incarnation != node->incarnation()) {
+    return;  // the duplicate's node died in flight; drop the attempt
+  }
+  active.spec_slot = std::move(slot);
+  active.spec_node = node;
+  active.spec_slot_held = true;
+  ++speculations_;
+  active.spec_ctx = std::make_unique<ExecutionContext>(
+      executor_.make_context(uid + "#spec", node->host(),
+                             active.task->description().payload));
+  active.spec_ctx->data = &data_;
+  active.spec_ctx->speed_factor = node->speed_factor();
+  executor_.launch(active.pilot->cluster(), 0,
+                   [this, uid, epoch](sim::Duration) {
+                     on_spec_launched(uid, epoch);
+                   });
+}
+
+void TaskManager::on_spec_launched(const std::string& uid,
+                                   std::uint64_t epoch) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state()) || active.epoch != epoch) return;
+  if (!active.spec_slot_held || !active.spec_ctx) return;
+  active.spec_payload =
+      executor_.payloads().create(active.task->description());
+  active.spec_payload->run(
+      *active.spec_ctx,
+      [this, uid, epoch](json::Value result) {
+        on_payload_done(uid, epoch, std::move(result), /*from_spec=*/true);
+      },
+      [this, uid, epoch](const std::string& error) {
+        on_payload_failed(uid, epoch, error, /*from_spec=*/true);
+      });
+}
+
+void TaskManager::cancel_speculation(Active& active, bool pilot_alive) {
+  if (active.spec_timer.valid()) {
+    runtime_.loop().cancel(active.spec_timer);
+    active.spec_timer = {};
+  }
+  const std::string& uid = active.task->uid();
+  if (active.spec_queued) {
+    if (pilot_alive) {
+      scheduler_.cancel(active.pilot->uid(), uid + "#spec");
+    }
+    active.spec_queued = false;
+  }
+  if (active.spec_slot_held) {
+    if (pilot_alive && scheduler_.has_pilot(active.pilot->uid())) {
+      scheduler_.release(active.pilot->uid(), active.spec_slot);
+    }
+    active.spec_slot_held = false;
+  }
+  active.spec_payload.reset();
+  active.spec_ctx.reset();
+  active.spec_node = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling & re-placement
+// ---------------------------------------------------------------------------
+
+void TaskManager::record_recovery(const std::string& uid,
+                                  const std::string& event) {
+  const std::string line = strutil::cat(
+      strutil::format_fixed(runtime_.loop().now(), 6), " ", uid, " ", event);
+  recovery_log_.push_back(line);
+  recovery_hash_ = common::fnv1a(recovery_hash_, line);
+}
+
+void TaskManager::interrupt_task(const std::string& uid,
+                                 const std::string& reason,
+                                 Pilot* replacement, bool pilot_alive) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state())) return;
+  // Invalidate every callback of the interrupted attempt (payload
+  // completions cannot be cancelled, grants may be posted in flight).
+  ++active.epoch;
+  if (active.restart_timer.valid()) {
+    runtime_.loop().cancel(active.restart_timer);
+    active.restart_timer = {};
+  }
+  cancel_speculation(active, pilot_alive);
+  if (active.task->state() == TaskState::scheduling && pilot_alive &&
+      scheduler_.has_pilot(active.pilot->uid())) {
+    scheduler_.cancel(active.pilot->uid(), uid);
+  }
+  if (active.stage_batch) {
+    data_.cancel_batch(active.stage_batch);
+    active.stage_batch.reset();
+  }
+  active.stage_in_pending = false;
+  release_input_pins(active);
+  if (active.slot_held) {
+    // Release before any re-bind: the slot belongs to the old pilot.
+    if (pilot_alive && scheduler_.has_pilot(active.pilot->uid())) {
+      scheduler_.release(active.pilot->uid(), active.task->slot());
+    }
+    active.slot_held = false;
+  }
+  active.payload.reset();
+  active.ctx.reset();
+  active.node = nullptr;
+  if (replacement != nullptr) {
+    active.pilot = replacement;
+    active.task->set_pilot_uid(replacement->uid());
+  }
+  if (active.restarts >= restart_policy_.max_restarts) {
+    fail_task(uid, strutil::cat(reason, " (restart budget exhausted after ",
+                                active.restarts, " restarts)"));
+    return;
+  }
+  ++active.restarts;
+  ++restarts_total_;
+  double step = restart_policy_.backoff *
+                std::pow(restart_policy_.multiplier, active.restarts - 1);
+  step = std::min(step, restart_policy_.max_backoff);
+  const double delay =
+      restart_policy_.jitter ? step * restart_rng_.uniform(0.5, 1.5) : step;
+  set_state(active, TaskState::scheduling);
+  record_recovery(uid,
+                  strutil::cat("restart", active.restarts, " ", reason));
+  const std::uint64_t epoch = active.epoch;
+  active.restart_timer = runtime_.loop().call_after(
+      delay, [this, uid, epoch] { resume_restart(uid, epoch); });
+}
+
+void TaskManager::resume_restart(const std::string& uid,
+                                 std::uint64_t epoch) {
+  const auto it = tasks_.find(uid);
+  if (it == tasks_.end()) return;
+  Active& active = it->second;
+  if (is_terminal(active.task->state()) || active.epoch != epoch) return;
+  active.restart_timer = {};
+  const TaskDescription& desc = active.task->description();
+  if (!scheduler_.has_pilot(active.pilot->uid()) ||
+      !scheduler_.fits_pilot(active.pilot->uid(), desc.cores, desc.gpus,
+                             desc.mem_gb)) {
+    fail_task(uid, strutil::cat("restart: pilot ", active.pilot->uid(),
+                                " cannot host the task any more"));
+    return;
+  }
+  // Re-stage inputs: datasets still resident in the pilot's zone land
+  // instantly, anything lost with a failed store is re-fetched.
+  begin_stage_in(uid, active);
+  scheduler_.submit(active.pilot->uid(), make_request(uid, active));
+}
+
+std::size_t TaskManager::handle_node_failure(const platform::Node& node) {
+  std::vector<std::string> snapshot;
+  snapshot.reserve(tasks_.size());
+  for (const auto& [uid, active] : tasks_) snapshot.push_back(uid);
+  std::size_t interrupted = 0;
+  for (const auto& uid : snapshot) {
+    const auto it = tasks_.find(uid);
+    if (it == tasks_.end()) continue;
+    Active& active = it->second;
+    if (is_terminal(active.task->state())) continue;
+    if (active.spec_node == &node && active.spec_slot_held) {
+      cancel_speculation(active, scheduler_.has_pilot(active.pilot->uid()));
+      record_recovery(uid, "spec_lost_node");
+    }
+    if (active.node != &node || !active.slot_held) continue;
+    // STAGING_OUTPUT attempts keep their results: outputs are zone-level
+    // transfers that survive the node; the stale slot release is a no-op.
+    if (active.task->state() == TaskState::staging_output) continue;
+    interrupt_task(uid, strutil::cat("node ", node.id(), " failed"),
+                   /*replacement=*/nullptr, /*pilot_alive=*/true);
+    ++interrupted;
+  }
+  return interrupted;
+}
+
+std::size_t TaskManager::handle_pilot_loss(
+    const std::string& pilot_uid, const std::vector<Pilot*>& survivors) {
+  std::vector<std::string> snapshot;
+  snapshot.reserve(tasks_.size());
+  for (const auto& [uid, active] : tasks_) snapshot.push_back(uid);
+  std::size_t moved = 0;
+  for (const auto& uid : snapshot) {
+    const auto it = tasks_.find(uid);
+    if (it == tasks_.end()) continue;
+    Active& active = it->second;
+    if (is_terminal(active.task->state())) continue;
+    if (active.pilot->uid() != pilot_uid) continue;
+    const TaskDescription& desc = active.task->description();
+    Pilot* replacement = nullptr;
+    for (Pilot* candidate : survivors) {
+      if (candidate == nullptr || candidate->uid() == pilot_uid) continue;
+      if (scheduler_.has_pilot(candidate->uid()) &&
+          scheduler_.fits_pilot(candidate->uid(), desc.cores, desc.gpus,
+                                desc.mem_gb)) {
+        replacement = candidate;
+        break;
+      }
+    }
+    if (replacement == nullptr) {
+      fail_task(uid, strutil::cat("pilot ", pilot_uid,
+                                  " preempted, no surviving pilot fits"));
+      continue;
+    }
+    const TaskState state = active.task->state();
+    if (state == TaskState::created || state == TaskState::waiting ||
+        state == TaskState::staging_output) {
+      // Not holding pilot resources worth restarting for: just re-bind.
+      // (A staging-out attempt's outputs are zone-level and keep going;
+      // its slot died with the pilot, so only drop the local handle.)
+      active.slot_held = false;
+      active.pilot = replacement;
+      active.task->set_pilot_uid(replacement->uid());
+      record_recovery(uid, strutil::cat("rebind ", replacement->uid()));
+      ++moved;
+      continue;
+    }
+    interrupt_task(uid, strutil::cat("pilot ", pilot_uid, " preempted"),
+                   replacement, /*pilot_alive=*/false);
+    ++moved;
+  }
+  return moved;
 }
 
 // ---------------------------------------------------------------------------
@@ -523,7 +886,9 @@ void TaskManager::finish(const std::string& uid) {
 
 void TaskManager::release_slot(Active& active) {
   if (active.slot_held) {
-    scheduler_.release(active.pilot->uid(), active.task->slot());
+    if (scheduler_.has_pilot(active.pilot->uid())) {
+      scheduler_.release(active.pilot->uid(), active.task->slot());
+    }
     active.slot_held = false;
   }
 }
@@ -544,7 +909,13 @@ void TaskManager::fail_task(const std::string& uid,
   log_.error(strutil::cat(uid, ": ", error));
   active.task->set_error(error);
   waiting_.erase(uid);
-  if (active.task->state() == TaskState::scheduling) {
+  if (active.restart_timer.valid()) {
+    runtime_.loop().cancel(active.restart_timer);
+    active.restart_timer = {};
+  }
+  cancel_speculation(active, scheduler_.has_pilot(active.pilot->uid()));
+  if (active.task->state() == TaskState::scheduling &&
+      scheduler_.has_pilot(active.pilot->uid())) {
     // Staging can fail while the request queues (overlapped stage-in);
     // drop the queue entry so the scheduler never grants a dead task.
     scheduler_.cancel(active.pilot->uid(), uid);

@@ -8,6 +8,18 @@
 /// -> DONE, honouring task dependencies and service readiness relations
 /// ("services often have to be started before any computing task",
 /// paper section III). Data staging goes through the DataManager.
+///
+/// Failure is first-class: a node crash or pilot preemption interrupts
+/// the placed attempt (handle_node_failure / handle_pilot_loss) and the
+/// task re-enters SCHEDULING after an exponential backoff with jitter,
+/// up to RestartPolicy::max_restarts attempts. Every launched attempt
+/// carries an epoch; callbacks from a dead attempt (the uncancellable
+/// payload completion of a crashed incarnation, a stale grant) compare
+/// epochs on entry and drop themselves. The same guard powers straggler
+/// mitigation: with speculation enabled, a task RUNNING for longer than
+/// its expected duration times SpeculationPolicy::latency_multiple gets
+/// a duplicate attempt on another slot — the first finisher wins and
+/// the loser is cancelled.
 
 #include <functional>
 #include <map>
@@ -16,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "ripple/common/hash.hpp"
 #include "ripple/core/data_manager.hpp"
 #include "ripple/core/descriptions.hpp"
 #include "ripple/core/entities.hpp"
@@ -28,8 +41,68 @@ namespace ripple::core {
 
 class TaskManager {
  public:
+  /// Re-placement policy for tasks interrupted by failures.
+  struct RestartPolicy {
+    int max_restarts = 0;             ///< 0 = fail-stop (legacy behavior)
+    sim::Duration backoff = 1.0;      ///< first restart delay
+    double multiplier = 2.0;          ///< exponential growth per restart
+    sim::Duration max_backoff = 60.0;
+    bool jitter = true;               ///< x uniform[0.5, 1.5), seeded
+  };
+
+  /// Speculative-duplicate policy for stragglers.
+  struct SpeculationPolicy {
+    bool enabled = false;
+    /// Duplicate once RUNNING exceeds expected duration x this.
+    double latency_multiple = 3.0;
+    sim::Duration min_delay = 1.0;
+  };
+
   TaskManager(Runtime& runtime, Scheduler& scheduler, Executor& executor,
               DataManager& data, ServiceManager& services);
+
+  void set_restart_policy(RestartPolicy policy) noexcept {
+    restart_policy_ = policy;
+  }
+  [[nodiscard]] const RestartPolicy& restart_policy() const noexcept {
+    return restart_policy_;
+  }
+  void set_speculation(SpeculationPolicy policy) noexcept {
+    speculation_ = policy;
+  }
+
+  /// A node crashed: every attempt placed on it is interrupted and the
+  /// task re-placed on its pilot per the restart policy (slots died
+  /// with the node; queued requests simply avoid it via the capacity
+  /// index). Returns the number of tasks interrupted.
+  std::size_t handle_node_failure(const platform::Node& node);
+
+  /// A pilot was preempted (its scheduler entry is already gone): every
+  /// non-terminal task bound to it moves to the first surviving pilot
+  /// that fits, re-entering the queue per the restart policy; with no
+  /// fitting survivor the task fails. Returns tasks re-bound.
+  std::size_t handle_pilot_loss(const std::string& pilot_uid,
+                                const std::vector<Pilot*>& survivors);
+
+  [[nodiscard]] std::uint64_t restarts_total() const noexcept {
+    return restarts_total_;
+  }
+  [[nodiscard]] std::uint64_t speculations() const noexcept {
+    return speculations_;
+  }
+  [[nodiscard]] std::uint64_t speculation_wins() const noexcept {
+    return speculation_wins_;
+  }
+
+  /// Ordered "t uid event" lines for every restart/speculation decision
+  /// — the failure-determinism oracle, FNV-fingerprinted.
+  [[nodiscard]] const std::vector<std::string>& recovery_log()
+      const noexcept {
+    return recovery_log_;
+  }
+  [[nodiscard]] std::uint64_t recovery_log_hash() const noexcept {
+    return recovery_hash_;
+  }
 
   /// Submits one task into `pilot`; returns its uid. Dependencies named
   /// in the description must already exist.
@@ -86,6 +159,21 @@ class TaskManager {
     /// task waits for its grant must not evict what was just staged.
     std::vector<std::string> input_pins;
     std::string input_pin_zone;
+    /// Attempt generation. Bumped when an attempt is interrupted (node
+    /// crash, pilot loss) or decided (speculation winner); callbacks
+    /// capture the epoch they were created under and drop themselves
+    /// on mismatch — payload completions cannot be cancelled.
+    std::uint64_t epoch = 0;
+    int restarts = 0;
+    sim::EventLoop::TimerHandle restart_timer{};
+    /// Speculative duplicate attempt (straggler mitigation).
+    sim::EventLoop::TimerHandle spec_timer{};
+    bool spec_queued = false;  ///< duplicate request waiting at scheduler
+    bool spec_slot_held = false;
+    platform::Slot spec_slot;
+    platform::Node* spec_node = nullptr;
+    std::unique_ptr<ExecutionContext> spec_ctx;
+    std::unique_ptr<TaskPayload> spec_payload;
   };
 
   struct DoneWatcher {
@@ -111,15 +199,37 @@ class TaskManager {
                                              Active& active);
   void to_staging_in(const std::string& uid);
   void to_scheduling(const std::string& uid);
-  void on_granted(const std::string& uid, platform::Slot slot,
+  /// Starts (or restarts) the overlapped stage-in batch for `uid`.
+  void begin_stage_in(const std::string& uid, Active& active);
+  void on_granted(const std::string& uid, std::uint64_t epoch,
+                  const std::string& pilot_uid, platform::Slot slot,
                   platform::Node* node);
   /// Slot held and inputs local: transition to LAUNCHING and start.
   void begin_launch(const std::string& uid);
-  void on_launched(const std::string& uid);
-  void on_payload_done(const std::string& uid, json::Value result);
+  void on_launched(const std::string& uid, std::uint64_t epoch);
+  void on_payload_done(const std::string& uid, std::uint64_t epoch,
+                       json::Value result, bool from_spec);
+  void on_payload_failed(const std::string& uid, std::uint64_t epoch,
+                         const std::string& error, bool from_spec);
   void to_staging_out(const std::string& uid);
   void finish(const std::string& uid);
   void fail_task(const std::string& uid, const std::string& error);
+  /// Tears down the current attempt (epoch bump, slot/pins/staging
+  /// released) and either re-queues the task after backoff or fails it
+  /// once the restart budget is spent. `pilot_alive` gates scheduler
+  /// interactions (a preempted pilot is already deregistered);
+  /// `replacement` re-binds the task first when non-null.
+  void interrupt_task(const std::string& uid, const std::string& reason,
+                      Pilot* replacement, bool pilot_alive);
+  void resume_restart(const std::string& uid, std::uint64_t epoch);
+  /// Arms / fires / settles the speculative duplicate.
+  void maybe_speculate(const std::string& uid, std::uint64_t epoch);
+  void on_spec_granted(const std::string& uid, std::uint64_t epoch,
+                       const std::string& pilot_uid, platform::Slot slot,
+                       platform::Node* node);
+  void on_spec_launched(const std::string& uid, std::uint64_t epoch);
+  void cancel_speculation(Active& active, bool pilot_alive);
+  void record_recovery(const std::string& uid, const std::string& event);
   void release_slot(Active& active);
   void release_input_pins(Active& active);
   void set_state(Active& active, TaskState state);
@@ -138,6 +248,16 @@ class TaskManager {
   std::map<std::string, Active> tasks_;
   std::set<std::string> waiting_;
   std::vector<DoneWatcher> watchers_;
+  RestartPolicy restart_policy_;
+  SpeculationPolicy speculation_;
+  /// Dedicated stream for backoff jitter: restart delays must not
+  /// perturb (or be perturbed by) other components' draws.
+  common::Rng restart_rng_;
+  std::uint64_t restarts_total_ = 0;
+  std::uint64_t speculations_ = 0;
+  std::uint64_t speculation_wins_ = 0;
+  std::vector<std::string> recovery_log_;
+  std::uint64_t recovery_hash_ = common::kFnvOffsetBasis;
 };
 
 }  // namespace ripple::core

@@ -23,10 +23,12 @@ void ReplicaCatalog::add_store(const std::string& zone,
   ensure(capacity_bytes >= 0.0, Errc::invalid_argument,
          "store capacity must be >= 0");
   Store& store = stores_[zone];
-  ensure(capacity_bytes >= store.info.used + store.info.reserved,
-         Errc::invalid_state,
-         strutil::cat("store '", zone, "' cannot shrink below ",
-                      store.info.used + store.info.reserved,
+  // Same ULP tolerance as every other capacity comparison: the in-use
+  // pools carry rounding dust from long +=/-= chains, and a shrink to
+  // the exact nominal footprint must not misfire over it.
+  const double in_use = store.info.used + store.info.reserved;
+  ensure(capacity_bytes >= in_use - slack(in_use), Errc::invalid_state,
+         strutil::cat("store '", zone, "' cannot shrink below ", in_use,
                       " bytes in use"));
   store.info.capacity = capacity_bytes;
 }
@@ -139,6 +141,13 @@ void ReplicaCatalog::pin(const std::string& name, const std::string& zone) {
 }
 
 void ReplicaCatalog::unpin(const std::string& name, const std::string& zone) {
+  // A pin taken before the zone's store failed: the replica was
+  // force-dropped, and the interrupted reader's release is tolerated.
+  const auto lost = lost_pins_.find({zone, name});
+  if (lost != lost_pins_.end()) {
+    if (--lost->second == 0) lost_pins_.erase(lost);
+    return;
+  }
   Entry& entry = entry_for(name);
   const auto rep = entry.replicas.find(zone);
   ensure(rep != entry.replicas.end(), Errc::not_found,
@@ -181,6 +190,31 @@ std::size_t ReplicaCatalog::consumers_left(const std::string& name) const {
 StoreInfo ReplicaCatalog::store(const std::string& zone) const {
   const auto it = stores_.find(zone);
   return it == stores_.end() ? StoreInfo{} : it->second.info;
+}
+
+std::vector<std::string> ReplicaCatalog::store_zones() const {
+  std::vector<std::string> zones;
+  zones.reserve(stores_.size());
+  for (const auto& [zone, store] : stores_) zones.push_back(zone);
+  return zones;
+}
+
+std::vector<std::string> ReplicaCatalog::fail_store(const std::string& zone) {
+  std::vector<std::string> lost;
+  // Replicas may live in zones never declared via add_store (infinite
+  // store), so walk the datasets rather than the store's LRU index.
+  for (auto& [name, entry] : datasets_) {
+    const auto rep = entry.replicas.find(zone);
+    if (rep == entry.replicas.end()) continue;
+    if (rep->second.pins > 0) {
+      lost_pins_[{zone, name}] += rep->second.pins;
+    }
+    entry.replicas.erase(rep);
+    entry.info.zones.erase(zone);
+    lost.push_back(name);  // datasets_ is ordered: `lost` comes out sorted
+  }
+  stores_.erase(zone);
+  return lost;
 }
 
 bool ReplicaCatalog::protected_replica(const Entry& entry,

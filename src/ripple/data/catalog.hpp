@@ -25,6 +25,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ripple::data {
@@ -109,6 +110,18 @@ class ReplicaCatalog {
   // --- introspection ------------------------------------------------------
 
   [[nodiscard]] StoreInfo store(const std::string& zone) const;
+
+  /// The zone's store failed: every replica in it is force-dropped —
+  /// pins and lineage notwithstanding — reservations are wiped and the
+  /// store itself is forgotten (a later add_store re-declares it; until
+  /// then the zone is back to infinite capacity). Returns the names of
+  /// datasets that lost a replica, sorted. Pins held on force-dropped
+  /// replicas are remembered so the interrupted readers' later unpin()
+  /// calls are tolerated no-ops; pin() on a lost replica still throws.
+  std::vector<std::string> fail_store(const std::string& zone);
+
+  /// Zones with a declared store, sorted.
+  [[nodiscard]] std::vector<std::string> store_zones() const;
   [[nodiscard]] std::uint64_t evictions() const noexcept {
     return total_evictions_;
   }
@@ -157,6 +170,9 @@ class ReplicaCatalog {
 
   std::map<std::string, Entry> datasets_;
   std::map<std::string, Store> stores_;
+  /// (zone, dataset) -> pins force-dropped by fail_store, kept so late
+  /// unpin() calls from interrupted readers do not throw.
+  std::map<std::pair<std::string, std::string>, std::size_t> lost_pins_;
   std::map<std::string, std::size_t> lineage_;  ///< consumers left
   std::uint64_t clock_ = 0;
   std::uint64_t total_evictions_ = 0;

@@ -200,13 +200,18 @@ TransferEngine::TransferId TransferEngine::transfer_striped(
 }
 
 void TransferEngine::admit(Transfer& transfer) {
-  Link& link = links_[key_for(transfer.src, transfer.dst)];
+  const LinkKey key = key_for(transfer.src, transfer.dst);
+  Link& link = links_[key];
   link.active.push_back(transfer.id);
   transfer.phase = Phase::setup;
   ++transfer.attempts;
   // Per-attempt draws, in admission order: deterministic given the
   // event schedule.
   transfer.attempt_fails = rng_.chance(failure_probability_);
+  // An attempt admitted onto a failed link dies after its setup
+  // latency (the handshake times out); on_attempt_end treats it as
+  // terminal while the link stays down.
+  if (down_.count(key) != 0) transfer.attempt_fails = true;
   const sim::Duration setup = setup_.sample(rng_);
   const TransferId id = transfer.id;
   transfer.timer = loop_.call_after(setup, [this, id] { begin_flow(id); });
@@ -326,13 +331,68 @@ void TransferEngine::leave_link(Transfer& transfer) {
   transfer.phase = Phase::queued;
   transfer.rate = 0.0;
   // A freed slot admits the queue head before the survivors re-plan, so
-  // the link never idles below its cap while work waits.
+  // the link never idles below its cap while work waits. A failed link
+  // keeps its queue parked: restore_link drains it.
+  while (down_.count(key) == 0 && !link.queued.empty() &&
+         link.active.size() < cap_for(key)) {
+    const TransferId next = link.queued.front();
+    link.queued.pop_front();
+    admit(transfers_.at(next));
+  }
+  replan(key);
+}
+
+void TransferEngine::fail_link(const std::string& zone_a,
+                               const std::string& zone_b) {
+  const LinkKey key = key_for(zone_a, zone_b);
+  if (!down_.insert(key).second) return;  // already down
+  const auto it = links_.find(key);
+  if (it == links_.end()) return;
+  // Snapshot ids: failing an attempt mutates active/queued, and a
+  // victim's callback may re-enter the engine (cancel, new transfers).
+  std::vector<TransferId> victims(it->second.active.begin(),
+                                  it->second.active.end());
+  victims.insert(victims.end(), it->second.queued.begin(),
+                 it->second.queued.end());
+  for (const TransferId victim : victims) fail_attempt_terminal(victim);
+}
+
+void TransferEngine::restore_link(const std::string& zone_a,
+                                  const std::string& zone_b) {
+  const LinkKey key = key_for(zone_a, zone_b);
+  if (down_.erase(key) == 0) return;  // was not down
+  const auto it = links_.find(key);
+  if (it == links_.end()) return;
+  Link& link = it->second;
+  // Drain whatever queued while the link was down.
   while (!link.queued.empty() && link.active.size() < cap_for(key)) {
     const TransferId next = link.queued.front();
     link.queued.pop_front();
     admit(transfers_.at(next));
   }
   replan(key);
+}
+
+void TransferEngine::fail_attempt_terminal(TransferId id) {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;  // settled by a reentrant callback
+  Transfer& t = it->second;
+  Link& link = links_[key_for(t.src, t.dst)];
+  const auto queued = std::find(link.queued.begin(), link.queued.end(), id);
+  if (queued != link.queued.end()) {
+    link.queued.erase(queued);
+  } else {
+    leave_link(t);
+  }
+  if (t.parent != 0) {
+    finish_stripe(id, false);  // dies into the parent's failover path
+    return;
+  }
+  ++failed_;
+  Callback on_done = std::move(t.on_done);
+  const sim::Duration elapsed = loop_.now() - t.started_at;
+  transfers_.erase(it);
+  on_done(false, elapsed);
 }
 
 void TransferEngine::on_attempt_end(TransferId id) {
@@ -343,8 +403,11 @@ void TransferEngine::on_attempt_end(TransferId id) {
   t.timer = {};
 
   if (t.attempt_fails) {
+    // Retrying a dead link is pointless: while it is down, every
+    // failure is terminal regardless of the budget.
+    const bool terminal = down_.count(key_for(t.src, t.dst)) != 0;
     leave_link(t);
-    if (t.attempts <= max_retries_) {
+    if (!terminal && t.attempts <= max_retries_) {
       ++retries_;
       t.remaining = t.total_bytes;
       enter_link(id);
@@ -382,11 +445,12 @@ void TransferEngine::on_attempt_end(TransferId id) {
 
 void TransferEngine::finish_stripe(TransferId id, bool ok) {
   const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;  // already settled: idempotent
   const TransferId parent_id = it->second.parent;
   const double stripe_bytes = it->second.total_bytes;
   transfers_.erase(it);
   const auto pit = striped_.find(parent_id);
-  if (pit == striped_.end()) return;
+  if (pit == striped_.end()) return;  // orphan: parent already settled
   StripedTransfer& parent = pit->second;
   parent.stripes.erase(
       std::remove(parent.stripes.begin(), parent.stripes.end(), id),
@@ -452,7 +516,14 @@ bool TransferEngine::cancel(TransferId id) {
   const auto it = transfers_.find(id);
   if (it == transfers_.end()) return false;
   if (it->second.parent != 0) {
-    return cancel(it->second.parent);  // a stripe stands for the set
+    if (striped_.count(it->second.parent) != 0) {
+      return cancel(it->second.parent);  // a stripe stands for the set
+    }
+    // Orphan stripe: its parent already settled (failed, cancelled),
+    // so the set's outcome is accounted — tear the stripe down without
+    // touching the counters again (the old path double-counted here).
+    abort_stripe(id);
+    return true;
   }
   abort_stripe(id);  // same dequeue-or-leave-link teardown
   ++cancelled_;

@@ -49,6 +49,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,23 @@ class TransferEngine {
 
   /// Per-attempt failure probability and the retry budget per transfer.
   void set_failure(double probability, int max_retries);
+
+  /// Marks the (a, b) link down: every active or queued attempt on it
+  /// fails *terminally* — retrying a dead link is pointless, so the
+  /// retry budget is bypassed. Stripes die into their parent's normal
+  /// failover path (the share moves to a surviving stripe on a live
+  /// link); plain transfers fail. Attempts admitted while the link is
+  /// down fail after their setup latency the same way. Idempotent.
+  void fail_link(const std::string& zone_a, const std::string& zone_b);
+
+  /// Brings a failed link back up and admits whatever queued on it in
+  /// the meantime. Idempotent.
+  void restore_link(const std::string& zone_a, const std::string& zone_b);
+
+  [[nodiscard]] bool link_down(const std::string& zone_a,
+                               const std::string& zone_b) const {
+    return down_.count(key_for(zone_a, zone_b)) != 0;
+  }
 
   /// Attaches the shard executor replan_all() runs its per-link
   /// planning passes on (null — the default — keeps them inline). See
@@ -175,6 +193,17 @@ class TransferEngine {
   [[nodiscard]] std::uint64_t stripe_failovers() const noexcept {
     return stripe_failovers_;
   }
+  /// Transfers started but not yet settled (plain transfers in flight
+  /// plus striped parents whose last stripe has not landed). The fuzz
+  /// suite asserts started == completed + failed + cancelled + live.
+  [[nodiscard]] std::uint64_t live() const noexcept {
+    std::uint64_t n = striped_.size();
+    for (const auto& [id, t] : transfers_) {
+      if (t.parent == 0) ++n;
+    }
+    return n;
+  }
+
   [[nodiscard]] double bytes_moved() const noexcept { return bytes_moved_; }
   [[nodiscard]] const common::Summary& transfer_times() const noexcept {
     return transfer_times_;
@@ -246,8 +275,14 @@ class TransferEngine {
 
   /// A stripe finished its last attempt: settle it against its parent.
   /// Success commits the parent when it was the last stripe; failure
-  /// fails the parent and abandons the survivors.
+  /// fails the parent and abandons the survivors. Idempotent: an id
+  /// already settled (or an orphan whose parent is gone) is a no-op.
   void finish_stripe(TransferId id, bool ok);
+
+  /// Fails an attempt terminally, bypassing the retry budget — the
+  /// link-down path. Stripes settle through finish_stripe (failover);
+  /// plain transfers fail their callback.
+  void fail_attempt_terminal(TransferId id);
 
   /// Removes a stripe from its link/queue without callbacks or metric
   /// changes (the parent's outcome is accounted elsewhere).
@@ -279,6 +314,7 @@ class TransferEngine {
   std::map<LinkKey, double> bandwidth_override_;
   std::map<LinkKey, std::size_t> concurrency_;
   std::map<LinkKey, Link> links_;
+  std::set<LinkKey> down_;  ///< links currently failed
   std::map<TransferId, Transfer> transfers_;
   std::map<TransferId, StripedTransfer> striped_;
   double default_bandwidth_ = 1.25e9;  ///< 10 Gb/s

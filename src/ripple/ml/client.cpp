@@ -101,18 +101,7 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
       // between the configured snapshot and this subscription (task
       // launch takes real simulated time) would otherwise be invisible
       // for the task's whole lifetime — in both directions.
-      const std::vector<std::string> current =
-          ctx_.runtime->endpoints_of(config_.watch);
-      for (const std::string& endpoint : current) {
-        balancer_->add_endpoint(endpoint);
-      }
-      const std::vector<std::string> known = balancer_->endpoints();
-      for (const std::string& endpoint : known) {
-        if (std::find(current.begin(), current.end(), endpoint) ==
-            current.end()) {
-          mark_endpoint_down(endpoint);
-        }
-      }
+      reconcile_watch();
     }
     const std::size_t first_wave =
         std::min(config_.concurrency, config_.requests);
@@ -160,6 +149,32 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
     }
   }
 
+  /// Re-syncs the balancer pool with the synchronous endpoint
+  /// directory, in both directions. Called at start() and again before
+  /// each retry attempt: the subscription keeps the pool current while
+  /// the run is live, but a request sleeping through its backoff must
+  /// not re-pick from drifted state — an endpoint whose removal the
+  /// last-endpoint guard deferred stays preferred (zero in-flight)
+  /// even after a replacement registered, and the retry would keep
+  /// hammering the corpse until its budget drained.
+  void reconcile_watch() {
+    if (config_.watch.empty()) return;
+    const std::vector<std::string> current =
+        ctx_.runtime->endpoints_of(config_.watch);
+    for (const std::string& endpoint : current) {
+      deferred_down_.erase(endpoint);
+      balancer_->add_endpoint(endpoint);
+    }
+    const std::vector<std::string> known = balancer_->endpoints();
+    for (const std::string& endpoint : known) {
+      if (std::find(current.begin(), current.end(), endpoint) ==
+          current.end()) {
+        mark_endpoint_down(endpoint);
+      }
+    }
+    flush_deferred_down();
+  }
+
   void send_next() {
     if (sent_ >= config_.requests) return;
     ++sent_;
@@ -198,8 +213,10 @@ class ClientRun : public std::enable_shared_from_this<ClientRun> {
           std::pow(config_.retry_multiplier, static_cast<double>(tries)) *
           retry_rng_.uniform(0.5, 1.5);
       auto self = shared_from_this();
-      ctx_.loop().call_after(delay,
-                             [self, tries] { self->attempt(tries + 1); });
+      ctx_.loop().call_after(delay, [self, tries] {
+        self->reconcile_watch();
+        self->attempt(tries + 1);
+      });
       return;
     }
     --in_flight_;

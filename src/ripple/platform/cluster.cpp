@@ -63,9 +63,22 @@ std::vector<Node*> Cluster::reserve_nodes(std::size_t count) {
 void Cluster::release_nodes(const std::vector<Node*>& nodes) {
   for (const Node* node : nodes) {
     if (reserved_.erase(node) > 0) {
-      free_indices_.insert(index_of_.find(node)->second);
+      const std::size_t index = index_of_.find(node)->second;
+      (node->alive() ? free_indices_ : dead_free_).insert(index);
     }
   }
+}
+
+void Cluster::fail_node(Node& node) {
+  node.fail();
+  const std::size_t index = index_of_.find(&node)->second;
+  if (free_indices_.erase(index) > 0) dead_free_.insert(index);
+}
+
+void Cluster::restore_node(Node& node) {
+  node.restore();
+  const std::size_t index = index_of_.find(&node)->second;
+  if (dead_free_.erase(index) > 0) free_indices_.insert(index);
 }
 
 Node& Cluster::node(std::size_t index) {

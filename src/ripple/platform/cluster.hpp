@@ -54,6 +54,15 @@ class Cluster {
   /// O(1) lookup by node id; nullptr when unknown.
   [[nodiscard]] Node* find_node(const std::string& node_id);
 
+  /// Crashes a node (Node::fail). A free node is parked out of the
+  /// reservation pool until restore_node; a reserved node stays with
+  /// its pilot, which observes the capacity drop through the index.
+  void fail_node(Node& node);
+
+  /// Rejoins a crashed node (Node::restore); a parked free node
+  /// re-enters the reservation pool at its original index.
+  void restore_node(Node& node);
+
   [[nodiscard]] Launcher& launcher() noexcept { return launcher_; }
 
   /// The host id of this cluster's head/login node (used for manager
@@ -70,6 +79,9 @@ class Cluster {
   /// Free node indices, ordered — reservation pops from the front,
   /// preserving the legacy linear scan's lowest-index-first grants.
   std::set<std::size_t> free_indices_;
+  /// Crashed nodes not reserved by any pilot: parked here instead of
+  /// free_indices_ so reserve_nodes never hands out a dead node.
+  std::set<std::size_t> dead_free_;
   /// Node -> index, so release_nodes restores free_indices_ in O(log N).
   std::unordered_map<const Node*, std::size_t> index_of_;
   Launcher launcher_;

@@ -23,7 +23,35 @@ Node::Node(std::string id, NodeSpec spec, sim::HostId host)
 
 bool Node::can_fit(std::size_t cores, std::size_t gpus,
                    double mem_gb) const noexcept {
-  return cores <= free_cores_ && gpus <= free_gpus_ && mem_gb <= free_mem_gb_;
+  return alive_ && cores <= free_cores_ && gpus <= free_gpus_ &&
+         mem_gb <= free_mem_gb_;
+}
+
+void Node::set_speed_factor(double factor) {
+  ensure(factor > 0.0, Errc::invalid_argument,
+         strutil::cat("node ", id_, ": speed factor must be positive"));
+  speed_factor_ = factor;
+}
+
+void Node::fail() {
+  if (!alive_) return;
+  alive_ = false;
+  ++incarnation_;
+  speed_factor_ = 1.0;
+  free_cores_ = 0;
+  free_gpus_ = 0;
+  free_mem_gb_ = 0.0;
+  notify();
+}
+
+void Node::restore() {
+  if (alive_) return;
+  alive_ = true;
+  speed_factor_ = 1.0;
+  free_cores_ = spec_.cores;
+  free_gpus_ = spec_.gpus;
+  free_mem_gb_ = spec_.mem_gb;
+  notify();
 }
 
 Slot Node::allocate(std::size_t cores, std::size_t gpus, double mem_gb) {
@@ -35,13 +63,15 @@ Slot Node::allocate(std::size_t cores, std::size_t gpus, double mem_gb) {
   free_gpus_ -= gpus;
   free_mem_gb_ -= mem_gb;
   notify();
-  return Slot{id_, cores, gpus, mem_gb};
+  return Slot{id_, cores, gpus, mem_gb, incarnation_};
 }
 
 void Node::release(const Slot& slot) {
   ensure(slot.node_id == id_, Errc::invalid_argument,
          strutil::cat("slot for node ", slot.node_id, " released on node ",
                       id_));
+  // Stale slot from before a crash: its capacity died with the node.
+  if (slot.incarnation != incarnation_) return;
   ensure(free_cores_ + slot.cores <= spec_.cores &&
              free_gpus_ + slot.gpus <= spec_.gpus,
          Errc::invalid_state,

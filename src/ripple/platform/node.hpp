@@ -33,6 +33,11 @@ struct Slot {
   std::size_t gpus = 0;
   double mem_gb = 0.0;
 
+  /// The node incarnation that granted this slot. A crash bumps the
+  /// node's incarnation, so slots from a previous life are recognized
+  /// (and ignored) when released after the node restarts.
+  std::uint64_t incarnation = 0;
+
   [[nodiscard]] bool valid() const noexcept { return !node_id.empty(); }
 };
 
@@ -59,7 +64,28 @@ class Node {
   [[nodiscard]] std::size_t free_gpus() const noexcept { return free_gpus_; }
   [[nodiscard]] double free_mem_gb() const noexcept { return free_mem_gb_; }
 
-  /// True when a request of this shape fits right now.
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+
+  /// Execution-speed multiplier on modeled payload durations (> 1 means
+  /// slower — the straggler model). Reset to 1 by fail()/restore().
+  [[nodiscard]] double speed_factor() const noexcept { return speed_factor_; }
+  void set_speed_factor(double factor);
+
+  /// Crashes the node: free capacity drops to zero (the listener —
+  /// i.e. the scheduler's CapacityIndex — sees the change and stops
+  /// placing here) and the incarnation advances so outstanding slots
+  /// become stale. Idempotent.
+  void fail();
+
+  /// Rejoins after a crash with full capacity; slots from the previous
+  /// incarnation stay dead. Idempotent.
+  void restore();
+
+  /// True when a request of this shape fits right now (dead nodes fit
+  /// nothing).
   [[nodiscard]] bool can_fit(std::size_t cores, std::size_t gpus,
                              double mem_gb) const noexcept;
 
@@ -68,6 +94,8 @@ class Node {
                               double mem_gb);
 
   /// Returns a slot's capacity; throws invalid_state on double release.
+  /// Slots granted by a previous incarnation (the node crashed since)
+  /// are ignored: their capacity died with the node.
   void release(const Slot& slot);
 
   /// At most one listener at a time; pass nullptr to clear.
@@ -89,6 +117,9 @@ class Node {
   std::size_t free_cores_;
   std::size_t free_gpus_;
   double free_mem_gb_;
+  bool alive_ = true;
+  std::uint64_t incarnation_ = 0;
+  double speed_factor_ = 1.0;
   CapacityListener* listener_ = nullptr;
 };
 

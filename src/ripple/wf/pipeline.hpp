@@ -92,6 +92,15 @@ struct Pipeline {
   std::string name = "pipeline";
   std::vector<Stage> stages;
   Placement placement = Placement::locality;
+
+  /// Pipeline-wide budget of task resubmissions: a stage task that ends
+  /// FAILED (payload error, restart budget exhausted, pilot lost) is
+  /// submitted again from its original description while budget
+  /// remains, instead of failing the pipeline. Complements the
+  /// TaskManager's in-place restarts, which re-place the *same* task
+  /// after transient node/pilot failures; this is the workflow-level
+  /// backstop above them. Default 0: any task failure is pipeline-fatal.
+  std::size_t task_retry_budget = 0;
 };
 
 /// Outcome of a pipeline run, reported to the completion callback and
@@ -104,6 +113,8 @@ struct PipelineResult {
   std::vector<std::string> stage_names;
   std::size_t tasks_done = 0;
   std::size_t tasks_failed = 0;
+  /// Resubmissions drawn from Pipeline::task_retry_budget.
+  std::size_t tasks_retried = 0;
 };
 
 }  // namespace ripple::wf

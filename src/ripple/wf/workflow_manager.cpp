@@ -34,6 +34,7 @@ void WorkflowManager::run_pipeline(
   run->placement = pipeline.placement;
   run->on_done = std::move(on_done);
   run->started_at = session_.now();
+  run->retries_left = pipeline.task_retry_budget;
   run->stages.reserve(pipeline.stages.size());
   for (auto& stage : pipeline.stages) {
     // Lineage: every stage that reads a dataset holds one reference;
@@ -197,23 +198,44 @@ void WorkflowManager::launch_stage_tasks(
     complete_stage(run, index);
     return;
   }
-  for (auto desc : stage_run.stage.tasks) {
-    // Stage tasks implicitly require the stage's services.
-    for (const auto& svc : stage_run.service_uids) {
-      desc.requires_services.push_back(svc);
-    }
-    const std::string uid =
-        session_.tasks().submit(*stage_run.pilot, desc);
-    stage_run.task_uids.push_back(uid);
-    session_.tasks().when_done({uid}, [this, run, index](bool ok) {
-      on_task_terminal(run, index, ok);
-    });
+  stage_run.task_uids.resize(stage_run.stage.tasks.size());
+  for (std::size_t i = 0; i < stage_run.stage.tasks.size(); ++i) {
+    submit_stage_task(run, index, i);
   }
 }
 
-void WorkflowManager::on_task_terminal(
-    const std::shared_ptr<PipelineRun>& run, std::size_t index, bool ok) {
+void WorkflowManager::submit_stage_task(
+    const std::shared_ptr<PipelineRun>& run, std::size_t index,
+    std::size_t task_index) {
   StageRun& stage_run = run->stages[index];
+  core::TaskDescription desc = stage_run.stage.tasks[task_index];
+  // Stage tasks implicitly require the stage's services.
+  for (const auto& svc : stage_run.service_uids) {
+    desc.requires_services.push_back(svc);
+  }
+  const std::string uid = session_.tasks().submit(*stage_run.pilot, desc);
+  stage_run.task_uids[task_index] = uid;
+  session_.tasks().when_done({uid}, [this, run, index, task_index](bool ok) {
+    on_task_terminal(run, index, task_index, ok);
+  });
+}
+
+void WorkflowManager::on_task_terminal(
+    const std::shared_ptr<PipelineRun>& run, std::size_t index,
+    std::size_t task_index, bool ok) {
+  StageRun& stage_run = run->stages[index];
+  if (!ok && run->retries_left > 0 && !stage_run.completed) {
+    // Workflow-level backstop above the TaskManager's in-place
+    // restarts: the attempt is terminally FAILED, but the pipeline's
+    // retry budget buys a fresh submission from the same description.
+    --run->retries_left;
+    ++run->tasks_retried;
+    log_.info(strutil::cat("pipeline '", run->name, "': retrying task ",
+                           task_index, " of stage '", stage_run.stage.name,
+                           "' (", run->retries_left, " retries left)"));
+    submit_stage_task(run, index, task_index);
+    return;
+  }
   if (ok) {
     ++stage_run.tasks_done;
   } else {
@@ -356,6 +378,7 @@ void WorkflowManager::finish_pipeline(
     result.tasks_done += stage_run.tasks_done;
     result.tasks_failed += stage_run.tasks_failed;
   }
+  result.tasks_retried = run->tasks_retried;
   results_[run->name] = result;
   session_.metrics().add_duration(
       strutil::cat("pipeline.", run->name, ".makespan"), result.makespan);

@@ -86,6 +86,8 @@ class WorkflowManager {
     std::function<void(const PipelineResult&)> on_done;
     double started_at = 0.0;
     std::size_t finished_stages = 0;
+    std::size_t retries_left = 0;  ///< Pipeline::task_retry_budget
+    std::size_t tasks_retried = 0;
     bool failed = false;
     bool reported = false;
   };
@@ -109,8 +111,13 @@ class WorkflowManager {
   /// Unpins the stage's consumed replicas and drops one lineage
   /// reference per consumed dataset (idempotent).
   void release_stage_data(StageRun& stage_run);
+  /// Submits stage task `task_index` (from its original description)
+  /// and watches its completion; used for the first launch and for
+  /// budgeted retries alike.
+  void submit_stage_task(const std::shared_ptr<PipelineRun>& run,
+                         std::size_t index, std::size_t task_index);
   void on_task_terminal(const std::shared_ptr<PipelineRun>& run,
-                        std::size_t index, bool ok);
+                        std::size_t index, std::size_t task_index, bool ok);
   void maybe_release_next(const std::shared_ptr<PipelineRun>& run,
                           std::size_t index);
   void complete_stage(const std::shared_ptr<PipelineRun>& run,

@@ -1082,4 +1082,58 @@ TEST(WorkflowData, FailedPipelineReleasesUnstartedStageLineage) {
   EXPECT_EQ(session.data().catalog().consumers_left("late"), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Store accounting tolerance and store failure
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, ShrinkToExactFootprintToleratesReservationDust) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 1e9);
+  // A tiny committed replica next to large transient reservations: the
+  // ~7e-9 bytes of rounding dust the reserve/release round-trips leave
+  // in the reserved pool is far above one ULP of the footprint.
+  catalog.register_dataset("d", 1.0, "z");
+  const double third = 1e8 / 3.0;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(catalog.reserve("z", third));
+  for (int i = 0; i < 3; ++i) catalog.release_reservation("z", third);
+  EXPECT_GT(catalog.store("z").reserved, 0.0);  // the dust is real
+  // Shrinking to the exact nominal footprint must not misfire on it:
+  // before the unified ULP tolerance this threw invalid_state.
+  EXPECT_NO_THROW(catalog.add_store("z", 1.0));
+  EXPECT_DOUBLE_EQ(catalog.store("z").capacity, 1.0);
+}
+
+TEST(Catalog, FailStoreDropsReplicasAndToleratesLatePins) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 1e9);
+  catalog.register_dataset("a", 1e8, "z");
+  catalog.register_dataset("b", 1e8, "z");
+  catalog.register_dataset("b", 1e8, "w");  // survivor elsewhere
+  catalog.pin("a", "z");                    // an in-flight reader
+
+  const auto lost = catalog.fail_store("z");
+  EXPECT_EQ(lost, (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(catalog.available_in("a", "z"));
+  EXPECT_FALSE(catalog.available_in("b", "z"));
+  EXPECT_TRUE(catalog.available_in("b", "w"));
+
+  // The reader interrupted by the crash releases its pin late: that is
+  // tolerated exactly once per recorded pin.
+  EXPECT_NO_THROW(catalog.unpin("a", "z"));
+  EXPECT_THROW(catalog.unpin("a", "z"), Error);
+  // New pins on the dead zone are still real errors.
+  EXPECT_THROW(catalog.pin("b", "z"), Error);
+}
+
+TEST(Catalog, StoreZonesSortedAndShrinksWithFailures) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("c", 1.0);
+  catalog.add_store("a", 1.0);
+  catalog.add_store("b", 1.0);
+  EXPECT_EQ(catalog.store_zones(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  (void)catalog.fail_store("b");
+  EXPECT_EQ(catalog.store_zones(), (std::vector<std::string>{"a", "c"}));
+}
+
 }  // namespace

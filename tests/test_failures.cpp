@@ -1,0 +1,324 @@
+// Failure as a first-class scenario: the seeded sim::FailureInjector
+// event streams, and the runtime surviving what they dispatch — node
+// crashes re-placed with backoff, pilot preemption re-bound to
+// survivors, stragglers beaten by speculation, store crashes repaired
+// from surviving replicas, link failures terminal for in-flight
+// attempts. Same seed, bit-identical failure/recovery/repair logs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ripple/common/random.hpp"
+#include "ripple/core/failure_coordinator.hpp"
+#include "ripple/core/session.hpp"
+#include "ripple/platform/profiles.hpp"
+#include "ripple/sim/event_loop.hpp"
+#include "ripple/sim/failure_injector.hpp"
+
+namespace {
+
+using namespace ripple;
+using namespace ripple::core;
+using sim::FailureKind;
+
+// ---------------------------------------------------------------------------
+// Injector determinism
+// ---------------------------------------------------------------------------
+
+struct InjectorRun {
+  std::vector<std::string> log;
+  std::uint64_t hash = 0;
+  std::size_t injected = 0;
+};
+
+InjectorRun run_injector(std::uint64_t seed) {
+  sim::EventLoop loop;
+  sim::FailureInjector injector(loop, common::Rng(seed));
+  sim::FailureInjector::Schedule crashes;
+  crashes.mean_interarrival = 5.0;
+  crashes.mean_time_to_repair = 8.0;
+  crashes.horizon = 200.0;
+  injector.arm(FailureKind::node_crash, {"n0", "n1", "n2", "n3"}, crashes);
+  sim::FailureInjector::Schedule slow;
+  slow.mean_interarrival = 11.0;
+  slow.mean_time_to_repair = 6.0;
+  slow.horizon = 200.0;
+  slow.magnitude = common::Distribution::uniform(2.0, 8.0);
+  injector.arm(FailureKind::slow_node, {"n0", "n1", "n2", "n3"}, slow);
+  loop.run_until(300.0);
+  return {injector.event_log(), injector.event_log_hash(),
+          injector.injected()};
+}
+
+TEST(FailureInjector, SameSeedBitIdenticalEventStream) {
+  const InjectorRun first = run_injector(1234);
+  const InjectorRun rerun = run_injector(1234);
+  EXPECT_GT(first.injected, 0u);
+  EXPECT_EQ(first.log, rerun.log);
+  EXPECT_EQ(first.hash, rerun.hash);
+  const InjectorRun other = run_injector(1235);
+  EXPECT_NE(first.log, other.log);
+}
+
+TEST(FailureInjector, DownTargetsAreNotRepicked) {
+  sim::EventLoop loop;
+  sim::FailureInjector injector(loop, common::Rng(7));
+  sim::FailureInjector::Schedule crashes;
+  crashes.mean_interarrival = 1.0;
+  crashes.mean_time_to_repair = 0.0;  // permanent: one crash per target
+  injector.arm(FailureKind::node_crash, {"a", "b"}, crashes);
+  loop.run();
+  EXPECT_EQ(injector.injected(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime survival
+// ---------------------------------------------------------------------------
+
+TaskDescription modeled_task(double seconds, std::size_t cores = 1) {
+  TaskDescription desc;
+  desc.name = "t";
+  desc.kind = "modeled";
+  desc.cores = cores;
+  desc.duration = common::Distribution::constant(seconds);
+  return desc;
+}
+
+TEST(FailureRecovery, NodeCrashReplacesTaskAndCompletes) {
+  Session session{SessionConfig{.seed = 11}};
+  session.add_platform(platform::delta_profile(2));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.tasks().set_restart_policy({.max_restarts = 3});
+
+  const auto uid = session.tasks().submit(pilot, modeled_task(10.0));
+  // Both nodes die mid-run, wherever the task landed; capacity comes
+  // back at t=6 and the backed-off re-placement must pick it up.
+  auto& injector = session.failures().injector();
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::string id = session.cluster("delta").node(i).id();
+    injector.inject_at(2.0, FailureKind::node_crash, id);
+    injector.inject_at(6.0, FailureKind::node_restore, id);
+  }
+  bool done = false;
+  session.tasks().when_done({uid}, [&](bool ok) { done = ok; });
+  session.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::done);
+  EXPECT_EQ(session.tasks().restarts_total(), 1u);
+  ASSERT_FALSE(session.tasks().recovery_log().empty());
+  EXPECT_NE(session.tasks().recovery_log().front().find("restart1"),
+            std::string::npos);
+  // The interrupted attempt's 2 s were lost: completion is later than
+  // the unfailed 10 s makespan.
+  EXPECT_GT(session.now(), 10.0);
+}
+
+TEST(FailureRecovery, FailStopWithoutRestartBudget) {
+  Session session{SessionConfig{.seed = 11}};
+  session.add_platform(platform::delta_profile(2));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  // Default policy: max_restarts = 0, any interrupt is fatal.
+  const auto uid = session.tasks().submit(pilot, modeled_task(10.0));
+  auto& injector = session.failures().injector();
+  for (std::size_t i = 0; i < 2; ++i) {
+    injector.inject_at(2.0, FailureKind::node_crash,
+                       session.cluster("delta").node(i).id());
+  }
+  session.run();
+  const auto& task = session.tasks().get(uid);
+  EXPECT_EQ(task.state(), TaskState::failed);
+  EXPECT_NE(task.error().find("restart budget"), std::string::npos);
+}
+
+TEST(FailureRecovery, PilotPreemptionRebindsToSurvivor) {
+  Session session{SessionConfig{.seed = 19}};
+  session.add_platform(platform::delta_profile(4));
+  Pilot& a = session.submit_pilot({.platform = "delta", .nodes = 2});
+  Pilot& b = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.tasks().set_restart_policy({.max_restarts = 2});
+
+  const auto uid = session.tasks().submit(a, modeled_task(10.0));
+  session.failures().injector().inject_at(2.0, FailureKind::pilot_preempt,
+                                          a.uid());
+  bool done = false;
+  session.tasks().when_done({uid}, [&](bool ok) { done = ok; });
+  session.run();
+
+  EXPECT_EQ(a.state(), PilotState::failed);
+  EXPECT_EQ(b.state(), PilotState::active);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::done);
+  EXPECT_EQ(session.tasks().restarts_total(), 1u);
+}
+
+TEST(FailureRecovery, PreemptionWithoutSurvivorFailsTasks) {
+  Session session{SessionConfig{.seed = 19}};
+  session.add_platform(platform::delta_profile(2));
+  Pilot& only = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.tasks().set_restart_policy({.max_restarts = 5});
+  const auto uid = session.tasks().submit(only, modeled_task(10.0));
+  session.failures().injector().inject_at(2.0, FailureKind::pilot_preempt,
+                                          only.uid());
+  session.run();
+  EXPECT_EQ(session.tasks().get(uid).state(), TaskState::failed);
+}
+
+TEST(FailureRecovery, SpeculationBeatsStraggler) {
+  Session session{SessionConfig{.seed = 23}};
+  session.add_platform(platform::delta_profile(2));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+  session.tasks().set_speculation(
+      {.enabled = true, .latency_multiple = 2.0, .min_delay = 0.5});
+
+  // The first-fit node is 10x slow before the task launches: the 4 s
+  // full-node task would take 40 s. Speculation arms at 8 s of RUNNING
+  // and the duplicate — full-node, so it cannot pack onto the
+  // straggler — lands on the healthy node and wins at ~13 s.
+  session.failures().injector().inject_at(
+      0.0, FailureKind::slow_node, session.cluster("delta").node(0).id(),
+      10.0);
+  const auto uid = session.tasks().submit(pilot, modeled_task(4.0, 64));
+  bool done = false;
+  session.tasks().when_done({uid}, [&](bool ok) { done = ok; });
+  session.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(session.tasks().speculations(), 1u);
+  EXPECT_EQ(session.tasks().speculation_wins(), 1u);
+  // The task finished far below the 40 s straggler horizon (the final
+  // loop time still drains the loser's uncancellable payload event).
+  EXPECT_LT(session.tasks().get(uid).state_time(TaskState::done), 20.0);
+}
+
+TEST(FailureRecovery, StoreCrashRepairsFromSurvivingReplica) {
+  Session session{SessionConfig{.seed = 29}};
+  auto& data = session.data();
+  data.set_default_bandwidth(1e8);
+  data.add_store("a", 1e9);
+  data.add_store("b", 1e9);
+  data.add_store("c", 2e9);
+  data.register_dataset("d", 1e8, "a");
+  bool staged = false;
+  data.stage("d", "b", [&](bool ok, sim::Duration) { staged = ok; });
+
+  // Store "a" dies after the copy into "b" has landed; the repair must
+  // re-stripe from the survivor into "c" (most free bytes). Later the
+  // store rejoins, empty, at its old capacity.
+  auto& injector = session.failures().injector();
+  injector.inject_at(30.0, FailureKind::store_crash, "a");
+  injector.inject_at(100.0, FailureKind::store_restore, "a");
+  session.run();
+
+  EXPECT_TRUE(staged);
+  EXPECT_FALSE(data.available_in("d", "a"));
+  EXPECT_TRUE(data.available_in("d", "b"));
+  EXPECT_TRUE(data.available_in("d", "c"));
+  EXPECT_EQ(data.repairs_started(), 1u);
+  EXPECT_EQ(data.repairs_completed(), 1u);
+  ASSERT_GE(data.repair_log().size(), 3u);
+  EXPECT_NE(data.repair_log()[0].find("store_failed a lost=1"),
+            std::string::npos);
+  EXPECT_NE(data.repair_log()[1].find("repair d -> c"), std::string::npos);
+  // store_restore re-declared the store at its old capacity, empty.
+  EXPECT_DOUBLE_EQ(session.data().catalog().store("a").capacity, 1e9);
+  EXPECT_DOUBLE_EQ(session.data().catalog().store("a").used, 0.0);
+}
+
+TEST(FailureRecovery, StoreCrashWithoutSurvivorLosesDataset) {
+  Session session{SessionConfig{.seed = 29}};
+  auto& data = session.data();
+  data.add_store("a", 1e9);
+  data.add_store("b", 1e9);
+  data.register_dataset("solo", 1e8, "a");
+  session.failures().injector().inject_at(1.0, FailureKind::store_crash,
+                                          "a");
+  session.run();
+  EXPECT_EQ(data.repairs_started(), 0u);
+  EXPECT_FALSE(data.has("solo") && data.available_in("solo", "a"));
+  ASSERT_EQ(data.repair_log().size(), 2u);
+  EXPECT_NE(data.repair_log()[1].find("lost solo"), std::string::npos);
+}
+
+TEST(FailureRecovery, LinkDownIsTerminalUntilRestored) {
+  Session session{SessionConfig{.seed = 31}};
+  auto& data = session.data();
+  data.set_default_bandwidth(1e8);
+  data.add_store("a", 1e9);
+  data.add_store("b", 1e9);
+  data.register_dataset("d", 1e8, "a");
+  session.failures().injector().inject_at(0.0, FailureKind::link_down,
+                                          "a|b");
+
+  bool first_ok = true;
+  data.stage("d", "b", [&](bool ok, sim::Duration) { first_ok = ok; });
+  session.run();
+  // Terminal: the attempt died on the downed link without burning the
+  // retry budget, and the waiter saw the failure.
+  EXPECT_FALSE(first_ok);
+  EXPECT_FALSE(data.available_in("d", "b"));
+
+  session.failures().injector().inject_at(session.now() + 1.0,
+                                          FailureKind::link_up, "a|b");
+  bool second_ok = false;
+  data.stage("d", "b", [&](bool ok, sim::Duration) { second_ok = ok; });
+  session.run();
+  EXPECT_TRUE(second_ok);
+  EXPECT_TRUE(data.available_in("d", "b"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism of a failing run
+// ---------------------------------------------------------------------------
+
+struct FailingRun {
+  std::vector<std::string> events;
+  std::uint64_t event_hash = 0;
+  std::uint64_t recovery_hash = 0;
+  std::uint64_t grant_hash = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+};
+
+FailingRun run_failing_workload(std::uint64_t seed) {
+  Session session{SessionConfig{.seed = seed}};
+  session.add_platform(platform::delta_profile(4));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+  session.tasks().set_restart_policy({.max_restarts = 3});
+
+  sim::FailureInjector::Schedule crashes;
+  crashes.mean_interarrival = 15.0;
+  crashes.mean_time_to_repair = 10.0;
+  crashes.horizon = 120.0;
+  session.failures().arm_node_crashes("delta", crashes);
+
+  std::vector<TaskDescription> batch(24, modeled_task(6.0, 32));
+  (void)session.tasks().submit_all(pilot, batch);
+  session.run();
+
+  FailingRun out;
+  out.events = session.failures().injector().event_log();
+  out.event_hash = session.failures().injector().event_log_hash();
+  out.recovery_hash = session.tasks().recovery_log_hash();
+  out.grant_hash = session.scheduler().grant_log_hash();
+  out.done = session.tasks().count_in_state(TaskState::done);
+  out.failed = session.tasks().count_in_state(TaskState::failed);
+  return out;
+}
+
+TEST(FailureRecovery, SameSeedSameOutcomeAcrossReruns) {
+  const FailingRun first = run_failing_workload(77);
+  const FailingRun rerun = run_failing_workload(77);
+  EXPECT_GT(first.events.size(), 0u);
+  EXPECT_EQ(first.done + first.failed, 24u);
+  EXPECT_EQ(first.events, rerun.events);
+  EXPECT_EQ(first.event_hash, rerun.event_hash);
+  EXPECT_EQ(first.recovery_hash, rerun.recovery_hash);
+  EXPECT_EQ(first.grant_hash, rerun.grant_hash);
+  EXPECT_EQ(first.done, rerun.done);
+  EXPECT_EQ(first.failed, rerun.failed);
+}
+
+}  // namespace

@@ -588,4 +588,56 @@ TEST(ClientConfig, DefaultsApplied) {
   EXPECT_EQ(config.balancer, "round_robin");
 }
 
+// Regression: a request sleeping through its retry backoff must
+// re-reconcile with the endpoint directory before the next attempt.
+// The directory changes here without any pub/sub event (a replacement
+// registered directly), so only the retry path's reconcile can see it;
+// before the fix the client kept hammering its dead configured
+// endpoint until the budget drained and the task failed.
+TEST(ClientWatch, RetryReconcilesDirectoryDriftMidBackoff) {
+  core::Session session({.seed = 21});
+  ml::install(session);
+  session.add_platform(platform::delta_profile(2));
+  auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+
+  // A live server published under a *different* service name: its
+  // pub/sub events carry name="other" and are invisible to watch="grp".
+  core::ServiceDescription svc;
+  svc.name = "other";
+  svc.program = "inference";
+  svc.config = json::Value::object({{"model", "noop"}});
+  svc.gpus = 1;
+  const std::string server = session.services().submit(pilot, svc);
+
+  std::string task_uid;
+  session.services().when_ready({server}, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    const std::string live = session.services().get(server).endpoint();
+    core::TaskDescription task;
+    task.kind = "inference_client";
+    task.payload = json::Value::object(
+        {{"endpoints", json::Value::array({std::string("svc.ghost")})},
+         {"requests", 4},
+         {"concurrency", 1},
+         {"series", "drift"},
+         {"watch", "grp"},
+         {"max_retries", 8},
+         {"retry_backoff", 0.5}});
+    task_uid = session.tasks().submit(pilot, task);
+    // While the first request backs off from the unreachable endpoint,
+    // the watched group gains a member — directory only, no event.
+    session.loop().call_after(3.0, [&session, live] {
+      session.runtime().register_endpoint("grp", live);
+    });
+    session.tasks().when_done(
+        {task_uid}, [&](bool) { session.services().stop_all(); });
+  });
+  session.run();
+
+  const core::Task& task = session.tasks().get(task_uid);
+  ASSERT_EQ(task.state(), core::TaskState::done);
+  EXPECT_EQ(task.result().get_or("ok", json::Value(0)).as_int(), 4);
+  EXPECT_GT(task.result().get_or("retried", json::Value(0)).as_int(), 0);
+}
+
 }  // namespace

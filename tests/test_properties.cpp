@@ -758,4 +758,91 @@ TEST(BootstrapShape, LaunchContentionAppearsAtScale) {
   EXPECT_GT(launch_large, launch_small * 1.5);
 }
 
+// ---------------------------------------------------------------------------
+// Transfer-engine counter consistency under cancels and link failures
+// ---------------------------------------------------------------------------
+
+// Every admitted transfer must settle into exactly one of
+// completed/failed/cancelled (or still be live), under arbitrary
+// interleavings of stochastic attempt failures, striped failover,
+// caller cancels (including orphaned stripes of cancelled parents),
+// and link-down terminal deaths. Guards the idempotent terminal-state
+// transitions: double-finishing a stripe or double-counting an
+// orphan-stripe cancel breaks the equation.
+TEST(TransferEngineCounters, ConsistentUnderCancelAndLinkFailureFuzz) {
+  for (const std::uint64_t seed : {3ull, 17ull, 4242ull}) {
+    sim::EventLoop loop;
+    common::Rng rng(seed);
+    data::TransferEngine engine(loop, rng.fork("engine"));
+    engine.set_default_bandwidth(1e9);
+    engine.set_setup_latency(common::Distribution::constant(0.02));
+    engine.set_failure(0.2, 1);
+    engine.set_default_concurrency(3);
+
+    const std::vector<std::string> zones = {"a", "b", "c", "d"};
+    common::Rng driver = rng.fork("driver");
+    std::uint64_t callbacks = 0;
+    std::vector<data::TransferEngine::TransferId> ids;
+    int name = 0;
+    const auto check = [&engine, seed] {
+      EXPECT_EQ(engine.transfers_started(),
+                engine.transfers_completed() + engine.transfers_failed() +
+                    engine.transfers_cancelled() + engine.live())
+          << "seed " << seed;
+    };
+
+    for (int wave = 0; wave < 6; ++wave) {
+      for (int i = 0; i < 12; ++i) {
+        const auto& dst =
+            zones[static_cast<std::size_t>(driver.uniform_int(0, 3))];
+        const double bytes = driver.uniform(2e8, 4e9);
+        const auto cb = [&callbacks](bool, sim::Duration) { ++callbacks; };
+        if (driver.chance(0.4)) {
+          // Striped across every other zone (sources == dst collapse).
+          ids.push_back(engine.transfer_striped(
+              "s" + std::to_string(name++), zones, dst, bytes, cb));
+        } else {
+          const auto& src =
+              zones[static_cast<std::size_t>(driver.uniform_int(0, 3))];
+          if (src == dst) continue;
+          ids.push_back(engine.transfer("p" + std::to_string(name++), src,
+                                        dst, bytes, cb));
+        }
+      }
+      // A link flaps: in-flight attempts on it die terminally, queued
+      // ones fail on admission until the restore drains the queue.
+      const auto& za =
+          zones[static_cast<std::size_t>(driver.uniform_int(0, 3))];
+      const auto& zb =
+          zones[static_cast<std::size_t>(driver.uniform_int(0, 3))];
+      if (za != zb) {
+        if (driver.chance(0.6)) {
+          engine.fail_link(za, zb);
+        } else {
+          engine.restore_link(za, zb);
+        }
+      }
+      for (const auto id : ids) {
+        if (driver.chance(0.15)) (void)engine.cancel(id);
+      }
+      check();
+      loop.run_until(loop.now() + driver.uniform(0.5, 3.0));
+      check();
+    }
+    // Heal every link and drain: nothing may stay live.
+    for (std::size_t i = 0; i < zones.size(); ++i) {
+      for (std::size_t j = i + 1; j < zones.size(); ++j) {
+        engine.restore_link(zones[i], zones[j]);
+      }
+    }
+    loop.run();
+    check();
+    EXPECT_EQ(engine.live(), 0u) << "seed " << seed;
+    // Exactly one callback per settled transfer; cancels never fire.
+    EXPECT_EQ(callbacks,
+              engine.transfers_completed() + engine.transfers_failed())
+        << "seed " << seed;
+  }
+}
+
 }  // namespace

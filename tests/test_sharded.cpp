@@ -16,11 +16,13 @@
 
 #include "ripple/common/random.hpp"
 #include "ripple/common/shard_executor.hpp"
+#include "ripple/core/failure_coordinator.hpp"
 #include "ripple/core/scheduler.hpp"
 #include "ripple/core/session.hpp"
 #include "ripple/data/transfer_engine.hpp"
 #include "ripple/platform/profiles.hpp"
 #include "ripple/sim/event_loop.hpp"
+#include "ripple/sim/failure_injector.hpp"
 
 namespace {
 
@@ -253,6 +255,82 @@ TEST(ShardedReplan, CompletionLogInvariantAcrossShardCounts) {
   const TickRun rerun = run_ticks(1);  // same-seed reproducibility
   EXPECT_EQ(rerun.log, serial.log);
   EXPECT_EQ(rerun.hash, serial.hash);
+}
+
+// ---------------------------------------------------------------------------
+// Failure determinism under sharding
+// ---------------------------------------------------------------------------
+
+struct FailureShardRun {
+  std::uint64_t event_hash = 0;
+  std::uint64_t recovery_hash = 0;
+  std::uint64_t repair_hash = 0;
+  std::uint64_t grant_hash = 0;
+  std::size_t done = 0;
+};
+
+/// A workload that exercises every recovery path — seeded node crashes
+/// interrupting re-placed tasks plus a store crash repaired from a
+/// surviving replica — with the scheduler sharded at the given width.
+FailureShardRun run_failure_shards(std::size_t shards) {
+  common::ShardExecutor exec(shards);
+  Session session{SessionConfig{.seed = 67}};
+  session.add_platform(platform::delta_profile(4));
+  Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
+  if (shards > 1) session.scheduler().set_shard_executor(&exec);
+  session.tasks().set_restart_policy({.max_restarts = 3});
+
+  auto& data = session.data();
+  data.set_default_bandwidth(1e8);
+  data.add_store("sa", 1e9);
+  data.add_store("sb", 1e9);
+  data.add_store("sc", 2e9);
+  data.register_dataset("d", 1e8, "sa");
+  data.stage("d", "sb", [](bool, sim::Duration) {});
+
+  sim::FailureInjector::Schedule crashes;
+  crashes.mean_interarrival = 12.0;
+  crashes.mean_time_to_repair = 8.0;
+  crashes.horizon = 100.0;
+  session.failures().arm_node_crashes("delta", crashes);
+  session.failures().injector().inject_at(
+      20.0, sim::FailureKind::store_crash, "sa");
+
+  std::vector<TaskDescription> batch;
+  for (int i = 0; i < 16; ++i) {
+    TaskDescription desc;
+    desc.name = "t";
+    desc.kind = "modeled";
+    desc.cores = 32;
+    desc.duration = common::Distribution::constant(5.0);
+    batch.push_back(desc);
+  }
+  (void)session.tasks().submit_all(pilot, batch);
+  session.run();
+
+  FailureShardRun out;
+  out.event_hash = session.failures().injector().event_log_hash();
+  out.recovery_hash = session.tasks().recovery_log_hash();
+  out.repair_hash = session.data().repair_log_hash();
+  out.grant_hash = session.scheduler().grant_log_hash();
+  out.done = session.tasks().count_in_state(TaskState::done);
+  return out;
+}
+
+TEST(ShardedFailures, RecoveryLogsInvariantAcrossShardCounts) {
+  const FailureShardRun serial = run_failure_shards(1);
+  EXPECT_GT(serial.done, 0u);
+  const FailureShardRun sharded = run_failure_shards(4);
+  EXPECT_EQ(sharded.event_hash, serial.event_hash);
+  EXPECT_EQ(sharded.recovery_hash, serial.recovery_hash);
+  EXPECT_EQ(sharded.repair_hash, serial.repair_hash);
+  EXPECT_EQ(sharded.grant_hash, serial.grant_hash);
+  EXPECT_EQ(sharded.done, serial.done);
+  const FailureShardRun rerun = run_failure_shards(1);
+  EXPECT_EQ(rerun.event_hash, serial.event_hash);
+  EXPECT_EQ(rerun.recovery_hash, serial.recovery_hash);
+  EXPECT_EQ(rerun.repair_hash, serial.repair_hash);
+  EXPECT_EQ(rerun.grant_hash, serial.grant_hash);
 }
 
 TEST(ShardedReplan, ReplanAllReRatesLiveFlows) {

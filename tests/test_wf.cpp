@@ -210,6 +210,69 @@ TEST_F(WorkflowTest, TaskFailureMarksPipelineFailed) {
   EXPECT_EQ(result.stage_names, (std::vector<std::string>{"bad"}));
 }
 
+TEST_F(WorkflowTest, RetryBudgetResubmitsFailedTasks) {
+  // A function that fails on its first invocation and succeeds after:
+  // with a retry budget the pipeline absorbs the transient failure.
+  auto calls = std::make_shared<int>(0);
+  session.executor().functions().register_fn(
+      "flaky", [calls](ExecutionContext&, const json::Value&) -> json::Value {
+        if (++*calls == 1) throw std::runtime_error("transient");
+        return json::Value::object({{"attempt", *calls}});
+      });
+
+  Pipeline pipeline;
+  pipeline.name = "retried";
+  pipeline.task_retry_budget = 2;
+  Stage stage;
+  stage.name = "flaky-stage";
+  TaskDescription flaky;
+  flaky.kind = "function";
+  flaky.payload = json::Value::object({{"fn", "flaky"}});
+  stage.tasks = {flaky, modeled(1.0)};
+  Stage after;
+  after.name = "after";
+  after.tasks = {modeled(1.0)};
+  pipeline.stages = {stage, after};
+
+  PipelineResult result;
+  workflows->run_pipeline(pipeline, *pilot,
+                          [&](const PipelineResult& r) { result = r; });
+  session.run();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.tasks_failed, 0u);
+  EXPECT_EQ(result.tasks_retried, 1u);
+  EXPECT_EQ(*calls, 2);
+  EXPECT_EQ(result.stage_names,
+            (std::vector<std::string>{"flaky-stage", "after"}));
+}
+
+TEST_F(WorkflowTest, ExhaustedRetryBudgetStillFailsThePipeline) {
+  session.executor().functions().register_fn(
+      "always-bad", [](ExecutionContext&, const json::Value&) -> json::Value {
+        throw std::runtime_error("permanent");
+      });
+
+  Pipeline pipeline;
+  pipeline.name = "doomed";
+  pipeline.task_retry_budget = 2;
+  Stage stage;
+  stage.name = "bad";
+  TaskDescription bad;
+  bad.kind = "function";
+  bad.payload = json::Value::object({{"fn", "always-bad"}});
+  stage.tasks = {bad};
+  pipeline.stages = {stage};
+
+  PipelineResult result;
+  result.ok = true;
+  workflows->run_pipeline(pipeline, *pilot,
+                          [&](const PipelineResult& r) { result = r; });
+  session.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.tasks_failed, 1u);
+  EXPECT_EQ(result.tasks_retried, 2u);
+}
+
 TEST_F(WorkflowTest, ConcurrentPipelinesShareThePilot) {
   int completed = 0;
   for (int p = 0; p < 3; ++p) {
