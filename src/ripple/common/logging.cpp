@@ -1,7 +1,9 @@
 #include "ripple/common/logging.hpp"
 
 #include <cstdio>
+#include <fstream>
 
+#include "ripple/common/json.hpp"
 #include "ripple/common/strutil.hpp"
 
 namespace ripple::common {
@@ -28,6 +30,38 @@ void StderrSink::write(const LogRecord& record) {
     std::fprintf(stderr, "%-5s %s: %s\n", to_string(record.level),
                  record.logger.c_str(), record.message.c_str());
   }
+}
+
+JsonLinesSink::JsonLinesSink(std::string path) : path_(std::move(path)) {}
+
+void JsonLinesSink::write(const LogRecord& record) {
+  json::Value line = json::Value::object();
+  line.set("time", record.time);
+  line.set("level", to_string(record.level));
+  line.set("logger", record.logger);
+  line.set("message", record.message);
+  std::string text = line.dump();
+  std::lock_guard lock(mutex_);
+  if (!path_.empty()) {
+    std::ofstream out(path_, std::ios::app);
+    if (out.good()) out << text << "\n";
+  }
+  lines_.push_back(std::move(text));
+}
+
+std::vector<std::string> JsonLinesSink::lines() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+std::size_t JsonLinesSink::size() const {
+  std::lock_guard lock(mutex_);
+  return lines_.size();
+}
+
+void JsonLinesSink::clear() {
+  std::lock_guard lock(mutex_);
+  lines_.clear();
 }
 
 void MemorySink::write(const LogRecord& record) {

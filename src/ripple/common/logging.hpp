@@ -44,6 +44,29 @@ class StderrSink final : public LogSink {
   std::mutex mutex_;
 };
 
+/// Formats each record as one compact JSON object per line (JSONL),
+/// sim-time stamped, so logs can be interleaved with trace spans by
+/// time. Lines are buffered in memory (for tests and programmatic
+/// consumers) and optionally appended to a file as they arrive.
+class JsonLinesSink final : public LogSink {
+ public:
+  /// `path` empty keeps the sink memory-only.
+  explicit JsonLinesSink(std::string path = "");
+
+  void write(const LogRecord& record) override;
+
+  /// Every line written so far (without trailing newlines).
+  [[nodiscard]] std::vector<std::string> lines() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+  std::string path_;
+};
+
 /// Buffers records in memory for inspection by tests.
 class MemorySink final : public LogSink {
  public:

@@ -13,6 +13,7 @@ DataManager::DataManager(Runtime& runtime)
     : runtime_(runtime),
       engine_(runtime.loop(), runtime.rng().fork("data_manager")) {
   engine_.set_network(&runtime.network());
+  engine_.set_trace(&runtime.tracer(), &runtime.counters());
 }
 
 void DataManager::register_dataset(const std::string& name, double bytes,

@@ -138,6 +138,15 @@ std::vector<std::string> FailureCoordinator::pilots_of(
   return owners;
 }
 
+void FailureCoordinator::trace_fault(const char* name,
+                                     const std::string& target,
+                                     bool repair) {
+  session_.counters().add(repair ? "fault.repaired" : "fault.injected");
+  if (session_.tracer().enabled()) {
+    session_.tracer().instant(name, "fault", target, session_.now());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Event reactions
 // ---------------------------------------------------------------------------
@@ -146,6 +155,7 @@ void FailureCoordinator::on_node_crash(const std::string& node_id) {
   platform::Node* node = find_node(node_id);
   if (node == nullptr || !node->alive()) return;
   log_.info(strutil::cat("node ", node_id, " crashed"));
+  trace_fault("node-crash", node_id, /*repair=*/false);
   for (const std::string& name : session_.cluster_names()) {
     if (session_.cluster(name).find_node(node_id) != nullptr) {
       session_.cluster(name).fail_node(*node);
@@ -159,6 +169,7 @@ void FailureCoordinator::on_node_restore(const std::string& node_id) {
   platform::Node* node = find_node(node_id);
   if (node == nullptr || node->alive()) return;
   log_.info(strutil::cat("node ", node_id, " restored"));
+  trace_fault("node-restore", node_id, /*repair=*/true);
   for (const std::string& name : session_.cluster_names()) {
     if (session_.cluster(name).find_node(node_id) != nullptr) {
       session_.cluster(name).restore_node(*node);
@@ -179,6 +190,7 @@ void FailureCoordinator::on_pilot_preempt(const std::string& pilot_uid) {
   if (std::find(uids.begin(), uids.end(), pilot_uid) == uids.end()) return;
   if (is_terminal(session_.pilot(pilot_uid).state())) return;
   log_.info(strutil::cat("pilot ", pilot_uid, " preempted"));
+  trace_fault("pilot-preempt", pilot_uid, /*repair=*/false);
   session_.fail_pilot(pilot_uid);
 }
 
@@ -189,12 +201,14 @@ void FailureCoordinator::on_slow_node(const std::string& node_id,
   const double factor = magnitude > 1.0 ? magnitude : 2.0;
   log_.info(strutil::cat("node ", node_id, " slowed x",
                          strutil::format_fixed(factor, 2)));
+  trace_fault("slow-node", node_id, /*repair=*/false);
   node->set_speed_factor(factor);
 }
 
 void FailureCoordinator::on_node_normal(const std::string& node_id) {
   platform::Node* node = find_node(node_id);
   if (node == nullptr) return;
+  trace_fault("node-normal", node_id, /*repair=*/true);
   node->set_speed_factor(1.0);
 }
 
@@ -202,6 +216,7 @@ void FailureCoordinator::on_link_down(const std::string& pair) {
   const auto [a, b] = split_pair(pair);
   if (a.empty() || b.empty()) return;
   log_.info(strutil::cat("link ", a, " <-> ", b, " down"));
+  trace_fault("link-down", pair, /*repair=*/false);
   session_.data().engine().fail_link(a, b);
 }
 
@@ -209,6 +224,7 @@ void FailureCoordinator::on_link_up(const std::string& pair) {
   const auto [a, b] = split_pair(pair);
   if (a.empty() || b.empty()) return;
   log_.info(strutil::cat("link ", a, " <-> ", b, " up"));
+  trace_fault("link-up", pair, /*repair=*/true);
   session_.data().engine().restore_link(a, b);
 }
 
@@ -216,6 +232,7 @@ void FailureCoordinator::on_store_crash(const std::string& zone) {
   const double capacity = session_.data().catalog().store(zone).capacity;
   failed_store_capacity_[zone] = capacity;
   log_.info(strutil::cat("store ", zone, " crashed"));
+  trace_fault("store-crash", zone, /*repair=*/false);
   session_.data().handle_store_failure(zone);
 }
 
@@ -225,6 +242,7 @@ void FailureCoordinator::on_store_restore(const std::string& zone) {
   const double capacity = it->second;
   failed_store_capacity_.erase(it);
   log_.info(strutil::cat("store ", zone, " restored"));
+  trace_fault("store-restore", zone, /*repair=*/true);
   if (capacity < std::numeric_limits<double>::infinity()) {
     session_.data().add_store(zone, capacity);
   }

@@ -91,6 +91,12 @@ class FailureCoordinator {
   void on_store_crash(const std::string& zone);
   void on_store_restore(const std::string& zone);
 
+  /// Emits a fault/repair instant span ("fault" category) and ticks
+  /// the "fault.injected" / "fault.repaired" counters. No-op while
+  /// tracing is disabled.
+  void trace_fault(const char* name, const std::string& target,
+                   bool repair);
+
   /// Node lookup across every cluster; nullptr when unknown.
   [[nodiscard]] platform::Node* find_node(const std::string& node_id);
 

@@ -14,8 +14,10 @@
 #include "ripple/common/ids.hpp"
 #include "ripple/common/logging.hpp"
 #include "ripple/common/random.hpp"
+#include "ripple/metrics/counters.hpp"
 #include "ripple/metrics/registry.hpp"
 #include "ripple/metrics/timeline.hpp"
+#include "ripple/metrics/tracer.hpp"
 #include "ripple/msg/pubsub.hpp"
 #include "ripple/msg/router.hpp"
 #include "ripple/sim/event_loop.hpp"
@@ -36,6 +38,10 @@ class Runtime {
   [[nodiscard]] msg::PubSub& pubsub() noexcept { return pubsub_; }
   [[nodiscard]] metrics::Registry& metrics() noexcept { return metrics_; }
   [[nodiscard]] metrics::Timeline& timeline() noexcept { return timeline_; }
+  /// Runtime-wide span tracer; off by default (Session::enable_tracing).
+  [[nodiscard]] metrics::Tracer& tracer() noexcept { return tracer_; }
+  /// Runtime-wide counters/gauges; off by default alongside the tracer.
+  [[nodiscard]] metrics::Counters& counters() noexcept { return counters_; }
   [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
@@ -78,6 +84,8 @@ class Runtime {
   msg::PubSub pubsub_;
   metrics::Registry metrics_;
   metrics::Timeline timeline_;
+  metrics::Tracer tracer_;
+  metrics::Counters counters_;
   std::map<std::string, std::set<std::string>> endpoint_directory_;
 };
 

@@ -51,7 +51,25 @@ void Scheduler::remove_pilot(const std::string& pilot_uid) {
 }
 
 std::size_t Scheduler::reschedule(const std::string& pilot_uid) {
-  return try_schedule(entry_for(pilot_uid));
+  PilotEntry& entry = entry_for(pilot_uid);
+  const std::size_t grants = try_schedule(entry);
+  trace_pass(entry, grants);
+  return grants;
+}
+
+std::size_t Scheduler::waiting_total() const {
+  std::size_t total = 0;
+  for (const auto& [uid, entry] : pilots_) total += entry.waiting.size();
+  return total;
+}
+
+void Scheduler::trace_pass(const PilotEntry& entry, std::size_t grants) {
+  auto& tracer = runtime_.tracer();
+  if (!tracer.enabled()) return;
+  const double now = runtime_.loop().now();
+  tracer.instant("place", "sched", entry.pilot->uid(), now, 0,
+                 {{"grants", strutil::cat(grants)},
+                  {"queued", strutil::cat(entry.waiting.size())}});
 }
 
 Scheduler::PilotEntry& Scheduler::entry_for(const std::string& pilot_uid) {
@@ -134,7 +152,9 @@ std::size_t Scheduler::submit_all(const std::string& pilot_uid,
     try_schedule(entry);
     throw;
   }
-  return try_schedule(entry);
+  const std::size_t grants = try_schedule(entry);
+  trace_pass(entry, grants);
+  return grants;
 }
 
 bool Scheduler::cancel(const std::string& pilot_uid,
@@ -201,6 +221,7 @@ void Scheduler::commit_grant(
     std::function<void(platform::Slot, platform::Node*)> callback) {
   wait_times_.add(runtime_.loop().now() - enqueued_at);
   ++granted_;
+  runtime_.counters().add("sched.grants");
   grant_hash_ = common::fnv1a(grant_hash_, uid);
   grant_hash_ = common::fnv1a(grant_hash_, node->id());
   grant_hash_ = common::fnv1a(grant_hash_,
@@ -312,10 +333,25 @@ std::size_t Scheduler::run_sharded_passes(
   // one shard (a node has one exclusive capacity listener), so the
   // passes share no mutable state. Grants are buffered, not committed.
   std::vector<GrantSink> buffers(nshards);
+  // Per-shard trace lanes: lane records carry (pass time, pilot index)
+  // merge keys, so the committed span order is invariant under the
+  // shard count — same protocol as the grants themselves.
+  auto& tracer = runtime_.tracer();
+  const bool traced = tracer.enabled();
+  const double pass_time = runtime_.loop().now();
+  if (traced) tracer.begin_lanes(nshards);
   const auto pass = [&](std::size_t shard) {
     GrantSink& sink = buffers[shard];
     for (std::size_t p = shard; p < touched.size(); p += nshards) {
-      try_schedule(*touched[p], &sink);
+      const std::size_t grants = try_schedule(*touched[p], &sink);
+      if (traced) {
+        tracer.lane_complete(
+            shard,
+            common::MergeKey{pass_time, p, static_cast<std::uint32_t>(shard)},
+            "place", "sched", touched[p]->pilot->uid(), pass_time, pass_time,
+            {{"grants", strutil::cat(grants)},
+             {"queued", strutil::cat(touched[p]->waiting.size())}});
+      }
     }
     for (PendingGrant& pending : sink) {
       pending.key.shard = static_cast<std::uint32_t>(shard);
@@ -326,6 +362,7 @@ std::size_t Scheduler::run_sharded_passes(
   } else {
     executor_->run(nshards, pass);
   }
+  if (traced) tracer.commit_lanes();
   return commit_merged(std::move(buffers));
 }
 
@@ -403,6 +440,10 @@ std::size_t Scheduler::release_batch(
           ? std::min<std::size_t>(executor_->shards(), grouped.size())
           : 1;
   std::vector<GrantSink> buffers(nshards);
+  auto& tracer = runtime_.tracer();
+  const bool traced = tracer.enabled();
+  const double pass_time = runtime_.loop().now();
+  if (traced) tracer.begin_lanes(nshards);
   const auto pass = [&](std::size_t shard) {
     GrantSink& sink = buffers[shard];
     for (std::size_t g = shard; g < grouped.size(); g += nshards) {
@@ -412,7 +453,15 @@ std::size_t Scheduler::release_batch(
             entry.pilot->cluster().find_node(slot->node_id);
         node->release(*slot);  // index updates via the listener
       }
-      try_schedule(entry, &sink);
+      const std::size_t grants = try_schedule(entry, &sink);
+      if (traced) {
+        tracer.lane_complete(
+            shard,
+            common::MergeKey{pass_time, g, static_cast<std::uint32_t>(shard)},
+            "backfill", "sched", entry.pilot->uid(), pass_time, pass_time,
+            {{"released", strutil::cat(grouped[g].second.size())},
+             {"grants", strutil::cat(grants)}});
+      }
     }
     for (PendingGrant& pending : sink) {
       pending.key.shard = static_cast<std::uint32_t>(shard);
@@ -423,6 +472,7 @@ std::size_t Scheduler::release_batch(
   } else {
     executor_->run(nshards, pass);
   }
+  if (traced) tracer.commit_lanes();
   return commit_merged(std::move(buffers));
 }
 

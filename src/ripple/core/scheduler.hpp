@@ -168,6 +168,11 @@ class Scheduler {
   void release(const std::string& pilot_uid, const platform::Slot& slot);
 
   [[nodiscard]] std::size_t queue_length(const std::string& pilot_uid) const;
+
+  /// Total queued (not yet granted) requests across all pilots — the
+  /// waitqueue-length gauge sampled by metrics::Counters.
+  [[nodiscard]] std::size_t waiting_total() const;
+
   [[nodiscard]] std::uint64_t granted_total() const noexcept {
     return granted_;
   }
@@ -235,6 +240,10 @@ class Scheduler {
   /// the same everything-left-is-unplaceable invariant.
   std::size_t try_schedule_data_aware(PilotEntry& entry,
                                       GrantSink* sink = nullptr);
+
+  /// Traces one inline placement pass as a zero-length "sched" span
+  /// (no-op while tracing is disabled).
+  void trace_pass(const PilotEntry& entry, std::size_t grants);
 
   /// Post-submit fast path: only the entry at `key` can possibly be
   /// granted (all others were unplaceable at unchanged capacity).

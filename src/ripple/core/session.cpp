@@ -29,6 +29,40 @@ Session::Session(SessionConfig config)
         return data_->bytes_required(datasets, zone);
       });
   failures_ = std::make_unique<FailureCoordinator>(*this);
+  if (config.tracing) enable_tracing(config.gauge_tick);
+}
+
+void Session::enable_tracing(double gauge_tick) {
+  runtime_.tracer().set_enabled(true);
+  auto& counters = runtime_.counters();
+  if (counters.enabled()) return;  // gauges already registered
+  counters.set_enabled(true);
+  counters.register_gauge("loop.pending", [this] {
+    return static_cast<double>(runtime_.loop().pending());
+  });
+  counters.register_gauge("loop.peak_pending", [this] {
+    return static_cast<double>(runtime_.loop().peak_pending());
+  });
+  counters.register_gauge("loop.events", [this] {
+    return static_cast<double>(runtime_.loop().events_processed());
+  });
+  counters.register_gauge("sched.waiting", [this] {
+    return static_cast<double>(scheduler_->waiting_total());
+  });
+  counters.register_gauge("data.live_transfers", [this] {
+    return static_cast<double>(data_->engine().live());
+  });
+  counters.register_gauge("data.bytes_moved", [this] {
+    return data_->engine().bytes_moved();
+  });
+  counters.register_gauge("store.used_bytes", [this] {
+    double used = 0.0;
+    for (const std::string& zone : data_->catalog().store_zones()) {
+      used += data_->catalog().store(zone).used;
+    }
+    return used;
+  });
+  counters.arm_sampling(runtime_.loop(), gauge_tick);
 }
 
 Session::~Session() = default;

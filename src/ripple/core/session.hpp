@@ -41,6 +41,11 @@ class FailureCoordinator;
 struct SessionConfig {
   std::uint64_t seed = 42;
   SchedulerPolicy scheduler_policy = SchedulerPolicy::backfill;
+  /// Enables runtime-wide span tracing + counters at construction
+  /// (equivalent to calling enable_tracing()). Off by default.
+  bool tracing = false;
+  /// Sim-time interval between counter/gauge snapshots when tracing.
+  double gauge_tick = 1.0;
 };
 
 class Session {
@@ -96,6 +101,18 @@ class Session {
   [[nodiscard]] metrics::Timeline& timeline() noexcept {
     return runtime_.timeline();
   }
+  [[nodiscard]] metrics::Tracer& tracer() noexcept {
+    return runtime_.tracer();
+  }
+  [[nodiscard]] metrics::Counters& counters() noexcept {
+    return runtime_.counters();
+  }
+
+  /// Turns on span tracing and counter sampling for this session:
+  /// enables the Tracer and Counters, registers the standard gauges
+  /// (event-loop depth/events, scheduler waitqueue length, live
+  /// transfers, store occupancy) and arms the sampling tick. Idempotent.
+  void enable_tracing(double gauge_tick = 1.0);
 
   // --- driving the run ---
 

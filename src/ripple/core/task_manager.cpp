@@ -157,6 +157,14 @@ std::string TaskManager::create_task(Pilot& pilot, TaskDescription desc) {
   active.task = std::make_unique<Task>(uid, std::move(desc));
   active.task->set_pilot_uid(pilot.uid());
   active.pilot = &pilot;
+  // The root span covers the task's whole lifetime; the phase spans
+  // (queue-wait, stage-in/out, run, recovery) nest under it.
+  if (runtime_.tracer().enabled()) {
+    active.trace_task =
+        runtime_.tracer().begin(active.task->description().name, "task",
+                                uid, runtime_.loop().now());
+  }
+  runtime_.counters().add("task.submitted");
   tasks_.emplace(uid, std::move(active));
   runtime_.publish_state("task", uid, to_string(TaskState::created));
   return uid;
@@ -297,6 +305,11 @@ void TaskManager::begin_stage_in(const std::string& uid, Active& active) {
       stage_in_datasets(active.task->description());
   if (inputs.empty()) return;
   active.stage_in_pending = true;
+  if (runtime_.tracer().enabled() && active.trace_stage == 0) {
+    active.trace_stage =
+        runtime_.tracer().begin("stage-in", "data", uid,
+                                runtime_.loop().now(), active.trace_task);
+  }
   const std::string zone = active.pilot->cluster().name();
   const std::uint64_t epoch = active.epoch;
   active.stage_batch = data_.stage_all_tracked(
@@ -309,6 +322,8 @@ void TaskManager::begin_stage_in(const std::string& uid, Active& active) {
         if (active.epoch != epoch) return;  // attempt was interrupted
         active.stage_in_pending = false;
         active.stage_batch.reset();
+        runtime_.tracer().end(active.trace_stage, runtime_.loop().now());
+        active.trace_stage = 0;
         if (is_terminal(active.task->state())) return;
         if (!ok) {
           fail_task(uid, strutil::cat("stage-in of '", failed_dataset,
@@ -378,6 +393,11 @@ void TaskManager::to_scheduling(const std::string& uid) {
     return;
   }
   set_state(active, TaskState::scheduling);
+  if (runtime_.tracer().enabled() && active.trace_queue == 0) {
+    active.trace_queue =
+        runtime_.tracer().begin("queue-wait", "queue", uid,
+                                runtime_.loop().now(), active.trace_task);
+  }
   scheduler_.submit(active.pilot->uid(), make_request(uid, active));
 }
 
@@ -402,6 +422,11 @@ void TaskManager::schedule_batch(Pilot& pilot,
       continue;
     }
     set_state(it->second, TaskState::scheduling);
+    if (runtime_.tracer().enabled() && it->second.trace_queue == 0) {
+      it->second.trace_queue = runtime_.tracer().begin(
+          "queue-wait", "queue", uid, runtime_.loop().now(),
+          it->second.trace_task);
+    }
     requests.push_back(make_request(uid, it->second));
   }
   if (!requests.empty()) {
@@ -436,6 +461,8 @@ void TaskManager::on_granted(const std::string& uid, std::uint64_t epoch,
   active.slot_held = true;
   active.node = node;
   set_state(active, TaskState::scheduled);
+  runtime_.tracer().end(active.trace_queue, runtime_.loop().now());
+  active.trace_queue = 0;
   if (active.stage_in_pending) return;  // launch once the inputs land
   begin_launch(uid);
 }
@@ -443,6 +470,12 @@ void TaskManager::on_granted(const std::string& uid, std::uint64_t epoch,
 void TaskManager::begin_launch(const std::string& uid) {
   Active& active = active_for(uid);
   set_state(active, TaskState::launching);
+  // The run span covers launch latency plus payload execution.
+  if (runtime_.tracer().enabled() && active.trace_run == 0) {
+    active.trace_run =
+        runtime_.tracer().begin("run", "compute", uid,
+                                runtime_.loop().now(), active.trace_task);
+  }
   active.ctx = std::make_unique<ExecutionContext>(executor_.make_context(
       uid, active.node->host(), active.task->description().payload));
   active.ctx->data = &data_;
@@ -511,6 +544,9 @@ void TaskManager::on_payload_done(const std::string& uid,
   if (from_spec) {
     ++speculation_wins_;
     record_recovery(uid, "spec_win");
+    runtime_.counters().add("task.spec_wins");
+    runtime_.tracer().instant("spec-win", "task", uid,
+                              runtime_.loop().now(), active.trace_task);
     // Promote the duplicate: its slot becomes the task's slot, the
     // straggling primary's slot goes back to the scheduler.
     release_slot(active);
@@ -529,6 +565,8 @@ void TaskManager::on_payload_done(const std::string& uid,
   } else {
     cancel_speculation(active, scheduler_.has_pilot(active.pilot->uid()));
   }
+  runtime_.tracer().end(active.trace_run, runtime_.loop().now());
+  active.trace_run = 0;
   active.task->set_result(std::move(result));
   // The payload has read its inputs: stop pinning them, so a finite
   // store can evict them to make room for this task's own outputs.
@@ -566,6 +604,9 @@ void TaskManager::maybe_speculate(const std::string& uid,
   scheduler_.submit(pilot_uid, std::move(request));
   active.spec_queued = true;
   record_recovery(uid, "speculate");
+  runtime_.counters().add("task.speculations");
+  runtime_.tracer().instant("speculate", "task", uid,
+                            runtime_.loop().now(), active.trace_task);
 }
 
 void TaskManager::on_spec_granted(const std::string& uid,
@@ -671,6 +712,7 @@ void TaskManager::interrupt_task(const std::string& uid,
   // Invalidate every callback of the interrupted attempt (payload
   // completions cannot be cancelled, grants may be posted in flight).
   ++active.epoch;
+  close_phase_spans(active);
   if (active.restart_timer.valid()) {
     runtime_.loop().cancel(active.restart_timer);
     active.restart_timer = {};
@@ -715,6 +757,13 @@ void TaskManager::interrupt_task(const std::string& uid,
   set_state(active, TaskState::scheduling);
   record_recovery(uid,
                   strutil::cat("restart", active.restarts, " ", reason));
+  runtime_.counters().add("task.restarts");
+  // The recovery span covers the backoff wait until re-submission.
+  if (runtime_.tracer().enabled()) {
+    active.trace_recover = runtime_.tracer().begin(
+        "recovery", "recovery", uid, runtime_.loop().now(),
+        active.trace_task, {{"reason", reason}});
+  }
   const std::uint64_t epoch = active.epoch;
   active.restart_timer = runtime_.loop().call_after(
       delay, [this, uid, epoch] { resume_restart(uid, epoch); });
@@ -734,6 +783,13 @@ void TaskManager::resume_restart(const std::string& uid,
     fail_task(uid, strutil::cat("restart: pilot ", active.pilot->uid(),
                                 " cannot host the task any more"));
     return;
+  }
+  runtime_.tracer().end(active.trace_recover, runtime_.loop().now());
+  active.trace_recover = 0;
+  if (runtime_.tracer().enabled() && active.trace_queue == 0) {
+    active.trace_queue =
+        runtime_.tracer().begin("queue-wait", "queue", uid,
+                                runtime_.loop().now(), active.trace_task);
   }
   // Re-stage inputs: datasets still resident in the pilot's zone land
   // instantly, anything lost with a failed store is re-fetched.
@@ -831,6 +887,11 @@ void TaskManager::to_staging_out(const std::string& uid) {
     return;
   }
   set_state(active, TaskState::staging_output);
+  if (runtime_.tracer().enabled() && active.trace_stage == 0) {
+    active.trace_stage =
+        runtime_.tracer().begin("stage-out", "data", uid,
+                                runtime_.loop().now(), active.trace_task);
+  }
   const std::string pilot_zone = active.pilot->cluster().name();
   // Register products first: a full store rejecting the output is a
   // task failure, not a crash (this runs inside an event-loop callback,
@@ -869,6 +930,9 @@ void TaskManager::to_staging_out(const std::string& uid) {
                                       "' failed"));
           return;
         }
+        runtime_.tracer().end(it->second.trace_stage,
+                              runtime_.loop().now());
+        it->second.trace_stage = 0;
         finish(uid);
       });
 }
@@ -881,7 +945,30 @@ void TaskManager::finish(const std::string& uid) {
   release_slot(active);
   release_input_pins(active);
   active.payload.reset();
+  close_phase_spans(active);
+  close_task_span(active, "done");
+  runtime_.counters().add("task.done");
   set_state(active, TaskState::done);
+}
+
+void TaskManager::close_phase_spans(Active& active) {
+  const double now = runtime_.loop().now();
+  auto& tracer = runtime_.tracer();
+  tracer.end(active.trace_queue, now);
+  tracer.end(active.trace_stage, now);
+  tracer.end(active.trace_run, now);
+  tracer.end(active.trace_recover, now);
+  active.trace_queue = 0;
+  active.trace_stage = 0;
+  active.trace_run = 0;
+  active.trace_recover = 0;
+}
+
+void TaskManager::close_task_span(Active& active, const char* state) {
+  if (active.trace_task == 0) return;
+  runtime_.tracer().arg(active.trace_task, "state", state);
+  runtime_.tracer().end(active.trace_task, runtime_.loop().now());
+  active.trace_task = 0;
 }
 
 void TaskManager::release_slot(Active& active) {
@@ -928,6 +1015,9 @@ void TaskManager::fail_task(const std::string& uid,
   release_slot(active);
   release_input_pins(active);
   active.payload.reset();
+  close_phase_spans(active);
+  close_task_span(active, "failed");
+  runtime_.counters().add("task.failed");
   set_state(active, TaskState::failed);
 }
 
@@ -952,6 +1042,8 @@ bool TaskManager::cancel(const std::string& uid) {
       abandon_staging();
       release_input_pins(active);
       waiting_.erase(uid);
+      close_phase_spans(active);
+      close_task_span(active, "canceled");
       set_state(active, TaskState::canceled);
       return true;
     }
@@ -962,6 +1054,8 @@ bool TaskManager::cancel(const std::string& uid) {
       abandon_staging();
       release_input_pins(active);
       release_slot(active);
+      close_phase_spans(active);
+      close_task_span(active, "canceled");
       set_state(active, TaskState::canceled);
       return true;
     }

@@ -174,6 +174,15 @@ class TaskManager {
     platform::Node* spec_node = nullptr;
     std::unique_ptr<ExecutionContext> spec_ctx;
     std::unique_ptr<TaskPayload> spec_payload;
+    /// Tracer handles (0 while closed or tracing disabled): the task's
+    /// root span plus the open phase span of the current attempt —
+    /// queue wait, stage-in/out, run, recovery backoff. Restarts close
+    /// and re-open phases, so a restarted task shows every attempt.
+    metrics::SpanId trace_task = 0;
+    metrics::SpanId trace_queue = 0;
+    metrics::SpanId trace_stage = 0;
+    metrics::SpanId trace_run = 0;
+    metrics::SpanId trace_recover = 0;
   };
 
   struct DoneWatcher {
@@ -230,6 +239,11 @@ class TaskManager {
   void on_spec_launched(const std::string& uid, std::uint64_t epoch);
   void cancel_speculation(Active& active, bool pilot_alive);
   void record_recovery(const std::string& uid, const std::string& event);
+  /// Closes every open phase span of the current attempt (teardown on
+  /// interrupt/finish/fail); no-op while tracing is disabled.
+  void close_phase_spans(Active& active);
+  /// Closes the task's root span with a terminal-state annotation.
+  void close_task_span(Active& active, const char* state);
   void release_slot(Active& active);
   void release_input_pins(Active& active);
   void set_state(Active& active, TaskState state);

@@ -107,6 +107,11 @@ TransferEngine::TransferId TransferEngine::transfer(
   t.remaining = bytes;
   t.started_at = loop_.now();
   t.on_done = std::move(on_done);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    t.trace = tracer_->begin("transfer", "xfer", dataset, loop_.now(), 0,
+                             {{"src", src_zone}, {"dst", dst_zone}});
+  }
+  if (counters_ != nullptr) counters_->add("data.transfers");
   transfers_.emplace(id, std::move(t));
   ++started_;
   enter_link(id);
@@ -163,6 +168,11 @@ TransferEngine::TransferId TransferEngine::transfer_striped(
   parent.total_bytes = bytes;
   parent.started_at = loop_.now();
   parent.on_done = std::move(on_done);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    parent.trace = tracer_->begin("transfer-striped", "xfer", dataset,
+                                  loop_.now(), 0, {{"dst", dst_zone}});
+  }
+  if (counters_ != nullptr) counters_->add("data.transfers");
   ++started_;
 
   // Bandwidth-proportional split; the last stripe takes the remainder
@@ -186,6 +196,10 @@ TransferEngine::TransferId TransferEngine::transfer_striped(
     stripe.remaining = share;
     stripe.started_at = parent.started_at;
     stripe.parent = parent_id;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      stripe.trace = tracer_->begin("stripe", "xfer", dataset, loop_.now(),
+                                    parent.trace, {{"src", src}});
+    }
     transfers_.emplace(stripe_id, std::move(stripe));
     parent.stripes.push_back(stripe_id);
     ++stripes_started_;
@@ -280,11 +294,29 @@ std::size_t TransferEngine::replan_all() {
       (executor_ != nullptr && executor_->shards() > 1)
           ? std::min<std::size_t>(executor_->shards(), links.size())
           : 1;
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const sim::SimTime now = loop_.now();
+  if (traced) tracer_->begin_lanes(nshards);
   std::vector<std::vector<PlannedTimer>> buffers(nshards);
   const auto pass = [&](std::size_t shard) {
     std::vector<PlannedTimer>& sink = buffers[shard];
     for (std::size_t i = shard; i < links.size(); i += nshards) {
+      const std::size_t before = sink.size();
       plan_link(*links[i].first, *links[i].second, sink);
+      if (traced) {
+        // One zero-length span per planned link. The merge key orders
+        // lane records by link index (globally unique), so the span log
+        // is shard-count invariant — the span itself never names the
+        // shard.
+        tracer_->lane_complete(
+            shard,
+            common::MergeKey{now, static_cast<std::uint64_t>(i),
+                             static_cast<std::uint32_t>(shard)},
+            "replan", "xfer",
+            strutil::cat(links[i].first->first, "~", links[i].first->second),
+            now, now,
+            {{"flows", std::to_string(sink.size() - before)}});
+      }
     }
     for (PlannedTimer& plan : sink) {
       plan.key.shard = static_cast<std::uint32_t>(shard);
@@ -301,6 +333,7 @@ std::size_t TransferEngine::replan_all() {
   // pure function of the plan, independent of shard count.
   std::vector<PlannedTimer> merged = common::merge_shards(
       std::move(buffers), [](const PlannedTimer& plan) { return plan.key; });
+  if (traced) tracer_->commit_lanes();
   for (const PlannedTimer& plan : merged) {
     Transfer& t = transfers_.at(plan.id);
     if (t.timer.valid()) loop_.cancel(t.timer);
@@ -389,6 +422,8 @@ void TransferEngine::fail_attempt_terminal(TransferId id) {
     return;
   }
   ++failed_;
+  if (counters_ != nullptr) counters_->add("data.failed");
+  close_span(t.trace, "failed");
   Callback on_done = std::move(t.on_done);
   const sim::Duration elapsed = loop_.now() - t.started_at;
   transfers_.erase(it);
@@ -409,6 +444,7 @@ void TransferEngine::on_attempt_end(TransferId id) {
     leave_link(t);
     if (!terminal && t.attempts <= max_retries_) {
       ++retries_;
+      if (counters_ != nullptr) counters_->add("data.retries");
       t.remaining = t.total_bytes;
       enter_link(id);
       return;
@@ -418,6 +454,8 @@ void TransferEngine::on_attempt_end(TransferId id) {
       return;
     }
     ++failed_;
+    if (counters_ != nullptr) counters_->add("data.failed");
+    close_span(t.trace, "failed");
     Callback on_done = std::move(t.on_done);
     const sim::Duration elapsed = loop_.now() - t.started_at;
     transfers_.erase(it);
@@ -435,6 +473,8 @@ void TransferEngine::on_attempt_end(TransferId id) {
   }
   bytes_moved_ += t.total_bytes;
   ++completed_;
+  if (counters_ != nullptr) counters_->add("data.completed");
+  close_span(t.trace, "ok");
   const sim::Duration elapsed = loop_.now() - t.started_at;
   transfer_times_.add(elapsed);
   completion_log_.push_back(t.dataset);
@@ -448,6 +488,7 @@ void TransferEngine::finish_stripe(TransferId id, bool ok) {
   if (it == transfers_.end()) return;  // already settled: idempotent
   const TransferId parent_id = it->second.parent;
   const double stripe_bytes = it->second.total_bytes;
+  close_span(it->second.trace, ok ? "ok" : "failed");
   transfers_.erase(it);
   const auto pit = striped_.find(parent_id);
   if (pit == striped_.end()) return;  // orphan: parent already settled
@@ -475,6 +516,8 @@ void TransferEngine::finish_stripe(TransferId id, bool ok) {
     // The last stripe ran out of retries: the whole transfer fails and
     // the partial bytes of earlier stripes are never committed.
     ++failed_;
+    if (counters_ != nullptr) counters_->add("data.failed");
+    close_span(parent.trace, "failed");
     Callback on_done = std::move(parent.on_done);
     striped_.erase(pit);
     on_done(false, elapsed);
@@ -482,6 +525,8 @@ void TransferEngine::finish_stripe(TransferId id, bool ok) {
   }
   if (!parent.stripes.empty()) return;  // commit when the last lands
   ++completed_;
+  if (counters_ != nullptr) counters_->add("data.completed");
+  close_span(parent.trace, "ok");
   bytes_moved_ += parent.total_bytes;
   transfer_times_.add(elapsed);
   completion_log_.push_back(parent.dataset);
@@ -501,16 +546,25 @@ void TransferEngine::abort_stripe(TransferId id) {
   } else {
     leave_link(t);
   }
+  close_span(t.trace, "cancelled");
   transfers_.erase(it);
+}
+
+void TransferEngine::close_span(metrics::SpanId id, const char* outcome) {
+  if (tracer_ == nullptr || id == 0) return;
+  tracer_->arg(id, "outcome", outcome);
+  tracer_->end(id, loop_.now());
 }
 
 bool TransferEngine::cancel(TransferId id) {
   const auto striped = striped_.find(id);
   if (striped != striped_.end()) {
     const std::vector<TransferId> stripes = std::move(striped->second.stripes);
+    close_span(striped->second.trace, "cancelled");
     striped_.erase(striped);
     for (const TransferId sid : stripes) abort_stripe(sid);
     ++cancelled_;
+    if (counters_ != nullptr) counters_->add("data.cancelled");
     return true;
   }
   const auto it = transfers_.find(id);
@@ -527,6 +581,7 @@ bool TransferEngine::cancel(TransferId id) {
   }
   abort_stripe(id);  // same dequeue-or-leave-link teardown
   ++cancelled_;
+  if (counters_ != nullptr) counters_->add("data.cancelled");
   return true;
 }
 

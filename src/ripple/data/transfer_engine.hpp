@@ -57,6 +57,8 @@
 #include "ripple/common/random.hpp"
 #include "ripple/common/shard_executor.hpp"
 #include "ripple/common/statistics.hpp"
+#include "ripple/metrics/counters.hpp"
+#include "ripple/metrics/tracer.hpp"
 #include "ripple/sim/event_loop.hpp"
 #include "ripple/sim/network.hpp"
 
@@ -114,6 +116,16 @@ class TransferEngine {
   /// the file comment for the sharding/merge contract.
   void set_shard_executor(common::ShardExecutor* executor) noexcept {
     executor_ = executor;
+  }
+
+  /// Wires the runtime's tracer/counters in (either may be null). When
+  /// tracing is enabled each transfer gets a span (stripes as children
+  /// of their striped parent), replan_all() emits per-link lane spans
+  /// merged shard-invariantly, and the transfer counters tick.
+  void set_trace(metrics::Tracer* tracer,
+                 metrics::Counters* counters) noexcept {
+    tracer_ = tracer;
+    counters_ = counters;
   }
 
   /// Recomputes the fair-share rate of every flowing transfer on every
@@ -241,6 +253,7 @@ class TransferEngine {
     int attempts = 0;
     bool attempt_fails = false;  ///< sampled at admission, per attempt
     TransferId parent = 0;       ///< striped parent; 0 for plain transfers
+    metrics::SpanId trace = 0;   ///< open tracer span, 0 when untraced
     Callback on_done;
   };
 
@@ -252,6 +265,7 @@ class TransferEngine {
     double total_bytes = 0.0;
     sim::SimTime started_at = 0.0;
     std::vector<TransferId> stripes;  ///< still in flight
+    metrics::SpanId trace = 0;        ///< open tracer span, 0 when untraced
     Callback on_done;
   };
 
@@ -288,6 +302,10 @@ class TransferEngine {
   /// changes (the parent's outcome is accounted elsewhere).
   void abort_stripe(TransferId id);
 
+  /// Ends an open transfer span with an `outcome` annotation; no-op on
+  /// id 0 or without a wired tracer.
+  void close_span(metrics::SpanId id, const char* outcome);
+
   /// Advances progress of every flowing transfer on the link to `now`,
   /// reassigns fair-share rates and reschedules completion timers.
   void replan(const LinkKey& key);
@@ -310,6 +328,8 @@ class TransferEngine {
   sim::EventLoop& loop_;
   common::Rng rng_;
   common::ShardExecutor* executor_ = nullptr;
+  metrics::Tracer* tracer_ = nullptr;
+  metrics::Counters* counters_ = nullptr;
   const sim::Network* network_ = nullptr;
   std::map<LinkKey, double> bandwidth_override_;
   std::map<LinkKey, std::size_t> concurrency_;

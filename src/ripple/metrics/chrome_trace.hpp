@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file chrome_trace.hpp
+/// Chrome trace-event JSON export for Tracer spans and Counter samples.
+///
+/// Emits the Trace Event Format that chrome://tracing and Perfetto
+/// (https://ui.perfetto.dev) load directly: spans become complete
+/// ("ph":"X") events with microsecond ts/dur, counter samples become
+/// counter ("ph":"C") events, and each (category, entity) pair gets
+/// its own named track via thread-name metadata events. Output goes
+/// through common::json, so it is deterministic (ordered keys) and
+/// round-trips through Value::parse — the trace-artifact ctest check
+/// relies on both.
+
+#include <string>
+
+#include "ripple/common/json.hpp"
+#include "ripple/metrics/counters.hpp"
+#include "ripple/metrics/tracer.hpp"
+
+namespace ripple::metrics {
+
+/// Builds the trace document ({"traceEvents": [...], ...}) in memory.
+/// Spans still open are clamped to the last time seen in the log.
+[[nodiscard]] json::Value chrome_trace_json(const Tracer& tracer,
+                                            const Counters* counters = nullptr);
+
+/// Writes chrome_trace_json() to `path` (overwrites). By convention
+/// benches write "<bench>.trace.json" under bench_out/, which CI
+/// uploads and smoke-validates.
+void write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const Counters* counters = nullptr);
+
+}  // namespace ripple::metrics

@@ -1,0 +1,68 @@
+#include "ripple/metrics/counters.hpp"
+
+#include <bit>
+
+#include "ripple/common/hash.hpp"
+
+namespace ripple::metrics {
+
+void Counters::add(const std::string& name, double delta) {
+  if (!enabled_) return;
+  values_[name] += delta;
+}
+
+void Counters::set_value(const std::string& name, double value) {
+  if (!enabled_) return;
+  values_[name] = value;
+}
+
+double Counters::value(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+void Counters::register_gauge(std::string name, std::function<double()> fn) {
+  gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+void Counters::sample(double time) {
+  if (!enabled_) return;
+  for (const auto& [name, value] : values_) {
+    samples_.push_back({time, name, value});
+  }
+  for (const auto& [name, fn] : gauges_) {
+    samples_.push_back({time, name, fn()});
+  }
+}
+
+void Counters::arm_sampling(sim::EventLoop& loop, double interval) {
+  if (!enabled_ || interval <= 0.0) return;
+  loop.call_after(interval, [this, &loop, interval] { tick(loop, interval); });
+}
+
+void Counters::tick(sim::EventLoop& loop, double interval) {
+  sample(loop.now());
+  // Re-arm only while the workload still has events of its own, so the
+  // loop drains instead of ticking forever.
+  if (enabled_ && loop.pending() > 0) {
+    loop.call_after(interval,
+                    [this, &loop, interval] { tick(loop, interval); });
+  }
+}
+
+std::uint64_t Counters::sample_log_hash() const {
+  std::uint64_t hash = common::kFnvOffsetBasis;
+  for (const Sample& sample : samples_) {
+    hash = common::fnv1a(hash, sample.name);
+    hash = common::fnv1a(hash, std::bit_cast<std::uint64_t>(sample.time));
+    hash = common::fnv1a(hash, std::bit_cast<std::uint64_t>(sample.value));
+  }
+  return hash;
+}
+
+void Counters::clear() {
+  values_.clear();
+  samples_.clear();
+}
+
+}  // namespace ripple::metrics

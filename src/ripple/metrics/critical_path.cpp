@@ -1,0 +1,142 @@
+#include "ripple/metrics/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ripple/common/strutil.hpp"
+
+namespace ripple::metrics {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Phase priority when child spans overlap (compute wins over the
+/// waits it overlaps with, e.g. an overlapped stage-in).
+int priority_of(const std::string& category) {
+  if (category == "compute") return 4;
+  if (category == "recovery") return 3;
+  if (category == "data") return 2;
+  if (category == "queue") return 1;
+  return 0;
+}
+
+double* bucket_of(Breakdown& out, int priority) {
+  switch (priority) {
+    case 4: return &out.compute;
+    case 3: return &out.recovery;
+    case 2: return &out.data_wait;
+    case 1: return &out.queue_wait;
+    default: return &out.other;
+  }
+}
+
+struct Phase {
+  double begin = 0.0;
+  double end = 0.0;
+  int priority = 0;
+};
+
+/// Attributes [seg_begin, seg_end] of one task using its child phase
+/// spans: an elementary-interval sweep where the highest-priority
+/// covering phase wins and uncovered time is "other".
+void attribute_segment(const Span& task, double seg_begin, double seg_end,
+                       const std::multimap<SpanId, const Span*>& children,
+                       double window_end, Breakdown& out) {
+  std::vector<Phase> phases;
+  std::vector<double> cuts{seg_begin, seg_end};
+  const auto [first, last] = children.equal_range(task.id);
+  for (auto it = first; it != last; ++it) {
+    const Span& child = *it->second;
+    const int priority = priority_of(child.category);
+    if (priority == 0) continue;
+    const double child_end = child.end < 0.0 ? window_end : child.end;
+    const double begin = std::max(child.begin, seg_begin);
+    const double end = std::min(child_end, seg_end);
+    if (end <= begin + kEps) continue;
+    phases.push_back({begin, end, priority});
+    cuts.push_back(begin);
+    cuts.push_back(end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double a = cuts[i];
+    const double b = cuts[i + 1];
+    const double mid = 0.5 * (a + b);
+    int best = 0;
+    for (const Phase& phase : phases) {
+      if (phase.begin <= mid && mid < phase.end) {
+        best = std::max(best, phase.priority);
+      }
+    }
+    *bucket_of(out, best) += b - a;
+  }
+}
+
+}  // namespace
+
+Breakdown critical_path(const Tracer& tracer, double window_begin,
+                        double window_end) {
+  Breakdown out;
+  out.window_begin = window_begin;
+  out.window_end = window_end;
+
+  std::vector<const Span*> tasks;
+  std::multimap<SpanId, const Span*> children;
+  for (const Span& span : tracer.spans()) {
+    if (span.category == "task") tasks.push_back(&span);
+    if (span.parent != 0) children.emplace(span.parent, &span);
+  }
+
+  double frontier = window_end;
+  while (frontier > window_begin + kEps) {
+    // The critical task: among spans overlapping (window_begin,
+    // frontier), the one reaching closest to the frontier; later
+    // begins break ties (shorter hops keep the path tight). Scanning
+    // the log in order makes the final tie-break deterministic.
+    const Span* best = nullptr;
+    double best_end = 0.0;
+    for (const Span* task : tasks) {
+      if (task->begin >= frontier - kEps) continue;
+      const double end =
+          std::min(task->end < 0.0 ? window_end : task->end, frontier);
+      if (end <= task->begin + kEps) continue;
+      if (best == nullptr || end > best_end ||
+          (end == best_end && task->begin > best->begin)) {
+        best = task;
+        best_end = end;
+      }
+    }
+    if (best == nullptr) {
+      out.other += frontier - window_begin;
+      break;
+    }
+    if (best_end < frontier) out.other += frontier - best_end;  // idle gap
+    const double seg_begin = std::max(best->begin, window_begin);
+    attribute_segment(*best, seg_begin, best_end, children, window_end, out);
+    out.path.push_back(best->entity);
+    frontier = seg_begin;
+  }
+  std::reverse(out.path.begin(), out.path.end());
+  return out;
+}
+
+Table Breakdown::table() const {
+  const double window = window_end - window_begin;
+  const double denom = window > 0.0 ? window : 1.0;
+  Table table({"phase", "seconds", "percent"});
+  const auto row = [&](const char* name, double seconds) {
+    table.add_row({name, strutil::cat(seconds),
+                   strutil::cat(100.0 * seconds / denom)});
+  };
+  row("queue-wait", queue_wait);
+  row("data-wait", data_wait);
+  row("compute", compute);
+  row("recovery", recovery);
+  row("other", other);
+  row("total", total());
+  return table;
+}
+
+}  // namespace ripple::metrics

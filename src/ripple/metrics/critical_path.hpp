@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file critical_path.hpp
+/// Critical-path attribution of a run's makespan from Tracer spans.
+///
+/// Mirrors the paper's BT/RT/IT-style decompositions: the analyzer
+/// walks task spans backwards from the end of the window, at each step
+/// following the task whose span ends latest before the current
+/// frontier, and attributes that task's interval to phases using its
+/// child spans (queue-wait, stage-in/out, run, recovery). Time covered
+/// by no task span — scheduler idle, inter-wave gaps — lands in
+/// "other". The buckets partition the window exactly, so
+/// `Breakdown::total()` equals `window_end - window_begin` up to
+/// floating-point rounding (the ablation gate asserts within 1%).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ripple/metrics/report.hpp"
+#include "ripple/metrics/tracer.hpp"
+
+namespace ripple::metrics {
+
+/// Makespan attribution along the critical path.
+struct Breakdown {
+  double window_begin = 0.0;
+  double window_end = 0.0;
+  double queue_wait = 0.0;  ///< child spans with category "queue"
+  double data_wait = 0.0;   ///< category "data" (stage-in/out)
+  double compute = 0.0;     ///< category "compute"
+  double recovery = 0.0;    ///< category "recovery" (backoff, respawn)
+  double other = 0.0;       ///< uncovered time (idle, untraced)
+  /// Task uids on the critical path, in chronological order.
+  std::vector<std::string> path;
+
+  [[nodiscard]] double total() const noexcept {
+    return queue_wait + data_wait + compute + recovery + other;
+  }
+
+  /// Paper-style breakdown table: one row per bucket with seconds and
+  /// percent of the window.
+  [[nodiscard]] Table table() const;
+};
+
+/// Attributes [window_begin, window_end] along the critical path of
+/// `tracer`'s task spans (category "task"). Open spans are treated as
+/// ending at window_end.
+[[nodiscard]] Breakdown critical_path(const Tracer& tracer,
+                                      double window_begin, double window_end);
+
+}  // namespace ripple::metrics

@@ -19,15 +19,33 @@ Timeline::Timeline(msg::PubSub& bus) {
 }
 
 void Timeline::record(TransitionRecord record) {
-  const auto key = std::make_pair(record.entity, record.state);
-  first_entry_.try_emplace(key, record.time);
+  entries_[{record.entity, record.state}].push_back(record.time);
   records_.push_back(std::move(record));
 }
 
 double Timeline::state_time(const std::string& entity,
                             const std::string& state) const {
-  const auto it = first_entry_.find({entity, state});
-  return it == first_entry_.end() ? -1.0 : it->second;
+  const auto it = entries_.find({entity, state});
+  return it == entries_.end() ? -1.0 : it->second.front();
+}
+
+const std::vector<double>& Timeline::state_times(
+    const std::string& entity, const std::string& state) const {
+  static const std::vector<double> kEmpty;
+  const auto it = entries_.find({entity, state});
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+double Timeline::last_state_time(const std::string& entity,
+                                 const std::string& state) const {
+  const auto it = entries_.find({entity, state});
+  return it == entries_.end() ? -1.0 : it->second.back();
+}
+
+std::size_t Timeline::entry_count(const std::string& entity,
+                                  const std::string& state) const {
+  const auto it = entries_.find({entity, state});
+  return it == entries_.end() ? 0 : it->second.size();
 }
 
 double Timeline::duration(const std::string& entity, const std::string& from,
@@ -67,7 +85,7 @@ std::vector<std::string> Timeline::entities_in(const std::string& kind,
 
 void Timeline::clear() {
   records_.clear();
-  first_entry_.clear();
+  entries_.clear();
 }
 
 }  // namespace ripple::metrics

@@ -4,9 +4,13 @@
 /// State-transition timeline, fed by the runtime's pub/sub bus.
 ///
 /// Mirrors RADICAL-Analytics: every entity (pilot, task, service)
-/// publishes timestamped state transitions; the Timeline records the
-/// first time each entity entered each state and answers duration
-/// queries such as "time from LAUNCHING to RUNNING of service X".
+/// publishes timestamped state transitions; the Timeline records every
+/// time each entity entered each state and answers duration queries
+/// such as "time from LAUNCHING to RUNNING of service X". Entities may
+/// re-enter a state (a task restarted after a node crash runs twice);
+/// state_time() keeps its historical first-entry semantics while
+/// state_times()/last_state_time()/entry_count() expose the full
+/// history.
 
 #include <map>
 #include <string>
@@ -39,6 +43,19 @@ class Timeline {
   [[nodiscard]] double state_time(const std::string& entity,
                                   const std::string& state) const;
 
+  /// Every time `entity` entered `state`, in record order; empty when
+  /// never. Restarted/speculated tasks enter RUNNING more than once.
+  [[nodiscard]] const std::vector<double>& state_times(
+      const std::string& entity, const std::string& state) const;
+
+  /// Most recent time `entity` entered `state`; -1 when never.
+  [[nodiscard]] double last_state_time(const std::string& entity,
+                                       const std::string& state) const;
+
+  /// How many times `entity` entered `state`.
+  [[nodiscard]] std::size_t entry_count(const std::string& entity,
+                                        const std::string& state) const;
+
   /// state_time(to) - state_time(from); throws when either is missing.
   [[nodiscard]] double duration(const std::string& entity,
                                 const std::string& from,
@@ -56,8 +73,8 @@ class Timeline {
 
  private:
   std::vector<TransitionRecord> records_;
-  // (entity, state) -> first entry time
-  std::map<std::pair<std::string, std::string>, double> first_entry_;
+  // (entity, state) -> every entry time, in record order
+  std::map<std::pair<std::string, std::string>, std::vector<double>> entries_;
 };
 
 }  // namespace ripple::metrics

@@ -258,6 +258,12 @@ void Autoscaler::repair_pool() {
   replicas_.insert(replicas_.end(), uids.begin(), uids.end());
   decisions_.push_back(
       Decision{session_.now(), true, 0, active_replicas()});
+  session_.counters().add("autoscale.repairs");
+  if (session_.tracer().enabled()) {
+    session_.tracer().instant(
+        "repair", "autoscale", replica_.name, session_.now(), 0,
+        {{"replicas", std::to_string(active_replicas())}});
+  }
 }
 
 void Autoscaler::scale_up(std::size_t outstanding, double p95) {
@@ -268,6 +274,14 @@ void Autoscaler::scale_up(std::size_t outstanding, double p95) {
   replicas_.push_back(uid);
   decisions_.push_back(Decision{session_.now(), true, outstanding,
                                 active_replicas(), p95});
+  session_.counters().add("autoscale.ups");
+  if (session_.tracer().enabled()) {
+    session_.tracer().instant(
+        "scale-up", "autoscale", replica_.name, session_.now(), 0,
+        {{"outstanding", std::to_string(outstanding)},
+         {"replicas", std::to_string(active_replicas())},
+         {"p95", strutil::format_fixed(p95, 6)}});
+  }
   log_.info(strutil::cat("scale up -> ", active_replicas(),
                          " replicas (backlog ", outstanding, ")"));
 }
@@ -304,6 +318,14 @@ void Autoscaler::scale_down(std::size_t outstanding, double p95) {
   // size traffic can still reach.
   decisions_.push_back(Decision{session_.now(), false, outstanding,
                                 running_replicas(), p95});
+  session_.counters().add("autoscale.downs");
+  if (session_.tracer().enabled()) {
+    session_.tracer().instant(
+        "scale-down", "autoscale", replica_.name, session_.now(), 0,
+        {{"outstanding", std::to_string(outstanding)},
+         {"replicas", std::to_string(running_replicas())},
+         {"p95", strutil::format_fixed(p95, 6)}});
+  }
   log_.info(strutil::cat("scale down -> ", active_replicas(),
                          " replicas (backlog ", outstanding, ")"));
 }

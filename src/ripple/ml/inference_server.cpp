@@ -52,6 +52,7 @@ void InferenceServer::handle(std::shared_ptr<msg::Responder> responder) {
          "handle: null responder");
   if (config_.max_queue != 0 && queue_.size() >= config_.max_queue) {
     ++rejected_;
+    if (counters_ != nullptr) counters_->add("ml.rejected");
     responder->fail("server queue full");
     return;
   }
@@ -73,6 +74,7 @@ void InferenceServer::record_latency(sim::SimTime arrived) {
   const double latency = loop_.now() - arrived;
   request_latencies_.add(latency);
   latency_window_.add(loop_.now(), latency);
+  if (counters_ != nullptr) counters_->add("ml.served");
 }
 
 void InferenceServer::pump() {
@@ -130,6 +132,15 @@ void InferenceServer::dispatch(std::size_t batch_size) {
   busy_requests_ += batch_size;
   ++batches_;
   note_batch(batch_size);
+  metrics::SpanId trace = 0;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    trace = tracer_->begin("batch", "ml", trace_entity_, loop_.now(), 0,
+                           {{"size", std::to_string(batch_size)}});
+  }
+  if (counters_ != nullptr) {
+    counters_->add("ml.batches");
+    counters_->set_value("ml.batch_fill", static_cast<double>(batch_size));
+  }
 
   // Requests are parsed one after another before the batch launches.
   sim::Duration parse_time = 0.0;
@@ -137,7 +148,7 @@ void InferenceServer::dispatch(std::size_t batch_size) {
     parse_time += model_.parse.sample(rng_);
   }
   const std::weak_ptr<char> alive = alive_;
-  loop_.call_after(parse_time, [this, batch, alive] {
+  loop_.call_after(parse_time, [this, batch, alive, trace] {
     if (alive.expired()) return;
     std::vector<double> tokens;
     tokens.reserve(batch->size());
@@ -146,7 +157,7 @@ void InferenceServer::dispatch(std::size_t batch_size) {
       tokens.push_back(std::max(0.0, model_.tokens_out.sample(rng_)));
     }
     const sim::Duration inference_time = model_.batch_duration(tokens);
-    loop_.call_after(inference_time, [this, batch, alive,
+    loop_.call_after(inference_time, [this, batch, alive, trace,
                                       inference_time] {
       if (alive.expired()) return;
       inference_times_.add(inference_time);
@@ -155,7 +166,7 @@ void InferenceServer::dispatch(std::size_t batch_size) {
         request.responder->end_compute();
         serialize_time += model_.serialize.sample(rng_);
       }
-      loop_.call_after(serialize_time, [this, batch, alive,
+      loop_.call_after(serialize_time, [this, batch, alive, trace,
                                         inference_time] {
         if (alive.expired()) return;
         for (auto& request : *batch) {
@@ -170,6 +181,7 @@ void InferenceServer::dispatch(std::size_t batch_size) {
         }
         busy_requests_ -= batch->size();
         --busy_workers_;
+        if (tracer_ != nullptr) tracer_->end(trace, loop_.now());
         pump();
       });
     });
@@ -211,9 +223,19 @@ void InferenceServer::join(Queued request) {
   sequence.remaining = model_.sequence_work(tokens);
   sequence.arrived = request.arrived;
   sequence.started = loop_.now();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    sequence.trace =
+        tracer_->begin("sequence", "ml", trace_entity_, loop_.now(), 0,
+                       {{"id", std::to_string(sequence.id)}});
+  }
   running_.push_back(std::move(sequence));
   ++batches_;
   note_batch(running_.size());
+  if (counters_ != nullptr) {
+    counters_->add("ml.batches");
+    counters_->set_value("ml.batch_fill",
+                         static_cast<double>(running_.size()));
+  }
   reschedule();
 }
 
@@ -273,6 +295,7 @@ void InferenceServer::on_decode_boundary() {
 
 void InferenceServer::finish_sequence(Sequence sequence) {
   sequence.responder->end_compute();
+  if (tracer_ != nullptr) tracer_->end(sequence.trace, loop_.now());
   const sim::Duration decode_time = loop_.now() - sequence.started;
   inference_times_.add(decode_time);
   if (completion_order_.size() < kBatchTraceCap) {

@@ -47,6 +47,8 @@
 
 #include "ripple/common/random.hpp"
 #include "ripple/common/statistics.hpp"
+#include "ripple/metrics/counters.hpp"
+#include "ripple/metrics/tracer.hpp"
 #include "ripple/metrics/window_quantile.hpp"
 #include "ripple/ml/model.hpp"
 #include "ripple/msg/rpc.hpp"
@@ -96,6 +98,19 @@ class InferenceServer {
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Wires the runtime's tracer/counters in (either may be null).
+  /// `entity` names this server in the span log — the owning service
+  /// uid, so replicas stay distinguishable. When tracing is enabled,
+  /// fixed-mode batches and continuous-mode sequences become spans and
+  /// the serving counters ("ml.batches", "ml.served", ...) tick, with
+  /// "ml.batch_fill" tracking the latest dispatched/running batch size.
+  void set_trace(metrics::Tracer* tracer, metrics::Counters* counters,
+                 std::string entity) {
+    tracer_ = tracer;
+    counters_ = counters;
+    trace_entity_ = std::move(entity);
+  }
 
   /// Accepts an RPC "infer" request (called from the bound method).
   void handle(std::shared_ptr<msg::Responder> responder);
@@ -195,6 +210,7 @@ class InferenceServer {
     double remaining = 0.0;
     sim::SimTime arrived = 0.0;
     sim::SimTime started = 0.0;  ///< decode join time (inference stamp)
+    metrics::SpanId trace = 0;   ///< open decode span, 0 when untraced
   };
 
   void pump();
@@ -222,6 +238,9 @@ class InferenceServer {
   common::Rng rng_;
   ModelSpec model_;
   ServerConfig config_;
+  metrics::Tracer* tracer_ = nullptr;
+  metrics::Counters* counters_ = nullptr;
+  std::string trace_entity_ = "inference";
   std::deque<Queued> queue_;
   sim::EventLoop::TimerHandle window_timer_;
   /// The open batch window ran out while every worker was busy; the

@@ -33,6 +33,8 @@ void InferenceProgram::init(core::ExecutionContext& ctx, DoneFn done,
       ctx.config.get_or("latency_window", json::Value(10.0)).as_double();
   server_ = std::make_unique<InferenceServer>(
       ctx.loop(), ctx.rng.fork("server"), model, server_config);
+  server_->set_trace(&ctx.runtime->tracer(), &ctx.runtime->counters(),
+                     ctx.uid);
 
   if (ctx.config.get_or("preloaded", json::Value(false)).as_bool()) {
     ctx.loop().post(std::move(done));

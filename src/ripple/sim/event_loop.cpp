@@ -1,5 +1,6 @@
 #include "ripple/sim/event_loop.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "ripple/common/error.hpp"
@@ -16,6 +17,7 @@ EventLoop::TimerHandle EventLoop::call_at(SimTime when, Callback callback) {
   const std::uint64_t id = next_id_++;
   heap_.push(Event{when, next_sequence_++, id, std::move(callback)});
   live_.insert(id);
+  peak_pending_ = std::max(peak_pending_, pending());
   return TimerHandle{id};
 }
 
@@ -35,6 +37,7 @@ EventLoop::TimerHandle EventLoop::post(Callback callback) {
   const std::uint64_t id = next_id_++;
   now_queue_.push_back(Event{now_, next_sequence_++, id, std::move(callback)});
   live_.insert(id);
+  peak_pending_ = std::max(peak_pending_, pending());
   return TimerHandle{id};
 }
 

@@ -100,6 +100,12 @@ class EventLoop {
     return heap_.size() + now_queue_.size() - cancelled_.size();
   }
 
+  /// High-water mark of pending() over the run — the event-loop depth
+  /// gauge sampled by metrics::Counters.
+  [[nodiscard]] std::size_t peak_pending() const noexcept {
+    return peak_pending_;
+  }
+
   /// Cancelled events still occupying the heap (they drop out when
   /// popped). Bounded by pending cancellations; exposed for tests.
   [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
@@ -150,6 +156,7 @@ class EventLoop {
   std::uint64_t next_sequence_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t peak_pending_ = 0;
   bool stopped_ = false;
 };
 

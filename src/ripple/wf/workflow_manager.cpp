@@ -49,6 +49,13 @@ void WorkflowManager::run_pipeline(
   log_.info(strutil::cat("pipeline '", run->name, "' started (",
                          run->stages.size(), " stages, ",
                          run->pilots.size(), " pilots)"));
+  session_.counters().add("wf.pipelines");
+  if (session_.tracer().enabled()) {
+    run->trace = session_.tracer().begin(
+        run->name, "wf", run->name, run->started_at, 0,
+        {{"stages", std::to_string(run->stages.size())},
+         {"pilots", std::to_string(run->pilots.size())}});
+  }
   start_stage(run, 0);
 }
 
@@ -62,6 +69,12 @@ void WorkflowManager::start_stage(const std::shared_ptr<PipelineRun>& run,
   const std::string zone = stage_run.pilot->cluster().name();
   log_.info(strutil::cat("pipeline '", run->name, "': stage '",
                          stage_run.stage.name, "' starting on ", zone));
+  session_.counters().add("wf.stages");
+  if (session_.tracer().enabled()) {
+    stage_run.trace = session_.tracer().begin(
+        stage_run.stage.name, "wf", run->name, stage_run.started_at,
+        run->trace, {{"zone", zone}});
+  }
 
   // Stage-level data staging overlaps service bootstrap; tasks launch
   // once both have cleared.
@@ -230,6 +243,7 @@ void WorkflowManager::on_task_terminal(
     // retry budget buys a fresh submission from the same description.
     --run->retries_left;
     ++run->tasks_retried;
+    session_.counters().add("wf.retries");
     log_.info(strutil::cat("pipeline '", run->name, "': retrying task ",
                            task_index, " of stage '", stage_run.stage.name,
                            "' (", run->retries_left, " retries left)"));
@@ -315,6 +329,15 @@ void WorkflowManager::complete_stage(const std::shared_ptr<PipelineRun>& run,
   session_.metrics().add_duration(
       strutil::cat("pipeline.", run->name, ".stage.", stage_run.stage.name),
       stage_run.finished_at - stage_run.started_at);
+  if (stage_run.trace != 0) {
+    auto& tracer = session_.tracer();
+    tracer.arg(stage_run.trace, "tasks_done",
+               std::to_string(stage_run.tasks_done));
+    tracer.arg(stage_run.trace, "tasks_failed",
+               std::to_string(stage_run.tasks_failed));
+    tracer.end(stage_run.trace, stage_run.finished_at);
+    stage_run.trace = 0;
+  }
   log_.info(strutil::cat("pipeline '", run->name, "': stage '",
                          stage_run.stage.name, "' complete (",
                          stage_run.tasks_done, " done, ",
@@ -379,6 +402,11 @@ void WorkflowManager::finish_pipeline(
     result.tasks_failed += stage_run.tasks_failed;
   }
   result.tasks_retried = run->tasks_retried;
+  if (run->trace != 0) {
+    session_.tracer().arg(run->trace, "ok", result.ok ? "true" : "false");
+    session_.tracer().end(run->trace, session_.now());
+    run->trace = 0;
+  }
   results_[run->name] = result;
   session_.metrics().add_duration(
       strutil::cat("pipeline.", run->name, ".makespan"), result.makespan);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ripple/core/session.hpp"
+#include "ripple/metrics/tracer.hpp"
 #include "ripple/ml/autoscaler.hpp"
 #include "ripple/wf/pipeline.hpp"
 
@@ -76,6 +77,9 @@ class WorkflowManager {
     bool tasks_launched = false;
     bool next_released = false;
     bool completed = false;
+    /// Stage span ("wf" category, child of the pipeline span); 0 while
+    /// closed or tracing is disabled.
+    metrics::SpanId trace = 0;
   };
 
   struct PipelineRun {
@@ -90,6 +94,8 @@ class WorkflowManager {
     std::size_t tasks_retried = 0;
     bool failed = false;
     bool reported = false;
+    /// Pipeline root span; 0 while closed or tracing is disabled.
+    metrics::SpanId trace = 0;
   };
 
   void start_stage(const std::shared_ptr<PipelineRun>& run,

@@ -8,6 +8,7 @@
 #include "ripple/common/config.hpp"
 #include "ripple/common/error.hpp"
 #include "ripple/common/ids.hpp"
+#include "ripple/common/json.hpp"
 #include "ripple/common/logging.hpp"
 #include "ripple/common/random.hpp"
 #include "ripple/common/statistics.hpp"
@@ -127,6 +128,35 @@ TEST(Logging, MemorySinkCapturesAboveThreshold) {
   EXPECT_EQ(sink->count(common::LogLevel::error), 1u);
   EXPECT_DOUBLE_EQ(sink->records().front().time, 12.5);
   EXPECT_EQ(sink->records().front().logger, "test");
+
+  common::LogConfig::global().set_sink(nullptr);
+  common::LogConfig::global().set_level(common::LogLevel::warn);
+}
+
+TEST(Logging, JsonLinesSinkEmitsParsableRecords) {
+  auto sink = std::make_shared<common::JsonLinesSink>();
+  common::LogConfig::global().set_sink(sink);
+  common::LogConfig::global().set_level(common::LogLevel::info);
+
+  common::Logger log("tracer", [] { return 3.75; });
+  log.info("span opened");
+  log.warn(R"(quotes " and \ backslashes survive)");
+
+  const auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 2u);
+  ASSERT_EQ(sink->size(), 2u);
+  const auto first = json::Value::parse(lines[0]);
+  EXPECT_DOUBLE_EQ(first.at("time").as_double(), 3.75);
+  EXPECT_EQ(first.at("level").as_string(), "INFO");
+  EXPECT_EQ(first.at("logger").as_string(), "tracer");
+  EXPECT_EQ(first.at("message").as_string(), "span opened");
+  // Every line must round-trip: escaping is the whole point of the
+  // JSON-lines format.
+  const auto second = json::Value::parse(lines[1]);
+  EXPECT_EQ(second.at("message").as_string(),
+            R"(quotes " and \ backslashes survive)");
+  sink->clear();
+  EXPECT_EQ(sink->size(), 0u);
 
   common::LogConfig::global().set_sink(nullptr);
   common::LogConfig::global().set_level(common::LogLevel::warn);

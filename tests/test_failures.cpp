@@ -116,6 +116,61 @@ TEST(FailureRecovery, NodeCrashReplacesTaskAndCompletes) {
   EXPECT_GT(session.now(), 10.0);
 }
 
+TEST(FailureRecovery, TracedCrashRecoveryIsDeterministic) {
+  // The same crash-and-restart scenario with tracing on: the span log
+  // must show the restart (two RUNNING entries, a recovery span, fault
+  // instants) and be bit-identical across same-seed reruns.
+  const auto run = [] {
+    struct Out {
+      std::uint64_t span_hash = 0;
+      bool saw_recovery = false;
+      bool saw_fault = false;
+      std::size_t running_entries = 0;
+      double restarts = 0.0;
+      double injected = 0.0;
+      double repaired = 0.0;
+      bool done = false;
+    } out;
+    Session session{SessionConfig{.seed = 11, .tracing = true}};
+    session.add_platform(platform::delta_profile(2));
+    Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 2});
+    session.tasks().set_restart_policy({.max_restarts = 3});
+    const auto uid = session.tasks().submit(pilot, modeled_task(10.0));
+    auto& injector = session.failures().injector();
+    // Crash at t=5, well into the 10 s compute, so the first attempt is
+    // RUNNING when interrupted and the restart re-enters RUNNING.
+    for (std::size_t i = 0; i < 2; ++i) {
+      const std::string id = session.cluster("delta").node(i).id();
+      injector.inject_at(5.0, FailureKind::node_crash, id);
+      injector.inject_at(9.0, FailureKind::node_restore, id);
+    }
+    session.tasks().when_done({uid}, [&](bool ok) { out.done = ok; });
+    session.run();
+    out.span_hash = session.tracer().span_log_hash();
+    for (const auto& span : session.tracer().spans()) {
+      out.saw_recovery |= span.category == "recovery";
+      out.saw_fault |= span.category == "fault";
+    }
+    // The fixed Timeline keeps every RUNNING entry, not just the first.
+    out.running_entries = session.timeline().state_times(uid, "RUNNING").size();
+    out.restarts = session.counters().value("task.restarts");
+    out.injected = session.counters().value("fault.injected");
+    out.repaired = session.counters().value("fault.repaired");
+    return out;
+  };
+  const auto first = run();
+  EXPECT_TRUE(first.done);
+  EXPECT_TRUE(first.saw_recovery);
+  EXPECT_TRUE(first.saw_fault);
+  EXPECT_GE(first.running_entries, 2u);
+  EXPECT_GE(first.restarts, 1.0);
+  EXPECT_GE(first.injected, 2.0);  // both nodes crashed
+  EXPECT_GE(first.repaired, 2.0);  // and came back
+  const auto rerun = run();
+  EXPECT_EQ(rerun.span_hash, first.span_hash);
+  EXPECT_EQ(rerun.running_entries, first.running_entries);
+}
+
 TEST(FailureRecovery, FailStopWithoutRestartBudget) {
   Session session{SessionConfig{.seed = 11}};
   session.add_platform(platform::delta_profile(2));

@@ -3,14 +3,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <utility>
 
 #include "ripple/common/error.hpp"
+#include "ripple/common/json.hpp"
 #include "ripple/common/statistics.hpp"
+#include "ripple/metrics/chrome_trace.hpp"
+#include "ripple/metrics/counters.hpp"
+#include "ripple/metrics/critical_path.hpp"
 #include "ripple/metrics/registry.hpp"
 #include "ripple/metrics/report.hpp"
 #include "ripple/metrics/timeline.hpp"
+#include "ripple/metrics/tracer.hpp"
 #include "ripple/metrics/window_quantile.hpp"
 
 namespace {
@@ -105,6 +113,24 @@ TEST(Timeline, FirstEntryWins) {
   timeline.record({"svc.0", "service", "SCHEDULING", 9.0});  // restart
   EXPECT_DOUBLE_EQ(timeline.state_time("svc.0", "SCHEDULING"), 1.0);
   EXPECT_EQ(timeline.records().size(), 2u);  // both kept in the log
+}
+
+TEST(Timeline, ReentryHistoryIsKept) {
+  // Regression: restarted tasks enter RUNNING more than once; the
+  // first-entry index used to be the only record queryable.
+  sim::EventLoop loop;
+  msg::PubSub bus(loop);
+  Timeline timeline(bus);
+  timeline.record({"task.0", "task", "RUNNING", 5.0});
+  timeline.record({"task.0", "task", "RUNNING", 9.0});  // after a crash
+  EXPECT_DOUBLE_EQ(timeline.state_time("task.0", "RUNNING"), 5.0);
+  EXPECT_DOUBLE_EQ(timeline.last_state_time("task.0", "RUNNING"), 9.0);
+  EXPECT_EQ(timeline.entry_count("task.0", "RUNNING"), 2u);
+  EXPECT_EQ(timeline.state_times("task.0", "RUNNING"),
+            (std::vector<double>{5.0, 9.0}));
+  EXPECT_TRUE(timeline.state_times("task.0", "DONE").empty());
+  EXPECT_DOUBLE_EQ(timeline.last_state_time("task.0", "DONE"), -1.0);
+  EXPECT_EQ(timeline.entry_count("task.9", "RUNNING"), 0u);
 }
 
 TEST(Timeline, SubscribesToStateTopic) {
@@ -227,6 +253,248 @@ TEST(WindowQuantile, MonotoneClockEnforced) {
   // Invalid construction and queries.
   EXPECT_THROW(WindowQuantile(0.0), Error);
   EXPECT_THROW((void)window.quantile(0.0, 1.5), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: deterministic sim-time spans
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, DisabledIsInert) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.begin("run", "compute", "task.0", 1.0), 0u);
+  tracer.end(0, 2.0);
+  tracer.arg(0, "k", "v");
+  tracer.instant("mark", "task", "task.0", 1.0);
+  (void)tracer.complete("run", "compute", "task.0", 1.0, 2.0);
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, NestedSpansCarryParentAndArgs) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const SpanId root = tracer.begin("task", "task", "task.0", 1.0);
+  ASSERT_NE(root, 0u);
+  const SpanId child =
+      tracer.begin("run", "compute", "task.0", 2.0, root, {{"node", "n0"}});
+  tracer.arg(child, "attempt", "1");
+  EXPECT_EQ(tracer.open_spans(), 2u);
+  tracer.end(child, 5.0);
+  tracer.end(root, 6.0);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const Span& r = tracer.spans()[0];
+  const Span& c = tracer.spans()[1];
+  EXPECT_EQ(r.parent, 0u);
+  EXPECT_DOUBLE_EQ(r.end, 6.0);
+  EXPECT_EQ(c.parent, root);
+  EXPECT_DOUBLE_EQ(c.begin, 2.0);
+  EXPECT_DOUBLE_EQ(c.end, 5.0);
+  ASSERT_EQ(c.args.size(), 2u);
+  EXPECT_EQ(c.args[0], (std::pair<std::string, std::string>{"node", "n0"}));
+  EXPECT_EQ(c.args[1],
+            (std::pair<std::string, std::string>{"attempt", "1"}));
+  // Unknown ids are tolerated (span may predate enabling).
+  tracer.end(0xdeadbeef, 7.0);
+  tracer.arg(0xdeadbeef, "k", "v");
+  EXPECT_EQ(tracer.spans().size(), 2u);
+}
+
+TEST(Tracer, HashFingerprintsContent) {
+  const auto build = [](const char* arg_value) {
+    auto tracer = std::make_unique<Tracer>();
+    tracer->set_enabled(true);
+    const SpanId id =
+        tracer->begin("run", "compute", "task.0", 1.0, 0, {{"k", arg_value}});
+    tracer->end(id, 2.0);
+    tracer->instant("mark", "task", "task.0", 1.5);
+    return tracer;
+  };
+  const auto a = build("x");
+  const auto b = build("x");
+  const auto c = build("y");
+  EXPECT_EQ(a->span_log_hash(), b->span_log_hash());
+  EXPECT_NE(a->span_log_hash(), c->span_log_hash());
+  const std::uint64_t before = a->span_log_hash();
+  a->clear();
+  EXPECT_TRUE(a->spans().empty());
+  EXPECT_NE(a->span_log_hash(), before);
+}
+
+TEST(Tracer, LanesCommitInMergeKeyOrder) {
+  // Lane records written out of order across two lanes must land in the
+  // log in (time, sequence, shard) order — the ShardExecutor contract.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.begin_lanes(2);
+  tracer.lane_complete(1, common::MergeKey{2.0, 0, 1}, "c", "xfer", "l3",
+                       2.0, 2.5);
+  tracer.lane_complete(0, common::MergeKey{1.0, 1, 0}, "b", "xfer", "l2",
+                       1.0, 1.5);
+  tracer.lane_complete(0, common::MergeKey{1.0, 0, 0}, "a", "xfer", "l1",
+                       1.0, 1.2);
+  tracer.commit_lanes();
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  EXPECT_EQ(tracer.spans()[0].name, "a");
+  EXPECT_EQ(tracer.spans()[1].name, "b");
+  EXPECT_EQ(tracer.spans()[2].name, "c");
+}
+
+// ---------------------------------------------------------------------------
+// Counters: monotonic counters, gauges, sampling tick
+// ---------------------------------------------------------------------------
+
+TEST(Counters, DisabledIsInert) {
+  Counters counters;
+  counters.add("task.done");
+  counters.set_value("ml.batch_fill", 8.0);
+  counters.sample(1.0);
+  EXPECT_EQ(counters.value("task.done"), 0.0);
+  EXPECT_TRUE(counters.samples().empty());
+}
+
+TEST(Counters, AddSetAndSample) {
+  Counters counters;
+  counters.set_enabled(true);
+  counters.add("task.done");
+  counters.add("task.done", 2.0);
+  counters.set_value("ml.batch_fill", 8.0);
+  double depth = 3.0;
+  counters.register_gauge("loop.pending", [&depth] { return depth; });
+  counters.sample(1.0);
+  depth = 5.0;
+  counters.sample(2.0);
+  EXPECT_DOUBLE_EQ(counters.value("task.done"), 3.0);
+  EXPECT_DOUBLE_EQ(counters.value("ml.batch_fill"), 8.0);
+  EXPECT_DOUBLE_EQ(counters.value("never.touched"), 0.0);
+  // Each sample snapshots two values plus the gauge.
+  ASSERT_EQ(counters.samples().size(), 6u);
+  const std::uint64_t hash = counters.sample_log_hash();
+  counters.sample(3.0);
+  EXPECT_NE(counters.sample_log_hash(), hash);
+}
+
+TEST(Counters, SamplingTickDrainsWithTheLoop) {
+  // The tick re-arms only while the loop has other pending events, so
+  // an enabled session drains instead of spinning on its telemetry.
+  sim::EventLoop loop;
+  Counters counters;
+  counters.set_enabled(true);
+  counters.register_gauge("loop.pending",
+                          [&loop] { return static_cast<double>(loop.pending()); });
+  loop.call_after(2.5, [] {});
+  counters.arm_sampling(loop, 1.0);
+  loop.run();
+  EXPECT_FALSE(counters.samples().empty());
+  // The loop drained: at most one interval past the last workload event.
+  EXPECT_LE(loop.now(), 3.5 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, ShapeAndJsonRoundTrip) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const SpanId root = tracer.begin("task", "task", "task.0", 0.0);
+  const SpanId run = tracer.begin("run", "compute", "task.0", 1.0, root,
+                                  {{"node", "n0"}});
+  tracer.end(run, 3.0);
+  tracer.end(root, 4.0);
+  const SpanId open = tracer.begin("queue-wait", "queue", "task.1", 2.0);
+  (void)open;  // deliberately left open: export clamps it
+
+  Counters counters;
+  counters.set_enabled(true);
+  counters.add("task.done");
+  counters.sample(4.0);
+
+  const json::Value doc = chrome_trace_json(tracer, &counters);
+  const auto& events = doc.at("traceEvents");
+  // 3 thread-name metadata events (task:task.0, compute:task.0,
+  // queue:task.1), 3 span events, 1 counter sample.
+  ASSERT_EQ(events.size(), 7u);
+  std::size_t spans = 0;
+  std::size_t meta = 0;
+  std::size_t samples = 0;
+  bool saw_clamped_open = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events.at(i);
+    const std::string ph = event.at("ph").as_string();
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(event.at("dur").as_double(), 0.0);
+      if (event.at("args").contains("open")) saw_clamped_open = true;
+    } else if (ph == "M") {
+      ++meta;
+    } else if (ph == "C") {
+      ++samples;
+    }
+  }
+  EXPECT_EQ(spans, 3u);
+  EXPECT_EQ(meta, 3u);
+  EXPECT_EQ(samples, 1u);
+  EXPECT_TRUE(saw_clamped_open);
+
+  // The artifact contract: dump() text parses back to the same value.
+  EXPECT_EQ(json::Value::parse(doc.dump()), doc);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPath, BucketsPartitionTheWindowExactly) {
+  // Two tasks chained back-to-back; phase spans overlap inside task A
+  // (stage-in overlapping queue-wait) so the priority sweep is
+  // exercised, and the buckets must still partition [0, 20] exactly.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const SpanId a = tracer.begin("t", "task", "task.a", 0.0);
+  tracer.end(tracer.begin("queue-wait", "queue", "task.a", 0.0, a), 4.0);
+  tracer.end(tracer.begin("stage-in", "data", "task.a", 3.0, a), 6.0);
+  tracer.end(tracer.begin("run", "compute", "task.a", 6.0, a), 10.0);
+  tracer.end(a, 10.0);
+  const SpanId b = tracer.begin("t", "task", "task.b", 8.0);
+  tracer.end(tracer.begin("queue-wait", "queue", "task.b", 8.0, b), 12.0);
+  tracer.end(tracer.begin("run", "compute", "task.b", 12.0, b), 20.0);
+  tracer.end(b, 20.0);
+
+  const Breakdown breakdown = critical_path(tracer, 0.0, 20.0);
+  // Backward walk: task.b owns [8, 20] (queue 4 s, compute 8 s);
+  // task.a owns [0, 8] (queue 3 s, data 3 s — data outranks the
+  // overlapped queue tail — compute 2 s).
+  EXPECT_EQ(breakdown.path,
+            (std::vector<std::string>{"task.a", "task.b"}));
+  EXPECT_NEAR(breakdown.queue_wait, 7.0, 1e-9);
+  EXPECT_NEAR(breakdown.data_wait, 3.0, 1e-9);
+  EXPECT_NEAR(breakdown.compute, 10.0, 1e-9);
+  EXPECT_NEAR(breakdown.recovery, 0.0, 1e-9);
+  EXPECT_NEAR(breakdown.other, 0.0, 1e-9);
+  EXPECT_NEAR(breakdown.total(), 20.0, 1e-9);
+
+  const Table table = breakdown.table();
+  EXPECT_EQ(table.rows(), 6u);  // four buckets + other + total
+}
+
+TEST(CriticalPath, UncoveredTimeLandsInOther) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const SpanId a = tracer.begin("t", "task", "task.a", 2.0);
+  tracer.end(tracer.begin("run", "compute", "task.a", 2.0, a), 5.0);
+  tracer.end(a, 5.0);
+  // Window [0, 8]: [0,2) has no task (idle before), (5,8] idle after.
+  const Breakdown breakdown = critical_path(tracer, 0.0, 8.0);
+  EXPECT_NEAR(breakdown.compute, 3.0, 1e-9);
+  EXPECT_NEAR(breakdown.other, 5.0, 1e-9);
+  EXPECT_NEAR(breakdown.total(), 8.0, 1e-9);
+  // An empty log is all "other".
+  Tracer empty;
+  const Breakdown none = critical_path(empty, 0.0, 4.0);
+  EXPECT_NEAR(none.other, 4.0, 1e-9);
+  EXPECT_TRUE(none.path.empty());
 }
 
 TEST(Report, MeanPmStdAndBanner) {

@@ -266,15 +266,21 @@ struct FailureShardRun {
   std::uint64_t recovery_hash = 0;
   std::uint64_t repair_hash = 0;
   std::uint64_t grant_hash = 0;
+  std::uint64_t span_hash = 0;
+  std::size_t spans = 0;
   std::size_t done = 0;
 };
 
 /// A workload that exercises every recovery path — seeded node crashes
 /// interrupting re-placed tasks plus a store crash repaired from a
 /// surviving replica — with the scheduler sharded at the given width.
-FailureShardRun run_failure_shards(std::size_t shards) {
+/// With `tracing` the full span/counter pipeline rides along, so the
+/// span log's shard-invariance is asserted under fault injection too.
+FailureShardRun run_failure_shards(std::size_t shards,
+                                   bool tracing = false) {
   common::ShardExecutor exec(shards);
   Session session{SessionConfig{.seed = 67}};
+  if (tracing) session.enable_tracing(/*gauge_tick=*/2.0);
   session.add_platform(platform::delta_profile(4));
   Pilot& pilot = session.submit_pilot({.platform = "delta", .nodes = 4});
   if (shards > 1) session.scheduler().set_shard_executor(&exec);
@@ -313,6 +319,8 @@ FailureShardRun run_failure_shards(std::size_t shards) {
   out.recovery_hash = session.tasks().recovery_log_hash();
   out.repair_hash = session.data().repair_log_hash();
   out.grant_hash = session.scheduler().grant_log_hash();
+  out.span_hash = session.tracer().span_log_hash();
+  out.spans = session.tracer().spans().size();
   out.done = session.tasks().count_in_state(TaskState::done);
   return out;
 }
@@ -331,6 +339,29 @@ TEST(ShardedFailures, RecoveryLogsInvariantAcrossShardCounts) {
   EXPECT_EQ(rerun.recovery_hash, serial.recovery_hash);
   EXPECT_EQ(rerun.repair_hash, serial.repair_hash);
   EXPECT_EQ(rerun.grant_hash, serial.grant_hash);
+}
+
+TEST(ShardedFailures, SpanLogInvariantAcrossShardCounts) {
+  // The tentpole determinism oracle: with tracing enabled and faults
+  // armed, the span log (task phases, recovery episodes, placement
+  // passes, fault instants) is bit-identical across shard counts and
+  // same-seed reruns.
+  const FailureShardRun serial = run_failure_shards(1, /*tracing=*/true);
+  EXPECT_GT(serial.spans, 0u);
+  const FailureShardRun sharded = run_failure_shards(4, /*tracing=*/true);
+  EXPECT_EQ(sharded.span_hash, serial.span_hash);
+  EXPECT_EQ(sharded.spans, serial.spans);
+  EXPECT_EQ(sharded.grant_hash, serial.grant_hash);
+  const FailureShardRun rerun = run_failure_shards(1, /*tracing=*/true);
+  EXPECT_EQ(rerun.span_hash, serial.span_hash);
+  // Tracing is observation only: the traced run's recovery/grant logs
+  // match the untraced baseline bit for bit.
+  const FailureShardRun untraced = run_failure_shards(1);
+  EXPECT_EQ(untraced.event_hash, serial.event_hash);
+  EXPECT_EQ(untraced.recovery_hash, serial.recovery_hash);
+  EXPECT_EQ(untraced.repair_hash, serial.repair_hash);
+  EXPECT_EQ(untraced.grant_hash, serial.grant_hash);
+  EXPECT_EQ(untraced.done, serial.done);
 }
 
 TEST(ShardedReplan, ReplanAllReRatesLiveFlows) {

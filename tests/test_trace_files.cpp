@@ -1,0 +1,60 @@
+// CI smoke check for trace artifacts: every "*.trace.json" a bench
+// emitted under bench_out/ must be well-formed Chrome trace-event JSON
+// (parses through common::json, has a traceEvents array whose entries
+// carry a phase). The suite passes vacuously when no benches have run
+// yet — ctest orders it after the smoke benches so in CI it sees the
+// files they wrote.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ripple/common/json.hpp"
+
+namespace {
+
+using namespace ripple;
+
+std::vector<std::string> trace_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 11 &&
+        name.substr(name.size() - 11) == ".trace.json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  return files;
+}
+
+TEST(TraceFiles, EveryEmittedTraceParsesAsChromeTrace) {
+  const auto files = trace_files("bench_out");
+  if (files.empty()) {
+    GTEST_SKIP() << "no bench_out/*.trace.json emitted yet";
+  }
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+    json::Value doc;
+    ASSERT_NO_THROW(doc = json::Value::parse(text.str()));
+    ASSERT_TRUE(doc.contains("traceEvents"));
+    const auto& events = doc.at("traceEvents");
+    EXPECT_GT(events.size(), 0u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto& event = events.at(i);
+      ASSERT_TRUE(event.contains("ph"));
+      ASSERT_TRUE(event.contains("name"));
+    }
+  }
+}
+
+}  // namespace
