@@ -1,0 +1,298 @@
+// Ablation: the DAG workflow engine (wf::Graph frontier scheduling).
+//
+// Two experiments:
+//
+// 1. Diamond. src -> N independent branch nodes -> sink, run twice
+//    over the same session shape: once as the DAG (branches released
+//    concurrently by the frontier scheduler) and once linearized (the
+//    same nodes chained src -> b0 -> ... -> sink, the old pipeline
+//    serialization of the same work). Gate: the DAG makespan must be
+//    >= 1.5x better — the branches provably overlap.
+// 2. Hyperopt sweep. HyperoptGraph runs successive halving as a
+//    dynamically spawned graph (seed -> trial fan-out -> rung
+//    collector fan-in, per rung); reported against the sum of its
+//    node durations as the within-rung overlap factor.
+//
+// Determinism is asserted unconditionally: same-seed reruns of both
+// experiments must reproduce the graph event-stream FNV fingerprints
+// bit for bit. The diamond DAG run is traced and exported as a Chrome
+// trace artifact. Output: bench_out/ablation_dag.{csv,json} and
+// bench_out/ablation_dag.trace.json.
+//
+// Usage: bench_ablation_dag [--smoke]
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ripple/metrics/chrome_trace.hpp"
+#include "ripple/wf/graph.hpp"
+#include "ripple/wf/hyperopt_graph.hpp"
+#include "ripple/wf/workflow_manager.hpp"
+
+namespace {
+
+using namespace ripple;
+
+constexpr std::uint64_t kSeed = 42;
+
+std::string to_hex(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+core::TaskDescription modeled(double seconds) {
+  core::TaskDescription desc;
+  desc.kind = "modeled";
+  desc.cores = 1;
+  desc.duration = common::Distribution::constant(seconds);
+  return desc;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1: diamond fan-out/fan-in vs its linearization
+// ---------------------------------------------------------------------------
+
+struct DiamondConfig {
+  std::size_t branches = 6;
+  std::size_t tasks_per_branch = 4;
+  double task_seconds = 20.0;
+};
+
+struct DiamondResult {
+  double makespan = 0.0;
+  std::uint64_t event_hash = 0;
+  std::size_t tasks_done = 0;
+};
+
+/// One diamond run. `linearize` chains the branch nodes instead of
+/// fanning them out — same nodes, same tasks, serial dependencies.
+DiamondResult run_diamond(const DiamondConfig& config, bool linearize,
+                          const std::string& trace_path = "") {
+  core::Session session{
+      core::SessionConfig{.seed = kSeed, .tracing = !trace_path.empty()}};
+  session.add_platform(platform::delta_profile(4));
+  core::Pilot& pilot =
+      session.submit_pilot({.platform = "delta", .nodes = 4});
+  wf::WorkflowManager workflows(session);
+
+  wf::Graph graph(linearize ? "diamond-linear" : "diamond-dag");
+  wf::Stage src;
+  src.name = "src";
+  src.tasks = {modeled(1.0)};
+  graph.add(src);
+  std::vector<std::string> branch_keys;
+  for (std::size_t b = 0; b < config.branches; ++b) {
+    wf::Stage branch;
+    branch.name = "branch-" + std::to_string(b);
+    for (std::size_t t = 0; t < config.tasks_per_branch; ++t) {
+      branch.tasks.push_back(modeled(config.task_seconds));
+    }
+    graph.add(branch);
+    branch_keys.push_back(branch.name);
+  }
+  wf::Stage sink;
+  sink.name = "sink";
+  sink.tasks = {modeled(1.0)};
+  graph.add(sink);
+  if (linearize) {
+    std::string previous = "src";
+    for (const auto& key : branch_keys) {
+      graph.depend(previous, key);
+      previous = key;
+    }
+    graph.depend(previous, "sink");
+  } else {
+    for (const auto& key : branch_keys) {
+      graph.depend("src", key);
+      graph.depend(key, "sink");
+    }
+  }
+
+  DiamondResult result;
+  workflows.run_graph(graph, pilot, [&](const wf::GraphResult& r) {
+    result.makespan = r.makespan;
+    result.event_hash = r.event_hash;
+    result.tasks_done = r.tasks_done;
+  });
+  session.run();
+  if (!trace_path.empty()) {
+    metrics::write_chrome_trace(trace_path, session.tracer(),
+                                &session.counters());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: hyperopt sweep as a dynamically spawned graph
+// ---------------------------------------------------------------------------
+
+struct SweepConfig {
+  std::size_t initial = 8;
+  double base_seconds = 30.0;
+};
+
+struct SweepResult {
+  double makespan = 0.0;
+  double serial_seconds = 0.0;  ///< sum of node durations
+  std::size_t trials = 0;
+  std::size_t rungs = 0;
+  double best = 0.0;
+  std::uint64_t event_hash = 0;
+};
+
+SweepResult run_sweep(const SweepConfig& config) {
+  core::Session session{core::SessionConfig{.seed = kSeed}};
+  session.add_platform(platform::delta_profile(4));
+  core::Pilot& pilot =
+      session.submit_pilot({.platform = "delta", .nodes = 4});
+  wf::WorkflowManager workflows(session);
+
+  wf::HyperoptGraph::Config hpo;
+  hpo.name = "sweep";
+  hpo.space = {wf::ParamSpec::log_real("lr", 1e-5, 1e-2),
+               wf::ParamSpec::integer("batch", 16, 256),
+               wf::ParamSpec::real("dropout", 0.0, 0.5)};
+  hpo.initial = config.initial;
+  hpo.eta = 2;
+  hpo.make_task = [&config](const wf::Trial& trial) {
+    // Budget doubles per rung (successive-halving semantics).
+    return modeled(config.base_seconds *
+                   std::pow(2.0, static_cast<double>(trial.rung)));
+  };
+  hpo.objective = [](const wf::Trial& trial, const wf::NodeOutcome& outcome) {
+    if (!outcome.ok) return 1e9;
+    const double lr =
+        trial.params.get_or("lr", json::Value(1e-3)).as_double();
+    const double dropout =
+        trial.params.get_or("dropout", json::Value(0.0)).as_double();
+    return std::abs(std::log10(lr) + 3.5) + dropout;
+  };
+
+  SweepResult result;
+  wf::HyperoptGraph::run(
+      workflows, pilot, hpo, session.runtime().rng().fork("hpo"),
+      [&](const wf::HyperoptGraph::Report& report) {
+        result.makespan = report.graph.makespan;
+        result.trials = report.trials.size();
+        result.rungs = report.rungs;
+        result.best = report.best.value;
+        result.event_hash = report.graph.event_hash;
+        for (const double d : report.graph.node_durations) {
+          result.serial_seconds += d;
+        }
+      });
+  session.run();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+
+  DiamondConfig diamond_config;
+  SweepConfig sweep_config;
+  if (smoke) {
+    diamond_config = {4, 2, 10.0};
+    sweep_config = {4, 10.0};
+  }
+
+  const std::string trace_path =
+      bench::output_dir() + "/ablation_dag.trace.json";
+  const DiamondResult dag = run_diamond(diamond_config, false, trace_path);
+  const DiamondResult linear = run_diamond(diamond_config, true);
+  const DiamondResult dag_rerun = run_diamond(diamond_config, false);
+  const double diamond_speedup =
+      dag.makespan > 0.0 ? linear.makespan / dag.makespan : 0.0;
+
+  const SweepResult sweep = run_sweep(sweep_config);
+  const SweepResult sweep_rerun = run_sweep(sweep_config);
+  const double sweep_overlap =
+      sweep.makespan > 0.0 ? sweep.serial_seconds / sweep.makespan : 0.0;
+
+  bool pass = true;
+  if (dag.event_hash != dag_rerun.event_hash ||
+      dag.makespan != dag_rerun.makespan) {
+    std::cerr << "FAIL: same-seed diamond rerun diverged\n";
+    pass = false;
+  }
+  if (sweep.event_hash != sweep_rerun.event_hash ||
+      sweep.makespan != sweep_rerun.makespan) {
+    std::cerr << "FAIL: same-seed sweep rerun diverged\n";
+    pass = false;
+  }
+  if (dag.tasks_done != linear.tasks_done) {
+    std::cerr << "FAIL: linearization changed the work ("
+              << linear.tasks_done << " vs " << dag.tasks_done
+              << " tasks)\n";
+    pass = false;
+  }
+  if (diamond_speedup < 1.5) {
+    std::cerr << "FAIL: diamond DAG speedup " << diamond_speedup
+              << "x vs linearized, target >= 1.5x\n";
+    pass = false;
+  }
+
+  metrics::Table table({"experiment", "makespan_s", "speedup",
+                        "tasks_done", "event_hash"});
+  table.add_row({"diamond-dag", strutil::format_fixed(dag.makespan, 2),
+                 strutil::format_fixed(diamond_speedup, 2),
+                 std::to_string(dag.tasks_done), to_hex(dag.event_hash)});
+  table.add_row({"diamond-linear",
+                 strutil::format_fixed(linear.makespan, 2), "1.00",
+                 std::to_string(linear.tasks_done),
+                 to_hex(linear.event_hash)});
+  table.add_row({"hyperopt-sweep", strutil::format_fixed(sweep.makespan, 2),
+                 strutil::format_fixed(sweep_overlap, 2),
+                 std::to_string(sweep.trials), to_hex(sweep.event_hash)});
+
+  std::cout << metrics::banner(
+      "DAG workflow engine (frontier release vs linearized, dynamic "
+      "hyperopt sweep)");
+  std::cout << table.to_string();
+  std::cout << "\ndiamond_speedup="
+            << strutil::format_fixed(diamond_speedup, 2)
+            << "x (gate >= 1.5x)  sweep: " << sweep.trials << " trials / "
+            << sweep.rungs << " rungs, within-rung overlap "
+            << strutil::format_fixed(sweep_overlap, 2) << "x, best "
+            << strutil::format_fixed(sweep.best, 3) << "\n";
+
+  table.write_csv(bench::output_dir() + "/ablation_dag.csv");
+
+  json::Value report = json::Value::object();
+  report.set("smoke", smoke);
+  json::Value diamond = json::Value::object();
+  diamond.set("branches", diamond_config.branches);
+  diamond.set("tasks_per_branch", diamond_config.tasks_per_branch);
+  diamond.set("dag_makespan", dag.makespan);
+  diamond.set("linear_makespan", linear.makespan);
+  diamond.set("speedup", diamond_speedup);
+  diamond.set("event_hash", to_hex(dag.event_hash));
+  report.set("diamond", std::move(diamond));
+  json::Value sweep_row = json::Value::object();
+  sweep_row.set("trials", sweep.trials);
+  sweep_row.set("rungs", sweep.rungs);
+  sweep_row.set("makespan", sweep.makespan);
+  sweep_row.set("serial_seconds", sweep.serial_seconds);
+  sweep_row.set("overlap", sweep_overlap);
+  sweep_row.set("best", sweep.best);
+  sweep_row.set("event_hash", to_hex(sweep.event_hash));
+  report.set("sweep", std::move(sweep_row));
+  std::ofstream file(bench::output_dir() + "/ablation_dag.json");
+  file << report.dump(2) << "\n";
+
+  std::cout << (pass ? "\nPASS" : "\nFAIL")
+            << ": branches overlap >= 1.5x and same-seed event hashes are "
+               "bit-identical\n";
+  return pass ? 0 : 1;
+}

@@ -1,13 +1,19 @@
-// Use case II-C: the Uncertainty Quantification pipeline.
+// Use case II-C: the Uncertainty Quantification workflow, as a DAG.
 //
 // Evaluates uncertainty of LLM inferences across a three-level
 // hierarchy: {LLMs} x {random seeds} x {UQ methods}, with maximal task
 // concurrency and load balancing — then aggregates real statistics
 // (mean/stddev/expected calibration error) over the per-task scores.
-//   Stage 1: data preparation (tiny CPU task, service-enabled);
-//   Stage 2: 2 LLMs x 4 seeds x 3 UQ methods = 24 GPU fine-tuning
-//            tasks (5-60 GB GPU memory each, NOT service-based);
-//   Stage 3: post-processing aggregation (service-enabled).
+//
+// The shape is the natural wf::Graph fan-out/fan-in:
+//
+//                    +-> uq-llama-8b-bayesian-lora  (4 seed tasks) ->+
+//   prepare-data  ---+-> uq-llama-8b-lora-ensemble (4 seed tasks) ->+--> aggregate
+//   (qa-pairs)       +-> ... one node per LLM x method ...        ->+
+//
+// The frontier scheduler releases all six evaluation nodes the moment
+// preparation completes; the aggregation node joins on every branch
+// and computes calibration statistics from the branches' task results.
 
 #include <cmath>
 #include <iostream>
@@ -19,21 +25,17 @@
 #include "ripple/metrics/report.hpp"
 #include "ripple/ml/install.hpp"
 #include "ripple/platform/profiles.hpp"
+#include "ripple/wf/graph.hpp"
+#include "ripple/wf/workflow_manager.hpp"
 
 using namespace ripple;
 
 namespace {
 
-struct UqTaskSpec {
-  std::string llm;
-  std::string method;
-  int seed;
-};
-
-/// Stage-2 payload: "runs" one fine-tuning-based UQ evaluation and
+/// Evaluation payload: "runs" one fine-tuning-based UQ evaluation and
 /// produces a per-method calibration sample: N (confidence, correct)
 /// pairs whose miscalibration depends on the method — real data the
-/// aggregation stage computes real ECE over.
+/// aggregation node computes real ECE over.
 json::Value run_uq_eval(core::ExecutionContext& ctx,
                         const json::Value& args) {
   const std::string method = args.at("method").as_string();
@@ -97,6 +99,7 @@ int main() {
   session.add_platform(platform::delta_profile(8));  // 32 GPUs
   auto& pilot = session.submit_pilot({.platform = "delta", .nodes = 8});
   session.executor().functions().register_fn("run_uq_eval", run_uq_eval);
+  wf::WorkflowManager workflows(session);
 
   // The QA dataset is tiny (~3.4 MB of question-answer pairs).
   session.data().register_dataset("qa-pairs", 3.4e6, "delta");
@@ -107,69 +110,95 @@ int main() {
                                             "lora-ensemble", "map-lora"};
   constexpr int kSeeds = 4;
 
-  // ---- Stage 1: data preparation ------------------------------------
-  core::TaskDescription prepare;
-  prepare.name = "prepare-data";
-  prepare.kind = "modeled";
-  prepare.cores = 1;
-  prepare.duration = common::Distribution::lognormal(20.0, 0.2, 5.0);
-  prepare.staging.push_back(core::StagingDirective::in("qa-pairs"));
-  const auto prep_uid = session.tasks().submit(pilot, prepare);
+  wf::Graph graph("uq");
 
-  // ---- Stage 2: the three-level hierarchy, maximal concurrency ------
-  std::vector<UqTaskSpec> specs;
+  // ---- prepare-data: the single root ---------------------------------
+  wf::Stage prepare;
+  prepare.name = "prepare-data";
+  prepare.consumes = {"qa-pairs"};
+  core::TaskDescription prep_task;
+  prep_task.name = "prepare-data";
+  prep_task.kind = "modeled";
+  prep_task.cores = 1;
+  prep_task.duration = common::Distribution::lognormal(20.0, 0.2, 5.0);
+  prepare.tasks = {prep_task};
+  graph.add(prepare);
+
+  // ---- fan-out: one node per LLM x method, one task per seed ---------
+  // Each branch's completion hook records its task uids so the
+  // aggregation node can read the per-seed results.
+  std::map<std::string, std::vector<std::string>> branch_uids;
+  std::vector<std::string> branch_keys;
   for (const auto& llm : llms) {
-    for (int seed = 0; seed < kSeeds; ++seed) {
-      for (const auto& method : methods) {
-        specs.push_back({llm, method, seed});
+    for (const auto& method : methods) {
+      wf::GraphNode node;
+      node.stage.name = "uq-" + llm + "-" + method;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        core::TaskDescription task;
+        task.name = node.stage.name;
+        task.kind = "function";
+        task.cores = 2;
+        task.gpus = 1;
+        // 5-60 GB of GPU memory depending on model/LoRA configuration.
+        task.mem_gb = llm == "llama-8b" ? 24.0 : 12.0;
+        task.duration = common::Distribution::lognormal(
+            method == "lora-ensemble" ? 1500.0 : 900.0, 0.25, 200.0);
+        task.payload = json::Value::object(
+            {{"fn", "run_uq_eval"},
+             {"args", json::Value::object({{"llm", llm},
+                                           {"method", method},
+                                           {"seed", seed}})}});
+        node.stage.tasks.push_back(task);
       }
+      const std::string key = node.stage.name;
+      node.on_complete = [&branch_uids, key](const wf::NodeOutcome& out) {
+        branch_uids[key] = out.task_uids;
+      };
+      graph.add(std::move(node));
+      branch_keys.push_back(key);
+      graph.depend("prepare-data", key);
     }
   }
-  std::vector<std::string> uq_uids;
-  for (const auto& spec : specs) {
-    core::TaskDescription task;
-    task.name = "uq-" + spec.llm + "-" + spec.method;
-    task.kind = "function";
-    task.cores = 2;
-    task.gpus = 1;
-    // 5-60 GB of GPU memory depending on model/LoRA configuration.
-    task.mem_gb = spec.llm == "llama-8b" ? 24.0 : 12.0;
-    task.duration = common::Distribution::lognormal(
-        spec.method == "lora-ensemble" ? 1500.0 : 900.0, 0.25, 200.0);
-    task.payload = json::Value::object(
-        {{"fn", "run_uq_eval"},
-         {"args", json::Value::object({{"llm", spec.llm},
-                                       {"method", spec.method},
-                                       {"seed", spec.seed}})}});
-    task.depends_on = {prep_uid};
-    uq_uids.push_back(session.tasks().submit(pilot, task));
-  }
 
-  // ---- Stage 3: aggregation ------------------------------------------
+  // ---- fan-in: aggregation joins on every branch ---------------------
   struct Aggregate {
     common::Summary ece;
   };
   std::map<std::string, Aggregate> by_config;  // "llm/method"
 
-  session.tasks().when_done(uq_uids, [&](bool ok) {
-    if (!ok) {
-      std::cerr << "UQ stage had failures\n";
-    }
-    for (std::size_t i = 0; i < uq_uids.size(); ++i) {
-      const auto& task = session.tasks().get(uq_uids[i]);
-      if (task.state() != core::TaskState::done) continue;
-      const json::Value& eval = task.result().at("output");
-      const std::string key =
-          specs[i].llm + "/" + specs[i].method;
-      by_config[key].ece.add(expected_calibration_error(eval));
+  wf::GraphNode aggregate;
+  aggregate.stage.name = "aggregate";
+  core::TaskDescription agg_task;
+  agg_task.name = "aggregate";
+  agg_task.kind = "modeled";
+  agg_task.cores = 1;
+  agg_task.duration = common::Distribution::lognormal(10.0, 0.2, 2.0);
+  aggregate.stage.tasks = {agg_task};
+  aggregate.on_complete = [&](const wf::NodeOutcome&) {
+    for (const auto& [key, uids] : branch_uids) {
+      for (const auto& uid : uids) {
+        const auto& task = session.tasks().get(uid);
+        if (task.state() != core::TaskState::done) continue;
+        const json::Value& eval = task.result().at("output");
+        const std::string config = eval.at("llm").as_string() + "/" +
+                                   eval.at("method").as_string();
+        by_config[config].ece.add(expected_calibration_error(eval));
+      }
     }
     session.services().stop_all();
-  });
+  };
+  graph.add(std::move(aggregate));
+  for (const auto& key : branch_keys) graph.depend(key, "aggregate");
 
+  wf::GraphResult result;
+  workflows.run_graph(graph, pilot,
+                      [&](const wf::GraphResult& r) { result = r; });
   session.run();
 
-  std::cout << "UQ pipeline complete at t="
-            << strutil::format_duration(session.now()) << "\n\n";
+  std::cout << "UQ workflow " << (result.ok ? "complete" : "FAILED")
+            << " at t=" << strutil::format_duration(session.now()) << " ("
+            << result.node_names.size() << " nodes, " << result.tasks_done
+            << " tasks)\n\n";
   metrics::Table table({"llm/method", "runs", "ece_mean", "ece_std"});
   for (const auto& [key, agg] : by_config) {
     table.add_row({key, std::to_string(agg.ece.count()),
@@ -179,5 +208,5 @@ int main() {
   std::cout << table.to_string();
   std::cout << "\nExpected ranking: lora-ensemble < bayesian-lora < "
                "map-lora (ECE, lower is better-calibrated)\n";
-  return 0;
+  return result.ok ? 0 : 1;
 }

@@ -8,6 +8,11 @@
 /// module provides the two strategies the example and benches use:
 /// random search and successive halving (ASHA-style rungs without the
 /// asynchrony). Objectives are minimized.
+///
+/// These classes are pure search state (suggest / report / promote).
+/// To *execute* a successive-halving search as a workflow — one
+/// dynamically spawned graph node per trial, a rung-collector join
+/// per wave — use wf::HyperoptGraph (hyperopt_graph.hpp).
 
 #include <cstddef>
 #include <limits>

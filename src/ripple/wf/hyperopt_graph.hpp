@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file hyperopt_graph.hpp
+/// Successive-halving hyperparameter optimization as a dynamically
+/// spawned workflow graph (the DAG rebuild of the hand-rolled rung
+/// recursion in examples/cell_painting.cpp; strategies live in
+/// hyperopt.hpp).
+///
+/// The submitted graph holds a single `search` seed node. When it
+/// completes, its hook spawns one tolerant trial node per rung-0
+/// config plus a task-less `rung-0` collector joining on all of them
+/// — a fan-in. Each trial reports its objective from its completion
+/// hook; the collector's hook advances the SuccessiveHalving rung and
+/// spawns the next wave (trials depending on the collector, collector
+/// `rung-k+1` joining them) until the search finishes. Every wave runs
+/// concurrently across the run's pilots, trial failures score the
+/// penalty objective without failing the graph, and the whole
+/// expansion is deterministic: same seed, same trial keys, same
+/// release order, same graph-event hash.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ripple/common/random.hpp"
+#include "ripple/core/descriptions.hpp"
+#include "ripple/wf/hyperopt.hpp"
+#include "ripple/wf/workflow_manager.hpp"
+
+namespace ripple::wf {
+
+class HyperoptGraph {
+ public:
+  struct Config {
+    std::string name = "hyperopt";
+    std::vector<ParamSpec> space;
+    std::size_t initial = 8;  ///< rung-0 configs
+    std::size_t eta = 2;      ///< halving factor
+
+    /// Builds the trial's (single) task — typically a "modeled" train
+    /// task whose budget grows with `trial.rung`.
+    std::function<core::TaskDescription(const Trial&)> make_task;
+
+    /// Minimized objective of a finished trial. `outcome.ok` is false
+    /// when the trial's task failed; return a penalty value then.
+    std::function<double(const Trial&, const NodeOutcome&)> objective;
+  };
+
+  /// What the search found, delivered once to `on_done`.
+  struct Report {
+    std::string name;
+    bool ok = false;     ///< graph healthy and at least one trial done
+    Trial best;          ///< valid when `ok`
+    std::vector<Trial> trials;  ///< full history across rungs
+    std::size_t rungs = 0;      ///< rungs actually executed
+    GraphResult graph;          ///< the underlying run's result
+  };
+
+  /// Starts the search on `manager` and returns the live run's Handle
+  /// (the graph keeps growing through it until the search converges).
+  /// `rng` drives config sampling — fork it from the session rng for
+  /// reproducibility.
+  static std::shared_ptr<WorkflowManager::Handle> run(
+      WorkflowManager& manager, core::Pilot& pilot, Config config,
+      common::Rng rng, std::function<void(const Report&)> on_done);
+};
+
+}  // namespace ripple::wf

@@ -10,6 +10,13 @@
 /// asynchronously" (use case II-A) — is expressed with
 /// `unblock_next_after`: the next stage may start once that many of
 /// this stage's tasks are DONE, instead of waiting for all of them.
+///
+/// Pipelines execute as linear graphs: the WorkflowManager converts a
+/// Pipeline through `Graph::from_pipeline` (graph.hpp) and runs it on
+/// the DAG frontier scheduler, with `unblock_next_after` becoming the
+/// chain edge's `after_tasks` threshold. Workflows with fan-out,
+/// joins, conditional branches, or runtime-spawned nodes use
+/// wf::Graph directly.
 
 #include <cstddef>
 #include <functional>

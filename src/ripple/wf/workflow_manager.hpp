@@ -1,24 +1,42 @@
 #pragma once
 
 /// \file workflow_manager.hpp
-/// Executes Pipelines over a Session (the workflow-orchestration layer
-/// of the paper's Fig. 1 stack).
+/// Executes workflow Graphs — and Pipelines, as linear graphs — over a
+/// Session (the workflow-orchestration layer of the paper's Fig. 1
+/// stack).
 ///
-/// Stages run in order with optional asynchronous overlap: stage s+1 is
-/// released when stage s reaches its `unblock_next_after` threshold.
-/// While stage s computes, stage s+1's `consumes` are prefetched toward
-/// the pilot the contention-aware PlacementAdvisor predicts for it
-/// (replication-ahead): the DataManager copies them on idle links only,
-/// within its per-store prefetch budget, so speculation never competes
-/// with demand transfers or evicts protected data.
-/// Stage services are submitted before stage tasks — as one batch, so
-/// the scheduler enacts priorities across the whole stage — and awaited
-/// via the ServiceManager's readiness barrier; tasks automatically
-/// receive `requires_services` on the stage's services. Stages with
-/// `autoscale.enabled` run their services as elastic replica groups
-/// (one ml::Autoscaler per description), started/stopped with the
-/// stage.
+/// A GraphRun is a frontier scheduler: it tracks how many dependency
+/// edges of each node are still unsatisfied and releases every node
+/// that reaches zero, so independent branches run concurrently across
+/// the run's pilots while fan-in joins wait for all of theirs.
+/// Released nodes behave exactly like the old pipeline stages: data
+/// staging overlaps service bootstrap, tasks launch when both have
+/// cleared, consumed replicas stay pinned for the node's duration and
+/// are released through lineage reference counts held by *every*
+/// consuming node. Threshold edges (`EdgeOptions::after_tasks`) release
+/// a successor before the predecessor completes — the DAG form of
+/// asynchronous stage coupling — and conditional edges let a node's
+/// BranchSelector prune unselected subtrees at completion (their
+/// lineage references are dropped immediately, so pruned inputs become
+/// evictable). A running node may also spawn() children into the live
+/// graph through the run's Handle; spawns are idempotent per node key,
+/// so a spawning task the FailureInjector kills and restarts cannot
+/// double-spawn.
+///
+/// Prefetch generalizes the pipeline's stage-k+1 lookahead to the
+/// frontier of ready successors: when a node's tasks launch, the
+/// consumed datasets of its not-yet-released successors (up to
+/// `set_prefetch_depth` edges ahead, nearest first, so data needed
+/// sooner claims the idle-link budget first) are pushed toward their
+/// predicted pilots on idle links only.
+///
+/// Determinism: ready nodes are released in (release time, node
+/// sequence) order, and every run keeps a release/complete/spawn/prune
+/// event log with an FNV-1a fingerprint that is bit-identical across
+/// same-seed reruns and scheduler shard counts.
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -28,25 +46,34 @@
 #include "ripple/core/session.hpp"
 #include "ripple/metrics/tracer.hpp"
 #include "ripple/ml/autoscaler.hpp"
+#include "ripple/wf/graph.hpp"
 #include "ripple/wf/pipeline.hpp"
 
 namespace ripple::wf {
 
 class WorkflowManager {
  public:
+  class Handle;
+
   explicit WorkflowManager(core::Session& session);
 
-  /// Starts `pipeline` on `pilot`. Several pipelines may run
-  /// concurrently. `on_done` fires once with the result.
+  /// Starts `graph` on `pilot` (or `pilots`, placing each node by the
+  /// graph's Placement). Several graphs and pipelines may run
+  /// concurrently. `on_done` fires once with the result. The returned
+  /// Handle lets running nodes spawn children into the live graph.
+  std::shared_ptr<Handle> run_graph(
+      Graph graph, core::Pilot& pilot,
+      std::function<void(const GraphResult&)> on_done);
+  std::shared_ptr<Handle> run_graph(
+      Graph graph, std::vector<core::Pilot*> pilots,
+      std::function<void(const GraphResult&)> on_done);
+
+  /// Starts `pipeline` on `pilot`: the thin linear-graph adapter.
+  /// Stage i depends on stage i-1 with the stage's
+  /// `unblock_next_after` threshold; results and metrics keep their
+  /// pipeline names.
   void run_pipeline(Pipeline pipeline, core::Pilot& pilot,
                     std::function<void(const PipelineResult&)> on_done);
-
-  /// Multi-pilot run: each stage is placed on one of `pilots` according
-  /// to `pipeline.placement` — by the bytes its `consumes` datasets
-  /// must move (locality) or always the first pilot (first). Stage
-  /// datasets are staged into the chosen zone overlapping service
-  /// bootstrap, pinned for the stage's duration, and released through
-  /// lineage reference counts when their last consuming stage finishes.
   void run_pipeline(Pipeline pipeline, std::vector<core::Pilot*> pilots,
                     std::function<void(const PipelineResult&)> on_done);
 
@@ -56,11 +83,41 @@ class WorkflowManager {
     return results_;
   }
 
+  /// Results of completed graphs, keyed by graph name.
+  [[nodiscard]] const std::map<std::string, GraphResult>& graph_results()
+      const noexcept {
+    return graph_results_;
+  }
+
+  /// How many dependency edges ahead of a launching node the frontier
+  /// prefetch looks (default 2).
+  void set_prefetch_depth(std::size_t depth) noexcept {
+    prefetch_depth_ = depth;
+  }
+
  private:
-  struct StageRun {
-    Stage stage;
-    core::Pilot* pilot = nullptr;  ///< chosen at stage start
-    /// The stage's `consumes` staging batch; cancelled if the stage
+  struct EdgeRun {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::size_t after_tasks = kAfterAllTasks;
+    bool conditional = false;
+    bool satisfied = false;
+  };
+
+  struct NodeRun {
+    GraphNode node;
+    std::size_t seq = 0;
+    /// Sequence of the node that spawn()ed this one; SIZE_MAX for
+    /// nodes the graph was submitted with.
+    std::size_t spawned_by = SIZE_MAX;
+    std::vector<std::size_t> in_edges;   ///< indices into GraphRun::edges
+    std::vector<std::size_t> out_edges;
+    std::size_t preds_unsatisfied = 0;
+    bool released = false;
+    bool pruned = false;
+
+    core::Pilot* pilot = nullptr;  ///< chosen at release
+    /// The node's `consumes` staging batch; cancelled if the node
     /// completes while transfers are still in flight.
     core::DataManager::BatchHandle stage_batch;
     std::vector<std::string> service_uids;
@@ -75,64 +132,132 @@ class WorkflowManager {
     bool data_pinned = false;     ///< consumed replicas pinned in zone
     bool lineage_released = false;
     bool tasks_launched = false;
-    bool next_released = false;
     bool completed = false;
-    /// Stage span ("wf" category, child of the pipeline span); 0 while
+    /// Node span ("wf" category, child of the graph span); 0 while
     /// closed or tracing is disabled.
     metrics::SpanId trace = 0;
   };
 
-  struct PipelineRun {
+  struct GraphRun {
     std::string name;
     std::vector<core::Pilot*> pilots;
-    std::vector<StageRun> stages;
+    /// deque: spawn() appends while callbacks hold references.
+    std::deque<NodeRun> nodes;
+    std::vector<EdgeRun> edges;
+    std::map<std::string, std::size_t> index;
     Placement placement = Placement::locality;
-    std::function<void(const PipelineResult&)> on_done;
+    /// Exactly one of these is set (pipeline adapter vs graph API).
+    std::function<void(const GraphResult&)> on_done;
+    std::function<void(const PipelineResult&)> pipeline_done;
+    bool pipeline_mode = false;
     double started_at = 0.0;
-    std::size_t finished_stages = 0;
-    std::size_t retries_left = 0;  ///< Pipeline::task_retry_budget
+    std::size_t finished_nodes = 0;
+    std::size_t pruned_nodes = 0;
+    std::size_t spawned_nodes = 0;
+    std::size_t retries_left = 0;  ///< Graph::task_retry_budget
     std::size_t tasks_retried = 0;
     bool failed = false;
     bool reported = false;
-    /// Pipeline root span; 0 while closed or tracing is disabled.
+    /// Graph root span; 0 while closed or tracing is disabled.
     metrics::SpanId trace = 0;
+    std::vector<std::string> event_log;
+    std::uint64_t event_hash = 0;
   };
 
-  void start_stage(const std::shared_ptr<PipelineRun>& run,
-                   std::size_t index);
-  /// The pilot a stage would be placed on right now (contention-aware
+  std::shared_ptr<Handle> launch_graph(
+      Graph graph, std::vector<core::Pilot*> pilots, bool pipeline_mode,
+      std::function<void(const GraphResult&)> on_done,
+      std::function<void(const PipelineResult&)> pipeline_done);
+  /// Appends to the run's deterministic event stream and rolls its
+  /// FNV-1a fingerprint (recorded whether or not tracing is on).
+  void record_event(GraphRun& run, const std::string& line);
+  [[nodiscard]] static const std::string& display_name(const NodeRun& node);
+
+  /// Releases `seq` into the running frontier: places it, starts data
+  /// staging overlapped with service bootstrap.
+  void release_node(const std::shared_ptr<GraphRun>& run, std::size_t seq);
+  /// Releases every ready node in ascending sequence order (the
+  /// deterministic tie-break for same-time releases).
+  void release_ready(const std::shared_ptr<GraphRun>& run,
+                     std::vector<std::size_t> ready);
+  /// Marks `edge` delivered; when its target reaches zero unsatisfied
+  /// predecessors, the target joins `ready`.
+  void satisfy_edge(const std::shared_ptr<GraphRun>& run,
+                    std::size_t edge_index,
+                    std::vector<std::size_t>& ready);
+  /// The pilot a node would be placed on right now (contention-aware
   /// advisor under Placement::locality, first pilot otherwise).
-  [[nodiscard]] core::Pilot* predict_pilot(const PipelineRun& run,
+  [[nodiscard]] core::Pilot* predict_pilot(const GraphRun& run,
                                            const Stage& stage) const;
-  /// Stage lookahead: prefetch stage index+1's `consumes` toward its
-  /// predicted pilot's zone while stage `index` computes.
-  void prefetch_next_stage(const std::shared_ptr<PipelineRun>& run,
-                           std::size_t index);
-  /// Launches tasks once both the service barrier and the stage's
+  /// Frontier lookahead: prefetch the consumed datasets of `seq`'s
+  /// not-yet-released successors (nearest first) toward their
+  /// predicted pilots while `seq` computes.
+  void prefetch_frontier(const std::shared_ptr<GraphRun>& run,
+                         std::size_t seq);
+  /// Launches tasks once both the service barrier and the node's
   /// dataset staging have cleared.
-  void maybe_launch_tasks(const std::shared_ptr<PipelineRun>& run,
-                          std::size_t index);
-  void launch_stage_tasks(const std::shared_ptr<PipelineRun>& run,
-                          std::size_t index);
-  /// Unpins the stage's consumed replicas and drops one lineage
-  /// reference per consumed dataset (idempotent).
-  void release_stage_data(StageRun& stage_run);
-  /// Submits stage task `task_index` (from its original description)
+  void maybe_launch_tasks(const std::shared_ptr<GraphRun>& run,
+                          std::size_t seq);
+  void launch_node_tasks(const std::shared_ptr<GraphRun>& run,
+                         std::size_t seq);
+  /// Submits node task `task_index` (from its original description)
   /// and watches its completion; used for the first launch and for
   /// budgeted retries alike.
-  void submit_stage_task(const std::shared_ptr<PipelineRun>& run,
-                         std::size_t index, std::size_t task_index);
-  void on_task_terminal(const std::shared_ptr<PipelineRun>& run,
-                        std::size_t index, std::size_t task_index, bool ok);
-  void maybe_release_next(const std::shared_ptr<PipelineRun>& run,
-                          std::size_t index);
-  void complete_stage(const std::shared_ptr<PipelineRun>& run,
-                      std::size_t index);
-  void finish_pipeline(const std::shared_ptr<PipelineRun>& run);
+  void submit_node_task(const std::shared_ptr<GraphRun>& run,
+                        std::size_t seq, std::size_t task_index);
+  void on_task_terminal(const std::shared_ptr<GraphRun>& run,
+                        std::size_t seq, std::size_t task_index, bool ok);
+  /// Unpins the node's consumed replicas and drops one lineage
+  /// reference per consumed dataset (idempotent).
+  void release_node_data(NodeRun& node);
+  /// Removes an unselected (or unsatisfiable) node from the run before
+  /// it starts, releasing its lineage references, and cascades to every
+  /// descendant that depended on it.
+  void prune_node(const std::shared_ptr<GraphRun>& run, std::size_t seq);
+  void complete_node(const std::shared_ptr<GraphRun>& run, std::size_t seq);
+  void maybe_finish(const std::shared_ptr<GraphRun>& run);
+  void finish_graph(const std::shared_ptr<GraphRun>& run);
+  /// Handle::spawn backend; see Handle for semantics.
+  std::size_t spawn_node(const std::shared_ptr<GraphRun>& run,
+                         const std::string& parent, GraphNode child,
+                         const std::vector<std::string>& deps);
 
   core::Session& session_;
   common::Logger log_;
+  std::size_t prefetch_depth_ = 2;
   std::map<std::string, PipelineResult> results_;
+  std::map<std::string, GraphResult> graph_results_;
+};
+
+/// Live interface into a running graph, returned by run_graph. Nodes
+/// (task payloads, completion hooks) use it to grow the graph while it
+/// executes.
+class WorkflowManager::Handle {
+ public:
+  /// Inserts `child` into the live graph as a child of `parent`, with
+  /// full-completion dependency edges on `deps` (each must name an
+  /// existing node; already-completed dependencies count as
+  /// satisfied, and a node with none outstanding releases
+  /// immediately). Returns the child's sequence number.
+  ///
+  /// Idempotent per child key: spawning an existing key from the same
+  /// parent returns the existing node's sequence without re-adding it
+  /// — a restarted spawning task re-runs its payload without
+  /// double-spawning. A key collision from a *different* parent (or
+  /// with a statically-added node) throws.
+  std::size_t spawn(const std::string& parent, GraphNode child,
+                    const std::vector<std::string>& deps = {});
+
+  /// True once the run's result has been reported.
+  [[nodiscard]] bool finished() const noexcept;
+
+ private:
+  friend class WorkflowManager;
+  Handle(WorkflowManager* manager, std::shared_ptr<GraphRun> run)
+      : manager_(manager), run_(std::move(run)) {}
+
+  WorkflowManager* manager_;
+  std::shared_ptr<GraphRun> run_;
 };
 
 }  // namespace ripple::wf
