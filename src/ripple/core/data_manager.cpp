@@ -17,8 +17,9 @@ DataManager::DataManager(Runtime& runtime)
 }
 
 void DataManager::register_dataset(const std::string& name, double bytes,
-                                   const std::string& zone) {
-  catalog_.register_dataset(name, bytes, zone);
+                                   const std::string& zone,
+                                   const std::string& content_id) {
+  catalog_.register_dataset(name, bytes, zone, content_id);
 }
 
 bool DataManager::has(const std::string& name) const {
@@ -60,17 +61,18 @@ double DataManager::bytes_required(const std::vector<std::string>& names,
 
 DataManager::Flight& DataManager::launch_flight(
     const FlightKey& key, std::vector<std::string> sources, double bytes,
-    bool prefetch) {
+    bool prefetch, const std::string& tenant) {
   const std::string& name = key.first;
   const std::string& dst_zone = key.second;
   // Every source replica feeds the (striped) transfer: pin them all so
   // store pressure in their zones cannot evict them mid-flight.
-  for (const auto& src : sources) catalog_.pin(name, src);
+  for (const auto& src : sources) catalog_.pin(name, src, tenant);
 
   Flight flight;
   flight.src_zones = std::move(sources);
   flight.reserved_bytes = bytes;
   flight.prefetch = prefetch;
+  flight.tenant = tenant;
   if (prefetch) {
     prefetch_inflight_[dst_zone] += bytes;
     ++prefetches_started_;
@@ -80,18 +82,20 @@ DataManager::Flight& DataManager::launch_flight(
       name, it->second.src_zones, dst_zone, bytes,
       [this, key](bool ok, sim::Duration elapsed) {
         on_flight_done(key, ok, elapsed);
-      });
+      },
+      tenant);
   return it->second;
 }
 
 void DataManager::stage(const std::string& name, const std::string& dst_zone,
-                        TransferCallback on_done) {
-  (void)stage_tracked(name, dst_zone, std::move(on_done));
+                        TransferCallback on_done,
+                        const std::string& tenant) {
+  (void)stage_tracked(name, dst_zone, std::move(on_done), tenant);
 }
 
 DataManager::StageTicket DataManager::stage_tracked(
     const std::string& name, const std::string& dst_zone,
-    TransferCallback on_done) {
+    TransferCallback on_done, const std::string& tenant) {
   ensure(static_cast<bool>(on_done), Errc::invalid_argument,
          "stage: empty callback");
   if (!catalog_.has(name)) {
@@ -106,7 +110,10 @@ DataManager::StageTicket DataManager::stage_tracked(
     return 0;
   }
 
-  const FlightKey key{name, dst_zone};
+  // Flights key on the canonical (content-resolved) name: concurrent
+  // stages of the same content under different tenant aliases coalesce
+  // onto one transfer instead of each paying for the bytes.
+  const FlightKey key{catalog_.canonical(name), dst_zone};
   const StageTicket ticket = next_ticket_++;
   const auto flight = flights_.find(key);
   if (flight != flights_.end()) {  // piggyback on the shared transfer
@@ -128,10 +135,10 @@ DataManager::StageTicket DataManager::stage_tracked(
   // (cancelling them frees their reservations) before giving up — but
   // only when the dataset could ever fit; a doomed oversized stage
   // must not wipe out useful speculative work on its way to failing.
-  bool reserved = catalog_.reserve(dst_zone, ds.bytes);
+  bool reserved = catalog_.reserve(dst_zone, ds.bytes, tenant);
   if (!reserved && ds.bytes <= catalog_.store(dst_zone).capacity) {
     while (!reserved && reclaim_one_prefetch(dst_zone)) {
-      reserved = catalog_.reserve(dst_zone, ds.bytes);
+      reserved = catalog_.reserve(dst_zone, ds.bytes, tenant);
     }
   }
   if (!reserved) {
@@ -143,19 +150,21 @@ DataManager::StageTicket DataManager::stage_tracked(
   // striped transfer over the disjoint (src, dst) links.
   Flight& launched = launch_flight(
       key, {ds.zones.begin(), ds.zones.end()}, ds.bytes,
-      /*prefetch=*/false);
+      /*prefetch=*/false, tenant);
   launched.waiters.emplace_back(ticket, std::move(on_done));
   ticket_index_.emplace(ticket, key);
   return ticket;
 }
 
 std::size_t DataManager::prefetch(const std::vector<std::string>& names,
-                                  const std::string& zone) {
+                                  const std::string& zone,
+                                  const std::string& tenant) {
   std::size_t started = 0;
   for (const auto& name : names) {
     if (!catalog_.has(name)) continue;
     if (catalog_.available_in(name, zone)) continue;
-    if (flights_.count({name, zone}) != 0) continue;  // already inbound
+    const std::string& canon = catalog_.canonical(name);
+    if (flights_.count({canon, zone}) != 0) continue;  // already inbound
     const Dataset& ds = catalog_.dataset(name);
     if (ds.zones.empty()) continue;
     // Budget: bytes already being prefetched into this store.
@@ -176,9 +185,9 @@ std::size_t DataManager::prefetch(const std::vector<std::string>& names,
       }
     }
     if (idle_sources.empty()) continue;
-    if (!catalog_.reserve(zone, ds.bytes)) continue;
-    launch_flight({name, zone}, std::move(idle_sources), ds.bytes,
-                  /*prefetch=*/true);
+    if (!catalog_.reserve(zone, ds.bytes, tenant)) continue;
+    launch_flight({canon, zone}, std::move(idle_sources), ds.bytes,
+                  /*prefetch=*/true, tenant);
     ++started;
   }
   return started;
@@ -199,9 +208,10 @@ bool DataManager::reclaim_one_prefetch(const std::string& zone) {
     if (!it->second.prefetch || !it->second.waiters.empty()) continue;
     engine_.cancel(it->second.transfer_id);
     for (const auto& src : it->second.src_zones) {
-      catalog_.unpin(it->first.first, src);
+      catalog_.unpin(it->first.first, src, it->second.tenant);
     }
-    catalog_.release_reservation(zone, it->second.reserved_bytes);
+    catalog_.release_reservation(zone, it->second.reserved_bytes,
+                                 it->second.tenant);
     prefetch_inflight_[zone] -= it->second.reserved_bytes;
     if (prefetch_inflight_[zone] < 0.0) prefetch_inflight_[zone] = 0.0;
     flights_.erase(it);
@@ -210,14 +220,34 @@ bool DataManager::reclaim_one_prefetch(const std::string& zone) {
   return false;
 }
 
+bool DataManager::abandon_prefetch(const std::string& name,
+                                   const std::string& zone) {
+  const auto it = flights_.find({catalog_.canonical(name), zone});
+  if (it == flights_.end()) return false;
+  // Only speculation is revocable. A demand flight, or a prefetch a
+  // demand stage piggybacked on, has callers counting on its callback.
+  if (!it->second.prefetch || !it->second.waiters.empty()) return false;
+  engine_.cancel(it->second.transfer_id);
+  for (const auto& src : it->second.src_zones) {
+    catalog_.unpin(name, src, it->second.tenant);
+  }
+  catalog_.release_reservation(zone, it->second.reserved_bytes,
+                               it->second.tenant);
+  prefetch_inflight_[zone] -= it->second.reserved_bytes;
+  if (prefetch_inflight_[zone] < 0.0) prefetch_inflight_[zone] = 0.0;
+  flights_.erase(it);
+  return true;
+}
+
 void DataManager::on_flight_done(const FlightKey& key, bool ok,
                                  sim::Duration elapsed) {
   const auto it = flights_.find(key);
   if (it == flights_.end()) return;
   auto waiters = std::move(it->second.waiters);
   const double reserved = it->second.reserved_bytes;
+  const std::string tenant = it->second.tenant;
   for (const auto& src : it->second.src_zones) {
-    catalog_.unpin(key.first, src);
+    catalog_.unpin(key.first, src, tenant);
   }
   if (it->second.prefetch) {
     prefetch_inflight_[key.second] -= reserved;
@@ -228,9 +258,9 @@ void DataManager::on_flight_done(const FlightKey& key, bool ok,
   }
   flights_.erase(it);
   if (ok) {
-    catalog_.commit_replica(key.first, key.second);
+    catalog_.commit_replica(key.first, key.second, tenant);
   } else {
-    catalog_.release_reservation(key.second, reserved);
+    catalog_.release_reservation(key.second, reserved, tenant);
   }
   for (auto& [ticket, callback] : waiters) {
     ticket_index_.erase(ticket);
@@ -256,9 +286,10 @@ bool DataManager::cancel_stage(StageTicket ticket) {
     // prefetch flight keeps running waiterless — that is its job.)
     engine_.cancel(it->second.transfer_id);
     for (const auto& src : it->second.src_zones) {
-      catalog_.unpin(key.first, src);
+      catalog_.unpin(key.first, src, it->second.tenant);
     }
-    catalog_.release_reservation(key.second, it->second.reserved_bytes);
+    catalog_.release_reservation(key.second, it->second.reserved_bytes,
+                                 it->second.tenant);
     flights_.erase(it);
   }
   return true;
@@ -274,22 +305,23 @@ struct DataManager::StageBatch {
 
 void DataManager::stage_all(const std::vector<std::string>& names,
                             const std::string& dst_zone,
-                            BatchCallback on_done) {
-  (void)stage_all_tracked(names, dst_zone, std::move(on_done));
+                            BatchCallback on_done,
+                            const std::string& tenant) {
+  (void)stage_all_tracked(names, dst_zone, std::move(on_done), tenant);
 }
 
 DataManager::BatchHandle DataManager::stage_all_tracked(
     const std::vector<std::string>& names, const std::string& dst_zone,
-    BatchCallback on_done) {
+    BatchCallback on_done, const std::string& tenant) {
   std::vector<std::pair<std::string, std::string>> targets;
   targets.reserve(names.size());
   for (const auto& name : names) targets.emplace_back(name, dst_zone);
-  return stage_all_tracked(targets, std::move(on_done));
+  return stage_all_tracked(targets, std::move(on_done), tenant);
 }
 
 DataManager::BatchHandle DataManager::stage_all_tracked(
     const std::vector<std::pair<std::string, std::string>>& targets,
-    BatchCallback on_done) {
+    BatchCallback on_done, const std::string& tenant) {
   ensure(static_cast<bool>(on_done), Errc::invalid_argument,
          "stage_all: empty callback");
   if (targets.empty()) {
@@ -321,7 +353,8 @@ DataManager::BatchHandle DataManager::stage_all_tracked(
           if (--batch->remaining == 0 && !batch->failed) {
             batch->on_done(true, "");
           }
-        });
+        },
+        tenant);
   }
   return batch;
 }
@@ -340,8 +373,9 @@ void DataManager::cancel_batch(const BatchHandle& handle) {
 }
 
 void DataManager::put(const std::string& name, double bytes,
-                      const std::string& zone) {
-  catalog_.register_dataset(name, bytes, zone);
+                      const std::string& zone,
+                      const std::string& content_id) {
+  catalog_.register_dataset(name, bytes, zone, content_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -386,9 +420,10 @@ std::size_t DataManager::handle_store_failure(const std::string& zone) {
     auto waiters = std::move(it->second.waiters);
     engine_.cancel(it->second.transfer_id);
     for (const auto& src : it->second.src_zones) {
-      catalog_.unpin(key.first, src);
+      catalog_.unpin(key.first, src, it->second.tenant);
     }
-    catalog_.release_reservation(zone, it->second.reserved_bytes);
+    catalog_.release_reservation(zone, it->second.reserved_bytes,
+                                 it->second.tenant);
     if (it->second.prefetch) {
       prefetch_inflight_[zone] -= it->second.reserved_bytes;
       if (prefetch_inflight_[zone] < 0.0) prefetch_inflight_[zone] = 0.0;

@@ -44,9 +44,13 @@ class DataManager {
   explicit DataManager(Runtime& runtime);
 
   /// Registers a dataset resident in `zone`. Re-registering adds a
-  /// replica location.
+  /// replica location. A non-empty `content_id` names the dataset's
+  /// content: names sharing a content id alias one canonical dataset in
+  /// the catalog, so tenants publishing the same bytes under their own
+  /// names share replicas (and warm-cache hits) instead of copies.
   void register_dataset(const std::string& name, double bytes,
-                        const std::string& zone);
+                        const std::string& zone,
+                        const std::string& content_id = "");
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] const Dataset& dataset(const std::string& name) const;
@@ -78,8 +82,12 @@ class DataManager {
   /// replica already exists there. Concurrent transfers of the same
   /// dataset to the same zone share one copy (callers all complete when
   /// the first transfer lands).
+  /// `tenant` attributes the staging work for multi-tenant accounting:
+  /// the store reservation counts against the tenant's quota, the
+  /// transfer rides the tenant's weighted link share, and the committed
+  /// replica is charged to the tenant. Empty (the default) opts out.
   void stage(const std::string& name, const std::string& dst_zone,
-             TransferCallback on_done);
+             TransferCallback on_done, const std::string& tenant = "");
 
   /// Handle for cancelling one stage() waiter; 0 when the request
   /// completed (or failed) without an in-flight transfer.
@@ -89,7 +97,8 @@ class DataManager {
   /// of a shared transfer aborts the transfer itself.
   StageTicket stage_tracked(const std::string& name,
                             const std::string& dst_zone,
-                            TransferCallback on_done);
+                            TransferCallback on_done,
+                            const std::string& tenant = "");
 
   /// Cancels a pending staged waiter; its callback never fires. Returns
   /// false when the ticket already completed.
@@ -105,7 +114,8 @@ class DataManager {
   /// (true, "") when all have landed. An empty batch completes
   /// asynchronously on the next event-loop turn.
   void stage_all(const std::vector<std::string>& names,
-                 const std::string& dst_zone, BatchCallback on_done);
+                 const std::string& dst_zone, BatchCallback on_done,
+                 const std::string& tenant = "");
 
   /// Opaque handle to a stage_all batch; null when the batch completed
   /// inline (empty name list).
@@ -114,14 +124,15 @@ class DataManager {
   /// stage_all() returning a handle for cancel_batch().
   BatchHandle stage_all_tracked(const std::vector<std::string>& names,
                                 const std::string& dst_zone,
-                                BatchCallback on_done);
+                                BatchCallback on_done,
+                                const std::string& tenant = "");
 
   /// Pair form: per-target destination zones — the stage-out fan-out,
   /// where each produced dataset may go somewhere else. Same batch
   /// semantics (first failure cancels the surviving siblings).
   BatchHandle stage_all_tracked(
       const std::vector<std::pair<std::string, std::string>>& targets,
-      BatchCallback on_done);
+      BatchCallback on_done, const std::string& tenant = "");
 
   /// Abandons a batch: its remaining in-flight stages are cancelled
   /// (transfers shared with other callers keep running for them) and
@@ -130,8 +141,11 @@ class DataManager {
   /// use this so abandoned transfers stop burning link bandwidth.
   void cancel_batch(const BatchHandle& handle);
 
-  /// Records a task-produced dataset (stage-out target).
-  void put(const std::string& name, double bytes, const std::string& zone);
+  /// Records a task-produced dataset (stage-out target). A non-empty
+  /// `content_id` deduplicates against identical content published
+  /// under other names (see register_dataset).
+  void put(const std::string& name, double bytes, const std::string& zone,
+           const std::string& content_id = "");
 
   // --- failure handling -----------------------------------------------------
 
@@ -175,7 +189,18 @@ class DataManager {
   /// prefetch flights (speculation never starves real work). Returns
   /// the number of prefetch transfers started.
   std::size_t prefetch(const std::vector<std::string>& names,
-                       const std::string& zone);
+                       const std::string& zone,
+                       const std::string& tenant = "");
+
+  /// Abandons the in-flight *prefetch* of (`name`, `zone`): cancels the
+  /// transfer, unpins its sources and returns the store reservation.
+  /// Strictly a no-op (returning false) when there is no such flight,
+  /// when the flight is a demand stage, or when a demand stage has
+  /// piggybacked on the prefetch — a waiter turns speculation into real
+  /// work, which must not be torn down under it. Callers: workflow
+  /// prune, which revokes frontier prefetches whose consumers were
+  /// pruned away before the data landed.
+  bool abandon_prefetch(const std::string& name, const std::string& zone);
 
   /// Per-store cap on in-flight prefetched bytes (default 32 GB).
   void set_prefetch_budget(double bytes);
@@ -219,6 +244,10 @@ class DataManager {
     std::vector<std::string> src_zones;
     double reserved_bytes = 0.0;
     bool prefetch = false;  ///< counts against the prefetch budget
+    /// Tenant whose quota/weights the flight rides; pins, reservation
+    /// and the committed replica are all charged to (and released with)
+    /// this value. Empty for untenanted flights.
+    std::string tenant;
     std::vector<std::pair<StageTicket, TransferCallback>> waiters;
   };
 
@@ -229,7 +258,7 @@ class DataManager {
   /// `sources` must be non-empty and reserve() must have succeeded.
   Flight& launch_flight(const FlightKey& key,
                         std::vector<std::string> sources, double bytes,
-                        bool prefetch);
+                        bool prefetch, const std::string& tenant);
 
   /// Cancels one waiterless prefetch flight into `zone`, returning its
   /// reservation to the store (demand staging outranks speculation).

@@ -78,6 +78,12 @@ struct TaskDescription {
   /// Scheduling priority; higher runs earlier. Services default higher.
   int priority = 0;
 
+  /// Tenant id for multi-tenant runs: threads through to the
+  /// scheduler's fair-share arbitration, the catalog's per-tenant
+  /// pins/quotas, and the transfer engine's weighted links. Empty
+  /// (default) keeps the single-tenant behavior.
+  std::string tenant;
+
   void validate() const;
 };
 
@@ -113,6 +119,9 @@ struct ServiceDescription {
   /// Restart policy after liveness failure.
   bool restart_on_failure = false;
   int max_restarts = 1;
+
+  /// Tenant id for multi-tenant runs (see TaskDescription::tenant).
+  std::string tenant;
 
   void validate() const;
 };

@@ -30,6 +30,9 @@ void Scheduler::add_pilot(Pilot& pilot) {
     entry.index.attach(pilot.nodes());
     for (const platform::Node* node : pilot.nodes()) {
       const platform::NodeSpec& spec = node->spec();
+      entry.total_cores += spec.cores;
+      entry.total_gpus += spec.gpus;
+      entry.total_mem += spec.mem_gb;
       const bool seen = std::any_of(
           entry.distinct_specs.begin(), entry.distinct_specs.end(),
           [&](const platform::NodeSpec& s) {
@@ -190,6 +193,13 @@ WaitQueue::iterator Scheduler::grant(PilotEntry& entry,
   ScheduleRequest& request = position->second.request;
   platform::Slot slot =
       node.allocate(request.cores, request.gpus, request.mem_gb);
+  // The grant's share cost is fixed here, against the pilot it landed
+  // on; it is charged to the tenant at commit time, in merged order.
+  double share_cost = 0.0;
+  if (!tenant_weights_.empty() && !request.tenant.empty()) {
+    share_cost =
+        dominant_fraction(entry, request) / weight_for(request.tenant);
+  }
   if (sink != nullptr) {
     // Sharded pass: only pilot-local state may change here. The shard
     // field of the key is stamped by run_sharded_passes; sequence is
@@ -200,6 +210,8 @@ WaitQueue::iterator Scheduler::grant(PilotEntry& entry,
                                    position->first.sequence, 0};
     pending.enqueued_at = position->second.enqueued_at;
     pending.uid = request.uid;
+    pending.tenant = request.tenant;
+    pending.share_cost = share_cost;
     pending.slot = std::move(slot);
     pending.node = &node;
     pending.callback = std::move(request.granted);
@@ -208,20 +220,25 @@ WaitQueue::iterator Scheduler::grant(PilotEntry& entry,
   }
   const double enqueued_at = position->second.enqueued_at;
   std::string uid = request.uid;
+  std::string tenant = request.tenant;
   auto callback = std::move(request.granted);
   const auto next = entry.waiting.erase(position);
-  commit_grant(enqueued_at, uid, std::move(slot), &node,
+  commit_grant(enqueued_at, uid, tenant, share_cost, std::move(slot), &node,
                std::move(callback));
   return next;
 }
 
 void Scheduler::commit_grant(
-    double enqueued_at, const std::string& uid, platform::Slot slot,
-    platform::Node* node,
+    double enqueued_at, const std::string& uid, const std::string& tenant,
+    double share_cost, platform::Slot slot, platform::Node* node,
     std::function<void(platform::Slot, platform::Node*)> callback) {
   wait_times_.add(runtime_.loop().now() - enqueued_at);
   ++granted_;
   runtime_.counters().add("sched.grants");
+  if (!tenant.empty()) {
+    runtime_.counters().add(strutil::cat("sched.grants.", tenant));
+    if (share_cost > 0.0) tenant_shares_[tenant] += share_cost;
+  }
   grant_hash_ = common::fnv1a(grant_hash_, uid);
   grant_hash_ = common::fnv1a(grant_hash_, node->id());
   grant_hash_ = common::fnv1a(grant_hash_,
@@ -237,7 +254,50 @@ void Scheduler::set_locality_oracle(LocalityOracle oracle) {
   oracle_ = std::move(oracle);
 }
 
+void Scheduler::set_tenant_weight(const std::string& tenant, double weight) {
+  ensure(!tenant.empty(), Errc::invalid_argument,
+         "fair-share weight needs a tenant");
+  ensure(weight > 0.0, Errc::invalid_argument,
+         "fair-share weight must be > 0");
+  tenant_weights_[tenant] = weight;
+  // The scan order just changed; the submit fast path's only-the-new-
+  // entry-can-fit invariant still holds, but a full rescan keeps the
+  // first fair pass from inheriting a stale filtered queue.
+  for (auto& [uid, entry] : pilots_) entry.needs_full_scan = true;
+}
+
+double Scheduler::tenant_share(const std::string& tenant) const {
+  const auto it = tenant_shares_.find(tenant);
+  return it == tenant_shares_.end() ? 0.0 : it->second;
+}
+
+double Scheduler::weight_for(const std::string& tenant) const {
+  const auto it = tenant_weights_.find(tenant);
+  return it == tenant_weights_.end() ? 1.0 : it->second;
+}
+
+double Scheduler::dominant_fraction(const PilotEntry& entry,
+                                    const ScheduleRequest& request) const {
+  double fraction =
+      entry.total_cores > 0
+          ? static_cast<double>(request.cores) /
+                static_cast<double>(entry.total_cores)
+          : 0.0;
+  if (request.gpus > 0 && entry.total_gpus > 0) {
+    fraction = std::max(fraction,
+                        static_cast<double>(request.gpus) /
+                            static_cast<double>(entry.total_gpus));
+  }
+  if (request.mem_gb > 0.0 && entry.total_mem > 0.0) {
+    fraction = std::max(fraction, request.mem_gb / entry.total_mem);
+  }
+  return fraction;
+}
+
 std::size_t Scheduler::try_schedule(PilotEntry& entry, GrantSink* sink) {
+  if (!tenant_weights_.empty() && policy_ == SchedulerPolicy::backfill) {
+    return try_schedule_fair(entry, sink);
+  }
   if (oracle_ && policy_ == SchedulerPolicy::backfill) {
     return try_schedule_data_aware(entry, sink);
   }
@@ -321,6 +381,58 @@ std::size_t Scheduler::try_schedule_data_aware(PilotEntry& entry,
   return grants;
 }
 
+std::size_t Scheduler::try_schedule_fair(PilotEntry& entry,
+                                         GrantSink* sink) {
+  // Snapshot the scan order up front: (priority desc, tenant share asc,
+  // enqueue time asc, sequence asc). Shares are read-only during a pass
+  // (commit_grant is the sole writer and runs after the pass on the
+  // batch paths), so the order is a pure function of committed history
+  // — identical for every shard count — and the reads race with
+  // nothing under the executor.
+  struct ScanItem {
+    int priority = 0;
+    double share = 0.0;
+    double enqueued_at = 0.0;
+    std::uint64_t sequence = 0;
+  };
+  std::vector<ScanItem> order;
+  order.reserve(entry.waiting.size());
+  for (const auto& [key, queued] : entry.waiting) {
+    const auto it = tenant_shares_.find(queued.request.tenant);
+    order.push_back({key.priority,
+                     it == tenant_shares_.end() ? 0.0 : it->second,
+                     queued.enqueued_at, key.sequence});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const ScanItem& a, const ScanItem& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              if (a.share != b.share) return a.share < b.share;
+              if (a.enqueued_at != b.enqueued_at) {
+                return a.enqueued_at < b.enqueued_at;
+              }
+              return a.sequence < b.sequence;
+            });
+  std::size_t grants = 0;
+  for (const ScanItem& item : order) {
+    const auto it =
+        entry.waiting.find(WaitQueue::Key{item.priority, item.sequence});
+    if (it == entry.waiting.end()) continue;
+    const ScheduleRequest& request = it->second.request;
+    platform::Node* node =
+        entry.index.first_fit(request.cores, request.gpus, request.mem_gb);
+    // Backfill semantics: an unplaceable low-share request does not
+    // block higher-share tenants — fairness is enacted by scan order
+    // (and by whose grants accumulate share), not by head-of-line
+    // blocking. Every entry is probed, so the everything-left-is-
+    // unplaceable invariant holds afterwards.
+    if (node == nullptr) continue;
+    grant(entry, it, *node, sink);
+    ++grants;
+  }
+  entry.needs_full_scan = false;
+  return grants;
+}
+
 std::size_t Scheduler::run_sharded_passes(
     const std::vector<PilotEntry*>& touched) {
   if (touched.empty()) return 0;
@@ -374,8 +486,9 @@ std::size_t Scheduler::commit_merged(std::vector<GrantSink> buffers) {
       std::move(buffers),
       [](const PendingGrant& pending) { return pending.key; });
   for (PendingGrant& pending : merged) {
-    commit_grant(pending.enqueued_at, pending.uid, std::move(pending.slot),
-                 pending.node, std::move(pending.callback));
+    commit_grant(pending.enqueued_at, pending.uid, pending.tenant,
+                 pending.share_cost, std::move(pending.slot), pending.node,
+                 std::move(pending.callback));
   }
   return merged.size();
 }

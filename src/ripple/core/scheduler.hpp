@@ -49,6 +49,24 @@
 /// The single-pilot paths (submit, submit_all, release, cancel) are
 /// unchanged and never touch the executor, so every pre-existing
 /// determinism suite runs the exact code it always did.
+///
+/// Weighted fair-share (multi-tenant arbitration). Opt-in via
+/// set_tenant_weight: while any tenant weight is registered and the
+/// policy is backfill, placement passes scan in
+/// (priority desc, dominant share asc, enqueue time asc, sequence asc)
+/// order instead of the wait queue's native (priority, sequence) —
+/// DRF-style: a request's cost is its dominant resource fraction of
+/// the pilot (max of cores/total, gpus/total, mem/total) divided by
+/// the tenant's weight, accumulated against the tenant as grants
+/// *commit*. Shares are snapshotted at pass start and only ever
+/// mutated in commit_grant — serially, in merged (time, sequence,
+/// shard) order — so the scan order is a pure function of committed
+/// history: bit-identical across reruns and shard counts, and
+/// race-free under the executor (passes only read). The wait queue's
+/// keys are never touched, so clearing the weights restores the
+/// native order exactly; fifo ignores fair-share (strict order is the
+/// point of fifo). Fair-share takes precedence over the locality
+/// oracle when both are active.
 
 #include <cstdint>
 #include <functional>
@@ -92,6 +110,19 @@ class Scheduler {
   [[nodiscard]] bool data_aware() const noexcept {
     return static_cast<bool>(oracle_);
   }
+
+  /// Registers (or updates) a tenant's fair-share weight; weight must
+  /// be > 0. The first registration activates fair-share arbitration
+  /// (see file comment). Tenants submitting without a registered
+  /// weight arbitrate at weight 1.
+  void set_tenant_weight(const std::string& tenant, double weight);
+  [[nodiscard]] bool fair_share() const noexcept {
+    return !tenant_weights_.empty();
+  }
+
+  /// Cumulative weighted dominant share granted to `tenant` so far
+  /// (the quantity fair-share equalizes; 0 for unknown tenants).
+  [[nodiscard]] double tenant_share(const std::string& tenant) const;
 
   /// Registers a pilot's nodes with the scheduler.
   void add_pilot(Pilot& pilot);
@@ -189,6 +220,11 @@ class Scheduler {
     platform::CapacityIndex index;
     /// Distinct node shapes of the pilot, for O(1) can-ever-fit checks.
     std::vector<platform::NodeSpec> distinct_specs;
+    /// Pilot-wide capacity totals (denominators of the DRF dominant
+    /// resource fraction), summed once at add_pilot.
+    std::size_t total_cores = 0;
+    std::size_t total_gpus = 0;
+    double total_mem = 0.0;
     /// Set when the fast-path invariant broke (fifo head cancelled,
     /// policy switched); the next submit rescans the whole queue.
     bool needs_full_scan = false;
@@ -202,6 +238,8 @@ class Scheduler {
     common::MergeKey key;  ///< (enqueued_at, request sequence, shard)
     double enqueued_at = 0.0;
     std::string uid;
+    std::string tenant;
+    double share_cost = 0.0;  ///< weighted dominant fraction of the grant
     platform::Slot slot;
     platform::Node* node = nullptr;
     std::function<void(platform::Slot, platform::Node*)> callback;
@@ -221,8 +259,11 @@ class Scheduler {
                             GrantSink* sink = nullptr);
 
   /// Commits one grant: wait-time stats, grant counter, rolling FNV
-  /// fingerprint, callback post — always on the loop thread.
+  /// fingerprint, per-tenant share/counter update, callback post —
+  /// always on the loop thread, in merged order on the batch paths
+  /// (the only place tenant_shares_ is written).
   void commit_grant(double enqueued_at, const std::string& uid,
+                    const std::string& tenant, double share_cost,
                     platform::Slot slot, platform::Node* node,
                     std::function<void(platform::Slot, platform::Node*)>
                         callback);
@@ -240,6 +281,17 @@ class Scheduler {
   /// the same everything-left-is-unplaceable invariant.
   std::size_t try_schedule_data_aware(PilotEntry& entry,
                                       GrantSink* sink = nullptr);
+
+  /// Fair-share pass: probes every queued entry in (priority, share
+  /// snapshot, time, sequence) order with backfill semantics (skip the
+  /// unplaceable), so it reestablishes the same
+  /// everything-left-is-unplaceable invariant as the other passes.
+  std::size_t try_schedule_fair(PilotEntry& entry, GrantSink* sink = nullptr);
+
+  /// DRF dominant resource fraction of `request` on this pilot.
+  [[nodiscard]] double dominant_fraction(const PilotEntry& entry,
+                                         const ScheduleRequest& request) const;
+  [[nodiscard]] double weight_for(const std::string& tenant) const;
 
   /// Traces one inline placement pass as a zero-length "sched" span
   /// (no-op while tracing is disabled).
@@ -266,6 +318,11 @@ class Scheduler {
   LocalityOracle oracle_;
   common::ShardExecutor* executor_ = nullptr;
   std::map<std::string, PilotEntry> pilots_;
+  std::map<std::string, double> tenant_weights_;
+  /// Cumulative weighted dominant share per tenant. Written only by
+  /// commit_grant (loop thread, merged order); read by the sharded
+  /// passes as a start-of-pass snapshot.
+  std::map<std::string, double> tenant_shares_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t granted_ = 0;
   std::uint64_t grant_hash_ = common::kFnvOffsetBasis;

@@ -22,6 +22,11 @@ struct ScheduleRequest {
   double mem_gb = 0.0;
   int priority = 0;
 
+  /// Tenant (concurrent session/workflow) the request belongs to.
+  /// Empty — the single-tenant default — opts out of fair-share
+  /// arbitration and per-tenant accounting entirely.
+  std::string tenant;
+
   /// Input-dataset footprint (locality-aware placement): the datasets
   /// the request reads and the bytes that must still move into the
   /// target pilot's zone at submission time. The data plane's

@@ -384,6 +384,7 @@ ScheduleRequest ServiceManager::make_request(const std::string& uid,
   request.gpus = desc.gpus;
   request.mem_gb = desc.mem_gb;
   request.priority = desc.priority;
+  request.tenant = desc.tenant;
   request.granted = [this, uid](platform::Slot slot, platform::Node* node) {
     on_granted(uid, std::move(slot), node);
   };

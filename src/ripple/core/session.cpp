@@ -103,6 +103,21 @@ std::vector<std::string> Session::cluster_names() const {
   return names;
 }
 
+void Session::set_tenant_weight(const std::string& tenant, double weight) {
+  scheduler_->set_tenant_weight(tenant, weight);
+  data_->engine().set_tenant_weight(tenant, weight);
+}
+
+void Session::set_tenant_store_quota(const std::string& zone,
+                                     const std::string& tenant,
+                                     double bytes) {
+  data_->catalog().set_tenant_quota(zone, tenant, bytes);
+}
+
+void Session::set_tenant_link_quota(const std::string& tenant, double bytes) {
+  data_->engine().set_tenant_link_quota(tenant, bytes);
+}
+
 Pilot& Session::submit_pilot(const PilotDescription& desc) {
   desc.validate();
   platform::Cluster& target = cluster(desc.platform);

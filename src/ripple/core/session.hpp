@@ -84,6 +84,27 @@ class Session {
   /// Platform names in deterministic (sorted) order.
   [[nodiscard]] std::vector<std::string> cluster_names() const;
 
+  // --- multi-tenancy --------------------------------------------------------
+
+  /// Registers (or updates) `tenant`'s fair-share weight, in both the
+  /// scheduler (DRF-style dominant-share arbitration between queued
+  /// requests) and the transfer engine (weighted link bandwidth
+  /// shares). Registering the first weight switches the scheduler's
+  /// backfill pass to fair-share ordering; sessions that never call
+  /// this keep the exact single-tenant behavior.
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// Caps the bytes `tenant` may hold (resident + reserved) in
+  /// `zone`'s store. Over-quota reservations fail without evicting
+  /// anyone else's data.
+  void set_tenant_store_quota(const std::string& zone,
+                              const std::string& tenant, double bytes);
+
+  /// Caps `tenant`'s concurrently in-flight bytes per network link;
+  /// excess transfers queue behind the cap (they are never dropped,
+  /// and a tenant with nothing in flight is always admitted).
+  void set_tenant_link_quota(const std::string& tenant, double bytes);
+
   // --- components ---
 
   [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }

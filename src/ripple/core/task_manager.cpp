@@ -312,6 +312,7 @@ void TaskManager::begin_stage_in(const std::string& uid, Active& active) {
   }
   const std::string zone = active.pilot->cluster().name();
   const std::uint64_t epoch = active.epoch;
+  const std::string tenant = active.task->description().tenant;
   active.stage_batch = data_.stage_all_tracked(
       inputs, zone,
       [this, uid, inputs, zone, epoch](bool ok,
@@ -341,7 +342,8 @@ void TaskManager::begin_stage_in(const std::string& uid, Active& active) {
                                         "' was evicted before launch"));
             return;
           }
-          data_.catalog().pin(name, zone);
+          data_.catalog().pin(name, zone,
+                              active.task->description().tenant);
           active.input_pins.push_back(name);
         }
         // The grant may have arrived while the data was in flight.
@@ -349,7 +351,8 @@ void TaskManager::begin_stage_in(const std::string& uid, Active& active) {
             active.task->state() == TaskState::scheduled) {
           begin_launch(uid);
         }
-      });
+      },
+      tenant);
 }
 
 // ---------------------------------------------------------------------------
@@ -365,6 +368,7 @@ ScheduleRequest TaskManager::make_request(const std::string& uid,
   request.gpus = desc.gpus;
   request.mem_gb = desc.mem_gb;
   request.priority = desc.priority;
+  request.tenant = desc.tenant;
   request.input_datasets = stage_in_datasets(desc);
   request.input_bytes = data_.bytes_required(
       request.input_datasets, active.pilot->cluster().name());
@@ -597,6 +601,7 @@ void TaskManager::maybe_speculate(const std::string& uid,
   request.gpus = desc.gpus;
   request.mem_gb = desc.mem_gb;
   request.priority = desc.priority;
+  request.tenant = desc.tenant;
   request.granted = [this, uid, epoch, pilot_uid](platform::Slot slot,
                                                    platform::Node* node) {
     on_spec_granted(uid, epoch, pilot_uid, std::move(slot), node);
@@ -934,7 +939,8 @@ void TaskManager::to_staging_out(const std::string& uid) {
                               runtime_.loop().now());
         it->second.trace_stage = 0;
         finish(uid);
-      });
+      },
+      active.task->description().tenant);
 }
 
 void TaskManager::finish(const std::string& uid) {
@@ -982,7 +988,10 @@ void TaskManager::release_slot(Active& active) {
 
 void TaskManager::release_input_pins(Active& active) {
   for (const auto& name : active.input_pins) {
-    data_.catalog().unpin(name, active.input_pin_zone);
+    // Unpin under the same tenant that pinned — per-tenant pin counts
+    // must pair exactly.
+    data_.catalog().unpin(name, active.input_pin_zone,
+                          active.task->description().tenant);
   }
   active.input_pins.clear();
 }

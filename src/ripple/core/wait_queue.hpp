@@ -8,6 +8,21 @@
 /// so cancel() finds its entry without scanning. push, erase and
 /// pop-best are all O(log N); backfill scans iterate entries in grant
 /// order without mutating the queue.
+///
+/// Cross-tenant ordering audit (multi-tenant runtime). Sequences are
+/// drawn from ONE scheduler-global counter (`Scheduler::next_sequence_`)
+/// regardless of which tenant/session submitted, and `enqueued_at`
+/// records the global sim-time of submission. Equal-priority requests
+/// from different tenants therefore tie-break in global
+/// (time, sequence) submission order — never per-session insertion
+/// order — and the order is bit-identical across reruns and shard
+/// counts (the pass only *plans* per shard; grants commit serially in
+/// merged order). Pinned by TenantsTest.CrossTenantTieBreak in
+/// tests/test_tenants.cpp. Weighted fair-share (DRF-style) is layered
+/// ABOVE this queue in Scheduler::try_schedule_fair: it re-orders the
+/// *scan* by (priority, dominant share, time, sequence) but never
+/// mutates the keys here, so disabling fair-share restores this queue's
+/// native order exactly.
 
 #include <cstdint>
 #include <map>

@@ -34,19 +34,67 @@ void ReplicaCatalog::add_store(const std::string& zone,
 }
 
 void ReplicaCatalog::register_dataset(const std::string& name, double bytes,
-                                      const std::string& zone) {
+                                      const std::string& zone,
+                                      const std::string& content_id) {
   ensure(!name.empty(), Errc::invalid_argument, "dataset needs a name");
   ensure(bytes >= 0.0, Errc::invalid_argument, "dataset bytes must be >= 0");
-  auto [it, inserted] = datasets_.try_emplace(name);
+  if (!content_id.empty()) {
+    const auto cit = content_index_.find(content_id);
+    if (cit != content_index_.end() && cit->second != canonical(name)) {
+      // The content id already has a canonical dataset under another
+      // name: `name` becomes an alias of it. A name that is already a
+      // distinct dataset (or an alias of a different one) cannot be
+      // re-bound — that would silently merge two different blobs.
+      const std::string& canon = cit->second;
+      ensure(datasets_.count(name) == 0, Errc::invalid_state,
+             strutil::cat("dataset '", name,
+                          "' already registered; cannot re-bind it to "
+                          "content id '",
+                          content_id, "'"));
+      const auto ait = aliases_.find(name);
+      ensure(ait == aliases_.end() || ait->second == canon,
+             Errc::invalid_state,
+             strutil::cat("dataset '", name, "' already aliases '",
+                          ait == aliases_.end() ? "" : ait->second,
+                          "'; cannot re-bind to '", canon, "'"));
+      aliases_.emplace(name, canon);
+      // Lineage recorded against the alias name before the alias
+      // existed (consumers registered ahead of production) now
+      // protects the canonical entry.
+      const auto lit = lineage_.find(name);
+      if (lit != lineage_.end()) {
+        auto& merged = lineage_[canon];
+        for (const auto& [tenant, count] : lit->second) {
+          merged[tenant] += count;
+        }
+        lineage_.erase(name);
+      }
+      add_replica(datasets_.at(canon), zone);
+      return;
+    }
+  }
+  const std::string& canon = canonical(name);
+  auto [it, inserted] = datasets_.try_emplace(canon);
   if (inserted) {
-    it->second.info.name = name;
+    it->second.info.name = canon;
     it->second.info.bytes = bytes;
+  }
+  if (!content_id.empty()) {
+    if (it->second.info.content_id.empty()) {
+      it->second.info.content_id = content_id;
+      content_index_.emplace(content_id, canon);
+    } else {
+      ensure(it->second.info.content_id == content_id, Errc::invalid_state,
+             strutil::cat("dataset '", canon, "' has content id '",
+                          it->second.info.content_id,
+                          "'; cannot re-register as '", content_id, "'"));
+    }
   }
   add_replica(it->second, zone);
 }
 
 bool ReplicaCatalog::has(const std::string& name) const {
-  return datasets_.count(name) != 0;
+  return datasets_.count(canonical(name)) != 0;
 }
 
 const Dataset& ReplicaCatalog::dataset(const std::string& name) const {
@@ -55,34 +103,63 @@ const Dataset& ReplicaCatalog::dataset(const std::string& name) const {
 
 bool ReplicaCatalog::available_in(const std::string& name,
                                   const std::string& zone) const {
-  const auto it = datasets_.find(name);
+  const auto it = datasets_.find(canonical(name));
   return it != datasets_.end() && it->second.replicas.count(zone) != 0;
+}
+
+const std::string& ReplicaCatalog::canonical(const std::string& name) const {
+  const auto it = aliases_.find(name);
+  return it == aliases_.end() ? name : it->second;
 }
 
 // ---------------------------------------------------------------------------
 // Transfer admission
 // ---------------------------------------------------------------------------
 
-bool ReplicaCatalog::reserve(const std::string& zone, double bytes) {
+bool ReplicaCatalog::reserve(const std::string& zone, double bytes,
+                             const std::string& tenant) {
   ensure(bytes >= 0.0, Errc::invalid_argument,
          "reservation must be >= 0 bytes");
   Store& store = store_for(zone);
+  if (!tenant.empty()) {
+    const auto q = store.quota.find(tenant);
+    if (q != store.quota.end()) {
+      double held = bytes;
+      const auto u = store.used_by_tenant.find(tenant);
+      if (u != store.used_by_tenant.end()) held += u->second;
+      const auto r = store.reserved_by_tenant.find(tenant);
+      if (r != store.reserved_by_tenant.end()) held += r->second;
+      // Quota rejection happens before make_room: an over-quota tenant
+      // must not evict other tenants' replicas on the way to a "no".
+      if (held > q->second + slack(q->second)) return false;
+    }
+  }
   if (!make_room(zone, bytes)) return false;
   store.info.reserved += bytes;
+  if (!tenant.empty()) store.reserved_by_tenant[tenant] += bytes;
   return true;
 }
 
 void ReplicaCatalog::release_reservation(const std::string& zone,
-                                         double bytes) {
+                                         double bytes,
+                                         const std::string& tenant) {
   Store& store = store_for(zone);
   ensure(store.info.reserved >= bytes - slack(bytes), Errc::invalid_state,
          strutil::cat("store '", zone, "' releasing more than reserved"));
   store.info.reserved -= bytes;
   if (store.info.reserved < 0.0) store.info.reserved = 0.0;
+  if (!tenant.empty()) {
+    const auto it = store.reserved_by_tenant.find(tenant);
+    if (it != store.reserved_by_tenant.end()) {
+      it->second -= bytes;
+      if (it->second <= slack(bytes)) store.reserved_by_tenant.erase(it);
+    }
+  }
 }
 
 void ReplicaCatalog::commit_replica(const std::string& name,
-                                    const std::string& zone) {
+                                    const std::string& zone,
+                                    const std::string& tenant) {
   Entry& entry = entry_for(name);
   Store& store = store_for(zone);
   ensure(store.info.reserved >= entry.info.bytes - slack(entry.info.bytes),
@@ -91,38 +168,50 @@ void ReplicaCatalog::commit_replica(const std::string& name,
                       "' without a reservation"));
   store.info.reserved -= entry.info.bytes;
   if (store.info.reserved < 0.0) store.info.reserved = 0.0;
+  if (!tenant.empty()) {
+    const auto it = store.reserved_by_tenant.find(tenant);
+    if (it != store.reserved_by_tenant.end()) {
+      it->second -= entry.info.bytes;
+      if (it->second <= slack(entry.info.bytes)) {
+        store.reserved_by_tenant.erase(it);
+      }
+    }
+  }
   if (entry.replicas.count(zone) != 0) return;  // landed twice: keep one
   entry.info.zones.insert(zone);
   Replica replica;
   replica.last_use = ++clock_;
-  store.lru.insert({replica.last_use, name});
+  replica.owner = tenant;
+  store.lru.insert({replica.last_use, entry.info.name});
   store.info.used += entry.info.bytes;
+  if (!tenant.empty()) store.used_by_tenant[tenant] += entry.info.bytes;
   entry.replicas.emplace(zone, replica);
 }
 
 void ReplicaCatalog::touch(const std::string& name, const std::string& zone) {
-  const auto it = datasets_.find(name);
+  const auto it = datasets_.find(canonical(name));
   if (it == datasets_.end()) return;
   const auto rep = it->second.replicas.find(zone);
   if (rep == it->second.replicas.end()) return;
   Store& store = store_for(zone);
-  remove_from_lru(store, rep->second.last_use, name);
+  remove_from_lru(store, rep->second.last_use, it->first);
   rep->second.last_use = ++clock_;
-  store.lru.insert({rep->second.last_use, name});
+  store.lru.insert({rep->second.last_use, it->first});
 }
 
 bool ReplicaCatalog::drop_replica(const std::string& name,
                                   const std::string& zone) {
-  const auto it = datasets_.find(name);
+  const auto it = datasets_.find(canonical(name));
   if (it == datasets_.end()) return false;
   Entry& entry = it->second;
   const auto rep = entry.replicas.find(zone);
   if (rep == entry.replicas.end()) return false;
   if (protected_replica(entry, rep->second)) return false;
   Store& store = store_for(zone);
-  remove_from_lru(store, rep->second.last_use, name);
+  remove_from_lru(store, rep->second.last_use, it->first);
   store.info.used -= entry.info.bytes;
   if (store.info.used < 0.0) store.info.used = 0.0;
+  uncharge_owner(store, rep->second, entry.info.bytes);
   entry.replicas.erase(rep);
   entry.info.zones.erase(zone);
   return true;
@@ -132,18 +221,22 @@ bool ReplicaCatalog::drop_replica(const std::string& name,
 // Pinning & lineage
 // ---------------------------------------------------------------------------
 
-void ReplicaCatalog::pin(const std::string& name, const std::string& zone) {
+void ReplicaCatalog::pin(const std::string& name, const std::string& zone,
+                         const std::string& tenant) {
   Entry& entry = entry_for(name);
   const auto rep = entry.replicas.find(zone);
   ensure(rep != entry.replicas.end(), Errc::not_found,
          strutil::cat("pin: no replica of '", name, "' in '", zone, "'"));
   ++rep->second.pins;
+  if (!tenant.empty()) ++rep->second.pins_by_tenant[tenant];
 }
 
-void ReplicaCatalog::unpin(const std::string& name, const std::string& zone) {
+void ReplicaCatalog::unpin(const std::string& name, const std::string& zone,
+                           const std::string& tenant) {
   // A pin taken before the zone's store failed: the replica was
-  // force-dropped, and the interrupted reader's release is tolerated.
-  const auto lost = lost_pins_.find({zone, name});
+  // force-dropped, and the interrupted reader's release is tolerated
+  // (whichever tenant held it — lost pins are tracked by total).
+  const auto lost = lost_pins_.find({zone, canonical(name)});
   if (lost != lost_pins_.end()) {
     if (--lost->second == 0) lost_pins_.erase(lost);
     return;
@@ -154,33 +247,75 @@ void ReplicaCatalog::unpin(const std::string& name, const std::string& zone) {
          strutil::cat("unpin: no replica of '", name, "' in '", zone, "'"));
   ensure(rep->second.pins > 0, Errc::invalid_state,
          strutil::cat("unpin: '", name, "' in '", zone, "' is not pinned"));
+  if (!tenant.empty()) {
+    const auto held = rep->second.pins_by_tenant.find(tenant);
+    ensure(held != rep->second.pins_by_tenant.end() && held->second > 0,
+           Errc::invalid_state,
+           strutil::cat("unpin: tenant '", tenant, "' holds no pin on '",
+                        name, "' in '", zone, "'"));
+    if (--held->second == 0) rep->second.pins_by_tenant.erase(held);
+  }
   --rep->second.pins;
 }
 
 std::size_t ReplicaCatalog::pins(const std::string& name,
                                  const std::string& zone) const {
-  const auto it = datasets_.find(name);
+  const auto it = datasets_.find(canonical(name));
   if (it == datasets_.end()) return 0;
   const auto rep = it->second.replicas.find(zone);
   return rep == it->second.replicas.end() ? 0 : rep->second.pins;
 }
 
 void ReplicaCatalog::add_consumers(const std::string& name,
-                                   std::size_t count) {
+                                   std::size_t count,
+                                   const std::string& tenant) {
   if (count == 0) return;
-  lineage_[name] += count;
+  lineage_[canonical(name)][tenant] += count;
 }
 
-void ReplicaCatalog::consume_done(const std::string& name) {
-  const auto it = lineage_.find(name);
-  ensure(it != lineage_.end() && it->second > 0, Errc::invalid_state,
+void ReplicaCatalog::consume_done(const std::string& name,
+                                  const std::string& tenant) {
+  const auto it = lineage_.find(canonical(name));
+  ensure(it != lineage_.end(), Errc::invalid_state,
          strutil::cat("consume_done: '", name, "' has no consumers left"));
-  if (--it->second == 0) lineage_.erase(it);
+  const auto held = it->second.find(tenant);
+  ensure(held != it->second.end() && held->second > 0, Errc::invalid_state,
+         strutil::cat("consume_done: tenant '", tenant,
+                      "' holds no consumers of '", name, "'"));
+  if (--held->second == 0) it->second.erase(held);
+  if (it->second.empty()) lineage_.erase(it);
 }
 
 std::size_t ReplicaCatalog::consumers_left(const std::string& name) const {
-  const auto it = lineage_.find(name);
-  return it == lineage_.end() ? 0 : it->second;
+  const auto it = lineage_.find(canonical(name));
+  if (it == lineage_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& [tenant, count] : it->second) total += count;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Tenant quotas
+// ---------------------------------------------------------------------------
+
+void ReplicaCatalog::set_tenant_quota(const std::string& zone,
+                                      const std::string& tenant,
+                                      double bytes) {
+  ensure(!tenant.empty(), Errc::invalid_argument, "quota needs a tenant");
+  ensure(bytes >= 0.0, Errc::invalid_argument, "quota must be >= 0 bytes");
+  store_for(zone).quota[tenant] = bytes;
+}
+
+double ReplicaCatalog::tenant_usage(const std::string& zone,
+                                    const std::string& tenant) const {
+  const auto it = stores_.find(zone);
+  if (it == stores_.end()) return 0.0;
+  double held = 0.0;
+  const auto u = it->second.used_by_tenant.find(tenant);
+  if (u != it->second.used_by_tenant.end()) held += u->second;
+  const auto r = it->second.reserved_by_tenant.find(tenant);
+  if (r != it->second.reserved_by_tenant.end()) held += r->second;
+  return held;
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +354,9 @@ std::vector<std::string> ReplicaCatalog::fail_store(const std::string& zone) {
 
 bool ReplicaCatalog::protected_replica(const Entry& entry,
                                        const Replica& replica) const {
+  // Protection is GLOBAL: pins and lineage consumers are summed across
+  // every tenant, so one tenant's store pressure can never evict a
+  // replica another tenant is still reading (or about to read).
   return replica.pins > 0 || consumers_left(entry.info.name) > 0;
 }
 
@@ -245,6 +383,7 @@ bool ReplicaCatalog::make_room(const std::string& zone, double bytes) {
     it = store.lru.erase(it);
     store.info.used -= entry.info.bytes;
     if (store.info.used < 0.0) store.info.used = 0.0;
+    uncharge_owner(store, replica, entry.info.bytes);
     entry.replicas.erase(zone);
     entry.info.zones.erase(zone);
     ++total_evictions_;
@@ -277,8 +416,17 @@ void ReplicaCatalog::remove_from_lru(Store& store, std::uint64_t last_use,
   store.lru.erase({last_use, name});
 }
 
+void ReplicaCatalog::uncharge_owner(Store& store, const Replica& replica,
+                                    double bytes) {
+  if (replica.owner.empty()) return;
+  const auto it = store.used_by_tenant.find(replica.owner);
+  if (it == store.used_by_tenant.end()) return;
+  it->second -= bytes;
+  if (it->second <= slack(bytes)) store.used_by_tenant.erase(it);
+}
+
 ReplicaCatalog::Entry& ReplicaCatalog::entry_for(const std::string& name) {
-  const auto it = datasets_.find(name);
+  const auto it = datasets_.find(canonical(name));
   ensure(it != datasets_.end(), Errc::not_found,
          strutil::cat("unknown dataset '", name, "'"));
   return it->second;
@@ -286,7 +434,7 @@ ReplicaCatalog::Entry& ReplicaCatalog::entry_for(const std::string& name) {
 
 const ReplicaCatalog::Entry& ReplicaCatalog::entry_for(
     const std::string& name) const {
-  const auto it = datasets_.find(name);
+  const auto it = datasets_.find(canonical(name));
   ensure(it != datasets_.end(), Errc::not_found,
          strutil::cat("unknown dataset '", name, "'"));
   return it->second;

@@ -19,6 +19,31 @@
 /// intermediate becomes evictable only when every stage that reads it
 /// has finished). Eviction order is deterministic: strictly ascending
 /// last-use stamps from a logical clock, name as the tie-break.
+///
+/// Multi-tenant sharing. The catalog is one namespace shared by every
+/// tenant (concurrent workflow session). Two mechanisms make sharing
+/// safe and profitable:
+///
+///  - *Content addressing.* register_dataset() accepts an optional
+///    content id. The first name registered under a content id becomes
+///    the canonical dataset; later names with the same id become
+///    aliases that resolve to it everywhere (replicas, pins, lineage),
+///    so tenant B's "b/corpus" hits tenant A's already-warm replica
+///    instead of re-transferring. Lineage recorded against an alias
+///    before the alias existed is migrated to the canonical entry.
+///  - *Per-tenant accounting with global protection.* Pins and lineage
+///    consumers are tagged with the tenant that took them, but eviction
+///    protection sums them *globally*: a replica whose only remaining
+///    consumers belong to another tenant is not evictable by the owning
+///    tenant's store pressure (the cross-tenant corner covered in
+///    tests/test_dataplane.cpp). Per-tenant byte quotas
+///    (set_tenant_quota) bound how much of a store one tenant's
+///    transfers may hold: an over-quota reservation fails *without*
+///    evicting anyone else's replicas.
+///
+/// Tenant ids default to "" (the single-tenant runtime), which keeps
+/// every pre-tenant call site bit-identical: no quota applies, no
+/// per-tenant maps are touched.
 
 #include <cstdint>
 #include <limits>
@@ -34,6 +59,10 @@ struct Dataset {
   std::string name;
   double bytes = 0.0;
   std::set<std::string> zones;  ///< where committed replicas live
+
+  /// Content address; empty for datasets registered without one. Two
+  /// names registered with the same content id share one entry.
+  std::string content_id;
 };
 
 /// Aggregate view of one zone's store.
@@ -59,27 +88,44 @@ class ReplicaCatalog {
   /// replica location (bytes of the first registration win). May evict
   /// to make room; throws Errc::capacity when the store cannot fit the
   /// replica even after evicting everything unprotected.
+  ///
+  /// `content_id`, when non-empty, content-addresses the dataset: the
+  /// first name registered under an id is canonical, later names become
+  /// aliases of it (their pre-existing lineage migrates to the
+  /// canonical entry). A name already registered as a distinct dataset
+  /// cannot be re-bound to another content id (throws invalid_state).
   void register_dataset(const std::string& name, double bytes,
-                        const std::string& zone);
+                        const std::string& zone,
+                        const std::string& content_id = "");
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] const Dataset& dataset(const std::string& name) const;
   [[nodiscard]] bool available_in(const std::string& name,
                                   const std::string& zone) const;
 
+  /// The canonical name `name` resolves to (itself unless aliased).
+  [[nodiscard]] const std::string& canonical(const std::string& name) const;
+
   // --- transfer admission -------------------------------------------------
 
   /// Reserves `bytes` in `zone` for an in-flight transfer, evicting LRU
   /// unprotected replicas as needed. Returns false (reserving nothing)
-  /// when the store cannot fit the reservation.
-  [[nodiscard]] bool reserve(const std::string& zone, double bytes);
+  /// when the store cannot fit the reservation — or when `tenant` has a
+  /// quota in this store and the reservation would exceed it (checked
+  /// *before* any eviction, so an over-quota tenant cannot flush other
+  /// tenants' replicas on the way to a failed reserve).
+  [[nodiscard]] bool reserve(const std::string& zone, double bytes,
+                             const std::string& tenant = "");
 
   /// Returns a reservation made by reserve() (transfer failed/cancelled).
-  void release_reservation(const std::string& zone, double bytes);
+  void release_reservation(const std::string& zone, double bytes,
+                           const std::string& tenant = "");
 
   /// Converts a reservation of dataset(name).bytes into a committed
-  /// replica of `name` in `zone`.
-  void commit_replica(const std::string& name, const std::string& zone);
+  /// replica of `name` in `zone`, owned (for per-tenant usage
+  /// accounting) by `tenant`.
+  void commit_replica(const std::string& name, const std::string& zone,
+                      const std::string& tenant = "");
 
   /// Marks the replica recently used (LRU bump). No-op when absent.
   void touch(const std::string& name, const std::string& zone);
@@ -89,23 +135,43 @@ class ReplicaCatalog {
 
   // --- pinning & lineage --------------------------------------------------
 
-  /// Pin/unpin the replica of `name` in `zone` (pin counts nest).
-  /// Pinned replicas are never evicted. Pinning requires the replica to
-  /// exist; unpinning an unpinned replica throws.
-  void pin(const std::string& name, const std::string& zone);
-  void unpin(const std::string& name, const std::string& zone);
+  /// Pin/unpin the replica of `name` in `zone` (pin counts nest, tagged
+  /// with the pinning tenant). Pinned replicas are never evicted — by
+  /// *any* tenant's pressure. Pinning requires the replica to exist;
+  /// unpinning more than `tenant` pinned throws.
+  void pin(const std::string& name, const std::string& zone,
+           const std::string& tenant = "");
+  void unpin(const std::string& name, const std::string& zone,
+             const std::string& tenant = "");
   [[nodiscard]] std::size_t pins(const std::string& name,
                                  const std::string& zone) const;
 
-  /// Lineage: records `count` future consumers of `name` (the dataset
-  /// may not be registered yet). While consumers remain, no replica of
-  /// the dataset is evicted anywhere.
-  void add_consumers(const std::string& name, std::size_t count);
+  /// Lineage: records `count` future consumers of `name` on behalf of
+  /// `tenant` (the dataset may not be registered yet). While consumers
+  /// remain — summed across all tenants — no replica of the dataset is
+  /// evicted anywhere.
+  void add_consumers(const std::string& name, std::size_t count,
+                     const std::string& tenant = "");
 
-  /// One consumer finished; at zero the dataset becomes evictable.
-  void consume_done(const std::string& name);
+  /// One of `tenant`'s consumers finished; at zero total the dataset
+  /// becomes evictable.
+  void consume_done(const std::string& name, const std::string& tenant = "");
 
+  /// Consumers left across all tenants.
   [[nodiscard]] std::size_t consumers_left(const std::string& name) const;
+
+  // --- tenant quotas ------------------------------------------------------
+
+  /// Caps the bytes `tenant` may hold (committed + reserved) in
+  /// `zone`'s store. Tenants without a quota are unbounded. The cap is
+  /// enforced by reserve(): an over-quota reservation fails without
+  /// evicting.
+  void set_tenant_quota(const std::string& zone, const std::string& tenant,
+                        double bytes);
+
+  /// Bytes `tenant` currently holds (committed + reserved) in `zone`.
+  [[nodiscard]] double tenant_usage(const std::string& zone,
+                                    const std::string& tenant) const;
 
   // --- introspection ------------------------------------------------------
 
@@ -136,7 +202,9 @@ class ReplicaCatalog {
  private:
   struct Replica {
     std::uint64_t last_use = 0;
-    std::size_t pins = 0;
+    std::size_t pins = 0;  ///< total across tenants (protection uses this)
+    std::map<std::string, std::size_t> pins_by_tenant;
+    std::string owner;  ///< tenant whose commit landed it ("" = shared)
   };
 
   struct Entry {
@@ -150,6 +218,9 @@ class ReplicaCatalog {
     /// unique per touch, dataset tie-break keeps determinism if a
     /// future refactor reuses stamps.
     std::set<std::pair<std::uint64_t, std::string>> lru;
+    std::map<std::string, double> used_by_tenant;
+    std::map<std::string, double> reserved_by_tenant;
+    std::map<std::string, double> quota;  ///< tenant -> byte cap
   };
 
   /// True when the replica of `entry` may not be evicted.
@@ -163,17 +234,21 @@ class ReplicaCatalog {
   void add_replica(Entry& entry, const std::string& zone);
   void remove_from_lru(Store& store, std::uint64_t last_use,
                        const std::string& name);
+  void uncharge_owner(Store& store, const Replica& replica, double bytes);
 
   [[nodiscard]] Entry& entry_for(const std::string& name);
   [[nodiscard]] const Entry& entry_for(const std::string& name) const;
   [[nodiscard]] Store& store_for(const std::string& zone);
 
-  std::map<std::string, Entry> datasets_;
+  std::map<std::string, Entry> datasets_;  ///< canonical name -> entry
+  std::map<std::string, std::string> aliases_;  ///< name -> canonical
+  std::map<std::string, std::string> content_index_;  ///< cid -> canonical
   std::map<std::string, Store> stores_;
   /// (zone, dataset) -> pins force-dropped by fail_store, kept so late
   /// unpin() calls from interrupted readers do not throw.
   std::map<std::pair<std::string, std::string>, std::size_t> lost_pins_;
-  std::map<std::string, std::size_t> lineage_;  ///< consumers left
+  /// canonical name -> tenant -> consumers left (protection sums them).
+  std::map<std::string, std::map<std::string, std::size_t>> lineage_;
   std::uint64_t clock_ = 0;
   std::uint64_t total_evictions_ = 0;
   std::vector<std::string> eviction_log_;

@@ -51,6 +51,29 @@ void TransferEngine::set_failure(double probability, int max_retries) {
   max_retries_ = max_retries;
 }
 
+void TransferEngine::set_tenant_weight(const std::string& tenant,
+                                       double weight) {
+  ensure(!tenant.empty(), Errc::invalid_argument,
+         "bandwidth weight needs a tenant");
+  ensure(weight > 0.0, Errc::invalid_argument,
+         "bandwidth weight must be > 0");
+  tenant_weights_[tenant] = weight;
+}
+
+void TransferEngine::set_tenant_link_quota(const std::string& tenant,
+                                           double bytes) {
+  ensure(!tenant.empty(), Errc::invalid_argument,
+         "link quota needs a tenant");
+  ensure(bytes > 0.0, Errc::invalid_argument,
+         "link quota must be > 0 bytes");
+  link_quota_[tenant] = bytes;
+}
+
+double TransferEngine::weight_for(const std::string& tenant) const {
+  const auto it = tenant_weights_.find(tenant);
+  return it == tenant_weights_.end() ? 1.0 : it->second;
+}
+
 double TransferEngine::bandwidth_between(const std::string& zone_a,
                                          const std::string& zone_b) const {
   const auto it = bandwidth_override_.find(key_for(zone_a, zone_b));
@@ -89,7 +112,8 @@ std::size_t TransferEngine::queued_on(const std::string& zone_a,
 
 TransferEngine::TransferId TransferEngine::transfer(
     const std::string& dataset, const std::string& src_zone,
-    const std::string& dst_zone, double bytes, Callback on_done) {
+    const std::string& dst_zone, double bytes, Callback on_done,
+    const std::string& tenant) {
   ensure(static_cast<bool>(on_done), Errc::invalid_argument,
          "transfer: empty callback");
   ensure(bytes >= 0.0, Errc::invalid_argument,
@@ -106,12 +130,19 @@ TransferEngine::TransferId TransferEngine::transfer(
   t.total_bytes = bytes;
   t.remaining = bytes;
   t.started_at = loop_.now();
+  t.tenant = tenant;
   t.on_done = std::move(on_done);
   if (tracer_ != nullptr && tracer_->enabled()) {
     t.trace = tracer_->begin("transfer", "xfer", dataset, loop_.now(), 0,
                              {{"src", src_zone}, {"dst", dst_zone}});
+    if (!tenant.empty()) tracer_->arg(t.trace, "tenant", tenant);
   }
-  if (counters_ != nullptr) counters_->add("data.transfers");
+  if (counters_ != nullptr) {
+    counters_->add("data.transfers");
+    if (!tenant.empty()) {
+      counters_->add(strutil::cat("data.transfers.", tenant));
+    }
+  }
   transfers_.emplace(id, std::move(t));
   ++started_;
   enter_link(id);
@@ -122,16 +153,57 @@ void TransferEngine::enter_link(TransferId id) {
   Transfer& t = transfers_.at(id);
   const LinkKey key = key_for(t.src, t.dst);
   Link& link = links_[key];
-  if (link.active.size() < cap_for(key)) {
+  if (link.active.size() < cap_for(key) && !over_quota(key, t)) {
     admit(t);
   } else {
     link.queued.push_back(id);
   }
 }
 
+bool TransferEngine::over_quota(const LinkKey& key,
+                                const Transfer& t) const {
+  if (t.tenant.empty()) return false;
+  const auto quota = link_quota_.find(t.tenant);
+  if (quota == link_quota_.end()) return false;
+  const auto link_it = links_.find(key);
+  if (link_it == links_.end()) return false;
+  double in_flight = 0.0;
+  std::size_t own = 0;
+  for (const TransferId active_id : link_it->second.active) {
+    const Transfer& other = transfers_.at(active_id);
+    if (other.tenant != t.tenant) continue;
+    ++own;
+    in_flight += other.total_bytes;
+  }
+  // Starvation guard: a tenant with nothing in flight on the link may
+  // always start one transfer, however large — the quota throttles
+  // concurrency, it cannot wedge a tenant whose datasets exceed it.
+  if (own == 0) return false;
+  return in_flight + t.total_bytes > quota->second;
+}
+
+void TransferEngine::drain_queue(const LinkKey& key, Link& link) {
+  // A failed link keeps its queue parked: restore_link drains it.
+  if (down_.count(key) != 0) return;
+  // Skip-scan: quota-parked entries stay queued (in order) while later
+  // entries of other tenants are admitted past them. deque::erase
+  // returns the successor, so the scan survives its own admissions.
+  auto it = link.queued.begin();
+  while (it != link.queued.end() && link.active.size() < cap_for(key)) {
+    Transfer& t = transfers_.at(*it);
+    if (over_quota(key, t)) {
+      ++it;
+      continue;
+    }
+    it = link.queued.erase(it);
+    admit(t);
+  }
+}
+
 TransferEngine::TransferId TransferEngine::transfer_striped(
     const std::string& dataset, std::vector<std::string> src_zones,
-    const std::string& dst_zone, double bytes, Callback on_done) {
+    const std::string& dst_zone, double bytes, Callback on_done,
+    const std::string& tenant) {
   ensure(static_cast<bool>(on_done), Errc::invalid_argument,
          "transfer_striped: empty callback");
   ensure(bytes >= 0.0, Errc::invalid_argument,
@@ -148,7 +220,7 @@ TransferEngine::TransferId TransferEngine::transfer_striped(
          "transfer_striped: no usable source zone");
   if (src_zones.size() == 1) {
     return transfer(dataset, src_zones.front(), dst_zone, bytes,
-                    std::move(on_done));
+                    std::move(on_done), tenant);
   }
 
   // Weight each stripe by the rate its link can actually give a
@@ -167,12 +239,19 @@ TransferEngine::TransferId TransferEngine::transfer_striped(
   parent.dataset = dataset;
   parent.total_bytes = bytes;
   parent.started_at = loop_.now();
+  parent.tenant = tenant;
   parent.on_done = std::move(on_done);
   if (tracer_ != nullptr && tracer_->enabled()) {
     parent.trace = tracer_->begin("transfer-striped", "xfer", dataset,
                                   loop_.now(), 0, {{"dst", dst_zone}});
+    if (!tenant.empty()) tracer_->arg(parent.trace, "tenant", tenant);
   }
-  if (counters_ != nullptr) counters_->add("data.transfers");
+  if (counters_ != nullptr) {
+    counters_->add("data.transfers");
+    if (!tenant.empty()) {
+      counters_->add(strutil::cat("data.transfers.", tenant));
+    }
+  }
   ++started_;
 
   // Bandwidth-proportional split; the last stripe takes the remainder
@@ -196,6 +275,7 @@ TransferEngine::TransferId TransferEngine::transfer_striped(
     stripe.remaining = share;
     stripe.started_at = parent.started_at;
     stripe.parent = parent_id;
+    stripe.tenant = tenant;
     if (tracer_ != nullptr && tracer_->enabled()) {
       stripe.trace = tracer_->begin("stripe", "xfer", dataset, loop_.now(),
                                     parent.trace, {{"src", src}});
@@ -255,11 +335,44 @@ void TransferEngine::plan_link(const LinkKey& key, Link& link,
   }
   if (flowing == 0) return;
 
-  const double share =
-      bandwidth_between(key.first, key.second) / static_cast<double>(flowing);
+  const double bandwidth = bandwidth_between(key.first, key.second);
+  if (tenant_weights_.empty()) {
+    // The historical equal split, kept as its own arithmetic path: the
+    // weighted formula below reduces to it mathematically, but only
+    // this exact expression is *bit*-identical to the pre-tenant
+    // engine.
+    const double share = bandwidth / static_cast<double>(flowing);
+    for (const TransferId id : link.active) {
+      Transfer& t = transfers_.at(id);
+      if (t.phase != Phase::flowing) continue;
+      t.rate = share;
+      const sim::Duration eta = t.remaining / share;
+      sink.push_back(PlannedTimer{common::MergeKey{now + eta, t.id, 0}, t.id,
+                                  eta});
+    }
+    return;
+  }
+  // Weighted split: the link divides across the tenants flowing on it
+  // in weight proportion, then equally within each tenant. A single
+  // flowing tenant gets weight/weight == 1.0 exactly, i.e. the equal
+  // split. tenant_weights_ is read-only during replan_all's sharded
+  // passes (setters run on the loop thread between passes).
+  std::map<std::string, std::size_t> flows_by_tenant;
+  for (const TransferId id : link.active) {
+    const Transfer& t = transfers_.at(id);
+    if (t.phase != Phase::flowing) continue;
+    ++flows_by_tenant[t.tenant];
+  }
+  double weight_sum = 0.0;
+  for (const auto& [tenant, count] : flows_by_tenant) {
+    weight_sum += weight_for(tenant);
+  }
   for (const TransferId id : link.active) {
     Transfer& t = transfers_.at(id);
     if (t.phase != Phase::flowing) continue;
+    const double share =
+        bandwidth * (weight_for(t.tenant) / weight_sum) /
+        static_cast<double>(flows_by_tenant.at(t.tenant));
     t.rate = share;
     const sim::Duration eta = t.remaining / share;
     sink.push_back(PlannedTimer{common::MergeKey{now + eta, t.id, 0}, t.id,
@@ -363,15 +476,9 @@ void TransferEngine::leave_link(Transfer& transfer) {
   }
   transfer.phase = Phase::queued;
   transfer.rate = 0.0;
-  // A freed slot admits the queue head before the survivors re-plan, so
-  // the link never idles below its cap while work waits. A failed link
-  // keeps its queue parked: restore_link drains it.
-  while (down_.count(key) == 0 && !link.queued.empty() &&
-         link.active.size() < cap_for(key)) {
-    const TransferId next = link.queued.front();
-    link.queued.pop_front();
-    admit(transfers_.at(next));
-  }
+  // A freed slot admits queued work before the survivors re-plan, so
+  // the link never idles below its cap while admissible work waits.
+  drain_queue(key, link);
   replan(key);
 }
 
@@ -398,11 +505,7 @@ void TransferEngine::restore_link(const std::string& zone_a,
   if (it == links_.end()) return;
   Link& link = it->second;
   // Drain whatever queued while the link was down.
-  while (!link.queued.empty() && link.active.size() < cap_for(key)) {
-    const TransferId next = link.queued.front();
-    link.queued.pop_front();
-    admit(transfers_.at(next));
-  }
+  drain_queue(key, link);
   replan(key);
 }
 

@@ -31,6 +31,20 @@
 /// stripe order is deterministic (sources sorted), so same-seed
 /// schedules stay bit-reproducible.
 ///
+/// Multi-tenant links. Transfers carry an optional tenant id. Two
+/// opt-in controls keep one tenant's burst from starving another's:
+/// per-tenant *weights* (set_tenant_weight) turn the equal split into a
+/// weighted fair share — a link's bandwidth divides across the tenants
+/// flowing on it in weight proportion, then equally within each tenant
+/// — and per-tenant *link quotas* (set_tenant_link_quota) cap the bytes
+/// one tenant may have in flight per link, parking the excess in the
+/// link queue (skip-scanned, so other tenants behind it are not
+/// blocked; a tenant with nothing in flight on a link may always start
+/// one transfer, so quotas throttle, never starve). With no weights
+/// registered the split is exactly the historical bandwidth/flowing —
+/// bit-identical, not just approximately equal — and with no quotas the
+/// queue drains strictly FIFO as before.
+///
 /// Fair-share recomputation is *sharded* on the full-replan path:
 /// replan_all() — the "telemetry tick", run after mid-simulation
 /// bandwidth changes — partitions the links round-robin across a
@@ -94,6 +108,15 @@ class TransferEngine {
   /// Per-attempt failure probability and the retry budget per transfer.
   void set_failure(double probability, int max_retries);
 
+  /// Registers (or updates) a tenant's bandwidth weight; weight must be
+  /// > 0. The first registration switches every link to the weighted
+  /// split (see file comment). Tenants without a weight ride at 1.
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// Caps the bytes `tenant` may have in flight on any single link;
+  /// excess transfers queue until the tenant's own traffic drains.
+  void set_tenant_link_quota(const std::string& tenant, double bytes);
+
   /// Marks the (a, b) link down: every active or queued attempt on it
   /// fails *terminally* — retrying a dead link is pointless, so the
   /// retry budget is bypassed. Stripes die into their parent's normal
@@ -144,7 +167,7 @@ class TransferEngine {
   TransferId transfer(const std::string& dataset,
                       const std::string& src_zone,
                       const std::string& dst_zone, double bytes,
-                      Callback on_done);
+                      Callback on_done, const std::string& tenant = "");
 
   /// Starts a multi-source striped transfer of `bytes` into `dst_zone`:
   /// one stripe per distinct source zone (duplicates collapse, sources
@@ -160,7 +183,8 @@ class TransferEngine {
   TransferId transfer_striped(const std::string& dataset,
                               std::vector<std::string> src_zones,
                               const std::string& dst_zone, double bytes,
-                              Callback on_done);
+                              Callback on_done,
+                              const std::string& tenant = "");
 
   /// Abandons a transfer; its callback never fires. Returns false when
   /// the id is unknown (already completed/cancelled). Cancelling a
@@ -253,6 +277,7 @@ class TransferEngine {
     int attempts = 0;
     bool attempt_fails = false;  ///< sampled at admission, per attempt
     TransferId parent = 0;       ///< striped parent; 0 for plain transfers
+    std::string tenant;          ///< weighted share / quota bucket
     metrics::SpanId trace = 0;   ///< open tracer span, 0 when untraced
     Callback on_done;
   };
@@ -265,6 +290,7 @@ class TransferEngine {
     double total_bytes = 0.0;
     sim::SimTime started_at = 0.0;
     std::vector<TransferId> stripes;  ///< still in flight
+    std::string tenant;               ///< inherited by every stripe
     metrics::SpanId trace = 0;        ///< open tracer span, 0 when untraced
     Callback on_done;
   };
@@ -283,9 +309,24 @@ class TransferEngine {
   void on_attempt_end(TransferId id);
   void leave_link(Transfer& transfer);
 
-  /// Admits (or queues, at the link cap) a transfer already registered
-  /// in transfers_ — the shared tail of transfer()/transfer_striped().
+  /// Admits (or queues, at the link cap or the tenant's link quota) a
+  /// transfer already registered in transfers_ — the shared tail of
+  /// transfer()/transfer_striped().
   void enter_link(TransferId id);
+
+  /// True when admitting `t` now would push its tenant past its
+  /// per-link in-flight byte quota. Always false for tenants without a
+  /// quota, and for a tenant with nothing active on the link (the
+  /// starvation guard).
+  [[nodiscard]] bool over_quota(const LinkKey& key, const Transfer& t) const;
+
+  /// Admits queued transfers while capacity (and quota) allow,
+  /// skip-scanning past quota-parked entries so they cannot block other
+  /// tenants. With no quotas registered this is the old strict-FIFO
+  /// drain. No-op while the link is down.
+  void drain_queue(const LinkKey& key, Link& link);
+
+  [[nodiscard]] double weight_for(const std::string& tenant) const;
 
   /// A stripe finished its last attempt: settle it against its parent.
   /// Success commits the parent when it was the last stripe; failure
@@ -333,6 +374,8 @@ class TransferEngine {
   const sim::Network* network_ = nullptr;
   std::map<LinkKey, double> bandwidth_override_;
   std::map<LinkKey, std::size_t> concurrency_;
+  std::map<std::string, double> tenant_weights_;  ///< tenant -> bw weight
+  std::map<std::string, double> link_quota_;  ///< tenant -> bytes per link
   std::map<LinkKey, Link> links_;
   std::set<LinkKey> down_;  ///< links currently failed
   std::map<TransferId, Transfer> transfers_;

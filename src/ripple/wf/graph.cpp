@@ -140,6 +140,7 @@ Graph Graph::from_pipeline(const Pipeline& pipeline) {
   Graph graph(pipeline.name);
   graph.placement = pipeline.placement;
   graph.task_retry_budget = pipeline.task_retry_budget;
+  graph.tenant = pipeline.tenant;
   std::string previous;
   std::size_t previous_threshold = kAfterAllTasks;
   for (const Stage& stage : pipeline.stages) {

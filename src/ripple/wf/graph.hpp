@@ -114,6 +114,9 @@ class Graph {
   /// Graph-wide budget of task resubmissions (see
   /// Pipeline::task_retry_budget).
   std::size_t task_retry_budget = 0;
+  /// Tenant the run is accounted to (see Pipeline::tenant). Tasks and
+  /// services without their own tenant inherit it.
+  std::string tenant;
 
   Graph() = default;
   explicit Graph(std::string graph_name) : name(std::move(graph_name)) {}

@@ -100,6 +100,12 @@ struct Pipeline {
   std::vector<Stage> stages;
   Placement placement = Placement::locality;
 
+  /// Tenant the run is accounted to: fair-share scheduling weight,
+  /// store/link quotas, per-tenant pins and lineage. Tasks and services
+  /// without their own tenant inherit it. Empty (default): untenanted,
+  /// all multi-tenant machinery stays out of the way.
+  std::string tenant;
+
   /// Pipeline-wide budget of task resubmissions: a stage task that ends
   /// FAILED (payload error, restart budget exhausted, pilot lost) is
   /// submitted again from its original description while budget

@@ -76,6 +76,7 @@ std::shared_ptr<WorkflowManager::Handle> WorkflowManager::launch_graph(
   run->name = graph.name;
   run->pilots = std::move(pilots);
   run->placement = graph.placement;
+  run->tenant = graph.tenant;
   run->on_done = std::move(on_done);
   run->pipeline_done = std::move(pipeline_done);
   run->pipeline_mode = pipeline_mode;
@@ -90,7 +91,7 @@ std::shared_ptr<WorkflowManager::Handle> WorkflowManager::launch_graph(
     // the catalog keeps the dataset evict-proof until all consuming
     // nodes have finished (or been pruned).
     for (const auto& name : node.node.stage.consumes) {
-      session_.data().catalog().add_consumers(name, 1);
+      session_.data().catalog().add_consumers(name, 1, run->tenant);
     }
     run->index.emplace(node.node.stage.name, node.seq);
     run->nodes.push_back(std::move(node));
@@ -119,6 +120,9 @@ std::shared_ptr<WorkflowManager::Handle> WorkflowManager::launch_graph(
         {{pipeline_mode ? "stages" : "nodes",
           std::to_string(run->nodes.size())},
          {"pilots", std::to_string(run->pilots.size())}});
+    if (!run->tenant.empty()) {
+      session_.tracer().arg(run->trace, "tenant", run->tenant);
+    }
   }
 
   // The initial frontier: every node with no dependency edges.
@@ -180,6 +184,17 @@ void WorkflowManager::release_node(const std::shared_ptr<GraphRun>& run,
   node.started_at = session_.now();
   node.pilot = predict_pilot(*run, node.node.stage);
   const std::string zone = node.pilot->cluster().name();
+  if (!run->tenant.empty()) {
+    // Tasks and services without their own tenant inherit the run's —
+    // stamped once at release so every later copy (retries included)
+    // carries it.
+    for (auto& task : node.node.stage.tasks) {
+      if (task.tenant.empty()) task.tenant = run->tenant;
+    }
+    for (auto& service : node.node.stage.services) {
+      if (service.tenant.empty()) service.tenant = run->tenant;
+    }
+  }
   record_event(*run, strutil::cat(event_time(node.started_at), " release ",
                                   node.node.stage.name));
   log_.info(strutil::cat("graph '", run->name, "': node '",
@@ -220,12 +235,13 @@ void WorkflowManager::release_node(const std::shared_ptr<GraphRun>& run,
             return;
           }
           for (const auto& name : staged.node.stage.consumes) {
-            session_.data().catalog().pin(name, zone);
+            session_.data().catalog().pin(name, zone, run->tenant);
           }
           staged.data_pinned = true;
           staged.data_ready = true;
           maybe_launch_tasks(run, seq);
-        });
+        },
+        run->tenant);
   }
 
   if (node.node.stage.services.empty()) {
@@ -311,7 +327,7 @@ void WorkflowManager::prefetch_frontier(const std::shared_ptr<GraphRun>& run,
   }
   std::sort(candidates.begin(), candidates.end());
   for (const auto& [depth, next] : candidates) {
-    const NodeRun& successor = run->nodes[next];
+    NodeRun& successor = run->nodes[next];
     if (successor.node.stage.consumes.empty()) continue;
     // Replication-ahead: while this node computes, idle links push a
     // coming successor's inputs toward where it will probably run. A
@@ -319,8 +335,15 @@ void WorkflowManager::prefetch_frontier(const std::shared_ptr<GraphRun>& run,
     // successor's own staging re-resolves placement when it starts.
     core::Pilot* predicted = predict_pilot(*run, successor.node.stage);
     if (predicted == nullptr) continue;
+    const std::string predicted_zone = predicted->cluster().name();
     const std::size_t started = session_.data().prefetch(
-        successor.node.stage.consumes, predicted->cluster().name());
+        successor.node.stage.consumes, predicted_zone, run->tenant);
+    // Remember what was speculated for whom: if the successor is later
+    // pruned, its in-flight prefetches are abandoned instead of landing
+    // bytes nobody will read (see prune_node).
+    for (const auto& name : successor.node.stage.consumes) {
+      successor.prefetched.emplace_back(name, predicted_zone);
+    }
     if (started > 0) {
       log_.info(strutil::cat("graph '", run->name, "': prefetching ",
                              started, " dataset(s) for node '",
@@ -425,17 +448,18 @@ void WorkflowManager::on_task_terminal(const std::shared_ptr<GraphRun>& run,
   release_ready(run, std::move(ready));
 }
 
-void WorkflowManager::release_node_data(NodeRun& node) {
+void WorkflowManager::release_node_data(NodeRun& node,
+                                        const std::string& tenant) {
   if (node.lineage_released) return;
   node.lineage_released = true;
   auto& catalog = session_.data().catalog();
   for (const auto& name : node.node.stage.consumes) {
     if (node.data_pinned) {
-      catalog.unpin(name, node.pilot->cluster().name());
+      catalog.unpin(name, node.pilot->cluster().name(), tenant);
     }
     // This node's read is over; when every consuming node has finished
     // (or been pruned), the intermediate becomes evictable.
-    catalog.consume_done(name);
+    catalog.consume_done(name, tenant);
   }
 }
 
@@ -457,7 +481,26 @@ void WorkflowManager::prune_node(const std::shared_ptr<GraphRun>& run,
   }
   // The branch will never run: drop its lineage references now, or its
   // inputs would stay evict-proof forever (the pruned-branch leak).
-  release_node_data(node);
+  release_node_data(node, run->tenant);
+  // Speculation for this node is now pointless: abandon its in-flight
+  // frontier prefetches — unless another (unpruned) consumer still
+  // holds a lineage reference, in which case the bytes are wanted and
+  // the flight keeps going. abandon_prefetch is a safe no-op for
+  // flights that completed, were never started, or gained demand
+  // waiters in the meantime.
+  auto& catalog = session_.data().catalog();
+  for (const auto& [name, zone] : node.prefetched) {
+    if (catalog.consumers_left(name) > 0) continue;
+    if (session_.data().abandon_prefetch(name, zone)) {
+      record_event(*run, strutil::cat(event_time(session_.now()),
+                                      " abandon_prefetch ", name, " ", zone));
+      log_.info(strutil::cat("graph '", run->name,
+                             "': abandoned prefetch of '", name, "' into ",
+                             zone, " (consumer pruned)"));
+      session_.counters().add("wf.prefetch_abandoned");
+    }
+  }
+  node.prefetched.clear();
   // Descendants that still needed this node can never be satisfied.
   for (const std::size_t edge_index : node.out_edges) {
     if (!run->edges[edge_index].satisfied) {
@@ -479,7 +522,7 @@ void WorkflowManager::complete_node(const std::shared_ptr<GraphRun>& run,
     session_.data().cancel_batch(node.stage_batch);
     node.stage_batch.reset();
   }
-  release_node_data(node);
+  release_node_data(node, run->tenant);
   // Declared outputs are a contract: completing without having
   // registered one is a failure the downstream nodes would otherwise
   // hit as a confusing missing-dataset error.
@@ -605,7 +648,7 @@ void WorkflowManager::finish_graph(const std::shared_ptr<GraphRun>& run) {
     if (node.released || node.lineage_released) continue;
     node.lineage_released = true;
     for (const auto& name : node.node.stage.consumes) {
-      session_.data().catalog().consume_done(name);
+      session_.data().catalog().consume_done(name, run->tenant);
     }
   }
 
@@ -697,7 +740,7 @@ std::size_t WorkflowManager::spawn_node(const std::shared_ptr<GraphRun>& run,
   run->nodes.push_back(std::move(node));
   ++run->spawned_nodes;
   for (const auto& name : run->nodes[seq].node.stage.consumes) {
-    session_.data().catalog().add_consumers(name, 1);
+    session_.data().catalog().add_consumers(name, 1, run->tenant);
   }
   record_event(*run, strutil::cat(event_time(session_.now()), " spawn ",
                                   parent, " -> ", key));

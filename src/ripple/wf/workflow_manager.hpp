@@ -116,6 +116,11 @@ class WorkflowManager {
     bool released = false;
     bool pruned = false;
 
+    /// Frontier prefetches this node fired: (dataset, predicted zone)
+    /// pairs, recorded so prune can revoke speculation whose consumer
+    /// subtree was unselected (see prune_node).
+    std::vector<std::pair<std::string, std::string>> prefetched;
+
     core::Pilot* pilot = nullptr;  ///< chosen at release
     /// The node's `consumes` staging batch; cancelled if the node
     /// completes while transfers are still in flight.
@@ -146,6 +151,9 @@ class WorkflowManager {
     std::vector<EdgeRun> edges;
     std::map<std::string, std::size_t> index;
     Placement placement = Placement::locality;
+    /// Tenant every pin, lineage reference, stage reservation, task and
+    /// service of this run is accounted to (Graph::tenant).
+    std::string tenant;
     /// Exactly one of these is set (pipeline adapter vs graph API).
     std::function<void(const GraphResult&)> on_done;
     std::function<void(const PipelineResult&)> pipeline_done;
@@ -208,8 +216,9 @@ class WorkflowManager {
   void on_task_terminal(const std::shared_ptr<GraphRun>& run,
                         std::size_t seq, std::size_t task_index, bool ok);
   /// Unpins the node's consumed replicas and drops one lineage
-  /// reference per consumed dataset (idempotent).
-  void release_node_data(NodeRun& node);
+  /// reference per consumed dataset (idempotent), both under the run's
+  /// tenant — releases must pair with the tenant that pinned.
+  void release_node_data(NodeRun& node, const std::string& tenant);
   /// Removes an unselected (or unsatisfiable) node from the run before
   /// it starts, releasing its lineage references, and cascades to every
   /// descendant that depended on it.

@@ -83,6 +83,82 @@ TEST(Catalog, LineageConsumersProtectIntermediates) {
   EXPECT_THROW(catalog.consume_done("mid"), Error);
 }
 
+TEST(Catalog, CrossTenantConsumersSurviveOwnersEvictionPressure) {
+  // Regression (multi-tenant make_room): a dataset whose only remaining
+  // protection belongs to ANOTHER tenant must not be evictable by the
+  // owning tenant's store pressure — protection is global, summed over
+  // all tenants' pins and lineage references.
+  data::ReplicaCatalog catalog;
+  catalog.add_store("edge", 100.0);
+  catalog.register_dataset("warm", 100.0, "edge");
+
+  // Tenant B pins the replica; tenant A's exact-fit reservation must
+  // fail without tearing the replica down.
+  catalog.pin("warm", "edge", "tenantB");
+  EXPECT_FALSE(catalog.reserve("edge", 100.0, "tenantA"));
+  EXPECT_TRUE(catalog.available_in("warm", "edge"));
+  catalog.unpin("warm", "edge", "tenantB");
+
+  // A foreign lineage reference alone protects it just the same.
+  catalog.add_consumers("warm", 1, "tenantB");
+  EXPECT_FALSE(catalog.reserve("edge", 100.0, "tenantA"));
+  EXPECT_TRUE(catalog.available_in("warm", "edge"));
+
+  // Once tenant B's consumer finishes, the same exact-fit reservation
+  // succeeds by evicting the now-unprotected replica.
+  catalog.consume_done("warm", "tenantB");
+  EXPECT_TRUE(catalog.reserve("edge", 100.0, "tenantA"));
+  EXPECT_FALSE(catalog.available_in("warm", "edge"));
+  catalog.release_reservation("edge", 100.0, "tenantA");
+}
+
+TEST(Catalog, TenantStoreQuotaFailsReservationWithoutEvicting) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 200.0);
+  catalog.set_tenant_quota("z", "small", 50.0);
+  catalog.register_dataset("other", 100.0, "z");  // someone else's bytes
+
+  // Over-quota: rejected before make_room runs, so the resident
+  // replica is untouched even though eviction could have made room.
+  EXPECT_FALSE(catalog.reserve("z", 80.0, "small"));
+  EXPECT_TRUE(catalog.available_in("other", "z"));
+
+  // Within quota: charged to the tenant through commit.
+  EXPECT_TRUE(catalog.reserve("z", 40.0, "small"));
+  catalog.register_dataset("mine", 40.0, "elsewhere");
+  catalog.commit_replica("mine", "z", "small");
+  EXPECT_DOUBLE_EQ(catalog.tenant_usage("z", "small"), 40.0);
+  // The next reservation would exceed the 50-byte cap.
+  EXPECT_FALSE(catalog.reserve("z", 20.0, "small"));
+  // An untenanted caller is not constrained by anyone's quota.
+  EXPECT_TRUE(catalog.reserve("z", 20.0));
+  catalog.release_reservation("z", 20.0);
+}
+
+TEST(Catalog, ContentAddressingSharesReplicasAcrossNames) {
+  data::ReplicaCatalog catalog;
+  catalog.add_store("z", 100.0);
+  // Two tenants publish the same content under their own names: one
+  // canonical dataset, two aliases, one replica's worth of bytes.
+  catalog.register_dataset("t0/part", 60.0, "z", "cid:part");
+  catalog.register_dataset("t1/part", 60.0, "z", "cid:part");
+  EXPECT_EQ(catalog.canonical("t1/part"), "t0/part");
+  EXPECT_TRUE(catalog.available_in("t1/part", "z"));
+  EXPECT_DOUBLE_EQ(catalog.store("z").used, 60.0);
+
+  // Lineage and pins resolve through the alias to the canonical entry.
+  catalog.add_consumers("t1/part", 1, "tenant1");
+  EXPECT_EQ(catalog.consumers_left("t0/part"), 1u);
+  catalog.pin("t1/part", "z", "tenant1");
+  catalog.unpin("t0/part", "z", "tenant1");
+  catalog.consume_done("t0/part", "tenant1");
+  EXPECT_EQ(catalog.consumers_left("t1/part"), 0u);
+
+  // A name bound to one content id cannot re-bind to another.
+  EXPECT_THROW(catalog.register_dataset("t1/part", 60.0, "z", "cid:other"),
+               Error);
+}
+
 TEST(Catalog, ReservationsHoldSpaceUntilCommitOrRelease) {
   data::ReplicaCatalog catalog;
   catalog.add_store("z", 100.0);

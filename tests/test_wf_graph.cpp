@@ -213,6 +213,54 @@ TEST_F(GraphTest, ConditionalPruneReleasesSubtreeLineage) {
   EXPECT_EQ(session.data().catalog().pins("branch-input", "archive"), 0u);
 }
 
+TEST_F(GraphTest, PruneAbandonsInFlightFrontierPrefetch) {
+  // Regression: the frontier prefetch fired for a conditional successor
+  // used to keep flying after the successor was pruned — the bytes
+  // landed in the compute zone for a consumer that no longer existed,
+  // with the source pins and store reservation held for the whole
+  // transfer. A prune must abandon the in-flight speculation.
+  session.data().register_dataset("pruned-input", 10e9, "archive");
+
+  Graph graph("choose-prefetch");
+  GraphNode chooser_node;
+  chooser_node.stage = task_stage("chooser", 2.0);
+  chooser_node.select = [](const NodeOutcome&) {
+    return std::vector<std::string>{"win"};
+  };
+  graph.add(std::move(chooser_node));
+  graph.add(task_stage("win", 2.0));
+  Stage lose = task_stage("lose", 2.0);
+  lose.consumes = {"pruned-input"};
+  graph.add(lose);
+  graph.depend("chooser", "win", {.conditional = true});
+  graph.depend("chooser", "lose", {.conditional = true});
+
+  GraphResult result;
+  workflows->run_graph(graph, *pilot,
+                       [&](const GraphResult& r) { result = r; });
+  session.run();
+
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.nodes_pruned, 1u);
+  // The 8 s prefetch toward delta was still in flight when the 2 s
+  // chooser pruned its consumer: it was cancelled, not landed.
+  EXPECT_GE(session.data().prefetches_started(), 1u);
+  EXPECT_GE(session.data().cancelled_transfers(), 1u);
+  EXPECT_FALSE(session.data().available_in("pruned-input", "delta"));
+  // Its source pin and destination reservation were returned.
+  EXPECT_EQ(session.data().catalog().pins("pruned-input", "archive"), 0u);
+  EXPECT_DOUBLE_EQ(session.data().catalog().store("delta").reserved, 0.0);
+  // And the revocation is part of the deterministic event stream.
+  bool saw_abandon = false;
+  for (const auto& line : result.event_log) {
+    if (line.find("abandon_prefetch pruned-input delta") !=
+        std::string::npos) {
+      saw_abandon = true;
+    }
+  }
+  EXPECT_TRUE(saw_abandon);
+}
+
 TEST_F(GraphTest, FailureReleasesUnstartedLineage) {
   session.data().register_dataset("late-input", 1e9, "archive");
 
